@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Shared pipeline for the Table 6 / Table 7 benches: sweep the full
+ * Table 5 configuration grid over the benchmark suite under Mach,
+ * average the per-component CPI contributions, and rank allocations
+ * under the 250,000-rbe budget.
+ */
+
+#ifndef OMA_BENCH_ALLOC_COMMON_HH
+#define OMA_BENCH_ALLOC_COMMON_HH
+
+#include <iostream>
+
+#include "bench/common.hh"
+#include "core/search.hh"
+#include "support/table.hh"
+
+namespace omabench
+{
+
+/** Paper's on-chip memory budget (Section 5.4). */
+constexpr double paperBudgetRbe = 250000.0;
+
+/** Measure the suite-averaged component CPI tables under Mach. */
+inline oma::ComponentCpiTables
+measureMachTables(const oma::ConfigSpace &space)
+{
+    using namespace oma;
+    const auto caches = space.cacheGeometries();
+    const auto tlbs = space.tlbGeometries();
+    ComponentSweep sweep(caches, caches, tlbs);
+
+    const RunConfig rc = benchRun();
+    std::vector<SweepResult> results;
+    for (BenchmarkId id : allBenchmarks()) {
+        std::cout << "  [sweeping " << benchmarkName(id) << " under "
+                     "Mach: "
+                  << caches.size() << " I-cache, " << caches.size()
+                  << " D-cache, " << tlbs.size()
+                  << " TLB configurations]\n";
+        results.push_back(sweep.run(id, OsKind::Mach, rc));
+    }
+    std::cout << "\n";
+    return ComponentCpiTables::average(
+        results, MachineParams::decstation3100());
+}
+
+/** Print Table 5 (the configuration space considered). */
+inline void
+printTable5(const oma::ConfigSpace &space)
+{
+    using namespace oma;
+    std::cout << "Table 5 - configurations considered:\n";
+    TextTable table({"Structure", "Total capacity",
+                     "Associativity", "Line (words)"});
+    table.addRow({"TLB", "64 - 512 entries",
+                  "1/2/4/8-way + full (<= 64 entries)", "-"});
+    table.addRow({"I- and D-cache", "2-KB - 32-KB", "1/2/4/8-way",
+                  "1 2 4 8 16 32"});
+    table.print(std::cout);
+    std::cout << "  TLB configurations: "
+              << space.tlbGeometries().size()
+              << ", cache configurations: "
+              << space.cacheGeometries().size() << " each\n\n";
+}
+
+/** Print ranked allocations in the paper's row format. */
+inline void
+printAllocations(const std::vector<oma::Allocation> &ranked,
+                 const std::vector<std::size_t> &rows)
+{
+    using namespace oma;
+    TextTable table({"Rank", "TLB", "I-cache", "D-cache",
+                     "Total cost (rbes)", "Total CPI"});
+    for (std::size_t row : rows) {
+        if (row >= ranked.size())
+            continue;
+        const Allocation &a = ranked[row];
+        table.addRow({std::to_string(a.rank), a.tlb.describe(),
+                      a.icache.describe(), a.dcache.describe(),
+                      fmtGrouped(std::uint64_t(a.areaRbe)),
+                      fmtFixed(a.cpi, 3)});
+    }
+    table.print(std::cout);
+}
+
+} // namespace omabench
+
+#endif // OMA_BENCH_ALLOC_COMMON_HH

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Extension: organizational alternatives Table 1 exhibits but the
+ * paper does not search — unified L1 caches (i486, PowerPC 601
+ * style) and split L1s backed by an on-chip L2 (where the paper
+ * predicts high-end parts will spend extra memory). Each
+ * organization is sized to roughly the same MQF area and simulated
+ * on the suite under both OS models.
+ */
+
+#include <iostream>
+
+#include "area/mqf.hh"
+#include "bench/common.hh"
+#include "cache/hierarchy.hh"
+#include "support/table.hh"
+#include "workload/system.hh"
+
+using namespace oma;
+
+namespace
+{
+
+struct Organization
+{
+    const char *name;
+    bool unified;
+    CacheParams l1i; //!< Also the unified array when unified.
+    CacheParams l1d;
+    CacheParams l2;
+    bool hasL2;
+};
+
+CacheParams
+cache(std::uint64_t kb, std::uint64_t words, std::uint64_t ways)
+{
+    CacheParams p;
+    p.geom = CacheGeometry::fromWords(kb * 1024, words, ways);
+    return p;
+}
+
+double
+areaOf(const Organization &org)
+{
+    AreaModel model;
+    double rbe = model.cacheArea(org.l1i.geom);
+    if (!org.unified)
+        rbe += model.cacheArea(org.l1d.geom);
+    if (org.hasL2)
+        rbe += model.cacheArea(org.l2.geom);
+    return rbe;
+}
+
+/** Suite-average CPI contribution of one organization under one OS. */
+double
+measure(const Organization &org, OsKind os, std::uint64_t refs)
+{
+    HierarchyPenalties pen;
+    double total = 0.0;
+    for (BenchmarkId id : allBenchmarks()) {
+        System system(benchmarkParams(id), os, 42);
+        UnifiedCache unified(org.l1i, pen);
+        TwoLevelCache split(org.l1i, org.l1d, org.l2, org.hasL2, pen);
+        MemRef ref;
+        std::uint64_t instructions = 0;
+        for (std::uint64_t i = 0; i < refs; ++i) {
+            system.next(ref);
+            if (!ref.mapped && ref.vaddr >= kseg1Base &&
+                ref.vaddr < kseg2Base) {
+                continue; // uncached frame-buffer traffic
+            }
+            instructions += ref.isFetch();
+            if (org.unified)
+                unified.access(ref.paddr, ref.kind);
+            else
+                split.access(ref.paddr, ref.kind);
+        }
+        const HierarchyStats &s =
+            org.unified ? unified.stats() : split.stats();
+        total += double(s.stallCycles) / double(instructions);
+    }
+    return total / double(numBenchmarks);
+}
+
+} // namespace
+
+int
+main()
+{
+    omabench::banner("Extension: unified L1s and on-chip L2s at "
+                     "roughly equal die area",
+                     "Table 1's organizational alternatives");
+
+    const Organization orgs[] = {
+        {"split 16-KB I + 8-KB D (2-way, 4w)", false,
+         cache(16, 4, 2), cache(8, 4, 2), cache(64, 8, 4), false},
+        {"unified 32-KB (2-way, 4w)", true, cache(32, 4, 2),
+         cache(8, 4, 2), cache(64, 8, 4), false},
+        {"unified 32-KB (8-way, 16w, PPC601-ish)", true,
+         cache(32, 16, 8), cache(8, 4, 2), cache(64, 8, 4), false},
+        {"split 8-KB I + 4-KB D + 16-KB L2 (8w lines)", false,
+         cache(8, 4, 2), cache(4, 4, 2), cache(16, 8, 4), true},
+        {"split 4-KB I + 2-KB D + 32-KB L2 (8w lines)", false,
+         cache(4, 4, 2), cache(2, 4, 2), cache(32, 8, 4), true},
+    };
+
+    const std::uint64_t refs = omabench::benchReferences() / 2;
+    TextTable table({"Organization", "MQF area (rbes)",
+                     "Ultrix cache CPI", "Mach cache CPI"});
+    for (const Organization &org : orgs) {
+        table.addRow({org.name,
+                      fmtGrouped(std::uint64_t(areaOf(org))),
+                      fmtFixed(measure(org, OsKind::Ultrix, refs), 3),
+                      fmtFixed(measure(org, OsKind::Mach, refs), 3)});
+    }
+    table.print(std::cout);
+
+    std::cout
+        << "\nReading guide: the unified organizations pay a port "
+           "conflict on every data reference and suffer code/data "
+           "cross-interference — which a multiple-API OS, whose "
+           "service code floods the cache, amplifies. Backing small "
+           "split L1s with an L2 recovers much of a large split "
+           "pair's performance at similar area, supporting the "
+           "paper's expectation that extra on-chip memory beyond the "
+           "primaries belongs in a second level.\n";
+    return 0;
+}

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Extension: what address-space identifiers are worth. Table 1's x86
+ * parts (i486, Cyrix) flush the whole TLB on every context switch;
+ * the R2000 tags entries with a 6-bit ASID. This bench measures TLB
+ * refill CPI with and without ASIDs across TLB sizes under both OS
+ * models — quantifying how a multiple-API system, which crosses
+ * address spaces on every service, depends on ASIDs.
+ */
+
+#include <iostream>
+
+#include "bench/common.hh"
+#include "support/table.hh"
+#include "tlb/tapeworm.hh"
+#include "workload/system.hh"
+
+using namespace oma;
+
+namespace
+{
+
+double
+suiteRefillCpi(OsKind os, std::uint64_t entries, bool flush,
+               std::uint64_t refs)
+{
+    double total = 0.0;
+    for (BenchmarkId id : allBenchmarks()) {
+        TlbParams p;
+        p.geom = TlbGeometry::fullyAssoc(entries);
+        p.flushOnAsidSwitch = flush;
+        Mmu mmu(p, TlbPenalties());
+        System system(benchmarkParams(id), os, 42);
+        system.setInvalidateHook(
+            [&](std::uint64_t vpn, std::uint32_t asid, bool global) {
+                mmu.invalidatePage(vpn, asid, global);
+            });
+        MemRef ref;
+        std::uint64_t instructions = 0;
+        for (std::uint64_t i = 0; i < refs; ++i) {
+            system.next(ref);
+            instructions += ref.isFetch();
+            mmu.translate(ref);
+        }
+        total += double(mmu.stats().refillCycles()) /
+            double(instructions);
+    }
+    return total / double(numBenchmarks);
+}
+
+} // namespace
+
+int
+main()
+{
+    omabench::banner("Extension: TLB refill CPI with and without "
+                     "address-space identifiers",
+                     "Table 1 (i486-style flushing TLBs) applied to "
+                     "Section 4.2");
+
+    const std::uint64_t refs = omabench::benchReferences() / 3;
+    TextTable table({"TLB (FA)", "Ultrix ASIDs", "Ultrix flush",
+                     "Mach ASIDs", "Mach flush"});
+    for (std::uint64_t entries : {32, 64, 128, 256}) {
+        const double uy = suiteRefillCpi(OsKind::Ultrix, entries,
+                                         false, refs);
+        const double un = suiteRefillCpi(OsKind::Ultrix, entries,
+                                         true, refs);
+        const double my = suiteRefillCpi(OsKind::Mach, entries, false,
+                                         refs);
+        const double mn = suiteRefillCpi(OsKind::Mach, entries, true,
+                                         refs);
+        table.addRow({std::to_string(entries), fmtFixed(uy, 3),
+                      fmtFixed(un, 3), fmtFixed(my, 3),
+                      fmtFixed(mn, 3)});
+    }
+    table.print(std::cout);
+
+    std::cout
+        << "\nReading guide: without ASIDs every RPC's address-space "
+           "crossings (app -> kernel-mediated switch -> server -> "
+           "back) dump the whole TLB, so the multiple-API system "
+           "pays a far larger multiple than the monolithic one — and "
+           "larger TLBs cannot buy the loss back, since flushes "
+           "erase capacity. (Penalties are the R2000's software-"
+           "managed ones; an i486's hardware walker would soften the "
+           "absolute numbers but not the asymmetry.) This is why the "
+           "paper's recommended large set-associative TLBs "
+           "presuppose R2000-style ASIDs — and why the monolithic "
+           "system, which switches spaces only at frame boundaries, "
+           "barely notices the flushes.\n";
+    return 0;
+}

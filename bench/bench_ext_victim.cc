@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Extension: victim caches vs set associativity under access-time
+ * pressure. Table 7 restricts caches to 1-/2-way because 4-/8-way
+ * arrays may not fit the cycle time; a Jouppi victim buffer is the
+ * classic third option — direct-mapped access time, a few CAM
+ * entries of area, and much of 2-way's conflict-miss coverage. This
+ * bench compares, at the I-cache sizes Table 7 cares about:
+ * direct-mapped, direct-mapped + {2,4,8}-entry victim buffer, and
+ * 2-way set-associative, on suite-average Mach instruction streams.
+ */
+
+#include <iostream>
+
+#include "area/mqf.hh"
+#include "bench/common.hh"
+#include "cache/cache.hh"
+#include "cache/victim.hh"
+#include "support/table.hh"
+#include "workload/system.hh"
+
+using namespace oma;
+
+namespace
+{
+
+struct Row
+{
+    std::uint64_t missesDm = 0;
+    std::uint64_t missesV2 = 0;
+    std::uint64_t missesV4 = 0;
+    std::uint64_t missesV8 = 0;
+    std::uint64_t misses2w = 0;
+    std::uint64_t fetches = 0;
+};
+
+Row
+measure(std::uint64_t kb, std::uint64_t refs)
+{
+    Row row;
+    for (BenchmarkId id : allBenchmarks()) {
+        System system(benchmarkParams(id), OsKind::Mach, 42);
+        const CacheGeometry dm(kb * 1024, 16, 1);
+        VictimCache v0(dm, 0), v2(dm, 2), v4(dm, 4), v8(dm, 8);
+        CacheParams p2;
+        p2.geom = CacheGeometry(kb * 1024, 16, 2);
+        Cache two_way(p2);
+        MemRef ref;
+        for (std::uint64_t i = 0; i < refs; ++i) {
+            system.next(ref);
+            if (!ref.isFetch())
+                continue;
+            ++row.fetches;
+            row.missesDm += (v0.access(ref.paddr) == 2);
+            row.missesV2 += (v2.access(ref.paddr) == 2);
+            row.missesV4 += (v4.access(ref.paddr) == 2);
+            row.missesV8 += (v8.access(ref.paddr) == 2);
+            row.misses2w += !two_way.access(ref.paddr, ref.kind);
+        }
+    }
+    return row;
+}
+
+std::string
+ratio(std::uint64_t misses, std::uint64_t fetches)
+{
+    return fmtFixed(double(misses) / double(fetches), 4);
+}
+
+} // namespace
+
+int
+main()
+{
+    omabench::banner("Extension: victim buffers vs 2-way set "
+                     "associativity for the I-cache (Mach suite "
+                     "average, 4-word lines)",
+                     "Table 7's associativity restriction");
+
+    AreaModel area;
+    const std::uint64_t refs = omabench::benchReferences() / 2;
+
+    TextTable table({"I-cache", "DM", "DM + V2", "DM + V4", "DM + V8",
+                     "2-way"});
+    for (std::uint64_t kb : {4, 8, 16, 32}) {
+        const Row row = measure(kb, refs);
+        table.addRow({fmtKBytes(kb * 1024),
+                      ratio(row.missesDm, row.fetches),
+                      ratio(row.missesV2, row.fetches),
+                      ratio(row.missesV4, row.fetches),
+                      ratio(row.missesV8, row.fetches),
+                      ratio(row.misses2w, row.fetches)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nArea context (MQF): an 8-entry victim buffer of "
+                 "16-B lines costs ~"
+              << fmtGrouped(std::uint64_t(
+                     area.camArrayArea(8, 26) +
+                     area.sramArrayArea(8, 16 * 8)))
+              << " rbe, versus "
+              << fmtGrouped(std::uint64_t(
+                     area.cacheArea(CacheGeometry(16 * 1024, 16, 2)) -
+                     area.cacheArea(CacheGeometry(16 * 1024, 16, 1))))
+              << " rbe to take a 16-KB cache from 1-way to 2-way — "
+                 "and the victim buffer keeps the direct-mapped "
+                 "access time (see bench_ext_accesstime).\n"
+                 "Honest finding: on these streams the buffer "
+                 "recovers almost nothing. A multiple-API OS's "
+                 "conflicts are broad code overlays — whole RPC "
+                 "paths, server bodies and application loops "
+                 "colliding across many sets at once — not the "
+                 "pointwise, bursty conflicts Jouppi's buffer "
+                 "absorbs (the unit tests demonstrate it does absorb "
+                 "those). Associativity or capacity, as the paper's "
+                 "Tables 6/7 allocate, is what actually helps; a "
+                 "victim buffer is not a shortcut around Table 7's "
+                 "access-time dilemma.\n";
+    return 0;
+}

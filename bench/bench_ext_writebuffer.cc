@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Extension (Section 6 future work): allocate die area to the write
+ * buffer and to a next-line instruction prefetcher — two of the
+ * "other architectural structures" the paper suggests a fuller study
+ * should place under the same budget.
+ *
+ * Part 1 sweeps write-buffer depth (with its MQF area cost) on the
+ * DECstation baseline; part 2 toggles tagged next-line I-prefetch
+ * and reports how much of Mach's long-path I-cache penalty the
+ * prefetcher recovers for free area (prefetching reuses the existing
+ * datapath; its silicon cost here is ~a write-buffer entry of
+ * control, effectively noise on the 250 k-rbe scale).
+ */
+
+#include <iostream>
+
+#include "area/mqf.hh"
+#include "bench/common.hh"
+#include "support/table.hh"
+
+using namespace oma;
+
+int
+main()
+{
+    omabench::banner("Extension: write-buffer depth and next-line "
+                     "I-prefetch under the area lens",
+                     "Section 6 (future work)");
+
+    const RunConfig rc = omabench::benchRun(800000);
+    AreaModel area;
+
+    // --- Part 1: write-buffer depth ---
+    std::cout << "Write-buffer depth (DECstation baseline, suite "
+                 "average):\n";
+    TextTable wb_table({"Entries", "Area (rbes)", "Ultrix WB CPI",
+                        "Mach WB CPI"});
+    for (std::uint64_t entries : {1, 2, 4, 8, 16}) {
+        MachineParams mp = MachineParams::decstation3100();
+        mp.wbEntries = entries;
+        double wb[2] = {0.0, 0.0};
+        for (OsKind os : {OsKind::Ultrix, OsKind::Mach}) {
+            for (BenchmarkId id : allBenchmarks()) {
+                const BaselineResult r = runBaseline(id, os, rc, mp);
+                wb[os == OsKind::Mach] += r.cpi.writeBuffer;
+            }
+        }
+        wb_table.addRow(
+            {std::to_string(entries),
+             fmtGrouped(std::uint64_t(area.writeBufferArea(entries))),
+             fmtFixed(wb[0] / numBenchmarks, 3),
+             fmtFixed(wb[1] / numBenchmarks, 3)});
+    }
+    wb_table.print(std::cout);
+    std::cout << "\nDiminishing returns set in by 4-8 entries at a "
+                 "few thousand rbe — cheap insurance, not a "
+                 "competitor to cache capacity.\n\n";
+
+    // --- Part 2: next-line instruction prefetch ---
+    std::cout << "Tagged next-line I-prefetch (suite average I-cache "
+                 "CPI):\n";
+    TextTable pf_table({"I-cache", "OS", "no prefetch",
+                        "with prefetch", "recovered"});
+    for (std::uint64_t kb : {4, 8, 16}) {
+        for (OsKind os : {OsKind::Ultrix, OsKind::Mach}) {
+            MachineParams mp = MachineParams::decstation3100();
+            mp.icache.geom = CacheGeometry::fromWords(kb * 1024, 4, 1);
+            double without = 0.0, with = 0.0;
+            for (BenchmarkId id : allBenchmarks()) {
+                mp.iPrefetchNextLine = false;
+                without += runBaseline(id, os, rc, mp).cpi.icache;
+                mp.iPrefetchNextLine = true;
+                with += runBaseline(id, os, rc, mp).cpi.icache;
+            }
+            without /= numBenchmarks;
+            with /= numBenchmarks;
+            pf_table.addRow(
+                {fmtKBytes(kb * 1024) + " 4-word DM", osKindName(os),
+                 fmtFixed(without, 3), fmtFixed(with, 3),
+                 fmtPercent(without > 0
+                                ? (without - with) / without
+                                : 0.0)});
+        }
+    }
+    pf_table.print(std::cout);
+    std::cout
+        << "\nReading guide: sequential prefetch helps exactly where "
+           "Mach hurts — the once-through RPC paths are perfectly "
+           "sequential, so the prefetcher recovers a larger share of "
+           "the Mach I-cache penalty than of Ultrix's loop-dominated "
+           "misses. It buys some of what longer lines buy in Figure "
+           "9, without the area.\n";
+    return 0;
+}

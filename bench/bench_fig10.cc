@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Figure 10: performance of set-associative instruction caches —
+ * suite-average miss ratios and CPI contribution at a fixed 4-word
+ * line across sizes and associativities, under Ultrix and Mach.
+ */
+
+#include <iostream>
+
+#include "bench/common.hh"
+#include "core/sweep.hh"
+#include "support/table.hh"
+
+using namespace oma;
+
+namespace
+{
+
+const std::vector<std::uint64_t> kSizes = {2, 4, 8, 16, 32};
+const std::vector<std::uint64_t> kWays = {1, 2, 4, 8};
+
+std::vector<CacheGeometry>
+grid()
+{
+    std::vector<CacheGeometry> geoms;
+    for (std::uint64_t kb : kSizes)
+        for (std::uint64_t ways : kWays)
+            geoms.push_back(
+                CacheGeometry::fromWords(kb * 1024, 4, ways));
+    return geoms;
+}
+
+void
+printGrid(const std::string &title, const std::vector<double> &values,
+          int digits)
+{
+    std::cout << title << "\n";
+    TextTable table({"Size \\ Assoc", "1-way", "2-way", "4-way",
+                     "8-way"});
+    std::size_t i = 0;
+    for (std::uint64_t kb : kSizes) {
+        std::vector<std::string> row = {fmtKBytes(kb * 1024)};
+        for (std::size_t w = 0; w < kWays.size(); ++w, ++i)
+            row.push_back(fmtFixed(values[i], digits));
+        table.addRow(row);
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    omabench::banner("Set-associative I-cache performance at a fixed "
+                     "4-word line (suite average)",
+                     "Figure 10");
+
+    const auto geoms = grid();
+    const std::vector<CacheGeometry> dcache_stub = {
+        CacheGeometry::fromWords(8 * 1024, 4, 1)};
+    const std::vector<TlbGeometry> tlb_stub = {
+        TlbGeometry::fullyAssoc(64)};
+    const MachineParams mp = MachineParams::decstation3100();
+    ComponentSweep sweep(geoms, dcache_stub, tlb_stub);
+
+    RunConfig rc = omabench::benchRun();
+    for (OsKind os : {OsKind::Ultrix, OsKind::Mach}) {
+        std::vector<double> miss(geoms.size(), 0.0);
+        std::vector<double> cpi(geoms.size(), 0.0);
+        for (BenchmarkId id : allBenchmarks()) {
+            const SweepResult r = sweep.run(id, os, rc);
+            for (std::size_t i = 0; i < geoms.size(); ++i) {
+                miss[i] += r.icacheMissRatio(i);
+                cpi[i] += r.icacheCpi(i, mp);
+            }
+        }
+        for (auto &v : miss)
+            v /= double(numBenchmarks);
+        for (auto &v : cpi)
+            v /= double(numBenchmarks);
+
+        printGrid(std::string(osKindName(os)) +
+                      ": average I-cache miss ratio",
+                  miss, 4);
+        printGrid(std::string(osKindName(os)) +
+                      ": I-cache contribution to CPI",
+                  cpi, 3);
+    }
+
+    std::cout
+        << "Shape criteria: Ultrix gains mainly on small caches and "
+           "mainly from 1-way to 2-way; Mach benefits from "
+           "associativity over a broader range of sizes, yet even an "
+           "8-way 4-KB cache cannot overcome its long code paths "
+           "(miss ratio still > ~0.03 in the paper).\n";
+    return 0;
+}

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Figure 5: area of set-associative TLBs relative to fully-
+ * associative TLBs of the same size.
+ */
+
+#include <iostream>
+
+#include "area/mqf.hh"
+#include "bench/common.hh"
+#include "support/table.hh"
+
+using namespace oma;
+
+int
+main()
+{
+    omabench::banner("Set-associative TLB area relative to fully-"
+                     "associative TLBs",
+                     "Figure 5");
+
+    AreaModel model;
+    TextTable table({"Entries", "1-way / full", "4-way / full",
+                     "8-way / full"});
+    for (std::uint64_t entries : {16, 32, 64, 128, 256, 512}) {
+        const double fa =
+            model.tlbArea(TlbGeometry::fullyAssoc(entries));
+        std::vector<std::string> row = {std::to_string(entries)};
+        for (std::uint64_t ways : {1, 4, 8}) {
+            row.push_back(fmtFixed(
+                model.tlbArea(TlbGeometry(entries, ways)) / fa, 2));
+        }
+        table.addRow(row);
+    }
+    table.print(std::cout);
+
+    std::cout
+        << "\nShape checks:\n"
+        << "  * direct-mapped < 1.0 everywhere (always cheaper than "
+           "full associativity);\n"
+        << "  * 4-/8-way > 1.0 below 64 entries (full associativity "
+           "is cheaper for small TLBs);\n"
+        << "  * 4-/8-way ~ 0.5 at >= 256 entries (full associativity "
+           "costs about twice as much).\n";
+    return 0;
+}

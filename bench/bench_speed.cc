@@ -1,0 +1,151 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator substrates:
+ * cache access, TLB/MMU translation, Cheetah stack simulation, the
+ * synthetic trace generator, and a full machine step. The paper's
+ * methodology contrast — kernel-based simulation at millions of
+ * references per second vs trace-driven at tens of thousands — is
+ * mirrored by the Tapeworm-vs-bank comparison here.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/bank.hh"
+#include "cache/cheetah.hh"
+#include "core/search.hh"
+#include "machine/machine.hh"
+#include "tlb/tapeworm.hh"
+#include "workload/system.hh"
+
+using namespace oma;
+
+namespace
+{
+
+std::vector<MemRef>
+sampleTrace(std::uint64_t n)
+{
+    static std::vector<MemRef> trace;
+    if (trace.size() < n) {
+        System system(benchmarkParams(BenchmarkId::Mpeg),
+                      OsKind::Mach, 42);
+        trace.resize(n);
+        for (auto &ref : trace)
+            system.next(ref);
+    }
+    return {trace.begin(), trace.begin() + n};
+}
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    const auto trace = sampleTrace(1 << 18);
+    CacheParams p;
+    p.geom = CacheGeometry::fromWords(std::uint64_t(state.range(0)),
+                                      4, std::uint64_t(state.range(1)));
+    Cache cache(p);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        const MemRef &ref = trace[i++ & (trace.size() - 1)];
+        benchmark::DoNotOptimize(cache.access(ref.paddr, ref.kind));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess)
+    ->Args({8 * 1024, 1})
+    ->Args({8 * 1024, 8})
+    ->Args({32 * 1024, 2});
+
+void
+BM_CacheBank120Configs(benchmark::State &state)
+{
+    const auto trace = sampleTrace(1 << 16);
+    ConfigSpace space;
+    CacheBank bank;
+    for (const auto &geom : space.cacheGeometries()) {
+        CacheParams p;
+        p.geom = geom;
+        bank.add(p);
+    }
+    std::size_t i = 0;
+    for (auto _ : state) {
+        const MemRef &ref = trace[i++ & (trace.size() - 1)];
+        bank.access(ref.paddr, ref.kind);
+    }
+    state.SetItemsProcessed(state.iterations() * bank.size());
+}
+BENCHMARK(BM_CacheBank120Configs);
+
+void
+BM_MmuTranslate(benchmark::State &state)
+{
+    const auto trace = sampleTrace(1 << 18);
+    TlbParams p;
+    p.geom = TlbGeometry::fullyAssoc(64);
+    Mmu mmu(p, TlbPenalties());
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            mmu.translate(trace[i++ & (trace.size() - 1)]));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MmuTranslate);
+
+void
+BM_FaTlbSweepAllSizes(benchmark::State &state)
+{
+    // One pass, every FA TLB size up to 512 — the Tapeworm trick.
+    const auto trace = sampleTrace(1 << 18);
+    FaTlbSweep sweep(512);
+    std::size_t i = 0;
+    for (auto _ : state)
+        sweep.observe(trace[i++ & (trace.size() - 1)]);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FaTlbSweepAllSizes);
+
+void
+BM_CheetahAllAssoc(benchmark::State &state)
+{
+    const auto trace = sampleTrace(1 << 18);
+    Cheetah cheetah(128, 16, 8);
+    std::size_t i = 0;
+    for (auto _ : state)
+        cheetah.access(trace[i++ & (trace.size() - 1)].paddr);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CheetahAllAssoc);
+
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    System system(benchmarkParams(BenchmarkId::Mpeg),
+                  state.range(0) ? OsKind::Mach : OsKind::Ultrix, 42);
+    MemRef ref;
+    for (auto _ : state) {
+        system.next(ref);
+        benchmark::DoNotOptimize(ref);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceGeneration)->Arg(0)->Arg(1);
+
+void
+BM_FullMachineStep(benchmark::State &state)
+{
+    System system(benchmarkParams(BenchmarkId::Mpeg), OsKind::Mach,
+                  42);
+    Machine machine(MachineParams::decstation3100());
+    MemRef ref;
+    for (auto _ : state) {
+        system.next(ref);
+        machine.observe(ref);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FullMachineStep);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Table 3: the effect of operating systems on CPU stall behaviour —
+ * mpeg_play on the DECstation 3100, measured three ways: user-only
+ * simulation (pixie+cache2000 style), under Ultrix, and under Mach.
+ */
+
+#include <iostream>
+
+#include "bench/common.hh"
+#include "support/table.hh"
+
+using namespace oma;
+
+namespace
+{
+
+std::string
+cell(double value, double stalls)
+{
+    return fmtFixed(value, 2) + " (" +
+        fmtPercent(stalls > 0 ? value / stalls : 0.0) + ")";
+}
+
+void
+addRow(TextTable &table, const std::string &os,
+       const std::string &method, const BaselineResult &r)
+{
+    const double stalls = r.cpi.stallTotal();
+    table.addRow({os, method, fmtFixed(r.cpi.cpi, 2),
+                  cell(r.cpi.tlb, stalls), cell(r.cpi.icache, stalls),
+                  cell(r.cpi.dcache, stalls),
+                  cell(r.cpi.writeBuffer, stalls),
+                  cell(r.cpi.other, stalls)});
+}
+
+} // namespace
+
+int
+main()
+{
+    omabench::banner(
+        "The effect of operating systems on CPU stall behaviour "
+        "(mpeg_play, DECstation 3100)",
+        "Table 3");
+
+    const RunConfig rc = omabench::benchRun();
+    RunConfig user_rc = rc;
+    user_rc.userOnly = true;
+
+    TextTable table({"OS", "Method", "CPI", "TLB", "I-cache",
+                     "D-cache", "Write Buffer", "Other"});
+    addRow(table, "None", "pixie-style sim",
+           runBaseline(BenchmarkId::Mpeg, OsKind::Ultrix, user_rc));
+    addRow(table, "Ultrix", "Monster-style monitor",
+           runBaseline(BenchmarkId::Mpeg, OsKind::Ultrix, rc));
+    addRow(table, "Mach", "Monster-style monitor",
+           runBaseline(BenchmarkId::Mpeg, OsKind::Mach, rc));
+    table.print(std::cout);
+
+    std::cout
+        << "\nPaper's values for comparison:\n"
+        << "  None   1.43  TLB 0.01 (1%)   I 0.06 (14%)  D 0.05 "
+           "(13%)  WB 0.18 (41%)  Other 0.14 (32%)\n"
+        << "  Ultrix 1.66  TLB 0.01 (2%)   I 0.10 (15%)  D 0.26 "
+           "(39%)  WB 0.14 (21%)  Other 0.15 (23%)\n"
+        << "  Mach   2.06  TLB 0.15 (14%)  I 0.32 (30%)  D 0.30 "
+           "(28%)  WB 0.21 (20%)  Other 0.08 (8%)\n"
+        << "\nShape criteria: user-only simulation understates CPI; "
+           "Ultrix raises the D-cache share; Mach raises CPI further "
+           "with large TLB and I-cache shares.\n";
+    return 0;
+}

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Table 4 / Figure 3: CPI stall components for every workload under
+ * both operating systems (the components of CPI above 1.0).
+ */
+
+#include <iostream>
+
+#include "bench/common.hh"
+#include "support/table.hh"
+
+using namespace oma;
+
+namespace
+{
+
+/** Paper's Table 4 values, for side-by-side comparison. */
+struct PaperRow
+{
+    double cpi, tlb, icache, dcache, wb, other;
+};
+
+PaperRow
+paperRow(BenchmarkId id, OsKind os)
+{
+    const bool mach = os == OsKind::Mach;
+    switch (id) {
+      case BenchmarkId::Mpeg:
+        return mach ? PaperRow{2.06, 0.15, 0.32, 0.30, 0.21, 0.08}
+                    : PaperRow{1.66, 0.01, 0.10, 0.26, 0.14, 0.15};
+      case BenchmarkId::Mab:
+        return mach ? PaperRow{2.13, 0.12, 0.48, 0.28, 0.21, 0.04}
+                    : PaperRow{1.88, 0.02, 0.18, 0.38, 0.26, 0.04};
+      case BenchmarkId::Jpeg:
+        return mach ? PaperRow{1.51, 0.05, 0.08, 0.17, 0.10, 0.11}
+                    : PaperRow{1.31, 0.00, 0.02, 0.13, 0.06, 0.10};
+      case BenchmarkId::Ousterhout:
+        return mach ? PaperRow{2.26, 0.21, 0.44, 0.27, 0.31, 0.03}
+                    : PaperRow{2.19, 0.00, 0.11, 0.80, 0.24, 0.04};
+      case BenchmarkId::IOzone:
+        return mach ? PaperRow{2.25, 0.17, 0.34, 0.39, 0.31, 0.04}
+                    : PaperRow{2.09, 0.01, 0.10, 0.71, 0.18, 0.09};
+      case BenchmarkId::VideoPlay:
+        return mach ? PaperRow{2.51, 0.28, 0.49, 0.43, 0.27, 0.04}
+                    : PaperRow{2.48, 0.05, 0.35, 0.82, 0.23, 0.03};
+    }
+    return {};
+}
+
+} // namespace
+
+int
+main()
+{
+    omabench::banner("CPI stall components for all workloads "
+                     "(measured vs paper)",
+                     "Table 4 and Figure 3");
+
+    const RunConfig rc = omabench::benchRun();
+
+    TextTable table({"Workload", "OS", "", "CPI", "TLB", "I-cache",
+                     "D-cache", "Write Buffer", "Other"});
+    CpiBreakdown sum[2];
+    PaperRow paper_sum[2] = {};
+
+    for (BenchmarkId id : allBenchmarks()) {
+        table.addRule();
+        for (OsKind os : {OsKind::Ultrix, OsKind::Mach}) {
+            const unsigned oi = os == OsKind::Mach;
+            const BaselineResult r = runBaseline(id, os, rc);
+            const PaperRow p = paperRow(id, os);
+            table.addRow({benchmarkName(id), osKindName(os),
+                          "measured", fmtFixed(r.cpi.cpi, 2),
+                          fmtFixed(r.cpi.tlb, 2),
+                          fmtFixed(r.cpi.icache, 2),
+                          fmtFixed(r.cpi.dcache, 2),
+                          fmtFixed(r.cpi.writeBuffer, 2),
+                          fmtFixed(r.cpi.other, 2)});
+            table.addRow({"", "", "paper", fmtFixed(p.cpi, 2),
+                          fmtFixed(p.tlb, 2), fmtFixed(p.icache, 2),
+                          fmtFixed(p.dcache, 2), fmtFixed(p.wb, 2),
+                          fmtFixed(p.other, 2)});
+            sum[oi].cpi += r.cpi.cpi;
+            sum[oi].tlb += r.cpi.tlb;
+            sum[oi].icache += r.cpi.icache;
+            sum[oi].dcache += r.cpi.dcache;
+            sum[oi].writeBuffer += r.cpi.writeBuffer;
+            sum[oi].other += r.cpi.other;
+            paper_sum[oi].cpi += p.cpi;
+            paper_sum[oi].tlb += p.tlb;
+            paper_sum[oi].icache += p.icache;
+            paper_sum[oi].dcache += p.dcache;
+            paper_sum[oi].wb += p.wb;
+            paper_sum[oi].other += p.other;
+        }
+    }
+
+    const double n = double(numBenchmarks);
+    table.addRule();
+    for (OsKind os : {OsKind::Ultrix, OsKind::Mach}) {
+        const unsigned oi = os == OsKind::Mach;
+        table.addRow({"Average", osKindName(os), "measured",
+                      fmtFixed(sum[oi].cpi / n, 2),
+                      fmtFixed(sum[oi].tlb / n, 2),
+                      fmtFixed(sum[oi].icache / n, 2),
+                      fmtFixed(sum[oi].dcache / n, 2),
+                      fmtFixed(sum[oi].writeBuffer / n, 2),
+                      fmtFixed(sum[oi].other / n, 2)});
+        table.addRow({"", "", "paper",
+                      fmtFixed(paper_sum[oi].cpi / n, 2),
+                      fmtFixed(paper_sum[oi].tlb / n, 2),
+                      fmtFixed(paper_sum[oi].icache / n, 2),
+                      fmtFixed(paper_sum[oi].dcache / n, 2),
+                      fmtFixed(paper_sum[oi].wb / n, 2),
+                      fmtFixed(paper_sum[oi].other / n, 2)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nShape criteria (Figure 3): for every workload, "
+                 "Mach raises total CPI and the TLB and I-cache "
+                 "components, while the D-cache component's share "
+                 "falls.\n";
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Shared helpers for the experiment benches.
+ *
+ * Every bench binary regenerates one table or figure of the paper.
+ * Trace volume per workload/OS pair is controlled by the
+ * OMA_BENCH_REFS environment variable (default 1,500,000 references),
+ * so quick smoke runs and long accurate runs use the same binaries.
+ */
+
+#ifndef OMA_BENCH_COMMON_HH
+#define OMA_BENCH_COMMON_HH
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/experiment.hh"
+
+namespace omabench
+{
+
+/** References simulated per workload/OS pair. */
+inline std::uint64_t
+benchReferences(std::uint64_t fallback = 1500000)
+{
+    if (const char *env = std::getenv("OMA_BENCH_REFS")) {
+        const std::uint64_t v = std::strtoull(env, nullptr, 10);
+        if (v > 0)
+            return v;
+    }
+    return fallback;
+}
+
+/** Standard run configuration for benches. */
+inline oma::RunConfig
+benchRun(std::uint64_t fallback = 1500000)
+{
+    oma::RunConfig rc;
+    rc.references = benchReferences(fallback);
+    rc.seed = 42;
+    return rc;
+}
+
+/** Print the standard bench banner. */
+inline void
+banner(const std::string &what, const std::string &paper_ref)
+{
+    std::cout << "==================================================="
+                 "=========\n"
+              << what << "\n"
+              << "(reproduces " << paper_ref << " of Nagle et al., "
+              << "ISCA 1994)\n"
+              << "==================================================="
+                 "=========\n\n";
+}
+
+} // namespace omabench
+
+#endif // OMA_BENCH_COMMON_HH

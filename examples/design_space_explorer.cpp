@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Example: interactive version of the paper's cost/benefit search.
+ *
+ * Sweeps the Table 5 configuration grid for the chosen workloads and
+ * OS, then ranks allocations under an arbitrary die budget — e.g.
+ * explore what a 125,000-rbe (half-budget) part should look like, or
+ * how the optimum changes under Ultrix.
+ *
+ * Usage: design_space_explorer [budget_rbe] [ultrix|mach]
+ *                              [max_cache_ways] [refs_per_workload]
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/search.hh"
+#include "support/logging.hh"
+#include "support/table.hh"
+
+using namespace oma;
+
+int
+main(int argc, char **argv)
+{
+    double budget = 250000.0;
+    OsKind os = OsKind::Mach;
+    std::uint64_t max_ways = 8;
+    RunConfig rc;
+    rc.references = 600000;
+
+    if (argc > 1)
+        budget = std::strtod(argv[1], nullptr);
+    if (argc > 2) {
+        const std::string name = argv[2];
+        if (name == "ultrix")
+            os = OsKind::Ultrix;
+        else if (name == "mach")
+            os = OsKind::Mach;
+        else
+            fatal("unknown OS: " + name + " (ultrix|mach)");
+    }
+    if (argc > 3)
+        max_ways = std::strtoull(argv[3], nullptr, 10);
+    if (argc > 4)
+        rc.references = std::strtoull(argv[4], nullptr, 10);
+
+    std::cout << "Design-space exploration: budget "
+              << fmtGrouped(std::uint64_t(budget)) << " rbe, OS "
+              << osKindName(os) << ", cache associativity <= "
+              << max_ways << "\n\n";
+
+    ConfigSpace space;
+    const auto caches = space.cacheGeometries();
+    ComponentSweep sweep(caches, caches, space.tlbGeometries());
+
+    std::vector<SweepResult> results;
+    for (BenchmarkId id : allBenchmarks()) {
+        std::cout << "  sweeping " << benchmarkName(id) << "...\n";
+        results.push_back(sweep.run(id, os, rc));
+    }
+    const ComponentCpiTables tables = ComponentCpiTables::average(
+        results, MachineParams::decstation3100());
+
+    AllocationSearch search(AreaModel(), budget);
+    const auto ranked = search.rank(tables, max_ways);
+    if (ranked.empty()) {
+        std::cout << "\nNo configuration fits the budget.\n";
+        return 0;
+    }
+
+    std::cout << "\n" << ranked.size()
+              << " in-budget allocations; the best ten:\n";
+    TextTable table({"Rank", "TLB", "I-cache", "D-cache",
+                     "Cost (rbes)", "CPI (1 + TLB + I + D)"});
+    for (std::size_t i = 0; i < 10 && i < ranked.size(); ++i) {
+        const Allocation &a = ranked[i];
+        table.addRow({std::to_string(a.rank), a.tlb.describe(),
+                      a.icache.describe(), a.dcache.describe(),
+                      fmtGrouped(std::uint64_t(a.areaRbe)),
+                      fmtFixed(a.cpi, 3)});
+    }
+    table.print(std::cout);
+
+    const Allocation &best = ranked.front();
+    std::cout << "\nBest allocation spends "
+              << fmtPercent(best.areaRbe / budget)
+              << " of the budget (component CPIs: TLB "
+              << fmtFixed(best.tlbCpi, 3) << ", I "
+              << fmtFixed(best.icacheCpi, 3) << ", D "
+              << fmtFixed(best.dcacheCpi, 3) << ").\n";
+    return 0;
+}

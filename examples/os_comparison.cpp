@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Example: reproduce the paper's Table 3 methodology for any
+ * benchmark — compare the CPI stall breakdown of the same workload
+ * measured user-only (pixie-style), under Ultrix, and under Mach on
+ * the modelled DECstation 3100.
+ *
+ * Usage: os_comparison [benchmark] [references]
+ *   benchmark: mpeg_play (default), mab, jpeg_play, ousterhout,
+ *              IOzone, video_play
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/experiment.hh"
+#include "support/logging.hh"
+#include "support/table.hh"
+
+using namespace oma;
+
+namespace
+{
+
+BenchmarkId
+parseBenchmark(const std::string &name)
+{
+    for (BenchmarkId id : allBenchmarks()) {
+        if (name == benchmarkName(id))
+            return id;
+    }
+    fatal("unknown benchmark: " + name +
+          " (try mpeg_play, mab, jpeg_play, ousterhout, IOzone, "
+          "video_play)");
+}
+
+std::string
+cell(double value, double total)
+{
+    return fmtFixed(value, 2) + " (" +
+        fmtPercent(total > 0 ? value / total : 0.0) + ")";
+}
+
+void
+addRow(TextTable &table, const std::string &system,
+       const std::string &method, const BaselineResult &r)
+{
+    const double stalls = r.cpi.stallTotal();
+    table.addRow({system, method, fmtFixed(r.cpi.cpi, 2),
+                  cell(r.cpi.tlb, stalls), cell(r.cpi.icache, stalls),
+                  cell(r.cpi.dcache, stalls),
+                  cell(r.cpi.writeBuffer, stalls),
+                  cell(r.cpi.other, stalls)});
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const BenchmarkId id =
+        argc > 1 ? parseBenchmark(argv[1]) : BenchmarkId::Mpeg;
+    RunConfig run;
+    if (argc > 2)
+        run.references = std::strtoull(argv[2], nullptr, 10);
+
+    std::cout << "Workload: " << benchmarkName(id) << " ("
+              << benchmarkParams(id).description << ")\n"
+              << "Machine: DECstation 3100 (64-KB off-chip DM I/D "
+                 "caches, 1-word lines, 64-entry FA TLB)\n\n";
+
+    TextTable table({"OS", "Method", "CPI", "TLB", "I-cache", "D-cache",
+                     "Write Buffer", "Other"});
+
+    RunConfig user_run = run;
+    user_run.userOnly = true;
+    addRow(table, "None", "user-only sim",
+           runBaseline(id, OsKind::Ultrix, user_run));
+    addRow(table, "Ultrix", "monitor",
+           runBaseline(id, OsKind::Ultrix, run));
+    addRow(table, "Mach", "monitor", runBaseline(id, OsKind::Mach, run));
+
+    table.print(std::cout);
+    std::cout << "\n(Stall percentages are relative to total stall "
+                 "cycles above the base CPI of 1.0.)\n";
+    return 0;
+}

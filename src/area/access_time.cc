@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Implementation of the Wada-style access-time model.
+ */
+
+#include "area/access_time.hh"
+
+#include "support/bits.hh"
+
+namespace oma
+{
+
+AccessTimeModel::AccessTimeModel(const AccessTimeParams &params,
+                                 const AreaParams &area)
+    : _params(params), _area(area)
+{
+}
+
+double
+AccessTimeModel::cacheAccessTime(const CacheGeometry &geom) const
+{
+    geom.validate();
+    const std::uint64_t sets = geom.numSets();
+    const unsigned index_bits = floorLog2(sets);
+    AreaModel area(_area);
+    const unsigned tag_bits = area.cacheTagBits(geom);
+
+    // Row width in bits: all ways of data plus tags side by side.
+    const double row_kbits = double(geom.assoc) *
+        double(geom.lineBytes * 8 + tag_bits + _area.cacheStatusBits) /
+        1024.0;
+    const double rows_k = double(sets) / 1024.0;
+    const double ways_log =
+        geom.assoc > 1 ? double(floorLog2(geom.assoc)) : 0.0;
+
+    return _params.base + _params.decodePerBit * index_bits +
+        _params.wordlinePerKbit * row_kbits +
+        _params.bitlinePerKrow * rows_k + _params.senseAmp +
+        _params.comparePerBit * tag_bits +
+        _params.wayMuxPerLog * ways_log;
+}
+
+double
+AccessTimeModel::tlbAccessTime(const TlbGeometry &geom) const
+{
+    geom.validate();
+    AreaModel area(_area);
+    const unsigned tag_bits = area.tlbTagBits(geom);
+
+    if (geom.fullyAssociative()) {
+        // CAM search: matchline delay grows with entries; the data
+        // read-out behaves like a 1-set SRAM row.
+        const double entries_log = double(floorLog2(geom.entries));
+        return _params.base + _params.camMatchPerEntryLog * entries_log +
+            _params.senseAmp +
+            _params.wordlinePerKbit * double(_area.pteBits) / 1024.0;
+    }
+
+    const std::uint64_t sets = geom.numSets();
+    const unsigned index_bits = floorLog2(sets);
+    const double row_kbits = double(geom.assoc) *
+        double(tag_bits + _area.tlbStatusBits + _area.pteBits) / 1024.0;
+    const double rows_k = double(sets) / 1024.0;
+    const double ways_log =
+        geom.assoc > 1 ? double(floorLog2(geom.assoc)) : 0.0;
+
+    return _params.base + _params.decodePerBit * index_bits +
+        _params.wordlinePerKbit * row_kbits +
+        _params.bitlinePerKrow * rows_k + _params.senseAmp +
+        _params.comparePerBit * tag_bits +
+        _params.wayMuxPerLog * ways_log;
+}
+
+} // namespace oma

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Analytical access-time model for on-chip memories.
+ *
+ * The paper's first suggested extension (Section 6) is to add an
+ * access-time dimension to the cost/benefit analysis using a model
+ * like Wada et al. [Wada92]. This is a Wada-style decomposition of a
+ * cache or TLB access into decoder, wordline, bitline/sense-amp,
+ * comparator and output-mux stages, each with a delay that grows with
+ * the geometry that loads it (log of the fanin for decode trees,
+ * linear in wordline/bitline length for the RC-dominated stages,
+ * log of associativity for way selection). Constants are normalized
+ * so a small direct-mapped structure costs ~1 "delay unit"; only
+ * *relative* access times across configurations matter to the
+ * search, exactly as only relative areas matter in the MQF model.
+ */
+
+#ifndef OMA_AREA_ACCESS_TIME_HH
+#define OMA_AREA_ACCESS_TIME_HH
+
+#include "area/geometry.hh"
+#include "area/mqf.hh"
+
+namespace oma
+{
+
+/** Stage coefficients of the access-time model (delay units). */
+struct AccessTimeParams
+{
+    double base = 0.40;          //!< Drivers, latches, wiring floor.
+    double decodePerBit = 0.06;  //!< Per address bit decoded.
+    double wordlinePerKbit = 0.030; //!< Per kilobit of row width.
+    double bitlinePerKrow = 0.25; //!< Per thousand rows of column height.
+    double senseAmp = 0.12;      //!< Sense amplification.
+    double comparePerBit = 0.010; //!< Tag comparison, per tag bit.
+    double wayMuxPerLog = 0.25;  //!< Way-select mux, per log2(ways).
+    double camMatchPerEntryLog = 0.25; //!< CAM matchline, per log2(entries).
+};
+
+/**
+ * Access-time estimates for caches and TLBs, sharing the geometry
+ * vocabulary of the MQF area model.
+ */
+class AccessTimeModel
+{
+  public:
+    explicit AccessTimeModel(
+        const AccessTimeParams &params = AccessTimeParams(),
+        const AreaParams &area = AreaParams());
+
+    const AccessTimeParams &params() const { return _params; }
+
+    /** Access time of a set-associative cache, in delay units. */
+    double cacheAccessTime(const CacheGeometry &geom) const;
+
+    /** Access time of a TLB (set-associative or CAM). */
+    double tlbAccessTime(const TlbGeometry &geom) const;
+
+  private:
+    AccessTimeParams _params;
+    AreaParams _area;
+};
+
+} // namespace oma
+
+#endif // OMA_AREA_ACCESS_TIME_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Validation and pretty-printing of cache/TLB geometries.
+ */
+
+#include "area/geometry.hh"
+
+#include "support/bits.hh"
+#include "support/logging.hh"
+#include "support/table.hh"
+
+namespace oma
+{
+
+void
+CacheGeometry::validate() const
+{
+    fatalIf(!isPowerOfTwo(capacityBytes),
+            "cache capacity must be a power of two: " + describe());
+    fatalIf(!isPowerOfTwo(lineBytes) || lineBytes < bytesPerWord,
+            "cache line must be a power-of-two number of words: " +
+                describe());
+    fatalIf(!isPowerOfTwo(assoc) || assoc == 0,
+            "cache associativity must be a power of two: " + describe());
+    fatalIf(capacityBytes < lineBytes * assoc,
+            "cache needs at least one set: " + describe());
+}
+
+std::string
+CacheGeometry::describe() const
+{
+    return fmtKBytes(capacityBytes) + " " + std::to_string(lineWords()) +
+        "-word " + std::to_string(assoc) + "-way";
+}
+
+void
+TlbGeometry::validate() const
+{
+    fatalIf(!isPowerOfTwo(entries) || entries == 0,
+            "TLB entries must be a power of two: " + describe());
+    if (!fullyAssociative()) {
+        fatalIf(!isPowerOfTwo(assoc),
+                "TLB associativity must be a power of two: " + describe());
+        fatalIf(entries < assoc,
+                "TLB needs at least one set: " + describe());
+    }
+}
+
+std::string
+TlbGeometry::describe() const
+{
+    return std::to_string(entries) + "-entry " +
+        (fullyAssociative() ? std::string("full")
+                            : std::to_string(assoc) + "-way");
+}
+
+} // namespace oma

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Implementation of the MQF-style area model.
+ */
+
+#include "area/mqf.hh"
+
+#include "support/bits.hh"
+#include "support/logging.hh"
+
+namespace oma
+{
+
+AreaModel::AreaModel(const AreaParams &params)
+    : _params(params)
+{
+    fatalIf(params.sramCellRbe <= 0 || params.camCellRbe <= 0,
+            "area model cell sizes must be positive");
+}
+
+double
+AreaModel::sramArrayArea(std::uint64_t rows, std::uint64_t cols) const
+{
+    const double bits = static_cast<double>(rows) *
+        static_cast<double>(cols);
+    return _params.sramCellRbe * bits +
+        _params.rowOverheadRbe * static_cast<double>(rows) +
+        _params.colOverheadRbe * static_cast<double>(cols);
+}
+
+double
+AreaModel::camArrayArea(std::uint64_t entries, unsigned tag_bits) const
+{
+    const double bits = static_cast<double>(entries) *
+        static_cast<double>(tag_bits);
+    return _params.camCellRbe * bits +
+        _params.camEntryOverheadRbe * static_cast<double>(entries) +
+        _params.colOverheadRbe * static_cast<double>(tag_bits);
+}
+
+unsigned
+AreaModel::cacheTagBits(const CacheGeometry &geom) const
+{
+    const unsigned offset_bits = floorLog2(geom.lineBytes);
+    const unsigned index_bits = floorLog2(geom.numSets());
+    const unsigned used = offset_bits + index_bits;
+    panicIf(used >= _params.physAddrBits,
+            "cache index/offset exceed the physical address width");
+    return _params.physAddrBits - used;
+}
+
+unsigned
+AreaModel::tlbTagBits(const TlbGeometry &geom) const
+{
+    const unsigned index_bits =
+        geom.fullyAssociative() ? 0 : floorLog2(geom.numSets());
+    panicIf(index_bits >= _params.virtPageBits,
+            "TLB index exceeds the virtual page number width");
+    return _params.virtPageBits - index_bits + _params.asidBits;
+}
+
+double
+AreaModel::cacheArea(const CacheGeometry &geom) const
+{
+    geom.validate();
+    const std::uint64_t sets = geom.numSets();
+    const std::uint64_t data_cols = geom.assoc * geom.lineBytes * 8;
+    const std::uint64_t tag_cols =
+        geom.assoc * (cacheTagBits(geom) + _params.cacheStatusBits);
+    return sramArrayArea(sets, data_cols) +
+        sramArrayArea(sets, tag_cols) +
+        _params.wayOverheadRbe * static_cast<double>(geom.assoc) +
+        _params.controlOverheadRbe;
+}
+
+double
+AreaModel::tlbArea(const TlbGeometry &geom) const
+{
+    geom.validate();
+    const unsigned data_bits = _params.pteBits;
+    if (geom.fullyAssociative()) {
+        const unsigned tag_bits = tlbTagBits(geom) + _params.tlbStatusBits;
+        return camArrayArea(geom.entries, tag_bits) * 1.0 +
+            // The tag CAM is per-entry; the matching data array is a
+            // plain SRAM read out by the match lines.
+            sramArrayArea(geom.entries, data_bits) +
+            _params.controlOverheadRbe;
+    }
+    const std::uint64_t sets = geom.numSets();
+    const unsigned entry_bits =
+        tlbTagBits(geom) + _params.tlbStatusBits + data_bits;
+    const std::uint64_t cols = geom.assoc * entry_bits;
+    return sramArrayArea(sets, cols) +
+        _params.wayOverheadRbe * static_cast<double>(geom.assoc) +
+        _params.controlOverheadRbe;
+}
+
+double
+AreaModel::writeBufferArea(std::uint64_t entries) const
+{
+    const unsigned addr_bits = _params.physAddrBits - 2; // word address
+    const unsigned data_bits = 32;
+    return camArrayArea(entries, addr_bits) +
+        sramArrayArea(entries, data_bits) +
+        _params.controlOverheadRbe;
+}
+
+} // namespace oma

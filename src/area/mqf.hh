@@ -1,0 +1,126 @@
+/**
+ * @file
+ * MQF-style die-area model for on-chip memory structures.
+ *
+ * Reimplementation of the area model of Mulder, Quach and Flynn
+ * ("An area model for on-chip memories and its application", IEEE
+ * JSSC 26(2), 1991), which the paper uses to cost caches and TLBs in
+ * register-bit equivalents (rbe). The model decomposes a structure
+ * into SRAM data/tag arrays (or CAM tag arrays for fully-associative
+ * TLBs) plus per-row, per-column, per-way and fixed control overheads
+ * for drivers, sense amplifiers, comparators and control logic.
+ *
+ * The default constants are fit to the cost figures the paper itself
+ * reports (Table 6 / Table 7 cost columns, the ~19,000-rbe 512-entry
+ * 8-way TLB, and the qualitative shapes of Figures 4-6: full
+ * associativity ~2x the area of 4/8-way for TLBs of >= 64 entries but
+ * cheaper than 4/8-way below 64 entries; 8-word lines up to ~37%
+ * cheaper than 1-word lines at equal capacity; small highly
+ * associative TLBs ~3x the area of direct-mapped ones). See
+ * tests/area/test_mqf_calibration.cc for the pinned anchors.
+ */
+
+#ifndef OMA_AREA_MQF_HH
+#define OMA_AREA_MQF_HH
+
+#include <cstdint>
+
+#include "area/geometry.hh"
+
+namespace oma
+{
+
+/**
+ * Technology and address-format constants of the area model. All
+ * areas are in register-bit equivalents (rbe): the area of a one-bit
+ * register storage cell.
+ */
+struct AreaParams
+{
+    /** Area of a six-transistor SRAM cell, in rbe. */
+    double sramCellRbe = 0.6;
+    /** Area of a CAM (content-addressable) cell, in rbe. */
+    double camCellRbe = 2.0;
+    /** Per-physical-row overhead: wordline driver + decode slice. */
+    double rowOverheadRbe = 2.0;
+    /** Per-bit-column overhead: sense amp, precharge, write driver. */
+    double colOverheadRbe = 3.0;
+    /** Per-way overhead: tag comparator + way-select / output drive. */
+    double wayOverheadRbe = 300.0;
+    /** Per-CAM-entry overhead: matchline logic + priority encoding. */
+    double camEntryOverheadRbe = 10.0;
+    /** Fixed control overhead per structure. */
+    double controlOverheadRbe = 100.0;
+
+    /** Physical address width used for cache tags. */
+    unsigned physAddrBits = 32;
+    /** Cache status bits per line (valid + dirty). */
+    unsigned cacheStatusBits = 2;
+
+    /** Virtual page number width (32-bit VA, 4-KB pages). */
+    unsigned virtPageBits = 20;
+    /** Address-space identifier width (R2000-style, 6 bits). */
+    unsigned asidBits = 6;
+    /** PTE payload width: page frame number + protection flags. */
+    unsigned pteBits = 26;
+    /** TLB status bits per entry (valid). */
+    unsigned tlbStatusBits = 1;
+};
+
+/**
+ * The area model proper. Stateless apart from its parameters; all
+ * query methods are const and cheap.
+ */
+class AreaModel
+{
+  public:
+    explicit AreaModel(const AreaParams &params = AreaParams());
+
+    /** Model parameters in use. */
+    const AreaParams &params() const { return _params; }
+
+    /**
+     * Area in rbe of an SRAM array with physical dimensions
+     * @p rows x @p cols bits, including driver/sense overheads.
+     */
+    double sramArrayArea(std::uint64_t rows, std::uint64_t cols) const;
+
+    /**
+     * Area in rbe of a CAM tag array of @p entries entries of
+     * @p tag_bits bits each, including matchline overhead.
+     */
+    double camArrayArea(std::uint64_t entries, unsigned tag_bits) const;
+
+    /** Tag bits per line for a cache geometry (address - index - offset). */
+    unsigned cacheTagBits(const CacheGeometry &geom) const;
+
+    /**
+     * Tag bits per entry for a TLB geometry: VPN minus index bits,
+     * plus ASID.
+     */
+    unsigned tlbTagBits(const TlbGeometry &geom) const;
+
+    /** Total area in rbe of a set-associative cache. */
+    double cacheArea(const CacheGeometry &geom) const;
+
+    /**
+     * Total area in rbe of a TLB (set-associative SRAM organization,
+     * or CAM-based when the geometry is fully associative).
+     */
+    double tlbArea(const TlbGeometry &geom) const;
+
+    /**
+     * Area in rbe of a coalescing write buffer of @p entries words:
+     * per entry, a CAM address tag (for read-bypass conflict checks)
+     * plus an SRAM data word (Section 6 lists write buffers among
+     * the structures a fuller study should allocate area to).
+     */
+    double writeBufferArea(std::uint64_t entries) const;
+
+  private:
+    AreaParams _params;
+};
+
+} // namespace oma
+
+#endif // OMA_AREA_MQF_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * A bank of independently configured caches simulated in one pass.
+ *
+ * The design-space study needs miss ratios for hundreds of cache
+ * configurations over the same reference stream; feeding one stream
+ * through a CacheBank avoids regenerating or re-reading the trace per
+ * configuration.
+ */
+
+#ifndef OMA_CACHE_BANK_HH
+#define OMA_CACHE_BANK_HH
+
+#include <vector>
+
+#include "cache/cache.hh"
+
+namespace oma
+{
+
+/** A set of caches that all observe the same reference stream. */
+class CacheBank
+{
+  public:
+    /** Add a cache; returns its index. */
+    std::size_t
+    add(const CacheParams &params)
+    {
+        _caches.emplace_back(params);
+        return _caches.size() - 1;
+    }
+
+    /** Feed one access to every cache. */
+    void
+    access(std::uint64_t paddr, RefKind kind)
+    {
+        for (auto &cache : _caches)
+            cache.access(paddr, kind);
+    }
+
+    std::size_t size() const { return _caches.size(); }
+
+    Cache &at(std::size_t i) { return _caches[i]; }
+    const Cache &at(std::size_t i) const { return _caches[i]; }
+
+    std::vector<Cache> &caches() { return _caches; }
+
+  private:
+    std::vector<Cache> _caches;
+};
+
+} // namespace oma
+
+#endif // OMA_CACHE_BANK_HH

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Implementation of the set-associative cache simulator.
+ */
+
+#include "cache/cache.hh"
+
+#include "support/bits.hh"
+#include "support/logging.hh"
+
+namespace oma
+{
+
+Cache::Cache(const CacheParams &params)
+    : _params(params), _rng(params.seed)
+{
+    _params.geom.validate();
+    const std::uint64_t sets = _params.geom.numSets();
+    _setMask = sets - 1;
+    _lineShift = floorLog2(_params.geom.lineBytes);
+    _indexBits = floorLog2(sets);
+    _ways = _params.geom.assoc;
+    _lines.assign(sets * _ways, Line());
+}
+
+std::uint64_t
+Cache::lineNumber(std::uint64_t paddr) const
+{
+    return paddr >> _lineShift;
+}
+
+bool
+Cache::probe(std::uint64_t paddr) const
+{
+    const std::uint64_t line = lineNumber(paddr);
+    const std::uint64_t set = line & _setMask;
+    const std::uint64_t tag = line >> _indexBits;
+    const std::size_t base = set * _ways;
+    for (std::size_t w = 0; w < _ways; ++w) {
+        const Line &l = _lines[base + w];
+        if (l.valid && l.tag == tag)
+            return true;
+    }
+    return false;
+}
+
+std::size_t
+Cache::victimWay(std::size_t set_base)
+{
+    // Prefer an invalid way.
+    for (std::size_t w = 0; w < _ways; ++w) {
+        if (!_lines[set_base + w].valid)
+            return w;
+    }
+    switch (_params.repl) {
+      case ReplacementPolicy::Random:
+        return static_cast<std::size_t>(_rng.below(_ways));
+      case ReplacementPolicy::Lru:
+      case ReplacementPolicy::Fifo: {
+        // Both policies evict the smallest stamp; they differ in
+        // whether hits refresh the stamp (see access()).
+        std::size_t victim = 0;
+        std::uint64_t oldest = _lines[set_base].stamp;
+        for (std::size_t w = 1; w < _ways; ++w) {
+            if (_lines[set_base + w].stamp < oldest) {
+                oldest = _lines[set_base + w].stamp;
+                victim = w;
+            }
+        }
+        return victim;
+      }
+    }
+    panic("unreachable replacement policy");
+}
+
+bool
+Cache::access(std::uint64_t paddr, RefKind kind)
+{
+    ++_tick;
+    const std::uint64_t line = lineNumber(paddr);
+    const std::uint64_t set = line & _setMask;
+    const std::uint64_t tag = line >> _indexBits;
+    const std::size_t base = set * _ways;
+    const bool is_store = kind == RefKind::Store;
+
+    ++_stats.accesses[unsigned(kind)];
+    if (is_store && _params.write == WritePolicy::WriteThrough)
+        ++_stats.writeThroughWords;
+
+    for (std::size_t w = 0; w < _ways; ++w) {
+        Line &l = _lines[base + w];
+        if (l.valid && l.tag == tag) {
+            if (_params.repl == ReplacementPolicy::Lru)
+                l.stamp = _tick;
+            if (is_store && _params.write == WritePolicy::WriteBack)
+                l.dirty = true;
+            return true;
+        }
+    }
+
+    // Miss.
+    ++_stats.misses[unsigned(kind)];
+    if (_touched.insert(line).second)
+        ++_stats.compulsoryMisses;
+
+    const bool allocate = !is_store ||
+        _params.alloc == AllocPolicy::WriteAllocate;
+    if (!allocate)
+        return false;
+
+    ++_stats.lineFills;
+    const std::size_t w = victimWay(base);
+    Line &l = _lines[base + w];
+    if (l.valid && l.dirty)
+        ++_stats.writebacks;
+    l.valid = true;
+    l.tag = tag;
+    l.stamp = _tick;
+    l.dirty = is_store && _params.write == WritePolicy::WriteBack;
+    return false;
+}
+
+void
+Cache::prefetch(std::uint64_t paddr)
+{
+    ++_tick;
+    const std::uint64_t line = lineNumber(paddr);
+    const std::uint64_t set = line & _setMask;
+    const std::uint64_t tag = line >> _indexBits;
+    const std::size_t base = set * _ways;
+    for (std::size_t w = 0; w < _ways; ++w) {
+        Line &l = _lines[base + w];
+        if (l.valid && l.tag == tag) {
+            if (_params.repl == ReplacementPolicy::Lru)
+                l.stamp = _tick;
+            return;
+        }
+    }
+    const std::size_t w = victimWay(base);
+    Line &l = _lines[base + w];
+    if (l.valid && l.dirty)
+        ++_stats.writebacks;
+    l.valid = true;
+    l.tag = tag;
+    l.stamp = _tick;
+    l.dirty = false;
+}
+
+void
+Cache::invalidateAll()
+{
+    for (auto &l : _lines)
+        l = Line();
+}
+
+} // namespace oma

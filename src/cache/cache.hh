@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Set-associative cache simulator.
+ *
+ * A functional (timing-free) cache model in the style of the
+ * cache2000 / Dinero class of simulators the paper drives with its
+ * sampled traces. The model supports LRU/FIFO/random replacement,
+ * write-through and write-back policies, and write-allocate or
+ * no-write-allocate behaviour, and counts enough events to feed the
+ * CPI model (misses by reference kind, lines fetched, words written
+ * through to memory, write-backs).
+ */
+
+#ifndef OMA_CACHE_CACHE_HH
+#define OMA_CACHE_CACHE_HH
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "area/geometry.hh"
+#include "support/rng.hh"
+#include "trace/memref.hh"
+
+namespace oma
+{
+
+/** Line replacement policy. */
+enum class ReplacementPolicy : std::uint8_t
+{
+    Lru,
+    Fifo,
+    Random,
+};
+
+/** Store handling policy. */
+enum class WritePolicy : std::uint8_t
+{
+    WriteThrough,
+    WriteBack,
+};
+
+/** Allocation policy on store misses. */
+enum class AllocPolicy : std::uint8_t
+{
+    WriteAllocate,
+    NoWriteAllocate,
+};
+
+/** Full configuration of a simulated cache. */
+struct CacheParams
+{
+    CacheGeometry geom;
+    ReplacementPolicy repl = ReplacementPolicy::Lru;
+    /**
+     * The R2000-era machines the paper measures use write-through
+     * caches backed by a write buffer, so that is the default.
+     */
+    WritePolicy write = WritePolicy::WriteThrough;
+    AllocPolicy alloc = AllocPolicy::WriteAllocate;
+    std::uint64_t seed = 1; //!< Random-replacement seed.
+};
+
+/** Event counters maintained by a Cache. */
+struct CacheStats
+{
+    std::uint64_t accesses[numRefKinds] = {};
+    std::uint64_t misses[numRefKinds] = {};
+    /** Lines fetched from the next level (miss fills). */
+    std::uint64_t lineFills = 0;
+    /** Dirty lines written back (write-back policy only). */
+    std::uint64_t writebacks = 0;
+    /** Words forwarded to memory by stores (write-through traffic). */
+    std::uint64_t writeThroughWords = 0;
+    /** Misses to lines never previously resident (compulsory). */
+    std::uint64_t compulsoryMisses = 0;
+
+    std::uint64_t
+    totalAccesses() const
+    {
+        return accesses[0] + accesses[1] + accesses[2];
+    }
+
+    std::uint64_t
+    totalMisses() const
+    {
+        return misses[0] + misses[1] + misses[2];
+    }
+
+    /** Overall miss ratio. */
+    double
+    missRatio() const
+    {
+        const std::uint64_t a = totalAccesses();
+        return a == 0 ? 0.0 : double(totalMisses()) / double(a);
+    }
+
+    /** Miss ratio for one reference kind. */
+    double
+    missRatio(RefKind kind) const
+    {
+        const std::uint64_t a = accesses[unsigned(kind)];
+        return a == 0 ? 0.0 : double(misses[unsigned(kind)]) / double(a);
+    }
+};
+
+/**
+ * The cache simulator proper. Physically indexed and tagged (the
+ * DECstation 3100 organization); feed it MemRef::paddr.
+ */
+class Cache
+{
+  public:
+    explicit Cache(const CacheParams &params);
+
+    /** Configuration this cache was built with. */
+    const CacheParams &params() const { return _params; }
+
+    /**
+     * Simulate one access.
+     *
+     * @param paddr Physical byte address.
+     * @param kind Fetch / load / store.
+     * @retval true on hit.
+     */
+    bool access(std::uint64_t paddr, RefKind kind);
+
+    /** Hit test without updating replacement or statistics. */
+    bool probe(std::uint64_t paddr) const;
+
+    /**
+     * Fill a line without touching the statistics (hardware
+     * prefetch). Replacement state advances as for a normal fill; a
+     * line already resident is refreshed.
+     */
+    void prefetch(std::uint64_t paddr);
+
+    /** Invalidate every line (loses dirty data; counts nothing). */
+    void invalidateAll();
+
+    /** Accumulated counters. */
+    const CacheStats &stats() const { return _stats; }
+
+    /** Zero the counters (cache contents are kept). */
+    void resetStats() { _stats = CacheStats(); }
+
+  private:
+    struct Line
+    {
+        std::uint64_t tag = 0;
+        std::uint64_t stamp = 0; //!< LRU / FIFO ordering stamp.
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    /** Index of the victim way within a set (first invalid, else policy). */
+    std::size_t victimWay(std::size_t set_base);
+
+    std::uint64_t lineNumber(std::uint64_t paddr) const;
+
+    CacheParams _params;
+    std::uint64_t _setMask;
+    unsigned _lineShift;
+    unsigned _indexBits;
+    std::size_t _ways;
+    std::vector<Line> _lines; //!< sets x ways, set-major.
+    std::uint64_t _tick = 0;
+    Rng _rng;
+    CacheStats _stats;
+    /** Line numbers ever resident, for compulsory-miss classification. */
+    std::unordered_set<std::uint64_t> _touched;
+};
+
+} // namespace oma
+
+#endif // OMA_CACHE_CACHE_HH

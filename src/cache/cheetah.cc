@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Implementation of the all-associativity stack simulator.
+ */
+
+#include "cache/cheetah.hh"
+
+#include "support/bits.hh"
+#include "support/logging.hh"
+
+namespace oma
+{
+
+Cheetah::Cheetah(std::uint64_t sets, std::uint64_t line_bytes,
+                 std::uint64_t max_ways)
+    : _sets(sets), _lineShift(floorLog2(line_bytes)),
+      _indexBits(floorLog2(sets)), _maxWays(max_ways),
+      _stacks(sets), _distHist(max_ways, 0)
+{
+    fatalIf(!isPowerOfTwo(sets), "Cheetah set count must be power of two");
+    fatalIf(!isPowerOfTwo(line_bytes),
+            "Cheetah line size must be power of two");
+    fatalIf(max_ways == 0, "Cheetah needs max_ways >= 1");
+    for (auto &stack : _stacks)
+        stack.reserve(max_ways);
+}
+
+void
+Cheetah::access(std::uint64_t addr)
+{
+    ++_accesses;
+    const std::uint64_t line = addr >> _lineShift;
+    const std::uint64_t set = line & (_sets - 1);
+    const std::uint64_t tag = line >> _indexBits;
+    auto &stack = _stacks[set];
+
+    // Find the tag's depth; shift shallower entries down one slot.
+    for (std::size_t d = 0; d < stack.size(); ++d) {
+        if (stack[d] == tag) {
+            ++_distHist[d];
+            for (std::size_t i = d; i > 0; --i)
+                stack[i] = stack[i - 1];
+            stack[0] = tag;
+            return;
+        }
+    }
+
+    // Miss at every associativity of interest.
+    ++_deepMisses;
+    if (_touched.insert(line).second)
+        ++_compulsory;
+    if (stack.size() < _maxWays)
+        stack.push_back(0);
+    for (std::size_t i = stack.size() - 1; i > 0; --i)
+        stack[i] = stack[i - 1];
+    stack[0] = tag;
+}
+
+std::uint64_t
+Cheetah::misses(std::uint64_t ways) const
+{
+    panicIf(ways == 0 || ways > _maxWays,
+            "Cheetah::misses ways out of range");
+    std::uint64_t hits = 0;
+    for (std::uint64_t d = 0; d < ways; ++d)
+        hits += _distHist[d];
+    return _accesses - hits;
+}
+
+} // namespace oma

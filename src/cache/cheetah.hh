@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Cheetah-style all-associativity cache simulation.
+ *
+ * Single-pass simulation of every associativity 1..W for a fixed set
+ * count and line size, exploiting the LRU inclusion property through
+ * per-set Mattson stack distances [Sugumar93]. With one set this also
+ * yields the miss counts of every fully-associative LRU structure of
+ * capacity 1..W entries in one pass, which is how the TLB-size sweeps
+ * (Figure 7) are accelerated.
+ */
+
+#ifndef OMA_CACHE_CHEETAH_HH
+#define OMA_CACHE_CHEETAH_HH
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+namespace oma
+{
+
+/**
+ * All-associativity LRU simulator for a fixed (sets, line) shape.
+ */
+class Cheetah
+{
+  public:
+    /**
+     * @param sets Number of sets (power of two).
+     * @param line_bytes Line size in bytes (power of two); use 1 to
+     *        treat addresses as pre-formed keys (e.g. TLB pages).
+     * @param max_ways Largest associativity of interest.
+     */
+    Cheetah(std::uint64_t sets, std::uint64_t line_bytes,
+            std::uint64_t max_ways);
+
+    /** Observe one access. */
+    void access(std::uint64_t addr);
+
+    /** Total observed accesses. */
+    std::uint64_t accesses() const { return _accesses; }
+
+    /** Misses a cache with @p ways ways would have had. */
+    std::uint64_t misses(std::uint64_t ways) const;
+
+    /** Miss ratio at associativity @p ways. */
+    double
+    missRatio(std::uint64_t ways) const
+    {
+        return _accesses == 0
+            ? 0.0
+            : double(misses(ways)) / double(_accesses);
+    }
+
+    /** First-touch (compulsory) misses, identical for every ways. */
+    std::uint64_t compulsoryMisses() const { return _compulsory; }
+
+    std::uint64_t maxWays() const { return _maxWays; }
+
+  private:
+    std::uint64_t _sets;
+    unsigned _lineShift;
+    unsigned _indexBits;
+    std::uint64_t _maxWays;
+    /** Per-set MRU-first tag stacks, truncated at _maxWays. */
+    std::vector<std::vector<std::uint64_t>> _stacks;
+    /** distHist[d] = hits at stack depth d (0 = MRU). */
+    std::vector<std::uint64_t> _distHist;
+    std::uint64_t _deepMisses = 0; //!< Distance > _maxWays or cold.
+    std::uint64_t _accesses = 0;
+    std::uint64_t _compulsory = 0;
+    std::unordered_set<std::uint64_t> _touched;
+};
+
+} // namespace oma
+
+#endif // OMA_CACHE_CHEETAH_HH

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Implementation of the victim cache.
+ */
+
+#include "cache/victim.hh"
+
+#include "support/bits.hh"
+#include "support/logging.hh"
+
+namespace oma
+{
+
+VictimCache::VictimCache(const CacheGeometry &l1,
+                         std::uint64_t victim_entries)
+    : _geom(l1)
+{
+    _geom.validate();
+    fatalIf(_geom.assoc != 1,
+            "victim caches back a direct-mapped L1: " + _geom.describe());
+    _lineShift = floorLog2(_geom.lineBytes);
+    _setMask = _geom.numSets() - 1;
+    _l1Tags.assign(_geom.numSets(), 0);
+    _l1Valid.assign(_geom.numSets(), false);
+    _victim.assign(victim_entries, VictimLine());
+}
+
+int
+VictimCache::access(std::uint64_t paddr)
+{
+    ++_tick;
+    ++_stats.accesses;
+    const std::uint64_t line = paddr >> _lineShift;
+    const std::uint64_t set = line & _setMask;
+
+    if (_l1Valid[set] && _l1Tags[set] == line) {
+        ++_stats.l1Hits;
+        return 0;
+    }
+
+    // L1 miss: probe the victim buffer.
+    for (auto &v : _victim) {
+        if (v.valid && v.line == line) {
+            // Swap: the victim's line moves into the L1 slot and the
+            // displaced L1 line takes its place in the buffer.
+            ++_stats.victimHits;
+            const bool had_line = _l1Valid[set];
+            const std::uint64_t displaced = _l1Tags[set];
+            _l1Tags[set] = line;
+            _l1Valid[set] = true;
+            if (had_line) {
+                v.line = displaced;
+                v.stamp = _tick;
+            } else {
+                v.valid = false;
+            }
+            return 1;
+        }
+    }
+
+    // Memory miss: fill the L1, push the displaced line into the
+    // victim buffer (LRU replacement).
+    ++_stats.misses;
+    const bool had_line = _l1Valid[set];
+    const std::uint64_t displaced = _l1Tags[set];
+    _l1Tags[set] = line;
+    _l1Valid[set] = true;
+    if (had_line && !_victim.empty()) {
+        VictimLine *slot = &_victim[0];
+        for (auto &v : _victim) {
+            if (!v.valid) {
+                slot = &v;
+                break;
+            }
+            if (v.stamp < slot->stamp)
+                slot = &v;
+        }
+        slot->line = displaced;
+        slot->stamp = _tick;
+        slot->valid = true;
+    }
+    return 2;
+}
+
+} // namespace oma

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Implementation of the baseline experiment driver.
+ */
+
+#include "core/experiment.hh"
+
+#include "trace/filter.hh"
+
+namespace oma
+{
+
+BaselineResult
+runBaseline(const WorkloadParams &workload, OsKind os,
+            const RunConfig &run, const MachineParams &machine_params)
+{
+    System system(workload, os, run.seed);
+    Machine machine(machine_params);
+    system.setInvalidateHook(
+        [&machine](std::uint64_t vpn, std::uint32_t asid, bool global) {
+            machine.mmu().invalidatePage(vpn, asid, global);
+        });
+
+    std::uint64_t consumed = 0;
+    if (run.userOnly) {
+        FilteredTraceSource user = userOnly(system, system.appAsid());
+        consumed = machine.run(user, run.references);
+    } else {
+        consumed = machine.run(system, run.references);
+    }
+
+    BaselineResult result;
+    // User-only simulation sees only application instructions, so the
+    // whole "Other" rate is the application's.
+    const double other = run.userOnly ? workload.userOtherCpi
+                                      : system.otherCpiSoFar();
+    result.cpi = machine.breakdown(other);
+    result.instructions = machine.stalls().instructions;
+    result.references = consumed;
+    result.userFraction =
+        run.userOnly ? 1.0 : system.userInstructionFraction();
+    result.mmu = machine.mmu().stats();
+    result.icacheMissRatio = machine.icache().stats().missRatio();
+    result.dcacheMissRatio = machine.dcache().stats().missRatio();
+    return result;
+}
+
+BaselineResult
+runBaseline(BenchmarkId id, OsKind os, const RunConfig &run,
+            const MachineParams &machine_params)
+{
+    return runBaseline(benchmarkParams(id), os, run, machine_params);
+}
+
+} // namespace oma

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Baseline experiment driver: reproduce the paper's Monster
+ * measurements (Tables 3 and 4, Figure 3) by running a workload/OS
+ * pair on the modelled DECstation 3100 and attributing stalls.
+ */
+
+#ifndef OMA_CORE_EXPERIMENT_HH
+#define OMA_CORE_EXPERIMENT_HH
+
+#include "machine/machine.hh"
+#include "workload/system.hh"
+
+namespace oma
+{
+
+/** Common knobs of a simulation run. */
+struct RunConfig
+{
+    std::uint64_t references = 3'000'000;
+    std::uint64_t seed = 42;
+    /** Simulate only the application's own user-mode references
+     * (the pixie+cache2000 methodology of Table 3, row 1). */
+    bool userOnly = false;
+};
+
+/** Outcome of a baseline (fixed-machine) run. */
+struct BaselineResult
+{
+    CpiBreakdown cpi;
+    std::uint64_t instructions = 0;
+    std::uint64_t references = 0;
+    double userFraction = 1.0;
+    MmuStats mmu;
+    double icacheMissRatio = 0.0;
+    double dcacheMissRatio = 0.0;
+};
+
+/**
+ * Run @p workload under @p os on the given machine (DECstation 3100
+ * by default) and return the stall breakdown.
+ */
+BaselineResult runBaseline(
+    const WorkloadParams &workload, OsKind os,
+    const RunConfig &run = RunConfig(),
+    const MachineParams &machine = MachineParams::decstation3100());
+
+/** Convenience overload taking a benchmark id. */
+BaselineResult runBaseline(
+    BenchmarkId id, OsKind os, const RunConfig &run = RunConfig(),
+    const MachineParams &machine = MachineParams::decstation3100());
+
+} // namespace oma
+
+#endif // OMA_CORE_EXPERIMENT_HH

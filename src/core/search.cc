@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Implementation of the design-space allocator.
+ */
+
+#include "core/search.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace oma
+{
+
+std::vector<TlbGeometry>
+ConfigSpace::tlbGeometries() const
+{
+    std::vector<TlbGeometry> geoms;
+    for (std::uint64_t entries : tlbEntries) {
+        for (std::uint64_t ways : tlbWays) {
+            if (ways <= entries)
+                geoms.emplace_back(entries, ways);
+        }
+        if (entries <= tlbFullAssocMax)
+            geoms.push_back(TlbGeometry::fullyAssoc(entries));
+    }
+    return geoms;
+}
+
+std::vector<CacheGeometry>
+ConfigSpace::cacheGeometries(std::uint64_t max_ways) const
+{
+    std::vector<CacheGeometry> geoms;
+    for (std::uint64_t kb : cacheKBytes) {
+        for (std::uint64_t line : lineWords) {
+            for (std::uint64_t ways : cacheWays) {
+                if (ways > max_ways)
+                    continue;
+                const CacheGeometry geom =
+                    CacheGeometry::fromWords(kb * 1024, line, ways);
+                if (geom.capacityBytes < geom.lineBytes * geom.assoc)
+                    continue; // needs at least one set
+                geoms.push_back(geom);
+            }
+        }
+    }
+    return geoms;
+}
+
+AllocationSearch::AllocationSearch(const AreaModel &area,
+                                   double budget_rbe)
+    : _area(area), _budget(budget_rbe)
+{
+    fatalIf(budget_rbe <= 0, "area budget must be positive");
+}
+
+std::vector<Allocation>
+AllocationSearch::rank(const ComponentCpiTables &tables,
+                       std::uint64_t max_cache_ways) const
+{
+    // Precompute areas once per distinct geometry.
+    std::vector<double> tlb_area(tables.tlbGeoms.size());
+    for (std::size_t i = 0; i < tables.tlbGeoms.size(); ++i)
+        tlb_area[i] = _area.tlbArea(tables.tlbGeoms[i]);
+    std::vector<double> i_area(tables.icacheGeoms.size());
+    for (std::size_t i = 0; i < tables.icacheGeoms.size(); ++i)
+        i_area[i] = _area.cacheArea(tables.icacheGeoms[i]);
+    std::vector<double> d_area(tables.dcacheGeoms.size());
+    for (std::size_t i = 0; i < tables.dcacheGeoms.size(); ++i)
+        d_area[i] = _area.cacheArea(tables.dcacheGeoms[i]);
+
+    std::vector<Allocation> out;
+    for (std::size_t t = 0; t < tables.tlbGeoms.size(); ++t) {
+        for (std::size_t i = 0; i < tables.icacheGeoms.size(); ++i) {
+            if (tables.icacheGeoms[i].assoc > max_cache_ways)
+                continue;
+            const double ti_area = tlb_area[t] + i_area[i];
+            if (ti_area > _budget)
+                continue;
+            for (std::size_t d = 0; d < tables.dcacheGeoms.size(); ++d) {
+                if (tables.dcacheGeoms[d].assoc > max_cache_ways)
+                    continue;
+                const double area = ti_area + d_area[d];
+                if (area > _budget)
+                    continue;
+                Allocation a;
+                a.tlb = tables.tlbGeoms[t];
+                a.icache = tables.icacheGeoms[i];
+                a.dcache = tables.dcacheGeoms[d];
+                a.areaRbe = area;
+                a.tlbCpi = tables.tlbCpi[t];
+                a.icacheCpi = tables.icacheCpi[i];
+                a.dcacheCpi = tables.dcacheCpi[d];
+                a.cpi = tables.baseCpi + a.tlbCpi + a.icacheCpi +
+                    a.dcacheCpi;
+                out.push_back(a);
+            }
+        }
+    }
+
+    std::stable_sort(out.begin(), out.end(),
+                     [](const Allocation &x, const Allocation &y) {
+                         return x.cpi < y.cpi;
+                     });
+    for (std::size_t r = 0; r < out.size(); ++r)
+        out[r].rank = r + 1;
+    return out;
+}
+
+} // namespace oma

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The design-space allocator: the paper's primary contribution.
+ *
+ * Enumerates the configuration grid of Table 5 (TLBs of 64-512
+ * entries at 1/2/4/8-way or fully associative; caches of 2-32 KB with
+ * 1-32-word lines at 1/2/4/8-way), costs each combination with the
+ * MQF area model, discards combinations over the die budget (250,000
+ * rbe), scores the rest with independently measured per-component CPI
+ * contributions, and ranks by total CPI — regenerating Tables 6
+ * and 7.
+ */
+
+#ifndef OMA_CORE_SEARCH_HH
+#define OMA_CORE_SEARCH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "area/mqf.hh"
+#include "core/sweep.hh"
+
+namespace oma
+{
+
+/** The configuration grid of Table 5. */
+struct ConfigSpace
+{
+    std::vector<std::uint64_t> tlbEntries = {64, 128, 256, 512};
+    std::vector<std::uint64_t> tlbWays = {1, 2, 4, 8};
+    /** Fully-associative TLBs considered up to this many entries. */
+    std::uint64_t tlbFullAssocMax = 64;
+
+    std::vector<std::uint64_t> cacheKBytes = {2, 4, 8, 16, 32};
+    std::vector<std::uint64_t> lineWords = {1, 2, 4, 8, 16, 32};
+    std::vector<std::uint64_t> cacheWays = {1, 2, 4, 8};
+
+    /** All TLB geometries in the grid. */
+    std::vector<TlbGeometry> tlbGeometries() const;
+
+    /**
+     * All realizable cache geometries with associativity at most
+     * @p max_ways (Table 7 restricts to 2).
+     */
+    std::vector<CacheGeometry>
+    cacheGeometries(std::uint64_t max_ways = 8) const;
+};
+
+/** One ranked allocation of the on-chip memory budget. */
+struct Allocation
+{
+    TlbGeometry tlb;
+    CacheGeometry icache;
+    CacheGeometry dcache;
+    double areaRbe = 0.0;
+    double cpi = 0.0;
+    double tlbCpi = 0.0;
+    double icacheCpi = 0.0;
+    double dcacheCpi = 0.0;
+    /** 1-based rank in the unrestricted ordering. */
+    std::size_t rank = 0;
+};
+
+/**
+ * Exhaustive cost/benefit search over the configuration space.
+ */
+class AllocationSearch
+{
+  public:
+    AllocationSearch(const AreaModel &area, double budget_rbe);
+
+    /**
+     * Rank every in-budget combination of the measured components.
+     *
+     * @param tables Suite-averaged per-component CPI contributions.
+     * @param max_cache_ways Associativity restriction (8 = Table 6,
+     *        2 = Table 7).
+     * @return all in-budget allocations, best (lowest CPI) first.
+     */
+    std::vector<Allocation> rank(const ComponentCpiTables &tables,
+                                 std::uint64_t max_cache_ways = 8) const;
+
+    double budget() const { return _budget; }
+    const AreaModel &areaModel() const { return _area; }
+
+  private:
+    AreaModel _area;
+    double _budget;
+};
+
+} // namespace oma
+
+#endif // OMA_CORE_SEARCH_HH

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Component sweeps: measure many cache and TLB configurations against
+ * one workload trace in a single pass.
+ *
+ * The paper's cost/benefit analysis (Section 5.4) combines
+ * independently measured per-component CPI contributions: I-cache and
+ * D-cache miss ratios from trace-driven simulation and TLB service
+ * cycles from Tapeworm, plus a configuration-independent base (write
+ * buffer and non-memory stalls). ComponentSweep produces exactly
+ * those tables.
+ */
+
+#ifndef OMA_CORE_SWEEP_HH
+#define OMA_CORE_SWEEP_HH
+
+#include <vector>
+
+#include "cache/bank.hh"
+#include "core/experiment.hh"
+#include "machine/machine.hh"
+#include "tlb/tapeworm.hh"
+#include "workload/system.hh"
+
+namespace oma
+{
+
+/** Per-configuration results of one sweep over one workload/OS pair. */
+struct SweepResult
+{
+    std::uint64_t instructions = 0;
+    std::uint64_t references = 0;
+
+    std::vector<CacheGeometry> icacheGeoms;
+    std::vector<CacheStats> icacheStats;
+    std::vector<CacheGeometry> dcacheGeoms;
+    std::vector<CacheStats> dcacheStats;
+    std::vector<TlbGeometry> tlbGeoms;
+    std::vector<MmuStats> tlbStats;
+
+    /** Write-buffer stall cycles per instruction (config-independent
+     * base, measured on the reference machine). */
+    double wbCpi = 0.0;
+    /** Non-memory stall cycles per instruction. */
+    double otherCpi = 0.0;
+
+    /** I-cache CPI contribution of config @p i (paper's penalty). */
+    double icacheCpi(std::size_t i, const MachineParams &mp) const;
+    /** D-cache CPI contribution of config @p i. */
+    double dcacheCpi(std::size_t i, const MachineParams &mp) const;
+    /** TLB CPI contribution of config @p i. */
+    double tlbCpi(std::size_t i) const;
+
+    /** I-cache miss ratio of config @p i. */
+    double
+    icacheMissRatio(std::size_t i) const
+    {
+        return icacheStats[i].missRatio();
+    }
+
+    double
+    dcacheMissRatio(std::size_t i) const
+    {
+        return dcacheStats[i].missRatio();
+    }
+};
+
+/**
+ * Runs one workload/OS pair against banks of I-cache, D-cache and TLB
+ * configurations simultaneously.
+ */
+class ComponentSweep
+{
+  public:
+    ComponentSweep(std::vector<CacheGeometry> icache_geoms,
+                   std::vector<CacheGeometry> dcache_geoms,
+                   std::vector<TlbGeometry> tlb_geoms,
+                   const MachineParams &reference_machine =
+                       MachineParams::decstation3100());
+
+    /** Run the sweep. */
+    SweepResult run(const WorkloadParams &workload, OsKind os,
+                    const RunConfig &run = RunConfig()) const;
+
+    SweepResult
+    run(BenchmarkId id, OsKind os,
+        const RunConfig &run_config = RunConfig()) const
+    {
+        return this->run(benchmarkParams(id), os, run_config);
+    }
+
+  private:
+    std::vector<CacheGeometry> _icacheGeoms;
+    std::vector<CacheGeometry> _dcacheGeoms;
+    std::vector<TlbGeometry> _tlbGeoms;
+    MachineParams _refMachine;
+};
+
+/**
+ * Average per-configuration CPI tables over a set of SweepResults
+ * (the paper reports suite averages). All results must have been
+ * produced with identical geometry lists.
+ */
+struct ComponentCpiTables
+{
+    std::vector<CacheGeometry> icacheGeoms;
+    std::vector<double> icacheCpi;
+    std::vector<CacheGeometry> dcacheGeoms;
+    std::vector<double> dcacheCpi;
+    std::vector<TlbGeometry> tlbGeoms;
+    std::vector<double> tlbCpi;
+    /** Base of an allocation's total CPI (1.0, as in Tables 6/7). */
+    double baseCpi = 1.0;
+    /** Config-independent write-buffer stall CPI (informational). */
+    double wbCpi = 0.0;
+    /** Config-independent non-memory stall CPI (informational). */
+    double otherCpi = 0.0;
+
+    static ComponentCpiTables average(
+        const std::vector<SweepResult> &results,
+        const MachineParams &mp);
+};
+
+} // namespace oma
+
+#endif // OMA_CORE_SWEEP_HH

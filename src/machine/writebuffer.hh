@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Write-buffer model.
+ *
+ * The DECstation 3100 couples its write-through caches to a 4-entry
+ * write buffer that retires one word to memory every few cycles; the
+ * CPU stalls when a store finds the buffer full. Because the
+ * simulators are event-count based rather than cycle accurate, the
+ * buffer tracks retire-completion times against the machine's running
+ * cycle count and reports the stall a store incurs.
+ */
+
+#ifndef OMA_MACHINE_WRITEBUFFER_HH
+#define OMA_MACHINE_WRITEBUFFER_HH
+
+#include <cstdint>
+#include <deque>
+
+namespace oma
+{
+
+/** A FIFO write buffer with serialized memory retirement. */
+class WriteBuffer
+{
+  public:
+    /**
+     * @param entries Buffer depth in words.
+     * @param drain_cycles Memory cycles to retire one word.
+     */
+    WriteBuffer(std::uint64_t entries, std::uint64_t drain_cycles)
+        : _entries(entries), _drain(drain_cycles)
+    {}
+
+    /**
+     * Push one word at machine time @p now (cycles).
+     *
+     * @return stall cycles suffered because the buffer was full.
+     */
+    std::uint64_t
+    store(std::uint64_t now)
+    {
+        ++_stores;
+        // Retire completed words.
+        while (!_done.empty() && _done.front() <= now)
+            _done.pop_front();
+
+        std::uint64_t stall = 0;
+        if (_done.size() >= _entries) {
+            stall = _done.front() - now;
+            now = _done.front();
+            _done.pop_front();
+            _stallCycles += stall;
+        }
+        const std::uint64_t start =
+            _done.empty() ? now : std::max(now, _done.back());
+        _done.push_back(start + _drain);
+        return stall;
+    }
+
+    /**
+     * A cache-miss read conflicts with the write currently retiring
+     * on the memory bus (reads bypass queued writes after an address
+     * check, but cannot preempt the write in progress). Advances to
+     * @p now and returns the cycles the read must wait for the
+     * in-flight write to complete.
+     */
+    std::uint64_t
+    syncWait(std::uint64_t now)
+    {
+        while (!_done.empty() && _done.front() <= now)
+            _done.pop_front();
+        if (_done.empty())
+            return 0;
+        const std::uint64_t wait = _done.front() - now;
+        _done.pop_front();
+        _stallCycles += wait;
+        return wait;
+    }
+
+    /** Total stall cycles caused by a full buffer. */
+    std::uint64_t stallCycles() const { return _stallCycles; }
+
+    /** Total words pushed. */
+    std::uint64_t stores() const { return _stores; }
+
+  private:
+    std::uint64_t _entries;
+    std::uint64_t _drain;
+    std::deque<std::uint64_t> _done; //!< Retire-completion times.
+    std::uint64_t _stallCycles = 0;
+    std::uint64_t _stores = 0;
+};
+
+} // namespace oma
+
+#endif // OMA_MACHINE_WRITEBUFFER_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Implementation of pseudo-physical address mapping.
+ */
+
+#include "os/addrspace.hh"
+
+#include "support/logging.hh"
+
+namespace oma
+{
+
+namespace
+{
+
+/** Physical memory modelled as 2^18 frames (1 GB); collisions are
+ * harmless (they just alias two cold pages). */
+constexpr std::uint64_t frameMask = (1ULL << 18) - 1;
+
+std::uint64_t
+frameFor(std::uint64_t key, std::uint64_t vpn, std::uint64_t seed)
+{
+    return mix64(key * 0x9e3779b97f4a7c15ULL + vpn + seed) & frameMask;
+}
+
+} // namespace
+
+AddressSpace::AddressSpace(std::uint32_t asid, std::uint64_t seed)
+    : _asid(asid), _seed(seed)
+{
+    fatalIf(asid > 63, "R2000 ASIDs are 6 bits (0 = kernel)");
+}
+
+void
+AddressSpace::addSharedSegment(const Segment &seg)
+{
+    fatalIf(seg.shareKey == 0, "shared segments need a non-zero key");
+    _shared.push_back(seg);
+}
+
+void
+AddressSpace::addLinearSegment(std::uint64_t base, std::uint64_t size)
+{
+    Segment seg;
+    seg.base = base;
+    seg.size = size;
+    seg.shareKey = 0;
+    seg.linear = true;
+    _shared.push_back(seg);
+}
+
+std::uint64_t
+AddressSpace::paddrFor(std::uint64_t vaddr) const
+{
+    if (inKseg0(vaddr))
+        return vaddr - kseg0Base; // direct-mapped, like the R2000
+
+    const std::uint64_t vpn = vpnOf(vaddr);
+    const std::uint64_t offset = vaddr & (pageBytes - 1);
+
+    std::uint64_t key;
+    bool linear = false;
+    std::uint64_t seg_vpn = 0;
+    if (inKseg2(vaddr)) {
+        key = 0; // kernel-global mapped pages
+    } else {
+        key = _asid;
+        for (const auto &seg : _shared) {
+            if (seg.contains(vaddr)) {
+                if (seg.shareKey != 0)
+                    key = seg.shareKey;
+                linear = seg.linear;
+                seg_vpn = vpnOf(seg.base);
+                break;
+            }
+        }
+    }
+    if (linear) {
+        // Contiguous frames from a hashed base, like text at exec.
+        const std::uint64_t base_frame =
+            frameFor(key ^ (seg_vpn << 8), 0, _seed);
+        const std::uint64_t frame =
+            (base_frame + (vpn - seg_vpn)) % (1ULL << 18);
+        return (frame << pageShift) | offset;
+    }
+    return (frameFor(key, vpn, _seed) << pageShift) | offset;
+}
+
+} // namespace oma

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Address spaces and the pseudo-physical memory map.
+ *
+ * Each simulated process owns an AddressSpace identified by a 6-bit
+ * ASID. Virtual pages are mapped to pseudo-physical frames by a
+ * deterministic hash, which scatters frames the way a real VM system
+ * does so that physically-indexed caches see realistic conflict
+ * behaviour without maintaining a frame allocator. Segments may carry
+ * a share key so that pages shared between address spaces (shared
+ * libraries, Mach VM sharing) map to the same frames.
+ */
+
+#ifndef OMA_OS_ADDRSPACE_HH
+#define OMA_OS_ADDRSPACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/rng.hh"
+#include "tlb/mips_va.hh"
+
+namespace oma
+{
+
+/** A contiguous virtual region with optional physical sharing. */
+struct Segment
+{
+    std::uint64_t base = 0;
+    std::uint64_t size = 0;
+    /** Non-zero: pages map to frames keyed by this value, not the ASID. */
+    std::uint64_t shareKey = 0;
+    /**
+     * Linear segments get physically contiguous frames starting at a
+     * hashed base — the way an OS lays out program text at exec time.
+     * Non-linear (default) segments hash each page independently,
+     * like demand-allocated data pages.
+     */
+    bool linear = false;
+
+    bool
+    contains(std::uint64_t vaddr) const
+    {
+        return vaddr >= base && vaddr < base + size;
+    }
+};
+
+/**
+ * One virtual address space. Cheap value-ish object; the OS models
+ * construct a handful of them (application, servers, X).
+ */
+class AddressSpace
+{
+  public:
+    /**
+     * @param asid R2000 ASID (1..63; 0 is reserved for the kernel).
+     * @param seed Per-system seed mixed into the frame hash.
+     */
+    AddressSpace(std::uint32_t asid, std::uint64_t seed);
+
+    std::uint32_t asid() const { return _asid; }
+
+    /** Register a shared segment (private pages need no segment). */
+    void addSharedSegment(const Segment &seg);
+
+    /**
+     * Register a private segment with physically contiguous frames
+     * (program text, kernel stacks).
+     */
+    void addLinearSegment(std::uint64_t base, std::uint64_t size);
+
+    /**
+     * Pseudo-physical address of @p vaddr in this space. kseg0 is
+     * direct-mapped (like the R2000); kseg2 frames are global; kuseg
+     * frames hash on the ASID unless a shared segment covers them.
+     */
+    std::uint64_t paddrFor(std::uint64_t vaddr) const;
+
+  private:
+    std::uint32_t _asid;
+    std::uint64_t _seed;
+    std::vector<Segment> _shared;
+};
+
+} // namespace oma
+
+#endif // OMA_OS_ADDRSPACE_HH

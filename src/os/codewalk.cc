@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Implementation of the working-set code walker.
+ */
+
+#include "os/codewalk.hh"
+
+#include "support/logging.hh"
+
+namespace oma
+{
+
+CodeWalker::CodeWalker(const CodeRegion &region, std::uint64_t seed)
+    : _region(region), _rng(seed), _pc(region.base), _start(region.base),
+      _body(1), _left(0), _iters(0)
+{
+    fatalIf(_region.footprint < granule,
+            "code region smaller than one routine granule");
+    newRun();
+}
+
+void
+CodeWalker::newRun()
+{
+    const std::uint64_t starts = _region.footprint / granule;
+    const std::uint64_t slot = _rng.zipf(starts, _region.skew);
+    // Scatter the Zipf ranks across the footprint so that popular
+    // routines are not all adjacent (rank 0 would otherwise always be
+    // the region base and popular code would be artificially dense).
+    const std::uint64_t shuffled = mix64(slot * 0x2545f4914f6cdd1dULL) %
+        starts;
+    _start = _region.base + shuffled * granule;
+    _body = _rng.geometric(1.0 / _region.meanRun);
+    _iters = _region.meanIterations <= 1.0
+        ? 1
+        : _rng.geometric(1.0 / _region.meanIterations);
+    _pc = _start;
+    _left = _body;
+}
+
+std::uint64_t
+CodeWalker::step()
+{
+    if (_left == 0) {
+        if (_iters > 1) {
+            // Loop back to the body start.
+            --_iters;
+            _pc = _start;
+            _left = _body;
+        } else {
+            newRun();
+        }
+    }
+    const std::uint64_t fetch = _pc;
+    _pc += 4;
+    --_left;
+    if (_pc >= _region.base + _region.footprint)
+        newRun();
+    return fetch;
+}
+
+} // namespace oma

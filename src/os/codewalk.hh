@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Instruction-fetch behaviour generators.
+ *
+ * Two code behaviours cover what the paper's analysis turns on:
+ *
+ *  - Working-set walks model steady-state code (application loops,
+ *    service bodies): control transfers pick Zipf-skewed routine
+ *    starts inside a code footprint and then run sequentially for a
+ *    geometrically distributed span, producing temporal reuse whose
+ *    reach is the footprint and spatial locality set by run length.
+ *
+ *  - Invocation paths model the RPC/trap plumbing: the *same* long
+ *    instruction sequence is executed once per service invocation
+ *    (Mach's ~1000-instruction call path), which is exactly the code
+ *    that overruns small I-caches and rewards long lines.
+ */
+
+#ifndef OMA_OS_CODEWALK_HH
+#define OMA_OS_CODEWALK_HH
+
+#include <cstdint>
+
+#include "support/rng.hh"
+
+namespace oma
+{
+
+/** Static description of a component's text. */
+struct CodeRegion
+{
+    std::uint64_t base = 0;      //!< Virtual address of the text.
+    std::uint64_t footprint = 0; //!< Bytes of hot code.
+    double skew = 0.8;           //!< Zipf exponent over routine starts.
+    double meanRun = 12.0;       //!< Mean loop-body length (instructions).
+    /**
+     * Mean number of times a body is re-executed before control
+     * moves on. Application code iterates small loops heavily;
+     * operating-system code is once-through (the paper's Section 4.1
+     * observation), so OS components use small values.
+     */
+    double meanIterations = 6.0;
+};
+
+/** Stateful walker over a CodeRegion. */
+class CodeWalker
+{
+  public:
+    CodeWalker(const CodeRegion &region, std::uint64_t seed);
+
+    /** Virtual address of the next instruction fetch. */
+    std::uint64_t step();
+
+    const CodeRegion &region() const { return _region; }
+
+  private:
+    /** Routine-start granularity in bytes (a small basic block). */
+    static constexpr std::uint64_t granule = 64;
+
+    void newRun();
+
+    CodeRegion _region;
+    Rng _rng;
+    std::uint64_t _pc;
+    std::uint64_t _start; //!< Body start of the current loop.
+    std::uint64_t _body;  //!< Body length in instructions.
+    std::uint64_t _left;  //!< Instructions left in this iteration.
+    std::uint64_t _iters; //!< Iterations left for this body.
+};
+
+/**
+ * A fixed sequential code path of @p instructions instructions
+ * starting at @p base; pc(i) yields the fetch address of step i.
+ * Invocation paths are stateless, so this is a plain helper.
+ */
+struct CodePath
+{
+    std::uint64_t base = 0;
+    std::uint64_t instructions = 0;
+
+    std::uint64_t
+    pc(std::uint64_t i) const
+    {
+        return base + i * 4;
+    }
+
+    /** Bytes of instruction memory the path spans. */
+    std::uint64_t bytes() const { return instructions * 4; }
+};
+
+} // namespace oma
+
+#endif // OMA_OS_CODEWALK_HH

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Implementation of Component reference emission.
+ */
+
+#include "os/component.hh"
+
+namespace oma
+{
+
+Component::Component(std::string name, AddressSpace &space, Mode mode,
+                     const CodeRegion &code, const DataBehavior &data,
+                     std::uint64_t seed)
+    : _name(std::move(name)), _space(space), _mode(mode),
+      _code(code, mix64(seed ^ 0xc0de)), _data(data, mix64(seed ^ 0xda7a))
+{
+}
+
+MemRef
+Component::fetchRef(std::uint64_t pc)
+{
+    MemRef ref;
+    ref.vaddr = pc;
+    ref.paddr = _space.paddrFor(pc);
+    ref.asid = inKuseg(pc) ? _space.asid() : 0;
+    ref.kind = RefKind::IFetch;
+    ref.mode = _mode;
+    ref.mapped = isMappedAddress(pc);
+    ++_instrs;
+    return ref;
+}
+
+MemRef
+Component::dataRef(AddressSpace &space, std::uint64_t vaddr,
+                   bool is_store) const
+{
+    MemRef ref;
+    ref.vaddr = vaddr;
+    ref.paddr = space.paddrFor(vaddr);
+    ref.asid = inKuseg(vaddr) ? space.asid() : 0;
+    ref.kind = is_store ? RefKind::Store : RefKind::Load;
+    ref.mode = _mode;
+    ref.mapped = isMappedAddress(vaddr);
+    return ref;
+}
+
+void
+Component::run(std::uint64_t instrs, TraceSink &sink)
+{
+    for (std::uint64_t i = 0; i < instrs; ++i) {
+        sink.put(fetchRef(_code.step()));
+        bool is_store = false;
+        if (_data.refForInstr(is_store))
+            sink.put(dataRef(_space, _data.nextAddr(is_store), is_store));
+    }
+}
+
+void
+Component::runPath(const CodePath &path, TraceSink &sink,
+                   double data_per_instr)
+{
+    // Deterministic, sparse data mix along the path: every k-th
+    // instruction references data, drawn from this component's mix.
+    const std::uint64_t k = data_per_instr <= 0.0
+        ? 0
+        : static_cast<std::uint64_t>(1.0 / data_per_instr);
+    for (std::uint64_t i = 0; i < path.instructions; ++i) {
+        sink.put(fetchRef(path.pc(i)));
+        if (k && (i % k) == k - 1) {
+            // Alternate loads and stores 2:1 along invocation paths.
+            const bool is_store = (i / k) % 3 == 2;
+            sink.put(dataRef(_space, _data.nextAddr(is_store), is_store));
+        }
+    }
+}
+
+void
+Component::copyLoop(AddressSpace &src_space, std::uint64_t src_base,
+                    AddressSpace &dst_space, std::uint64_t dst_base,
+                    std::uint64_t bytes, TraceSink &sink)
+{
+    // An 8-instruction unrolled loop in this component's text.
+    const std::uint64_t loop_pc = _code.region().base;
+    const std::uint64_t words = (bytes + 3) / 4;
+    for (std::uint64_t w = 0; w < words; ++w) {
+        sink.put(fetchRef(loop_pc + (w % 4) * 8));
+        sink.put(dataRef(src_space, src_base + w * 4, false));
+        sink.put(fetchRef(loop_pc + (w % 4) * 8 + 4));
+        sink.put(dataRef(dst_space, dst_base + w * 4, true));
+    }
+}
+
+} // namespace oma

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * A software component: code + data behaviour inside an address space.
+ *
+ * Applications, API servers, the X server, the emulation library and
+ * kernel subsystems are all Components. A component can run
+ * steady-state instructions (working-set code walk plus data mix),
+ * execute a fixed invocation path, or perform a copy loop between two
+ * address spaces — the three activities from which every OS service
+ * invocation in the paper's Figure 2 is composed.
+ */
+
+#ifndef OMA_OS_COMPONENT_HH
+#define OMA_OS_COMPONENT_HH
+
+#include <string>
+
+#include "os/addrspace.hh"
+#include "os/codewalk.hh"
+#include "os/datagen.hh"
+#include "trace/source.hh"
+
+namespace oma
+{
+
+/** Code + data behaviour bound to an address space and mode. */
+class Component
+{
+  public:
+    Component(std::string name, AddressSpace &space, Mode mode,
+              const CodeRegion &code, const DataBehavior &data,
+              std::uint64_t seed);
+
+    const std::string &name() const { return _name; }
+    AddressSpace &space() { return _space; }
+    Mode mode() const { return _mode; }
+
+    /** Run @p instrs steady-state instructions, emitting references. */
+    void run(std::uint64_t instrs, TraceSink &sink);
+
+    /**
+     * Execute a fixed sequential code path (service-invocation
+     * plumbing) with @p data_per_instr data references per
+     * instruction drawn from this component's data mix.
+     */
+    void runPath(const CodePath &path, TraceSink &sink,
+                 double data_per_instr = 0.15);
+
+    /**
+     * Tight copy loop: 2 instructions, 1 load and 1 store per word.
+     * The loop code is 8 instructions of this component's text; data
+     * addresses live in the given spaces (which is how kernel
+     * copyin/copyout touches the caller's user pages).
+     */
+    void copyLoop(AddressSpace &src_space, std::uint64_t src_base,
+                  AddressSpace &dst_space, std::uint64_t dst_base,
+                  std::uint64_t bytes, TraceSink &sink);
+
+    /** Instructions this component has executed. */
+    std::uint64_t instructionsRun() const { return _instrs; }
+
+    /** The data behaviour this component was configured with. */
+    const DataBehavior &dataBehavior() const { return _data.behavior(); }
+
+    /** Build an instruction-fetch reference at @p pc. */
+    MemRef fetchRef(std::uint64_t pc);
+
+    /** Build a data reference at @p vaddr within @p space. */
+    MemRef dataRef(AddressSpace &space, std::uint64_t vaddr,
+                   bool is_store) const;
+
+  private:
+    std::string _name;
+    AddressSpace &_space;
+    Mode _mode;
+    CodeWalker _code;
+    DataGen _data;
+    std::uint64_t _instrs = 0;
+};
+
+} // namespace oma
+
+#endif // OMA_OS_COMPONENT_HH

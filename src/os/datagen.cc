@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Implementation of the data-reference generator.
+ */
+
+#include "os/datagen.hh"
+
+#include <algorithm>
+
+#include "support/bits.hh"
+#include "tlb/mips_va.hh"
+
+namespace oma
+{
+
+DataGen::DataGen(const DataBehavior &behavior, std::uint64_t seed)
+    : _behavior(behavior), _rng(seed)
+{
+}
+
+bool
+DataGen::refForInstr(bool &is_store)
+{
+    if (_burstLeft > 0) {
+        --_burstLeft;
+        is_store = true;
+        return true;
+    }
+    const double burst = std::max(1.0, _behavior.storeBurstMean);
+    const double u = _rng.uniform();
+    if (u < _behavior.loadPerInstr) {
+        is_store = false;
+        return true;
+    }
+    if (u < _behavior.loadPerInstr + _behavior.storePerInstr / burst) {
+        is_store = true;
+        if (burst > 1.0)
+            _burstLeft = _rng.geometric(1.0 / burst) - 1;
+        return true;
+    }
+    return false;
+}
+
+std::uint64_t
+DataGen::nextAddr(bool is_store)
+{
+    if (is_store && _burstLeft > 0) {
+        // Continue the current store burst sequentially.
+        _burstAddr += 4;
+        return _burstAddr;
+    }
+    const double stream_frac = is_store ? _behavior.streamFracStore
+                                        : _behavior.streamFracLoad;
+    const double u = _rng.uniform();
+    if (u < stream_frac && _behavior.streamBytes > 0) {
+        const std::uint64_t addr = _behavior.streamBase + _streamPos;
+        _streamPos += _behavior.streamStride;
+        if (_streamPos >= _behavior.streamBytes)
+            _streamPos = 0;
+        _burstAddr = alignDown(addr, 4);
+        return _burstAddr;
+    }
+    if (u < stream_frac + _behavior.ws2Frac &&
+        _behavior.ws2Bytes >= 4096) {
+        const std::uint64_t words = _behavior.ws2Bytes / 4;
+        const std::uint64_t w = _rng.zipf(words, _behavior.ws2Skew);
+        constexpr std::uint64_t words_per_page = 1024;
+        const std::uint64_t pages = (words + words_per_page - 1) /
+            words_per_page;
+        const std::uint64_t shuffled_page =
+            mix64((w / words_per_page) * 0x2545f4914f6cdd1dULL) % pages;
+        return _behavior.ws2Base +
+            (shuffled_page * words_per_page + (w % words_per_page)) * 4;
+    }
+    if (u < stream_frac + _behavior.ws2Frac +
+        _behavior.stackFrac) {
+        // Stack references concentrate near the top of the stack
+        // (the active frames); the deep tail is rare.
+        const std::uint64_t words = _behavior.stackBytes / 4;
+        const std::uint64_t w = _rng.zipf(words, 1.5);
+        return _behavior.stackBase + w * 4;
+    }
+    const std::uint64_t words = _behavior.wsBytes / 4;
+    const std::uint64_t w = _rng.zipf(words, _behavior.wsSkew);
+    // Lay Zipf ranks out in 1-KB chunks dealt round-robin across the
+    // region's pages: hot data keeps line/chunk locality (good for
+    // caches) while the hot set spans many pages (realistic TLB
+    // pressure — real heaps spread hot objects across pages).
+    constexpr std::uint64_t words_per_chunk = 256;
+    constexpr std::uint64_t words_per_page = 1024;
+    const std::uint64_t pages =
+        std::max<std::uint64_t>(1, words / words_per_page);
+    const std::uint64_t chunk = w / words_per_chunk;
+    const std::uint64_t page = chunk % pages;
+    const std::uint64_t slot =
+        (chunk / pages) % (words_per_page / words_per_chunk);
+    _burstAddr = _behavior.wsBase + page * pageBytes +
+        slot * words_per_chunk * 4 + (w % words_per_chunk) * 4;
+    return _burstAddr;
+}
+
+} // namespace oma

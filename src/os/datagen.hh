@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Data-reference behaviour generator.
+ *
+ * Data accesses are a mixture of three streams that capture the
+ * behaviours the paper's workloads exhibit: a small hot stack, a
+ * Zipf-skewed working set (heap/static data), and a sequential stream
+ * (file buffers, video frames) that defeats caching by construction.
+ */
+
+#ifndef OMA_OS_DATAGEN_HH
+#define OMA_OS_DATAGEN_HH
+
+#include <cstdint>
+
+#include "support/rng.hh"
+
+namespace oma
+{
+
+/** Static description of a component's data behaviour. */
+struct DataBehavior
+{
+    /** Loads per instruction executed. */
+    double loadPerInstr = 0.20;
+    /** Stores per instruction executed. */
+    double storePerInstr = 0.10;
+
+    std::uint64_t stackBase = 0x7fff0000;
+    std::uint64_t stackBytes = 8 * 1024;
+    double stackFrac = 0.35; //!< Fraction of data refs to the stack.
+
+    std::uint64_t wsBase = 0x10000000;
+    std::uint64_t wsBytes = 256 * 1024;
+    double wsSkew = 1.05;
+
+    /** Fraction of loads that stream sequentially (fresh data). */
+    double streamFracLoad = 0.0;
+    /** Fraction of stores that stream sequentially (output data). */
+    double streamFracStore = 0.0;
+    /**
+     * Mean length of store bursts (tight store loops: register saves,
+     * memset/output loops). Burst stores are consecutive words; the
+     * start probability is normalized so the average store rate stays
+     * storePerInstr.
+     */
+    double storeBurstMean = 1.0;
+    std::uint64_t streamBase = 0x20000000;
+    std::uint64_t streamBytes = 4 * 1024 * 1024;
+    std::uint64_t streamStride = 4;
+
+    /**
+     * Optional second working set (e.g. a kernel's mapped kseg2
+     * structures alongside its unmapped kseg0 tables). Disabled when
+     * ws2Frac is zero.
+     */
+    double ws2Frac = 0.0;
+    std::uint64_t ws2Base = 0;
+    std::uint64_t ws2Bytes = 0;
+    double ws2Skew = 0.9;
+};
+
+/** Stateful generator over a DataBehavior. */
+class DataGen
+{
+  public:
+    DataGen(const DataBehavior &behavior, std::uint64_t seed);
+
+    /**
+     * Number of data references the current instruction performs
+     * (0, 1 load, or 1 store; single-issue R2000 semantics).
+     * Call before nextAddr().
+     *
+     * @param[out] is_store Set when the reference is a store.
+     * @retval true when the instruction references data.
+     */
+    bool refForInstr(bool &is_store);
+
+    /** Virtual address of the next data reference. */
+    std::uint64_t nextAddr(bool is_store);
+
+    const DataBehavior &behavior() const { return _behavior; }
+
+  private:
+    DataBehavior _behavior;
+    Rng _rng;
+    std::uint64_t _streamPos = 0;
+    std::uint64_t _burstLeft = 0;
+    std::uint64_t _burstAddr = 0;
+};
+
+} // namespace oma
+
+#endif // OMA_OS_DATAGEN_HH

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Canonical virtual-memory layout used by the OS models.
+ *
+ * Addresses follow MIPS/Ultrix conventions: text at 0x00400000,
+ * static data above it, stack below 0x80000000, kernel text and
+ * static data in kseg0, dynamically mapped kernel structures in
+ * kseg2 above the per-ASID linear page tables.
+ */
+
+#ifndef OMA_OS_LAYOUT_HH
+#define OMA_OS_LAYOUT_HH
+
+#include <cstdint>
+
+#include "tlb/mips_va.hh"
+
+namespace oma::layout
+{
+
+// --- user address spaces -------------------------------------------------
+constexpr std::uint64_t userTextBase = 0x00400000;
+constexpr std::uint64_t userWsBase = 0x10000000;
+constexpr std::uint64_t userStreamBase = 0x20000000;
+constexpr std::uint64_t userStackBase = 0x7ffe0000;
+
+/** Emulation library, mapped into every Mach UNIX process. */
+constexpr std::uint64_t emulTextBase = 0x70000000;
+constexpr std::uint64_t emulMsgBufBase = 0x71000000;
+
+/** BSD server's file buffer cache (its own mapped kuseg). */
+constexpr std::uint64_t serverBufBase = 0x30000000;
+
+/** Where the X server maps shared frame memory under Mach. */
+constexpr std::uint64_t xShareBase = 0x28000000;
+
+// --- shared-segment keys --------------------------------------------------
+constexpr std::uint64_t emulShareKey = 0x0e40;
+constexpr std::uint64_t frameShareKey = 0xf00d;
+
+// --- kernel ----------------------------------------------------------------
+// Kernel text is packed the way a real kernel image is laid out:
+// contiguous in physical memory, so the pieces do not alias each
+// other in a direct-mapped physically-indexed cache.
+constexpr std::uint64_t kTrapTextBase = kseg0Base + 0x00030000;  // 8 KB
+constexpr std::uint64_t kSvcTextBase = kseg0Base + 0x00032000;   // 24 KB
+constexpr std::uint64_t kIpcTextBase = kseg0Base + 0x00038000;   // 20 KB
+constexpr std::uint64_t kTimerTextBase = kseg0Base + 0x0003d000; // 4 KB
+constexpr std::uint64_t kStackBase = kseg0Base + 0x0003e000;     // 8 KB
+constexpr std::uint64_t kDataBase = kseg0Base + 0x00404000;
+constexpr std::uint64_t kBufferCacheBase = kseg0Base + 0x00800000;
+
+/** Dynamically mapped kernel structures (above the page tables). */
+constexpr std::uint64_t kseg2DynBase = 0xd0000000;
+
+/** Memory-mapped frame buffer: kseg1, uncached (DECstation 3100). */
+constexpr std::uint64_t frameBufferBase = kseg1Base + 0x01000000;
+
+// --- ASIDs -----------------------------------------------------------------
+constexpr std::uint32_t kernelAsid = 0;
+constexpr std::uint32_t appAsid = 1;
+constexpr std::uint32_t xServerAsid = 2;
+constexpr std::uint32_t bsdServerAsid = 3;
+constexpr std::uint32_t pagerAsid = 4;
+/** First ASID for additional decomposed API servers (ablation). */
+constexpr std::uint32_t extraServerAsid = 5;
+
+} // namespace oma::layout
+
+#endif // OMA_OS_LAYOUT_HH

@@ -1,0 +1,487 @@
+/**
+ * @file
+ * Implementation of the Mach 3.0 structure model.
+ */
+
+#include "os/mach.hh"
+
+#include "support/logging.hh"
+
+namespace oma
+{
+
+namespace
+{
+
+CodeRegion
+trapCode()
+{
+    CodeRegion code;
+    code.base = layout::kTrapTextBase;
+    code.footprint = 8 * 1024;
+    code.meanRun = 20.0;
+    code.meanIterations = 1.5;
+    return code;
+}
+
+DataBehavior
+trapData()
+{
+    DataBehavior d;
+    d.loadPerInstr = 0.15;
+    d.storePerInstr = 0.10;
+    d.stackBase = layout::kStackBase;
+    d.stackBytes = 4 * 1024;
+    d.stackFrac = 0.6;
+    d.wsBase = layout::kDataBase;
+    d.wsBytes = 32 * 1024;
+    d.wsSkew = 1.35;
+    return d;
+}
+
+CodeRegion
+ipcCode(const MachParams &p)
+{
+    CodeRegion code;
+    code.base = layout::kIpcTextBase;
+    code.footprint = 20 * 1024;
+    code.meanRun = 16.0;
+    code.meanIterations = 1.5;
+    (void)p;
+    return code;
+}
+
+DataBehavior
+ipcData(const MachParams &p)
+{
+    DataBehavior d;
+    d.loadPerInstr = p.svcLoadPerInstr;
+    d.storePerInstr = p.svcStorePerInstr;
+    d.stackBase = layout::kStackBase;
+    d.stackBytes = 8 * 1024;
+    d.stackFrac = 0.30;
+    d.wsBase = layout::kDataBase;
+    d.wsBytes = p.kIpcWsBytes;
+    d.wsSkew = 1.35;
+    // Port name spaces, pmaps and other dynamically allocated kernel
+    // structures live in mapped kseg2.
+    d.ws2Frac = p.kseg2Frac;
+    d.ws2Base = layout::kseg2DynBase;
+    d.ws2Bytes = p.kseg2WsBytes;
+    d.ws2Skew = 1.2;
+    return d;
+}
+
+CodeRegion
+serverCode(const MachParams &p)
+{
+    CodeRegion code;
+    code.base = layout::userTextBase;
+    code.footprint = p.serverCodeFootprint;
+    code.skew = 1.25;
+    code.meanRun = 16.0;
+    code.meanIterations = 4.0;
+    return code;
+}
+
+DataBehavior
+serverData(const MachParams &p)
+{
+    DataBehavior d;
+    d.loadPerInstr = p.svcLoadPerInstr;
+    d.storePerInstr = p.svcStorePerInstr;
+    d.stackBase = layout::userStackBase;
+    d.stackBytes = 8 * 1024;
+    d.stackFrac = 0.30;
+    d.wsBase = layout::userWsBase;
+    d.wsBytes = p.serverWsBytes;
+    d.wsSkew = 1.4;
+    return d;
+}
+
+CodeRegion
+xCode(const MachParams &p)
+{
+    CodeRegion code;
+    code.base = layout::userTextBase;
+    code.footprint = p.xCodeFootprint;
+    code.skew = 1.3;
+    code.meanRun = 14.0;
+    code.meanIterations = 4.0;
+    return code;
+}
+
+DataBehavior
+xData(const MachParams &p)
+{
+    DataBehavior d;
+    d.loadPerInstr = 0.22;
+    d.storePerInstr = 0.12;
+    d.stackBase = layout::userStackBase;
+    d.wsBase = layout::userWsBase;
+    d.wsBytes = p.xWsBytes;
+    d.wsSkew = 1.4;
+    return d;
+}
+
+CodeRegion
+pagerCode()
+{
+    CodeRegion code;
+    code.base = layout::userTextBase;
+    code.footprint = 24 * 1024;
+    code.meanRun = 12.0;
+    code.meanIterations = 2.0;
+    return code;
+}
+
+DataBehavior
+pagerData()
+{
+    DataBehavior d;
+    d.loadPerInstr = 0.20;
+    d.storePerInstr = 0.10;
+    d.stackBase = layout::userStackBase;
+    d.wsBase = layout::userWsBase;
+    d.wsBytes = 64 * 1024;
+    return d;
+}
+
+CodeRegion
+emulCode()
+{
+    CodeRegion code;
+    code.base = layout::emulTextBase;
+    code.footprint = 12 * 1024;
+    code.meanRun = 16.0;
+    code.meanIterations = 1.5;
+    return code;
+}
+
+DataBehavior
+emulData()
+{
+    DataBehavior d;
+    d.loadPerInstr = 0.18;
+    d.storePerInstr = 0.14; // marshalling writes
+    d.stackBase = layout::userStackBase;
+    d.stackBytes = 4 * 1024;
+    d.stackFrac = 0.4;
+    d.wsBase = layout::emulMsgBufBase;
+    d.wsBytes = 16 * 1024;
+    return d;
+}
+
+} // namespace
+
+MachModel::MachModel(std::uint64_t seed, const MachParams &params)
+    : OsModel(seed), _p(params), _rng(mix64(seed ^ 0x3ac4)),
+      _serverSpace(layout::bsdServerAsid, seed),
+      _pagerSpace(layout::pagerAsid, seed),
+      _trap("mach.trap", _kernelSpace, Mode::Kernel, trapCode(),
+            trapData(), seed ^ 11),
+      _ipc("mach.ipc", _kernelSpace, Mode::Kernel, ipcCode(_p),
+           ipcData(_p), seed ^ 12),
+      _server("bsd-server", _serverSpace, Mode::User, serverCode(_p),
+              serverData(_p), seed ^ 13),
+      _x("xserver", _xSpace, Mode::User, xCode(_p), xData(_p),
+         seed ^ 14),
+      _pager("pager", _pagerSpace, Mode::User, pagerCode(), pagerData(),
+             seed ^ 15)
+{
+    _trapPath = {layout::kTrapTextBase, _p.trapInstr};
+    _sendPath = {layout::kIpcTextBase, _p.kernelSendInstr};
+    _replyPath = {layout::kIpcTextBase + 0x1000, _p.kernelReplyInstr};
+    _cswitchPath = {layout::kTrapTextBase + 0x1000, _p.cswitchInstr};
+    _timerPath = {layout::kTimerTextBase, _p.timerInstr};
+    _emulCallPath = {layout::emulTextBase, _p.emulCallInstr};
+    _emulRetPath = {layout::emulTextBase + 0x800, _p.emulRetInstr};
+    _stubInPath = {layout::userTextBase + 0x10000, _p.serverStubInInstr};
+    _stubOutPath = {layout::userTextBase + 0x10800,
+                    _p.serverStubOutInstr};
+    _xStubPath = {layout::userTextBase + 0x10000, _p.serverStubInInstr};
+
+    _serverSpace.addLinearSegment(layout::userTextBase,
+                                  _p.serverCodeFootprint + 0x12000);
+    _pagerSpace.addLinearSegment(layout::userTextBase, 32 * 1024);
+
+    // Decomposed small-granularity servers, one address space each.
+    for (unsigned i = 0; i < _p.extraApiServers; ++i) {
+        const std::uint32_t asid = layout::extraServerAsid + i;
+        fatalIf(asid > 63, "too many decomposed API servers");
+        _extraSpaces.push_back(
+            std::make_unique<AddressSpace>(asid, seed));
+        _extraSpaces.back()->addLinearSegment(layout::userTextBase,
+                                              48 * 1024);
+        CodeRegion code;
+        code.base = layout::userTextBase;
+        code.footprint = 24 * 1024;
+        code.skew = 1.25;
+        code.meanRun = 16.0;
+        code.meanIterations = 2.0;
+        DataBehavior data;
+        data.loadPerInstr = _p.svcLoadPerInstr;
+        data.storePerInstr = _p.svcStorePerInstr;
+        data.stackBase = layout::userStackBase;
+        data.wsBase = layout::userWsBase;
+        data.wsBytes = 48 * 1024;
+        data.wsSkew = 1.3;
+        _extraServers.push_back(std::make_unique<Component>(
+            "api-server-" + std::to_string(i), *_extraSpaces.back(),
+            Mode::User, code, data, seed ^ (0x100 + i)));
+    }
+}
+
+void
+MachModel::attachApp(AddressSpace &app_space, const DataBehavior &app_data)
+{
+    // The emulation library is mapped (shared, read-only text) into
+    // every UNIX process's address space.
+    Segment emul_seg;
+    emul_seg.base = layout::emulTextBase;
+    emul_seg.size = 64 * 1024;
+    emul_seg.shareKey = layout::emulShareKey;
+    emul_seg.linear = true;
+    app_space.addSharedSegment(emul_seg);
+
+    // Frame memory is VM-shared with the X server (the rewritten X11
+    // transport of [Ginsberg93]) instead of copied down a socket —
+    // only in the no-socket ablation variant.
+    if (!_p.xViaBsdServer && app_data.streamBytes >= pageBytes) {
+        app_space.addSharedSegment({app_data.streamBase,
+                                    app_data.streamBytes,
+                                    layout::frameShareKey});
+        _xSpace.addSharedSegment({layout::xShareBase,
+                                  app_data.streamBytes,
+                                  layout::frameShareKey});
+    }
+    _appStreamBytes = app_data.streamBytes;
+
+    _emul = std::make_unique<Component>("emul-lib", app_space,
+                                        Mode::User, emulCode(),
+                                        emulData(), _seed ^ 16);
+}
+
+std::uint64_t
+MachModel::svcBodyInstr(ServiceKind kind)
+{
+    std::uint64_t mean = 0;
+    switch (kind) {
+      case ServiceKind::FileRead:
+      case ServiceKind::FileWrite:
+        mean = _p.svcFileInstr;
+        break;
+      case ServiceKind::Stat:
+        mean = _p.svcStatInstr;
+        break;
+      case ServiceKind::Ipc:
+        mean = _p.svcIpcInstr;
+        break;
+    }
+    return mean - mean / 4 + _rng.below(mean / 2 + 1);
+}
+
+std::uint64_t
+MachModel::serverBufAddr(std::uint64_t file_offset) const
+{
+    return layout::serverBufBase + file_offset % _p.serverBufBytes;
+}
+
+void
+MachModel::transfer(AddressSpace &src_space, std::uint64_t src_base,
+                    AddressSpace &dst_space, std::uint64_t dst_base,
+                    std::uint64_t bytes, TraceSink &sink)
+{
+    if (bytes < _p.oolThresholdBytes) {
+        _ipc.copyLoop(src_space, src_base, dst_space, dst_base, bytes,
+                      sink);
+        return;
+    }
+    // Out-of-line transfer: the kernel walks vm_map entries and
+    // rewrites PTEs — a short code path plus mapped kernel stores,
+    // no data movement. The receiver faults pages in lazily as it
+    // touches them (its own later references).
+    _ipc.runPath({layout::kIpcTextBase + 0x3000, 300}, sink);
+    const std::uint64_t pages = (bytes + pageBytes - 1) / pageBytes;
+    for (std::uint64_t page = 0; page < pages; ++page) {
+        const std::uint64_t pte_va = layout::kseg2DynBase + 0x8000 +
+            ((dst_base / pageBytes + page) % 1024) * 4;
+        sink.put(_ipc.fetchRef(layout::kIpcTextBase + 0x3400 +
+                               (page % 8) * 4));
+        sink.put(_ipc.dataRef(_kernelSpace, pte_va, true));
+    }
+    (void)src_base;
+}
+
+void
+MachModel::invokeService(Component &caller, const ServiceRequest &req,
+                         TraceSink &sink)
+{
+    panicIf(!_emul, "MachModel::attachApp must run before services");
+
+    // --- call path (~1000 instructions; Figure 2 steps 1-4) ---
+    _trap.runPath(_trapPath, sink);        // (1) kernel detects, bounces
+    _emul->runPath(_emulCallPath, sink);   // (2,3) emulation library
+    _ipc.runPath(_sendPath, sink);         // (4) kernel carries the RPC
+    _trap.runPath(_cswitchPath, sink);     // switch to the BSD server
+    _server.runPath(_stubInPath, sink);    // server-side stub unpack
+
+    // --- the service itself (common 4.3BSD-derived code) ---
+    _server.run(svcBodyInstr(req.kind), sink);
+    if (req.kind == ServiceKind::FileRead ||
+        req.kind == ServiceKind::FileWrite) {
+        // Mapped-file handling in the server plus the vm_map traffic
+        // it generates through the kernel.
+        _server.run(_p.serverFileOverheadInstr, sink);
+        _ipc.runPath({layout::kIpcTextBase + 0x2000, 400}, sink);
+        if (_rng.chance(_p.extraRpcProb)) {
+            // Second RPC round: memory-object / name traffic.
+            _ipc.runPath(_sendPath, sink);
+            _trap.runPath(_cswitchPath, sink);
+            _server.run(svcBodyInstr(ServiceKind::Ipc), sink);
+            _trap.runPath(_cswitchPath, sink);
+            _ipc.runPath(_replyPath, sink);
+        }
+    }
+    switch (req.kind) {
+      case ServiceKind::FileRead:
+        // The server's buffer cache lives in its own mapped space;
+        // the kernel moves the payload into the caller's buffer
+        // (copied when small, remapped out-of-line when large).
+        transfer(_serverSpace, serverBufAddr(_fileOffset),
+                 caller.space(), req.userBufferVa, req.bytes, sink);
+        _fileOffset += req.bytes;
+        break;
+      case ServiceKind::FileWrite:
+        transfer(caller.space(), req.userBufferVa, _serverSpace,
+                 serverBufAddr(_fileOffset), req.bytes, sink);
+        _fileOffset += req.bytes;
+        break;
+      case ServiceKind::Ipc:
+        transfer(caller.space(), req.userBufferVa, _serverSpace,
+                 layout::userWsBase + 0x8000, req.bytes, sink);
+        break;
+      case ServiceKind::Stat:
+        break;
+    }
+
+    // Decomposed services consult their sibling servers (naming,
+    // authentication) with nested RPCs — each another address-space
+    // crossing.
+    if (!_extraServers.empty() && _rng.chance(_p.extraServerProb)) {
+        const std::size_t pick = _rng.below(_extraServers.size());
+        Component &extra = *_extraServers[pick];
+        _ipc.runPath(_sendPath, sink);
+        _trap.runPath(_cswitchPath, sink);
+        extra.runPath({layout::userTextBase + 0x10000,
+                       _p.serverStubInInstr}, sink);
+        extra.run(600, sink);
+        _trap.runPath(_cswitchPath, sink);
+        _ipc.runPath(_replyPath, sink);
+    }
+
+    // --- return path (~850 instructions; Figure 2 steps 5-7) ---
+    _server.runPath(_stubOutPath, sink);
+    _trap.runPath(_cswitchPath, sink);
+    _ipc.runPath(_replyPath, sink);
+    _emul->runPath(_emulRetPath, sink);
+}
+
+void
+MachModel::displayFrame(Component &caller, std::uint64_t bytes,
+                        TraceSink &sink)
+{
+    panicIf(!_emul, "MachModel::attachApp must run before services");
+
+    if (_p.xViaBsdServer) {
+        // The measured system: X display traffic uses the BSD socket
+        // interface, so each frame is a write() RPC into the BSD
+        // server (with a copy) and a read() delivery to X (another
+        // copy). This is the 30%-of-time-in-the-BSD-server behaviour
+        // the paper reports for mpeg_play.
+        const std::uint64_t frame_va =
+            caller.dataBehavior().streamBase +
+            _frameCursor % caller.dataBehavior().streamBytes;
+        const std::uint64_t mbuf = layout::serverBufBase +
+            _p.serverBufBytes; // socket buffers above the file cache
+
+        // write(): app -> BSD server.
+        _trap.runPath(_trapPath, sink);
+        _emul->runPath(_emulCallPath, sink);
+        _ipc.runPath(_sendPath, sink);
+        _trap.runPath(_cswitchPath, sink);
+        _server.runPath(_stubInPath, sink);
+        _server.run(svcBodyInstr(ServiceKind::Ipc), sink);
+        // Socket semantics: the payload is copied into mbufs even
+        // when large — the cost that makes the socket display path
+        // expensive and the VM-share variant attractive.
+        _ipc.copyLoop(caller.space(), frame_va, _serverSpace, mbuf,
+                      bytes, sink);
+        _server.runPath(_stubOutPath, sink);
+        _trap.runPath(_cswitchPath, sink);
+        _ipc.runPath(_replyPath, sink);
+        _emul->runPath(_emulRetPath, sink);
+
+        // X's pending read() completes: BSD server -> X server.
+        _trap.runPath(_cswitchPath, sink);
+        _server.run(svcBodyInstr(ServiceKind::Ipc) / 2, sink);
+        _ipc.copyLoop(_serverSpace, mbuf, _xSpace, layout::xShareBase,
+                      bytes, sink);
+        _x.run(_p.xInstrPerKByte * (bytes / 1024 + 1), sink);
+        _x.copyLoop(_xSpace, layout::xShareBase, _xSpace,
+                    layout::frameBufferBase + _fbCursor, bytes, sink);
+        _trap.runPath(_cswitchPath, sink);
+    } else {
+        // Ablation variant: Mach IPC straight to X with VM-shared
+        // frame memory — no payload copies, at the price of extra
+        // mapped pages (and TLB entries) in two address spaces.
+        _trap.runPath(_trapPath, sink);
+        _emul->runPath(_emulCallPath, sink);
+        _ipc.runPath(_sendPath, sink);
+        _trap.runPath(_cswitchPath, sink);
+        _x.runPath(_xStubPath, sink);
+
+        _x.run(_p.xInstrPerKByte * (bytes / 1024 + 1), sink);
+        const std::uint64_t share_off = _appStreamBytes == 0
+            ? 0
+            : _frameCursor % _appStreamBytes;
+        _x.copyLoop(_xSpace, layout::xShareBase + share_off, _xSpace,
+                    layout::frameBufferBase + _fbCursor, bytes, sink);
+
+        _trap.runPath(_cswitchPath, sink);
+        _ipc.runPath(_replyPath, sink);
+        _emul->runPath(_emulRetPath, sink);
+    }
+
+    _frameCursor += bytes;
+    _fbCursor = (_fbCursor + bytes) % _p.frameBufferBytes;
+}
+
+void
+MachModel::timerTick(TraceSink &sink)
+{
+    _trap.runPath(_timerPath, sink);
+}
+
+void
+MachModel::vmActivity(Component &caller, TraceSink &sink)
+{
+    // The external pager is a user-level task: switching to it and
+    // running it is itself mapped activity.
+    _trap.runPath(_cswitchPath, sink);
+    _pager.run(_p.pagerInstr, sink);
+    const DataBehavior &d = caller.dataBehavior();
+    for (unsigned i = 0; i < _p.pagerInvalidations; ++i) {
+        if (i % 2 == 0) {
+            invalidateRandomPage(_rng, d.streamBase, d.streamBytes,
+                                 caller.space().asid());
+        } else {
+            invalidateRandomPage(_rng, layout::serverBufBase,
+                                 _p.serverBufBytes,
+                                 layout::bsdServerAsid);
+        }
+    }
+    _trap.runPath(_cswitchPath, sink);
+}
+
+} // namespace oma

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * OsModel base pieces and the factory.
+ */
+
+#include "os/osmodel.hh"
+
+#include "os/mach.hh"
+#include "os/ultrix.hh"
+#include "support/logging.hh"
+
+namespace oma
+{
+
+const char *
+osKindName(OsKind kind)
+{
+    return kind == OsKind::Ultrix ? "Ultrix" : "Mach";
+}
+
+OsModel::OsModel(std::uint64_t seed)
+    : _seed(seed),
+      _kernelSpace(layout::kernelAsid, seed),
+      _xSpace(layout::xServerAsid, seed)
+{
+    // Program text gets physically contiguous frames (exec-time
+    // allocation); X's stub region is included.
+    _xSpace.addLinearSegment(layout::userTextBase, 128 * 1024);
+}
+
+void
+OsModel::attachApp(AddressSpace &app_space, const DataBehavior &app_data)
+{
+    (void)app_space;
+    (void)app_data;
+}
+
+void
+OsModel::invalidateRandomPage(Rng &rng, std::uint64_t base,
+                              std::uint64_t bytes, std::uint32_t asid)
+{
+    if (bytes < pageBytes)
+        return;
+    const std::uint64_t page_count = bytes / pageBytes;
+    const std::uint64_t vpn = vpnOf(base) + rng.below(page_count);
+    invalidatePage(vpn, asid, /*global=*/false);
+}
+
+std::unique_ptr<OsModel>
+makeOsModel(OsKind kind, std::uint64_t seed)
+{
+    if (kind == OsKind::Ultrix)
+        return std::make_unique<UltrixModel>(seed, UltrixParams());
+    return std::make_unique<MachModel>(seed, MachParams());
+}
+
+} // namespace oma

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Implementation of the Ultrix structure model.
+ */
+
+#include "os/ultrix.hh"
+
+namespace oma
+{
+
+namespace
+{
+
+CodeRegion
+kernelSvcCode(const UltrixParams &p)
+{
+    CodeRegion code;
+    code.base = layout::kSvcTextBase;
+    code.footprint = p.svcCodeFootprint;
+    code.skew = 1.25;
+    code.meanRun = 16.0;
+    code.meanIterations = 4.0;
+    return code;
+}
+
+DataBehavior
+kernelSvcData(const UltrixParams &p)
+{
+    DataBehavior d;
+    d.loadPerInstr = p.svcLoadPerInstr;
+    d.storePerInstr = p.svcStorePerInstr;
+    d.stackBase = layout::kStackBase;
+    d.stackBytes = 8 * 1024;
+    d.stackFrac = 0.30;
+    d.wsBase = layout::kDataBase;
+    d.wsBytes = p.kDataWsBytes;
+    d.wsSkew = 1.4;
+    d.ws2Frac = p.kseg2Frac;
+    d.ws2Base = layout::kseg2DynBase;
+    d.ws2Bytes = p.kseg2WsBytes;
+    d.ws2Skew = 1.2;
+    return d;
+}
+
+CodeRegion
+trapCode()
+{
+    CodeRegion code;
+    code.base = layout::kTrapTextBase;
+    code.footprint = 8 * 1024;
+    code.meanRun = 20.0;
+    code.meanIterations = 1.5;
+    return code;
+}
+
+DataBehavior
+trapData()
+{
+    DataBehavior d;
+    d.loadPerInstr = 0.15;
+    d.storePerInstr = 0.10;
+    d.stackBase = layout::kStackBase;
+    d.stackBytes = 4 * 1024;
+    d.stackFrac = 0.6;
+    d.wsBase = layout::kDataBase;
+    d.wsBytes = 32 * 1024;
+    d.wsSkew = 1.35;
+    return d;
+}
+
+CodeRegion
+xCode(const UltrixParams &p)
+{
+    CodeRegion code;
+    code.base = layout::userTextBase;
+    code.footprint = p.xCodeFootprint;
+    code.skew = 1.3;
+    code.meanRun = 14.0;
+    code.meanIterations = 4.0;
+    return code;
+}
+
+DataBehavior
+xData(const UltrixParams &p)
+{
+    DataBehavior d;
+    d.loadPerInstr = 0.22;
+    d.storePerInstr = 0.12;
+    d.stackBase = layout::userStackBase;
+    d.wsBase = layout::userWsBase;
+    d.wsBytes = p.xWsBytes;
+    d.wsSkew = 1.4;
+    return d;
+}
+
+} // namespace
+
+UltrixModel::UltrixModel(std::uint64_t seed, const UltrixParams &params)
+    : OsModel(seed), _p(params), _rng(mix64(seed ^ 0x0517)),
+      _trap("ultrix.trap", _kernelSpace, Mode::Kernel, trapCode(),
+            trapData(), seed ^ 1),
+      _svc("ultrix.svc", _kernelSpace, Mode::Kernel, kernelSvcCode(_p),
+           kernelSvcData(_p), seed ^ 2),
+      _x("xserver", _xSpace, Mode::User, xCode(_p), xData(_p), seed ^ 3)
+{
+    _trapPath = {layout::kTrapTextBase, _p.trapInstr};
+    _returnPath = {layout::kTrapTextBase + 0x400, _p.returnInstr};
+    _timerPath = {layout::kTimerTextBase, _p.timerInstr};
+    _cswitchPath = {layout::kTrapTextBase + 0x1000, _p.cswitchInstr};
+    _pageoutPath = {layout::kTimerTextBase + 0x800, _p.pageoutInstr};
+}
+
+std::uint64_t
+UltrixModel::svcBodyInstr(ServiceKind kind)
+{
+    std::uint64_t mean = 0;
+    switch (kind) {
+      case ServiceKind::FileRead:
+      case ServiceKind::FileWrite:
+        mean = _p.svcFileInstr;
+        break;
+      case ServiceKind::Stat:
+        mean = _p.svcStatInstr;
+        break;
+      case ServiceKind::Ipc:
+        mean = _p.svcIpcInstr;
+        break;
+    }
+    // +/- 25% jitter around the mean.
+    return mean - mean / 4 + _rng.below(mean / 2 + 1);
+}
+
+std::uint64_t
+UltrixModel::bufAddr(std::uint64_t file_offset) const
+{
+    return layout::kBufferCacheBase + file_offset % _p.bufferCacheBytes;
+}
+
+void
+UltrixModel::invokeService(Component &caller, const ServiceRequest &req,
+                           TraceSink &sink)
+{
+    _trap.runPath(_trapPath, sink);
+    _svc.run(svcBodyInstr(req.kind), sink);
+
+    switch (req.kind) {
+      case ServiceKind::FileRead:
+        // copyout: buffer cache (kseg0) -> caller's user buffer.
+        _svc.copyLoop(_kernelSpace, bufAddr(_fileOffset), caller.space(),
+                      req.userBufferVa, req.bytes, sink);
+        _fileOffset += req.bytes;
+        break;
+      case ServiceKind::FileWrite:
+        // copyin: caller's user buffer -> buffer cache.
+        _svc.copyLoop(caller.space(), req.userBufferVa, _kernelSpace,
+                      bufAddr(_fileOffset), req.bytes, sink);
+        _fileOffset += req.bytes;
+        break;
+      case ServiceKind::Ipc:
+        _svc.copyLoop(caller.space(), req.userBufferVa, _kernelSpace,
+                      layout::kDataBase + 0x8000, req.bytes, sink);
+        break;
+      case ServiceKind::Stat:
+        break;
+    }
+
+    _trap.runPath(_returnPath, sink);
+}
+
+void
+UltrixModel::displayFrame(Component &caller, std::uint64_t bytes,
+                          TraceSink &sink)
+{
+    const std::uint64_t frame_va = caller.dataBehavior().streamBase +
+        _frameCursor % caller.dataBehavior().streamBytes;
+    const std::uint64_t mbuf = layout::kBufferCacheBase +
+        _p.bufferCacheBytes + 0x9000; // mbuf pool above the buffer cache
+
+    // App writes the frame down the X socket (kernel copies it).
+    _trap.runPath(_trapPath, sink);
+    _svc.run(svcBodyInstr(ServiceKind::Ipc), sink);
+    _svc.copyLoop(caller.space(), frame_va, _kernelSpace, mbuf, bytes,
+                  sink);
+    _trap.runPath(_returnPath, sink);
+
+    // Scheduler switches to the X server.
+    _trap.runPath(_cswitchPath, sink);
+
+    // X reads the socket (kernel copies the mbuf out to X)...
+    _trap.runPath(_trapPath, sink);
+    _svc.copyLoop(_kernelSpace, mbuf, _xSpace, layout::xShareBase,
+                  bytes, sink);
+    _trap.runPath(_returnPath, sink);
+
+    // ...processes it and paints the (uncached kseg1) frame buffer.
+    _x.run(_p.xInstrPerKByte * (bytes / 1024 + 1), sink);
+    _x.copyLoop(_xSpace, layout::xShareBase, _xSpace,
+                layout::frameBufferBase + _fbCursor, bytes, sink);
+
+    _trap.runPath(_cswitchPath, sink);
+
+    _frameCursor += bytes;
+    _fbCursor = (_fbCursor + bytes) % _p.frameBufferBytes;
+}
+
+void
+UltrixModel::timerTick(TraceSink &sink)
+{
+    _trap.runPath(_timerPath, sink);
+}
+
+void
+UltrixModel::vmActivity(Component &caller, TraceSink &sink)
+{
+    _trap.runPath(_pageoutPath, sink);
+    const DataBehavior &d = caller.dataBehavior();
+    for (unsigned i = 0; i < _p.pageoutInvalidations; ++i) {
+        invalidateRandomPage(_rng, d.streamBase, d.streamBytes,
+                             caller.space().asid());
+    }
+}
+
+} // namespace oma

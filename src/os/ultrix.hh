@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Ultrix: the single-API, monolithic-kernel structure model.
+ *
+ * Services are invoked through one kernel trap; the service code and
+ * most kernel data (including the file buffer cache) live in unmapped
+ * kseg0, so Ultrix puts almost no pressure on the TLB. Data copies
+ * between kernel buffers and user buffers (copyin/copyout) dominate
+ * its D-cache and write-buffer behaviour, matching the paper's
+ * Table 4 profile.
+ */
+
+#ifndef OMA_OS_ULTRIX_HH
+#define OMA_OS_ULTRIX_HH
+
+#include "os/osmodel.hh"
+
+namespace oma
+{
+
+/** Structural constants of the Ultrix model. */
+struct UltrixParams
+{
+    // Invocation plumbing (paper: round trip < 100 instructions).
+    std::uint64_t trapInstr = 55;
+    std::uint64_t returnInstr = 40;
+
+    // Service body lengths (instructions, before payload copies).
+    std::uint64_t svcFileInstr = 2800;
+    std::uint64_t svcStatInstr = 700;
+    std::uint64_t svcIpcInstr = 1200;
+
+    // Kernel code/data footprints.
+    std::uint64_t svcCodeFootprint = 24 * 1024;
+    std::uint64_t kDataWsBytes = 96 * 1024; //!< kseg0 static tables.
+    std::uint64_t kseg2WsBytes = 32 * 1024;  //!< mapped dynamic data.
+    double kseg2Frac = 0.05;
+    std::uint64_t bufferCacheBytes = 2 * 1024 * 1024;
+
+    // Housekeeping paths.
+    std::uint64_t timerInstr = 350;
+    std::uint64_t cswitchInstr = 300;
+    std::uint64_t pageoutInstr = 500;
+    unsigned pageoutInvalidations = 1;
+
+    // X display server (a user process under Ultrix too).
+    std::uint64_t xCodeFootprint = 40 * 1024;
+    std::uint64_t xWsBytes = 96 * 1024;
+    std::uint64_t xInstrPerKByte = 100;
+    std::uint64_t frameBufferBytes = 1024 * 1024;
+
+    // Kernel data-reference intensity.
+    double svcLoadPerInstr = 0.22;
+    double svcStorePerInstr = 0.10;
+};
+
+/** The Ultrix structure model. */
+class UltrixModel : public OsModel
+{
+  public:
+    UltrixModel(std::uint64_t seed, const UltrixParams &params);
+
+    const char *name() const override { return "Ultrix"; }
+    OsKind kind() const override { return OsKind::Ultrix; }
+
+    void invokeService(Component &caller, const ServiceRequest &req,
+                       TraceSink &sink) override;
+    void displayFrame(Component &caller, std::uint64_t bytes,
+                      TraceSink &sink) override;
+    void timerTick(TraceSink &sink) override;
+    void vmActivity(Component &caller, TraceSink &sink) override;
+
+    const UltrixParams &params() const { return _p; }
+
+  private:
+    std::uint64_t svcBodyInstr(ServiceKind kind);
+    std::uint64_t bufAddr(std::uint64_t file_offset) const;
+
+    UltrixParams _p;
+    Rng _rng;
+    Component _trap; //!< Kernel entry/exit/timer paths + copy loops.
+    Component _svc;  //!< Kernel service bodies.
+    Component _x;    //!< X display server process.
+    CodePath _trapPath;
+    CodePath _returnPath;
+    CodePath _timerPath;
+    CodePath _cswitchPath;
+    CodePath _pageoutPath;
+    std::uint64_t _fileOffset = 0;
+    std::uint64_t _fbCursor = 0;
+    std::uint64_t _frameCursor = 0;
+};
+
+} // namespace oma
+
+#endif // OMA_OS_ULTRIX_HH

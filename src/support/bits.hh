@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used throughout the simulators.
+ */
+
+#ifndef OMA_SUPPORT_BITS_HH
+#define OMA_SUPPORT_BITS_HH
+
+#include <cstdint>
+
+namespace oma
+{
+
+/** True when @p x is a (non-zero) power of two. */
+constexpr bool
+isPowerOfTwo(std::uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** Integer floor(log2(x)); returns 0 for x == 0. */
+constexpr unsigned
+floorLog2(std::uint64_t x)
+{
+    unsigned r = 0;
+    while (x > 1) {
+        x >>= 1;
+        ++r;
+    }
+    return r;
+}
+
+/** Integer ceil(log2(x)); returns 0 for x <= 1. */
+constexpr unsigned
+ceilLog2(std::uint64_t x)
+{
+    return x <= 1 ? 0 : floorLog2(x - 1) + 1;
+}
+
+/** Round @p x down to the nearest multiple of power-of-two @p align. */
+constexpr std::uint64_t
+alignDown(std::uint64_t x, std::uint64_t align)
+{
+    return x & ~(align - 1);
+}
+
+/** Round @p x up to the nearest multiple of power-of-two @p align. */
+constexpr std::uint64_t
+alignUp(std::uint64_t x, std::uint64_t align)
+{
+    return (x + align - 1) & ~(align - 1);
+}
+
+/** Extract bits [lo, lo+len) of @p x. */
+constexpr std::uint64_t
+bitField(std::uint64_t x, unsigned lo, unsigned len)
+{
+    return (x >> lo) & ((len >= 64) ? ~0ULL : ((1ULL << len) - 1));
+}
+
+} // namespace oma
+
+#endif // OMA_SUPPORT_BITS_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * fatal() is for user errors (bad configuration, invalid arguments):
+ * the process exits cleanly with an error code. panic() is for
+ * internal invariant violations (library bugs): the process aborts so
+ * a debugger or core dump can capture the state.
+ */
+
+#ifndef OMA_SUPPORT_LOGGING_HH
+#define OMA_SUPPORT_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace oma
+{
+
+/** Print a formatted message to stderr with a severity prefix. */
+void logMessage(const char *severity, const std::string &msg);
+
+/**
+ * Terminate because of a user-caused error (bad configuration or
+ * arguments). Exits with status 1.
+ */
+[[noreturn]] void fatal(const std::string &msg);
+
+/**
+ * Terminate because of an internal library bug. Calls abort() so the
+ * failure is debuggable.
+ */
+[[noreturn]] void panic(const std::string &msg);
+
+/** Print a warning that does not stop execution. */
+void warn(const std::string &msg);
+
+/** Print an informational status message. */
+void inform(const std::string &msg);
+
+/**
+ * Check a user-facing precondition; calls fatal() with @p msg when
+ * @p cond is false.
+ */
+inline void
+fatalIf(bool cond, const std::string &msg)
+{
+    if (cond)
+        fatal(msg);
+}
+
+/**
+ * Check an internal invariant; calls panic() with @p msg when
+ * @p cond is false.
+ */
+inline void
+panicIf(bool cond, const std::string &msg)
+{
+    if (cond)
+        panic(msg);
+}
+
+} // namespace oma
+
+#endif // OMA_SUPPORT_LOGGING_HH

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic behaviour in the library (synthetic workloads, trace
+ * sampling, replacement tie-breaking) flows through these generators so
+ * that every experiment is exactly reproducible from a seed. We use
+ * SplitMix64 for seeding and xoshiro256** as the workhorse generator;
+ * both are tiny, fast and well studied.
+ */
+
+#ifndef OMA_SUPPORT_RNG_HH
+#define OMA_SUPPORT_RNG_HH
+
+#include <cmath>
+#include <cstdint>
+
+namespace oma
+{
+
+/** One step of the SplitMix64 sequence; also usable as a mixer. */
+constexpr std::uint64_t
+splitMix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/** Stateless 64-bit mixing function (Stafford variant 13). */
+constexpr std::uint64_t
+mix64(std::uint64_t z)
+{
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/**
+ * xoshiro256** generator. Deterministic given the seed, with a period
+ * of 2^256 - 1; more than adequate for trace synthesis.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed, expanded via SplitMix64. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+    {
+        std::uint64_t sm = seed;
+        for (auto &word : _state)
+            word = splitMix64(sm);
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(_state[1] * 5, 7) * 9;
+        const std::uint64_t t = _state[1] << 17;
+
+        _state[2] ^= _state[0];
+        _state[3] ^= _state[1];
+        _state[1] ^= _state[2];
+        _state[0] ^= _state[3];
+        _state[2] ^= t;
+        _state[3] = rotl(_state[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound); bound must be non-zero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Lemire's multiply-shift rejection-free mapping is fine here:
+        // bias is negligible for our bounds (<< 2^32).
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial with probability @p p. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+    /**
+     * Geometric number of trials until first success (>= 1) for
+     * success probability @p p in (0, 1].
+     */
+    std::uint64_t
+    geometric(double p)
+    {
+        if (p >= 1.0)
+            return 1;
+        double u = uniform();
+        // Avoid log(0).
+        if (u <= 0.0)
+            u = 0x1.0p-53;
+        return 1 +
+            static_cast<std::uint64_t>(std::log(u) / std::log1p(-p));
+    }
+
+    /**
+     * Sample from a truncated Zipf-like distribution over
+     * {0, ..., n-1} with exponent @p s, via inverse-CDF on a harmonic
+     * approximation. Used for working-set reference skew.
+     */
+    std::uint64_t
+    zipf(std::uint64_t n, double s)
+    {
+        if (n <= 1)
+            return 0;
+        // Inverse of the continuous approximation of the Zipf CDF.
+        const double u = uniform();
+        if (s == 1.0) {
+            const double h = std::log(static_cast<double>(n));
+            return static_cast<std::uint64_t>(std::exp(u * h)) - 1;
+        }
+        const double one_minus_s = 1.0 - s;
+        const double hn = std::pow(static_cast<double>(n), one_minus_s);
+        const double x = std::pow(u * (hn - 1.0) + 1.0, 1.0 / one_minus_s);
+        std::uint64_t k = static_cast<std::uint64_t>(x) - 1;
+        return k >= n ? n - 1 : k;
+    }
+
+  private:
+    static constexpr std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t _state[4];
+};
+
+} // namespace oma
+
+#endif // OMA_SUPPORT_RNG_HH

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Lightweight statistics accumulators.
+ *
+ * Used by the trace-sampling machinery to report means and confidence
+ * measures over per-sample miss-ratio estimators, mirroring the
+ * Laha/Martonosi sampling methodology the paper relies on.
+ */
+
+#ifndef OMA_SUPPORT_STATS_HH
+#define OMA_SUPPORT_STATS_HH
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace oma
+{
+
+/**
+ * Streaming mean / variance accumulator (Welford's algorithm).
+ */
+class RunningStat
+{
+  public:
+    /** Add one observation. */
+    void
+    add(double x)
+    {
+        ++_n;
+        const double delta = x - _mean;
+        _mean += delta / static_cast<double>(_n);
+        _m2 += delta * (x - _mean);
+        if (x < _min)
+            _min = x;
+        if (x > _max)
+            _max = x;
+    }
+
+    /** Number of observations. */
+    std::uint64_t count() const { return _n; }
+
+    /** Sample mean (0 when empty). */
+    double mean() const { return _mean; }
+
+    /** Unbiased sample variance (0 with fewer than two samples). */
+    double
+    variance() const
+    {
+        return _n < 2 ? 0.0 : _m2 / static_cast<double>(_n - 1);
+    }
+
+    /** Sample standard deviation. */
+    double stddev() const { return std::sqrt(variance()); }
+
+    /** Standard error of the mean. */
+    double
+    stderrOfMean() const
+    {
+        return _n == 0 ? 0.0 : stddev() / std::sqrt(double(_n));
+    }
+
+    /** Smallest observation (+inf when empty). */
+    double min() const { return _min; }
+
+    /** Largest observation (-inf when empty). */
+    double max() const { return _max; }
+
+  private:
+    std::uint64_t _n = 0;
+    double _mean = 0.0;
+    double _m2 = 0.0;
+    double _min = std::numeric_limits<double>::infinity();
+    double _max = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * A ratio counter: events over opportunities (misses over accesses).
+ */
+struct Ratio
+{
+    std::uint64_t events = 0;
+    std::uint64_t total = 0;
+
+    void
+    record(bool event)
+    {
+        ++total;
+        if (event)
+            ++events;
+    }
+
+    double
+    value() const
+    {
+        return total == 0 ? 0.0
+                          : static_cast<double>(events) /
+                              static_cast<double>(total);
+    }
+};
+
+} // namespace oma
+
+#endif // OMA_SUPPORT_STATS_HH

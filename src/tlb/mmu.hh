@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Software-managed TLB handler model (R2000 style).
+ *
+ * The R2000 takes a trap on every TLB miss and the operating system
+ * refills the TLB in software, so miss *class* determines cost: user
+ * misses take the fast uTLB handler (~20 cycles), kernel (kseg2)
+ * misses go through the general exception path (~300 cycles), modify
+ * and invalid faults are costlier still, and first-touch page faults
+ * are an OS-level cost that is independent of TLB geometry. The Mmu
+ * couples a Tlb with per-page OS state to classify and cost every
+ * miss, including the nested kernel miss a user refill suffers when
+ * the page-table page itself is not mapped by the TLB.
+ */
+
+#ifndef OMA_TLB_MMU_HH
+#define OMA_TLB_MMU_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "tlb/mips_va.hh"
+#include "tlb/tlb.hh"
+#include "trace/memref.hh"
+
+namespace oma
+{
+
+/** Classification of TLB service events. */
+enum class MissClass : unsigned
+{
+    UserMiss = 0,   //!< kuseg refill via the fast uTLB handler.
+    KernelMiss = 1, //!< kseg2 refill via the general exception path.
+    ModifyFault = 2, //!< First store to a clean page.
+    InvalidFault = 3, //!< Access to an OS-invalidated page.
+    PageFault = 4,  //!< First touch; TLB-size independent ("Other").
+};
+
+constexpr unsigned numMissClasses = 5;
+
+/** Display name of a miss class. */
+const char *missClassName(MissClass c);
+
+/** Handler costs in CPU cycles for each miss class. */
+struct TlbPenalties
+{
+    std::uint64_t userMiss = 20;
+    std::uint64_t kernelMiss = 300;
+    std::uint64_t modifyFault = 375;
+    std::uint64_t invalidFault = 336;
+    std::uint64_t pageFault = 800;
+
+    /** DECstation 3100 clock, for service-time-in-seconds plots. */
+    double clockHz = 16.67e6;
+
+    std::uint64_t
+    cyclesFor(MissClass c) const
+    {
+        switch (c) {
+          case MissClass::UserMiss:
+            return userMiss;
+          case MissClass::KernelMiss:
+            return kernelMiss;
+          case MissClass::ModifyFault:
+            return modifyFault;
+          case MissClass::InvalidFault:
+            return invalidFault;
+          case MissClass::PageFault:
+            return pageFault;
+        }
+        return 0;
+    }
+};
+
+/** Per-class event and cycle counters. */
+struct MmuStats
+{
+    std::uint64_t translations = 0; //!< Mapped references seen.
+    std::uint64_t counts[numMissClasses] = {};
+    std::uint64_t cycles[numMissClasses] = {};
+    /** Whole-TLB flushes taken on ASID switches (ASID-less mode). */
+    std::uint64_t asidFlushes = 0;
+
+    std::uint64_t
+    totalServiceCycles() const
+    {
+        std::uint64_t sum = 0;
+        for (auto c : cycles)
+            sum += c;
+        return sum;
+    }
+
+    /** Cycles that shrink with a better TLB (excludes page faults). */
+    std::uint64_t
+    geometryDependentCycles() const
+    {
+        return totalServiceCycles() -
+            cycles[unsigned(MissClass::PageFault)];
+    }
+
+    /**
+     * Pure refill cycles (user + kernel misses): the component the
+     * paper's cost/benefit step scores TLB configurations by. The
+     * modify/invalid/page-fault classes are configuration-independent
+     * constants and are excluded.
+     */
+    std::uint64_t
+    refillCycles() const
+    {
+        return cycles[unsigned(MissClass::UserMiss)] +
+            cycles[unsigned(MissClass::KernelMiss)];
+    }
+
+    std::uint64_t
+    totalMisses() const
+    {
+        std::uint64_t sum = 0;
+        for (auto c : counts)
+            sum += c;
+        return sum;
+    }
+};
+
+/**
+ * The software-managed MMU: a Tlb plus the OS page metadata needed to
+ * classify misses. Owns its page state so independently configured
+ * Mmu instances can replay the same reference stream (Tapeworm).
+ */
+class Mmu
+{
+  public:
+    Mmu(const TlbParams &params, const TlbPenalties &penalties);
+
+    /**
+     * Translate one reference.
+     *
+     * @return TLB handler cycles incurred (0 on a TLB hit by a clean
+     *         access). First-touch page faults are recorded in the
+     *         stats ("Other") but excluded from the returned stall
+     *         time: the fault handler runs as ordinary kernel
+     *         execution.
+     */
+    std::uint64_t translate(const MemRef &ref);
+
+    /**
+     * OS invalidation of a page (external pager, pageout, COW). The
+     * next access takes an invalid fault.
+     */
+    void invalidatePage(std::uint64_t vpn, std::uint32_t asid,
+                        bool global);
+
+    const MmuStats &stats() const { return _stats; }
+    void resetStats() { _stats = MmuStats(); }
+
+    Tlb &tlb() { return _tlb; }
+    const Tlb &tlb() const { return _tlb; }
+    const TlbPenalties &penalties() const { return _penalties; }
+
+    /** Service time in seconds at the configured clock. */
+    double
+    serviceSeconds() const
+    {
+        return double(_stats.totalServiceCycles()) / _penalties.clockHz;
+    }
+
+  private:
+    struct PageFlags
+    {
+        bool touched = false;
+        bool dirty = false;
+        bool invalidated = false;
+    };
+
+    static std::uint64_t
+    pageKey(std::uint64_t vpn, std::uint32_t asid, bool global)
+    {
+        return global ? ((1ULL << 63) | vpn)
+                      : ((std::uint64_t(asid) << 32) | vpn);
+    }
+
+    std::uint64_t charge(MissClass c);
+
+    /**
+     * Refill for a missing page-table page. Charged as a nested
+     * kernel miss when @p charge_miss is set (uTLB handler path);
+     * free when the refill is a side effect of page-fault handling.
+     */
+    std::uint64_t fillPtePage(std::uint32_t asid, std::uint64_t user_vpn,
+                              bool charge_miss = true);
+
+    Tlb _tlb;
+    TlbPenalties _penalties;
+    MmuStats _stats;
+    std::unordered_map<std::uint64_t, PageFlags> _pages;
+    std::uint32_t _currentAsid = 0;
+    bool _asidSeen = false;
+    bool _flushOnSwitch;
+};
+
+} // namespace oma
+
+#endif // OMA_TLB_MMU_HH

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Hardware TLB model (R2000-style).
+ *
+ * Entries are tagged with a virtual page number and a 6-bit ASID and
+ * may be marked global (kernel mappings match regardless of ASID, as
+ * with the R2000 G bit). Organizations range from direct-mapped
+ * through set-associative to fully associative. The TLB itself is a
+ * dumb lookup structure; miss classification and the software
+ * miss-handler cost model live in Mmu.
+ */
+
+#ifndef OMA_TLB_TLB_HH
+#define OMA_TLB_TLB_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "area/geometry.hh"
+#include "cache/cache.hh" // ReplacementPolicy
+#include "support/rng.hh"
+
+namespace oma
+{
+
+/** Configuration of a TLB instance. */
+struct TlbParams
+{
+    TlbGeometry geom;
+    ReplacementPolicy repl = ReplacementPolicy::Lru;
+    std::uint64_t seed = 1;
+    /**
+     * Model a TLB without address-space identifiers (i486-style,
+     * Table 1): the whole TLB is flushed on every address-space
+     * switch. Particularly painful under a multiple-API OS, whose
+     * services hop between address spaces constantly.
+     */
+    bool flushOnAsidSwitch = false;
+};
+
+/** Raw TLB hit/miss counters (classification happens in Mmu). */
+struct TlbStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t misses = 0;
+
+    double
+    missRatio() const
+    {
+        return accesses == 0 ? 0.0 : double(misses) / double(accesses);
+    }
+};
+
+/** The TLB lookup structure. */
+class Tlb
+{
+  public:
+    explicit Tlb(const TlbParams &params);
+
+    const TlbParams &params() const { return _params; }
+
+    /**
+     * Look up a translation, updating replacement state and counters.
+     *
+     * @param vpn Virtual page number.
+     * @param asid Current address-space identifier.
+     * @retval true on hit.
+     */
+    bool lookup(std::uint64_t vpn, std::uint32_t asid);
+
+    /** Hit test with no side effects. */
+    bool probe(std::uint64_t vpn, std::uint32_t asid) const;
+
+    /**
+     * Install a translation (the tail of a software miss handler).
+     *
+     * @param global Kernel mapping that matches any ASID.
+     * @param dirty Page already writable without a modify trap.
+     */
+    void insert(std::uint64_t vpn, std::uint32_t asid, bool global,
+                bool dirty);
+
+    /**
+     * Mark an entry dirty (modify-trap handler tail).
+     * @retval false when the entry is not resident.
+     */
+    bool setDirty(std::uint64_t vpn, std::uint32_t asid);
+
+    /** True when the entry is resident and marked dirty. */
+    bool isDirty(std::uint64_t vpn, std::uint32_t asid) const;
+
+    /** Drop one translation if present (OS unmap / invalidation). */
+    void invalidate(std::uint64_t vpn, std::uint32_t asid);
+
+    /** Drop everything (e.g. an ASID rollover flush). */
+    void invalidateAll();
+
+    const TlbStats &stats() const { return _stats; }
+    void resetStats() { _stats = TlbStats(); }
+
+  private:
+    struct Entry
+    {
+        std::uint64_t vpn = 0;
+        std::uint64_t stamp = 0;
+        std::uint32_t asid = 0;
+        bool global = false;
+        bool dirty = false;
+        bool valid = false;
+    };
+
+    bool matches(const Entry &e, std::uint64_t vpn,
+                 std::uint32_t asid) const;
+    Entry *find(std::uint64_t vpn, std::uint32_t asid);
+    const Entry *find(std::uint64_t vpn, std::uint32_t asid) const;
+    std::size_t setIndex(std::uint64_t vpn) const;
+    std::size_t victimWay(std::size_t set_base);
+
+    TlbParams _params;
+    std::size_t _sets;
+    std::size_t _ways;
+    std::vector<Entry> _entries;
+    std::uint64_t _tick = 0;
+    Rng _rng;
+    TlbStats _stats;
+};
+
+} // namespace oma
+
+#endif // OMA_TLB_TLB_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Stream filters over trace sources.
+ *
+ * The user-only filter reproduces the paper's `pixie + cache2000`
+ * methodology (Table 3, row 1): operating-system references and other
+ * address spaces are dropped, so the simulator sees only the
+ * application's own activity.
+ */
+
+#ifndef OMA_TRACE_FILTER_HH
+#define OMA_TRACE_FILTER_HH
+
+#include <functional>
+
+#include "trace/source.hh"
+
+namespace oma
+{
+
+/**
+ * Pass through only references for which a predicate holds.
+ */
+class FilteredTraceSource : public TraceSource
+{
+  public:
+    using Predicate = std::function<bool(const MemRef &)>;
+
+    FilteredTraceSource(TraceSource &inner, Predicate keep)
+        : _inner(inner), _keep(std::move(keep))
+    {}
+
+    bool
+    next(MemRef &ref) override
+    {
+        while (_inner.next(ref)) {
+            if (_keep(ref))
+                return true;
+        }
+        return false;
+    }
+
+  private:
+    TraceSource &_inner;
+    Predicate _keep;
+};
+
+/**
+ * Keep only user-mode references belonging to address space @p asid.
+ * This is the pixie-style user-only view of a workload.
+ */
+inline FilteredTraceSource
+userOnly(TraceSource &inner, std::uint32_t asid)
+{
+    return FilteredTraceSource(inner, [asid](const MemRef &r) {
+        return r.mode == Mode::User && r.asid == asid;
+    });
+}
+
+} // namespace oma
+
+#endif // OMA_TRACE_FILTER_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Implementation of the trace-stream summarizer.
+ */
+
+#include "trace/stats.hh"
+
+#include "support/table.hh"
+#include "tlb/mips_va.hh"
+
+namespace oma
+{
+
+void
+TraceStatistics::put(const MemRef &ref)
+{
+    ++_total;
+    ++_byKind[unsigned(ref.kind)];
+    _kernel += ref.isKernel();
+    _mapped += ref.mapped;
+    ++_byAsid[ref.asid];
+
+    const char *segment = "kuseg";
+    if (inKseg0(ref.vaddr))
+        segment = "kseg0";
+    else if (ref.vaddr >= kseg1Base && ref.vaddr < kseg2Base)
+        segment = "kseg1";
+    else if (inKseg2(ref.vaddr))
+        segment = "kseg2";
+    ++_bySegment[segment];
+
+    _pages.insert((std::uint64_t(ref.asid) << 40) | vpnOf(ref.vaddr));
+    _lines.insert(ref.paddr >> 6);
+}
+
+void
+TraceStatistics::print(std::ostream &os) const
+{
+    os << "references:        " << _total << "\n"
+       << "instructions:      " << instructions() << "\n"
+       << "loads / stores:    " << countOf(RefKind::Load) << " / "
+       << countOf(RefKind::Store) << "\n"
+       << "data per instr:    " << fmtFixed(dataPerInstruction(), 3)
+       << "\n"
+       << "kernel share:      " << fmtPercent(kernelShare(), 1) << "\n"
+       << "TLB-mapped share:  " << fmtPercent(mappedShare(), 1) << "\n"
+       << "page footprint:    " << pageFootprint() << " pages ("
+       << fmtKBytes(pageFootprint() * 4096) << ")\n"
+       << "line footprint:    " << lineFootprint() << " 64-B lines ("
+       << fmtKBytes(lineFootprint() * 64) << ")\n"
+       << "segments:\n";
+    for (const auto &[name, count] : _bySegment) {
+        os << "  " << name << ": " << count << " ("
+           << fmtPercent(double(count) / double(_total), 1) << ")\n";
+    }
+    os << "address spaces:\n";
+    for (const auto &[asid, count] : _byAsid) {
+        os << "  asid " << asid << ": " << count << " ("
+           << fmtPercent(double(count) / double(_total), 1) << ")\n";
+    }
+}
+
+} // namespace oma

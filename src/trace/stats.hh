@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Trace-stream statistics.
+ *
+ * A TraceSink that summarizes a reference stream the way the paper's
+ * methodology section characterizes its samples: reference mix,
+ * kernel/user split, mapped share, per-address-space breakdown,
+ * segment breakdown (kuseg/kseg0/kseg1/kseg2), and footprints
+ * (distinct pages and distinct 64-byte lines). Used by the
+ * trace_tools example and handy for validating generated workloads.
+ */
+
+#ifndef OMA_TRACE_STATS_HH
+#define OMA_TRACE_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <unordered_set>
+
+#include "trace/memref.hh"
+#include "trace/source.hh"
+
+namespace oma
+{
+
+/** Stream summarizer. */
+class TraceStatistics : public TraceSink
+{
+  public:
+    void put(const MemRef &ref) override;
+
+    /** References seen so far. */
+    std::uint64_t total() const { return _total; }
+
+    std::uint64_t countOf(RefKind kind) const
+    {
+        return _byKind[unsigned(kind)];
+    }
+
+    /** Instructions = instruction fetches. */
+    std::uint64_t instructions() const
+    {
+        return _byKind[unsigned(RefKind::IFetch)];
+    }
+
+    /** Data references per instruction. */
+    double
+    dataPerInstruction() const
+    {
+        const std::uint64_t instr = instructions();
+        return instr == 0
+            ? 0.0
+            : double(_total - instr) / double(instr);
+    }
+
+    double
+    kernelShare() const
+    {
+        return _total == 0 ? 0.0 : double(_kernel) / double(_total);
+    }
+
+    double
+    mappedShare() const
+    {
+        return _total == 0 ? 0.0 : double(_mapped) / double(_total);
+    }
+
+    /** Distinct 4-KB pages touched (vaddr-based, ASID-qualified). */
+    std::uint64_t pageFootprint() const { return _pages.size(); }
+
+    /** Distinct 64-byte lines touched (paddr-based). */
+    std::uint64_t lineFootprint() const { return _lines.size(); }
+
+    /** References per address space. */
+    const std::map<std::uint32_t, std::uint64_t> &
+    byAsid() const
+    {
+        return _byAsid;
+    }
+
+    /** kuseg / kseg0 / kseg1 / kseg2 reference counts. */
+    const std::map<std::string, std::uint64_t> &
+    bySegment() const
+    {
+        return _bySegment;
+    }
+
+    /** Human-readable summary. */
+    void print(std::ostream &os) const;
+
+  private:
+    std::uint64_t _total = 0;
+    std::uint64_t _byKind[numRefKinds] = {};
+    std::uint64_t _kernel = 0;
+    std::uint64_t _mapped = 0;
+    std::map<std::uint32_t, std::uint64_t> _byAsid;
+    std::map<std::string, std::uint64_t> _bySegment;
+    std::unordered_set<std::uint64_t> _pages;
+    std::unordered_set<std::uint64_t> _lines;
+};
+
+} // namespace oma
+
+#endif // OMA_TRACE_STATS_HH

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Out-of-line pieces of the trace module.
+ */
+
+#include "trace/memref.hh"
+#include "trace/source.hh"
+
+namespace oma
+{
+
+const char *
+refKindName(RefKind kind)
+{
+    switch (kind) {
+      case RefKind::IFetch:
+        return "ifetch";
+      case RefKind::Load:
+        return "load";
+      case RefKind::Store:
+        return "store";
+    }
+    return "?";
+}
+
+const char *
+modeName(Mode mode)
+{
+    return mode == Mode::User ? "user" : "kernel";
+}
+
+std::uint64_t
+drain(TraceSource &source, const std::function<void(const MemRef &)> &fn,
+      std::uint64_t limit)
+{
+    MemRef ref;
+    std::uint64_t n = 0;
+    while ((limit == 0 || n < limit) && source.next(ref)) {
+        fn(ref);
+        ++n;
+    }
+    return n;
+}
+
+} // namespace oma

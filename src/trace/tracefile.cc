@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Implementation of binary trace file I/O.
+ */
+
+#include "trace/tracefile.hh"
+
+#include <cstring>
+
+#include "support/logging.hh"
+
+namespace oma
+{
+
+namespace
+{
+
+/** Packed on-disk record layout (24 bytes). */
+struct PackedRef
+{
+    std::uint64_t vaddr;
+    std::uint64_t paddr;
+    std::uint32_t asid;
+    std::uint8_t kind;
+    std::uint8_t mode;
+    std::uint8_t mapped;
+    std::uint8_t pad;
+};
+
+static_assert(sizeof(PackedRef) == 24, "unexpected record padding");
+
+PackedRef
+pack(const MemRef &ref)
+{
+    PackedRef p;
+    p.vaddr = ref.vaddr;
+    p.paddr = ref.paddr;
+    p.asid = ref.asid;
+    p.kind = static_cast<std::uint8_t>(ref.kind);
+    p.mode = static_cast<std::uint8_t>(ref.mode);
+    p.mapped = ref.mapped ? 1 : 0;
+    p.pad = 0;
+    return p;
+}
+
+MemRef
+unpack(const PackedRef &p)
+{
+    MemRef ref;
+    ref.vaddr = p.vaddr;
+    ref.paddr = p.paddr;
+    ref.asid = p.asid;
+    ref.kind = static_cast<RefKind>(p.kind);
+    ref.mode = static_cast<Mode>(p.mode);
+    ref.mapped = p.mapped != 0;
+    return ref;
+}
+
+} // namespace
+
+TraceFileWriter::TraceFileWriter(const std::string &path)
+    : _out(path, std::ios::binary | std::ios::trunc)
+{
+    fatalIf(!_out, "cannot open trace file for writing: " + path);
+    TraceFileHeader header;
+    _out.write(reinterpret_cast<const char *>(&header), sizeof(header));
+    _open = true;
+}
+
+TraceFileWriter::~TraceFileWriter()
+{
+    if (_open)
+        close();
+}
+
+void
+TraceFileWriter::put(const MemRef &ref)
+{
+    panicIf(!_open, "write to closed TraceFileWriter");
+    const PackedRef p = pack(ref);
+    _out.write(reinterpret_cast<const char *>(&p), sizeof(p));
+    ++_count;
+}
+
+void
+TraceFileWriter::close()
+{
+    if (!_open)
+        return;
+    TraceFileHeader header;
+    header.recordCount = _count;
+    _out.seekp(0);
+    _out.write(reinterpret_cast<const char *>(&header), sizeof(header));
+    _out.close();
+    _open = false;
+}
+
+TraceFileReader::TraceFileReader(const std::string &path)
+    : _in(path, std::ios::binary)
+{
+    fatalIf(!_in, "cannot open trace file for reading: " + path);
+    _in.read(reinterpret_cast<char *>(&_header), sizeof(_header));
+    fatalIf(!_in || _header.magic != TraceFileHeader::magicValue,
+            "not a trace file: " + path);
+    fatalIf(_header.version != TraceFileHeader::currentVersion,
+            "unsupported trace file version in " + path);
+}
+
+bool
+TraceFileReader::next(MemRef &ref)
+{
+    if (_read >= _header.recordCount)
+        return false;
+    PackedRef p;
+    _in.read(reinterpret_cast<char *>(&p), sizeof(p));
+    if (!_in)
+        return false;
+    ref = unpack(p);
+    ++_read;
+    return true;
+}
+
+} // namespace oma

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Binary trace-file format (reader and writer).
+ *
+ * Records are fixed-size little-endian packs so traces captured from
+ * the synthetic workload generator can be stored and replayed exactly.
+ * The header carries a magic, a format version and the record count.
+ */
+
+#ifndef OMA_TRACE_TRACEFILE_HH
+#define OMA_TRACE_TRACEFILE_HH
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+
+#include "trace/source.hh"
+
+namespace oma
+{
+
+/** On-disk header of a trace file. */
+struct TraceFileHeader
+{
+    static constexpr std::uint64_t magicValue = 0x454341525441
+        /* "ATRACE" */;
+    static constexpr std::uint32_t currentVersion = 1;
+
+    std::uint64_t magic = magicValue;
+    std::uint32_t version = currentVersion;
+    std::uint32_t reserved = 0;
+    std::uint64_t recordCount = 0;
+};
+
+/**
+ * Streams MemRef records to a file. The record count in the header is
+ * patched on close(), so a writer must be close()d (or destroyed) for
+ * the file to be valid.
+ */
+class TraceFileWriter : public TraceSink
+{
+  public:
+    /** Open @p path for writing; truncates any existing file. */
+    explicit TraceFileWriter(const std::string &path);
+    ~TraceFileWriter() override;
+
+    TraceFileWriter(const TraceFileWriter &) = delete;
+    TraceFileWriter &operator=(const TraceFileWriter &) = delete;
+
+    void put(const MemRef &ref) override;
+
+    /** Flush, patch the header and close the file. */
+    void close();
+
+    /** Records written so far. */
+    std::uint64_t count() const { return _count; }
+
+  private:
+    std::ofstream _out;
+    std::uint64_t _count = 0;
+    bool _open = false;
+};
+
+/** Replays a trace file as a TraceSource. */
+class TraceFileReader : public TraceSource
+{
+  public:
+    /** Open @p path; calls fatal() on malformed files. */
+    explicit TraceFileReader(const std::string &path);
+
+    bool next(MemRef &ref) override;
+
+    /** Total records according to the header. */
+    std::uint64_t count() const { return _header.recordCount; }
+
+  private:
+    std::ifstream _in;
+    TraceFileHeader _header;
+    std::uint64_t _read = 0;
+};
+
+} // namespace oma
+
+#endif // OMA_TRACE_TRACEFILE_HH

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Calibrated parameter records for the paper's benchmark suite
+ * (Table 2). The parameters below are the substitution for the
+ * authors' DECstation 3100 trace samples: application locality, data
+ * intensity and OS-interaction rates are chosen so that the modelled
+ * DECstation baseline (64-KB off-chip direct-mapped I/D caches,
+ * 1-word lines, 64-entry fully-associative TLB) reproduces the CPI
+ * stall breakdowns of Tables 3 and 4. Every other experiment reuses
+ * these records unchanged.
+ */
+
+#include "workload/workload.hh"
+
+#include "support/logging.hh"
+
+namespace oma
+{
+
+namespace
+{
+
+WorkloadParams
+mpegPlay()
+{
+    WorkloadParams wl;
+    wl.name = "mpeg_play";
+    wl.description = "Berkeley mpeg_play v2.0, 610 compressed frames";
+    wl.codeFootprint = 88 * 1024; // decoder + xlib + libc hot text
+    wl.codeSkew = 1.15;
+    wl.meanRun = 12.0;
+    wl.loadPerInstr = 0.20;
+    wl.storePerInstr = 0.09;
+    wl.storeBurstMean = 5.0;
+    wl.wsBytes = 160 * 1024;
+    wl.wsSkew = 1.45;
+    wl.streamFracLoad = 0.03;
+    wl.streamFracStore = 0.30; // decoded-frame output
+    wl.streamBytes = 2 * 1024 * 1024;
+    wl.userOtherCpi = 0.14;
+    wl.syscallPerInstr = 1.0 / 12000;
+    wl.syscallBurstMean = 8.0;
+    wl.syscallBurstGap = 500.0; // X protocol chatter + reads
+    wl.syscalls = {{ServiceKind::Stat, 0.65, 0},
+                   {ServiceKind::Ipc, 0.30, 512},
+                   {ServiceKind::FileRead, 0.05, 8192}};
+    wl.framePerInstr = 1.0 / 470000;
+    wl.frameBytes = 24 * 1024;
+    wl.nominalInstructions = 1.1e9;
+    return wl;
+}
+
+WorkloadParams
+mab()
+{
+    WorkloadParams wl;
+    wl.name = "mab";
+    wl.description = "Ousterhout's Modified Andrew Benchmark";
+    wl.codeFootprint = 80 * 1024; // compiler passes, many programs
+    wl.codeSkew = 1.05;
+    wl.meanRun = 11.0;
+    wl.loadPerInstr = 0.22;
+    wl.storePerInstr = 0.11;
+    wl.storeBurstMean = 4.0;
+    wl.wsBytes = 192 * 1024;
+    wl.wsSkew = 1.35;
+    wl.streamFracLoad = 0.05;
+    wl.streamFracStore = 0.08;
+    wl.streamBytes = 1024 * 1024;
+    wl.userOtherCpi = 0.05;
+    wl.syscallPerInstr = 1.0 / 7000;
+    wl.syscallBurstMean = 6.0;
+    wl.syscallBurstGap = 400.0;
+    wl.syscalls = {{ServiceKind::FileRead, 0.25, 4096},
+                   {ServiceKind::FileWrite, 0.25, 4096},
+                   {ServiceKind::Stat, 0.50, 0}};
+    wl.nominalInstructions = 1.0e9;
+    return wl;
+}
+
+WorkloadParams
+jpegPlay()
+{
+    WorkloadParams wl;
+    wl.name = "jpeg_play";
+    wl.description = "xloadimage displaying four JPEG images";
+    wl.codeFootprint = 44 * 1024;
+    wl.codeSkew = 1.2;
+    wl.meanRun = 14.0;
+    wl.loadPerInstr = 0.19;
+    wl.storePerInstr = 0.08;
+    wl.storeBurstMean = 2.5;
+    wl.wsBytes = 96 * 1024;
+    wl.wsSkew = 1.45;
+    wl.streamFracLoad = 0.02;
+    wl.streamFracStore = 0.20;
+    wl.streamBytes = 1024 * 1024;
+    wl.userOtherCpi = 0.12;
+    wl.syscallPerInstr = 1.0 / 60000;
+    wl.syscallBurstMean = 5.0;
+    wl.syscallBurstGap = 400.0;
+    wl.syscalls = {{ServiceKind::Stat, 0.75, 0},
+                   {ServiceKind::FileRead, 0.25, 8192}};
+    wl.framePerInstr = 1.0 / 900000;
+    wl.frameBytes = 48 * 1024;
+    wl.nominalInstructions = 1.3e9;
+    return wl;
+}
+
+WorkloadParams
+ousterhout()
+{
+    WorkloadParams wl;
+    wl.name = "ousterhout";
+    wl.description = "Ousterhout's OS micro-benchmark suite";
+    wl.codeFootprint = 24 * 1024;
+    wl.codeSkew = 1.2;
+    wl.meanRun = 12.0;
+    wl.loadPerInstr = 0.21;
+    wl.storePerInstr = 0.11;
+    wl.storeBurstMean = 4.0;
+    wl.wsBytes = 64 * 1024;
+    wl.wsSkew = 1.45;
+    wl.userOtherCpi = 0.04;
+    wl.syscallPerInstr = 1.0 / 4000;
+    wl.syscallBurstMean = 16.0;
+    wl.syscallBurstGap = 400.0;
+    wl.syscalls = {{ServiceKind::Stat, 0.45, 0},
+                   {ServiceKind::FileRead, 0.25, 4096},
+                   {ServiceKind::FileWrite, 0.25, 4096},
+                   {ServiceKind::Ipc, 0.05, 512}};
+    wl.nominalInstructions = 0.9e9;
+    return wl;
+}
+
+WorkloadParams
+iozone()
+{
+    WorkloadParams wl;
+    wl.name = "IOzone";
+    wl.description = "Sequential 10-MB file write-then-read benchmark";
+    wl.codeFootprint = 16 * 1024;
+    wl.codeSkew = 1.2;
+    wl.meanRun = 14.0;
+    wl.loadPerInstr = 0.22;
+    wl.storePerInstr = 0.11;
+    wl.storeBurstMean = 4.0;
+    wl.wsBytes = 48 * 1024;
+    wl.wsSkew = 1.45;
+    wl.streamFracLoad = 0.04;
+    wl.streamFracStore = 0.06;
+    wl.streamBytes = 1024 * 1024;
+    wl.userOtherCpi = 0.09;
+    wl.syscallPerInstr = 1.0 / 15000;
+    wl.syscallBurstMean = 6.0;
+    wl.syscallBurstGap = 500.0;
+    wl.syscalls = {{ServiceKind::FileWrite, 0.5, 6144},
+                   {ServiceKind::FileRead, 0.5, 6144}};
+    wl.nominalInstructions = 0.9e9;
+    return wl;
+}
+
+WorkloadParams
+videoPlay()
+{
+    WorkloadParams wl;
+    wl.name = "video_play";
+    wl.description = "mpeg_play variant, 610 uncompressed frames";
+    wl.codeFootprint = 72 * 1024;
+    wl.codeSkew = 1.1;
+    wl.meanRun = 13.0;
+    wl.loadPerInstr = 0.21;
+    wl.storePerInstr = 0.10;
+    wl.storeBurstMean = 5.0;
+    wl.wsBytes = 96 * 1024;
+    wl.wsSkew = 1.4;
+    wl.streamFracLoad = 0.12; // raw frames read in user space
+    wl.streamFracStore = 0.25;
+    wl.streamBytes = 4 * 1024 * 1024;
+    wl.userOtherCpi = 0.05;
+    wl.syscallPerInstr = 1.0 / 9000;
+    wl.syscallBurstMean = 6.0;
+    wl.syscallBurstGap = 400.0;
+    wl.syscalls = {{ServiceKind::Stat, 0.5, 0},
+                   {ServiceKind::FileRead, 0.5, 8192}};
+    wl.framePerInstr = 1.0 / 70000;
+    wl.frameBytes = 16 * 1024;
+    wl.nominalInstructions = 0.8e9;
+    return wl;
+}
+
+} // namespace
+
+const WorkloadParams &
+benchmarkParams(BenchmarkId id)
+{
+    static const WorkloadParams params[numBenchmarks] = {
+        mpegPlay(), mab(), jpegPlay(), ousterhout(), iozone(),
+        videoPlay()};
+    const unsigned i = unsigned(id);
+    panicIf(i >= numBenchmarks, "bad benchmark id");
+    return params[i];
+}
+
+std::vector<BenchmarkId>
+allBenchmarks()
+{
+    return {BenchmarkId::Mpeg, BenchmarkId::Mab, BenchmarkId::Jpeg,
+            BenchmarkId::Ousterhout, BenchmarkId::IOzone,
+            BenchmarkId::VideoPlay};
+}
+
+const char *
+benchmarkName(BenchmarkId id)
+{
+    return benchmarkParams(id).name.c_str();
+}
+
+} // namespace oma

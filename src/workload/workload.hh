@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Workload parameterization.
+ *
+ * Each of the paper's six benchmarks is described by a WorkloadParams
+ * record: the application's own code/data locality, its
+ * OS-interaction rates (system calls, display frames, VM activity)
+ * and its non-memory stall intensity. The records are calibrated once
+ * against the paper's DECstation 3100 baseline measurements (Tables 3
+ * and 4) and reused unchanged by every experiment.
+ */
+
+#ifndef OMA_WORKLOAD_WORKLOAD_HH
+#define OMA_WORKLOAD_WORKLOAD_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "os/osmodel.hh"
+
+namespace oma
+{
+
+/** One entry of a workload's system-call mix. */
+struct SyscallMixEntry
+{
+    ServiceKind kind = ServiceKind::Stat;
+    double weight = 1.0;
+    std::uint64_t meanBytes = 0;
+};
+
+/** Complete description of a benchmark's behaviour. */
+struct WorkloadParams
+{
+    std::string name;
+    std::string description;
+
+    // --- application code ---
+    std::uint64_t codeFootprint = 48 * 1024;
+    double codeSkew = 0.8;
+    double meanRun = 12.0;
+    double meanIterations = 9.0;
+
+    // --- application data ---
+    double loadPerInstr = 0.20;
+    double storePerInstr = 0.10;
+    std::uint64_t wsBytes = 256 * 1024;
+    double wsSkew = 1.1;
+    std::uint64_t stackBytes = 8 * 1024;
+    double streamFracLoad = 0.0;
+    double streamFracStore = 0.0;
+    double storeBurstMean = 4.0;
+    std::uint64_t streamBytes = 2 * 1024 * 1024;
+    std::uint64_t streamStride = 4;
+
+    // --- non-memory stalls (FP and integer interlocks) ---
+    double userOtherCpi = 0.10;  //!< Per user-app instruction.
+    double kernelOtherCpi = 0.02; //!< Per OS/server instruction.
+
+    // --- OS interaction (rates per application instruction) ---
+    double syscallPerInstr = 1.0 / 20000;
+    /**
+     * System calls cluster (an xlib flush is a write+select+read
+     * burst): mean burst size and the mean in-burst gap in
+     * application instructions. The long gap between bursts is chosen
+     * so the average rate stays syscallPerInstr.
+     */
+    double syscallBurstMean = 3.0;
+    double syscallBurstGap = 300.0;
+    std::vector<SyscallMixEntry> syscalls{
+        {ServiceKind::FileRead, 1.0, 8192}};
+    double framePerInstr = 0.0;
+    std::uint64_t frameBytes = 24 * 1024;
+    double vmPerInstr = 1.0 / 200000;
+
+    // --- housekeeping ---
+    /** Clock interrupts per instruction (100 Hz at ~8 MIPS). */
+    double timerPerInstr = 1.0 / 80000;
+
+    /**
+     * Nominal full-run instruction count: the paper's benchmarks run
+     * 100-200 s on a 16.67-MHz machine. Used to scale simulated
+     * service-time measurements to paper-comparable seconds.
+     */
+    double nominalInstructions = 1.0e9;
+};
+
+/** Identifiers for the paper's benchmark suite (Table 2). */
+enum class BenchmarkId
+{
+    Mpeg,
+    Mab,
+    Jpeg,
+    Ousterhout,
+    IOzone,
+    VideoPlay,
+};
+
+constexpr unsigned numBenchmarks = 6;
+
+/** Calibrated parameters for one benchmark. */
+const WorkloadParams &benchmarkParams(BenchmarkId id);
+
+/** All six benchmarks in the paper's reporting order. */
+std::vector<BenchmarkId> allBenchmarks();
+
+const char *benchmarkName(BenchmarkId id);
+
+} // namespace oma
+
+#endif // OMA_WORKLOAD_WORKLOAD_HH

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Tests for the Wada-style access-time model (the paper's first
+ * suggested extension).
+ */
+
+#include <gtest/gtest.h>
+
+#include "area/access_time.hh"
+
+namespace oma
+{
+namespace
+{
+
+TEST(AccessTime, CacheTimeGrowsWithCapacity)
+{
+    AccessTimeModel model;
+    double prev = 0.0;
+    for (std::uint64_t kb : {2, 4, 8, 16, 32, 64}) {
+        const double t = model.cacheAccessTime(
+            CacheGeometry::fromWords(kb * 1024, 4, 1));
+        EXPECT_GT(t, prev) << kb;
+        prev = t;
+    }
+}
+
+TEST(AccessTime, AssociativityCostsTime)
+{
+    AccessTimeModel model;
+    double prev = 0.0;
+    for (std::uint64_t ways : {1, 2, 4, 8}) {
+        const double t = model.cacheAccessTime(
+            CacheGeometry::fromWords(16 * 1024, 4, ways));
+        EXPECT_GT(t, prev) << ways;
+        prev = t;
+    }
+}
+
+TEST(AccessTime, BigFullyAssociativeTlbsAreSlow)
+{
+    // Section 5.2: "large fully-associative TLBs are difficult to
+    // build and can have excessively long access times."
+    AccessTimeModel model;
+    const double fa256 = model.tlbAccessTime(TlbGeometry::fullyAssoc(256));
+    const double sa512 = model.tlbAccessTime(TlbGeometry(512, 8));
+    EXPECT_GT(fa256, sa512);
+    // And FA access time grows with entries.
+    EXPECT_GT(model.tlbAccessTime(TlbGeometry::fullyAssoc(256)),
+              model.tlbAccessTime(TlbGeometry::fullyAssoc(64)));
+}
+
+TEST(AccessTime, SmallDirectMappedIsFastest)
+{
+    AccessTimeModel model;
+    const double small_dm = model.cacheAccessTime(
+        CacheGeometry::fromWords(2 * 1024, 4, 1));
+    for (std::uint64_t kb : {8, 32}) {
+        for (std::uint64_t ways : {2, 8}) {
+            EXPECT_LT(small_dm,
+                      model.cacheAccessTime(CacheGeometry::fromWords(
+                          kb * 1024, 4, ways)));
+        }
+    }
+}
+
+TEST(AccessTime, DeterministicAndPositive)
+{
+    AccessTimeModel model;
+    const CacheGeometry g = CacheGeometry::fromWords(8 * 1024, 8, 2);
+    EXPECT_GT(model.cacheAccessTime(g), 0.0);
+    EXPECT_DOUBLE_EQ(model.cacheAccessTime(g),
+                     model.cacheAccessTime(g));
+    const TlbGeometry t(128, 4);
+    EXPECT_GT(model.tlbAccessTime(t), 0.0);
+}
+
+class AccessTimeSweep
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(AccessTimeSweep, LongerLinesNeverSlowerAtFixedCapacity)
+{
+    // At fixed capacity, longer lines mean fewer (shorter) bitline
+    // columns and fewer decode bits, at the price of a wider row —
+    // the column term dominates in the model, so access time is
+    // non-increasing in line size.
+    const std::uint64_t kb = GetParam();
+    AccessTimeModel model;
+    double prev = 1e18;
+    for (std::uint64_t words : {1, 2, 4, 8}) {
+        const double t = model.cacheAccessTime(
+            CacheGeometry::fromWords(kb * 1024, words, 1));
+        EXPECT_LE(t, prev + 1e-9) << words;
+        prev = t;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, AccessTimeSweep,
+                         ::testing::Values(2u, 8u, 32u));
+
+} // namespace
+} // namespace oma

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Structural and monotonicity tests for the MQF area model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "area/mqf.hh"
+
+namespace oma
+{
+namespace
+{
+
+TEST(AreaModel, SramArrayFormula)
+{
+    AreaParams p;
+    AreaModel model(p);
+    const double area = model.sramArrayArea(100, 50);
+    const double expected = p.sramCellRbe * 100 * 50 +
+        p.rowOverheadRbe * 100 + p.colOverheadRbe * 50;
+    EXPECT_DOUBLE_EQ(area, expected);
+}
+
+TEST(AreaModel, CamArrayFormula)
+{
+    AreaParams p;
+    AreaModel model(p);
+    const double area = model.camArrayArea(64, 27);
+    const double expected = p.camCellRbe * 64 * 27 +
+        p.camEntryOverheadRbe * 64 + p.colOverheadRbe * 27;
+    EXPECT_DOUBLE_EQ(area, expected);
+}
+
+TEST(AreaModel, CacheTagBits)
+{
+    AreaModel model;
+    // 8-KB direct-mapped, 16-B lines: 9 index + 4 offset = 19-bit tag.
+    EXPECT_EQ(model.cacheTagBits(CacheGeometry(8192, 16, 1)), 19u);
+    // Same capacity, 8 ways: 6 index + 4 offset = 22-bit tag.
+    EXPECT_EQ(model.cacheTagBits(CacheGeometry(8192, 16, 8)), 22u);
+}
+
+TEST(AreaModel, TlbTagBits)
+{
+    AreaModel model;
+    const AreaParams &p = model.params();
+    // Fully associative: full VPN + ASID.
+    EXPECT_EQ(model.tlbTagBits(TlbGeometry::fullyAssoc(64)),
+              p.virtPageBits + p.asidBits);
+    // 64 sets absorb 6 VPN bits.
+    EXPECT_EQ(model.tlbTagBits(TlbGeometry(512, 8)),
+              p.virtPageBits - 6 + p.asidBits);
+}
+
+TEST(AreaModel, CacheAreaGrowsWithCapacity)
+{
+    AreaModel model;
+    double prev = 0.0;
+    for (std::uint64_t kb : {2, 4, 8, 16, 32, 64}) {
+        const double area =
+            model.cacheArea(CacheGeometry::fromWords(kb * 1024, 4, 1));
+        EXPECT_GT(area, prev);
+        prev = area;
+    }
+}
+
+TEST(AreaModel, LongerLinesAreCheaperAtFixedCapacity)
+{
+    AreaModel model;
+    double prev = 1e18;
+    for (std::uint64_t words : {1, 2, 4, 8}) {
+        const double area = model.cacheArea(
+            CacheGeometry::fromWords(16 * 1024, words, 1));
+        EXPECT_LT(area, prev);
+        prev = area;
+    }
+}
+
+TEST(AreaModel, TlbAreaGrowsWithEntries)
+{
+    AreaModel model;
+    double prev = 0.0;
+    for (std::uint64_t entries : {64, 128, 256, 512}) {
+        const double area = model.tlbArea(TlbGeometry(entries, 4));
+        EXPECT_GT(area, prev);
+        prev = area;
+    }
+}
+
+TEST(AreaModel, DirectMappedTlbAlwaysSmallerThanFullyAssociative)
+{
+    // Figure 5: "Direct-mapped TLBs are always smaller than
+    // fully-associative TLBs."
+    AreaModel model;
+    for (std::uint64_t entries : {16, 32, 64, 128, 256, 512}) {
+        EXPECT_LT(model.tlbArea(TlbGeometry(entries, 1)),
+                  model.tlbArea(TlbGeometry::fullyAssoc(entries)))
+            << entries << " entries";
+    }
+}
+
+TEST(AreaModel, AssociativityCostsLittleForLargeTlbs)
+{
+    // Figure 4: at 512 entries there is little difference between
+    // direct-mapped and 8-way.
+    AreaModel model;
+    const double dm = model.tlbArea(TlbGeometry(512, 1));
+    const double w8 = model.tlbArea(TlbGeometry(512, 8));
+    EXPECT_LT(w8 / dm, 1.25);
+}
+
+TEST(AreaModel, AssociativityCostsALotForSmallTlbs)
+{
+    // Figure 4: a 16-entry 8-way TLB is ~3x a 16-entry direct-mapped.
+    AreaModel model;
+    const double dm = model.tlbArea(TlbGeometry(16, 1));
+    const double w8 = model.tlbArea(TlbGeometry(16, 8));
+    EXPECT_GT(w8 / dm, 2.0);
+}
+
+TEST(AreaModel, WriteBufferAreaGrowsWithDepthAndStaysSmall)
+{
+    AreaModel model;
+    double prev = 0.0;
+    for (std::uint64_t entries : {1, 2, 4, 8, 16}) {
+        const double a = model.writeBufferArea(entries);
+        EXPECT_GT(a, prev);
+        prev = a;
+    }
+    // Even a deep buffer is noise next to the 250k-rbe budget.
+    EXPECT_LT(model.writeBufferArea(16), 5000.0);
+}
+
+class CacheAreaSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t,
+                                                 std::uint64_t>>
+{
+};
+
+TEST_P(CacheAreaSweep, AssociativityHasSmallImpactOnCacheArea)
+{
+    // Section 5.1: "Associativity (not pictured) has a much smaller
+    // impact on die area" — the spread across 1..8 ways at fixed
+    // capacity and line size must stay within ~20%.
+    const auto [kb, line] = GetParam();
+    AreaModel model;
+    double lo = 1e18, hi = 0.0;
+    for (std::uint64_t ways : {1, 2, 4, 8}) {
+        const CacheGeometry g =
+            CacheGeometry::fromWords(kb * 1024, line, ways);
+        if (g.capacityBytes < g.lineBytes * g.assoc)
+            continue;
+        const double area = model.cacheArea(g);
+        lo = std::min(lo, area);
+        hi = std::max(hi, area);
+    }
+    EXPECT_LT(hi / lo, 1.25);
+}
+
+// Restricted to the mid/large shapes Figure 6 plots; for tiny caches
+// with very wide lines the per-way overhead is proportionally larger.
+INSTANTIATE_TEST_SUITE_P(
+    Table5Grid, CacheAreaSweep,
+    ::testing::Combine(::testing::Values(8u, 16u, 32u),
+                       ::testing::Values(1u, 4u, 8u)));
+
+} // namespace
+} // namespace oma

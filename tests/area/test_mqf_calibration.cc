@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Calibration anchors for the MQF area model.
+ *
+ * The default AreaParams are fit to the cost figures the paper itself
+ * reports; these tests pin that fit so parameter changes that drift
+ * away from the paper's cost column are caught. Tolerances reflect
+ * the model's own published accuracy (typical error < 10%, maximum
+ * 20.1%).
+ */
+
+#include <gtest/gtest.h>
+
+#include "area/mqf.hh"
+
+namespace oma
+{
+namespace
+{
+
+double
+allocationArea(const AreaModel &model, const TlbGeometry &tlb,
+               const CacheGeometry &icache, const CacheGeometry &dcache)
+{
+    return model.tlbArea(tlb) + model.cacheArea(icache) +
+        model.cacheArea(dcache);
+}
+
+TEST(MqfCalibration, Table6Row1TotalCost)
+{
+    // Table 6 row 1: 512-entry 8-way TLB + 16-KB 8-word 8-way I-cache
+    // + 8-KB 8-word 8-way D-cache = 163,438 rbe.
+    AreaModel model;
+    const double area = allocationArea(
+        model, TlbGeometry(512, 8),
+        CacheGeometry::fromWords(16 * 1024, 8, 8),
+        CacheGeometry::fromWords(8 * 1024, 8, 8));
+    EXPECT_NEAR(area, 163438.0, 0.10 * 163438.0);
+}
+
+TEST(MqfCalibration, Table6Row4TotalCost)
+{
+    // Table 6 row 4: 512 8-way TLB + 32-KB 16-word 8-way I +
+    // 8-KB 8-word 8-way D = 249,089 rbe.
+    AreaModel model;
+    const double area = allocationArea(
+        model, TlbGeometry(512, 8),
+        CacheGeometry::fromWords(32 * 1024, 16, 8),
+        CacheGeometry::fromWords(8 * 1024, 8, 8));
+    EXPECT_NEAR(area, 249089.0, 0.10 * 249089.0);
+}
+
+TEST(MqfCalibration, Table7Row1TotalCost)
+{
+    // Table 7 row 1: 512 8-way TLB + 32-KB 8-word 2-way I +
+    // 8-KB 4-word 2-way D = 239,259 rbe.
+    AreaModel model;
+    const double area = allocationArea(
+        model, TlbGeometry(512, 8),
+        CacheGeometry::fromWords(32 * 1024, 8, 2),
+        CacheGeometry::fromWords(8 * 1024, 4, 2));
+    EXPECT_NEAR(area, 239259.0, 0.10 * 239259.0);
+}
+
+TEST(MqfCalibration, Table7Rank1529TotalCost)
+{
+    // Table 7 #1529: 64-entry 4-way TLB + 8-KB 1-word DM I +
+    // 16-KB 2-word DM D = 176,909 rbe.
+    AreaModel model;
+    const double area = allocationArea(
+        model, TlbGeometry(64, 4),
+        CacheGeometry::fromWords(8 * 1024, 1, 1),
+        CacheGeometry::fromWords(16 * 1024, 2, 1));
+    EXPECT_NEAR(area, 176909.0, 0.12 * 176909.0);
+}
+
+TEST(MqfCalibration, BigSetAssociativeTlbCostsAbout19kRbe)
+{
+    // Section 5.4: "a 512-entry, 8-way set-associative TLB costs just
+    // 19,000 rbes".
+    AreaModel model;
+    EXPECT_NEAR(model.tlbArea(TlbGeometry(512, 8)), 19000.0,
+                0.15 * 19000.0);
+}
+
+TEST(MqfCalibration, FullAssocCostsTwiceSetAssocAt256Entries)
+{
+    // Figure 5: for TLBs of >= 64 entries, full associativity costs
+    // about twice as much as 4- or 8-way set associativity.
+    AreaModel model;
+    const double fa = model.tlbArea(TlbGeometry::fullyAssoc(256));
+    const double sa8 = model.tlbArea(TlbGeometry(256, 8));
+    const double sa4 = model.tlbArea(TlbGeometry(256, 4));
+    EXPECT_NEAR(fa / sa8, 2.0, 0.6);
+    EXPECT_NEAR(fa / sa4, 2.0, 0.6);
+}
+
+TEST(MqfCalibration, FullAssocCheaperThanHighWaysForSmallTlbs)
+{
+    // Figure 5: below 64 entries full associativity is cheaper than
+    // 4- or 8-way set associativity.
+    AreaModel model;
+    for (std::uint64_t entries : {16, 32}) {
+        const double fa =
+            model.tlbArea(TlbGeometry::fullyAssoc(entries));
+        EXPECT_LT(fa, model.tlbArea(TlbGeometry(entries, 4)))
+            << entries;
+        EXPECT_LT(fa, model.tlbArea(TlbGeometry(entries, 8)))
+            << entries;
+    }
+}
+
+TEST(MqfCalibration, EqualCostFa256AndSa512)
+{
+    // Section 5.1: "for approximately the same cost, designers can
+    // choose either a 256-entry fully-associative TLB or a 512-entry
+    // 8-way TLB".
+    AreaModel model;
+    const double fa256 = model.tlbArea(TlbGeometry::fullyAssoc(256));
+    const double sa512 = model.tlbArea(TlbGeometry(512, 8));
+    EXPECT_NEAR(fa256 / sa512, 1.0, 0.30);
+}
+
+TEST(MqfCalibration, LineSizeSavesUpTo37Percent)
+{
+    // Figure 6: an 8-word line reduces cache cost by as much as ~37%
+    // relative to a 1-word line at equal capacity.
+    AreaModel model;
+    double best = 0.0;
+    for (std::uint64_t kb : {2, 4, 8, 16, 32, 64}) {
+        const double w1 =
+            model.cacheArea(CacheGeometry::fromWords(kb * 1024, 1, 1));
+        const double w8 =
+            model.cacheArea(CacheGeometry::fromWords(kb * 1024, 8, 1));
+        best = std::max(best, 1.0 - w8 / w1);
+    }
+    EXPECT_NEAR(best, 0.37, 0.08);
+}
+
+} // namespace
+} // namespace oma

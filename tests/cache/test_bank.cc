@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Tests that a CacheBank behaves exactly like its member caches run
+ * individually.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/bank.hh"
+#include "support/rng.hh"
+
+namespace oma
+{
+namespace
+{
+
+TEST(CacheBank, MatchesIndividualCaches)
+{
+    std::vector<CacheParams> configs;
+    for (std::uint64_t kb : {2, 8}) {
+        for (std::uint64_t ways : {1, 4}) {
+            CacheParams p;
+            p.geom = CacheGeometry(kb * 1024, 16, ways);
+            configs.push_back(p);
+        }
+    }
+
+    CacheBank bank;
+    std::vector<Cache> individual;
+    for (const auto &p : configs) {
+        bank.add(p);
+        individual.emplace_back(p);
+    }
+    ASSERT_EQ(bank.size(), configs.size());
+
+    Rng rng(21);
+    for (int i = 0; i < 20000; ++i) {
+        const std::uint64_t addr = rng.below(1 << 16) & ~3ULL;
+        const RefKind kind = static_cast<RefKind>(rng.below(3));
+        bank.access(addr, kind);
+        for (auto &cache : individual)
+            cache.access(addr, kind);
+    }
+
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        EXPECT_EQ(bank.at(i).stats().totalMisses(),
+                  individual[i].stats().totalMisses());
+        EXPECT_EQ(bank.at(i).stats().totalAccesses(),
+                  individual[i].stats().totalAccesses());
+        EXPECT_EQ(bank.at(i).stats().writeThroughWords,
+                  individual[i].stats().writeThroughWords);
+    }
+}
+
+TEST(CacheBank, EmptyBankIsHarmless)
+{
+    CacheBank bank;
+    bank.access(0x1234, RefKind::Load);
+    EXPECT_EQ(bank.size(), 0u);
+}
+
+} // namespace
+} // namespace oma

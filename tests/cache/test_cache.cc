@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Unit tests for the set-associative cache simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hh"
+
+namespace oma
+{
+namespace
+{
+
+CacheParams
+makeParams(std::uint64_t capacity, std::uint64_t line,
+           std::uint64_t ways,
+           ReplacementPolicy repl = ReplacementPolicy::Lru)
+{
+    CacheParams p;
+    p.geom = CacheGeometry(capacity, line, ways);
+    p.repl = repl;
+    return p;
+}
+
+TEST(Cache, ColdMissThenHit)
+{
+    Cache cache(makeParams(1024, 16, 1));
+    EXPECT_FALSE(cache.access(0x1000, RefKind::Load));
+    EXPECT_TRUE(cache.access(0x1000, RefKind::Load));
+    // Same line, different word: still a hit.
+    EXPECT_TRUE(cache.access(0x100c, RefKind::Load));
+    // Next line: miss.
+    EXPECT_FALSE(cache.access(0x1010, RefKind::Load));
+}
+
+TEST(Cache, DirectMappedConflict)
+{
+    // 1-KB direct-mapped, 16-B lines: addresses 1 KB apart collide.
+    Cache cache(makeParams(1024, 16, 1));
+    EXPECT_FALSE(cache.access(0x0000, RefKind::Load));
+    EXPECT_FALSE(cache.access(0x0400, RefKind::Load));
+    EXPECT_FALSE(cache.access(0x0000, RefKind::Load)); // evicted
+}
+
+TEST(Cache, TwoWayHoldsConflictingPair)
+{
+    Cache cache(makeParams(1024, 16, 2));
+    EXPECT_FALSE(cache.access(0x0000, RefKind::Load));
+    EXPECT_FALSE(cache.access(0x0400, RefKind::Load));
+    EXPECT_TRUE(cache.access(0x0000, RefKind::Load));
+    EXPECT_TRUE(cache.access(0x0400, RefKind::Load));
+}
+
+TEST(Cache, LruEvictsLeastRecentlyUsed)
+{
+    // One set, two ways.
+    Cache cache(makeParams(32, 16, 2));
+    cache.access(0x000, RefKind::Load); // A
+    cache.access(0x100, RefKind::Load); // B
+    cache.access(0x000, RefKind::Load); // touch A
+    cache.access(0x200, RefKind::Load); // C evicts B
+    EXPECT_TRUE(cache.probe(0x000));
+    EXPECT_FALSE(cache.probe(0x100));
+    EXPECT_TRUE(cache.probe(0x200));
+}
+
+TEST(Cache, FifoIgnoresHits)
+{
+    Cache cache(makeParams(32, 16, 2, ReplacementPolicy::Fifo));
+    cache.access(0x000, RefKind::Load); // A (first in)
+    cache.access(0x100, RefKind::Load); // B
+    cache.access(0x000, RefKind::Load); // hit A: FIFO order unchanged
+    cache.access(0x200, RefKind::Load); // C evicts A
+    EXPECT_FALSE(cache.probe(0x000));
+    EXPECT_TRUE(cache.probe(0x100));
+    EXPECT_TRUE(cache.probe(0x200));
+}
+
+TEST(Cache, RandomReplacementIsDeterministicPerSeed)
+{
+    auto run = [](std::uint64_t seed) {
+        CacheParams p = makeParams(256, 16, 4,
+                                   ReplacementPolicy::Random);
+        p.seed = seed;
+        Cache cache(p);
+        Rng rng(1);
+        std::uint64_t misses = 0;
+        for (int i = 0; i < 10000; ++i) {
+            if (!cache.access(rng.below(64) * 16, RefKind::Load))
+                ++misses;
+        }
+        return misses;
+    };
+    EXPECT_EQ(run(7), run(7));
+}
+
+TEST(Cache, ProbeHasNoSideEffects)
+{
+    Cache cache(makeParams(32, 16, 2));
+    cache.access(0x000, RefKind::Load);
+    cache.access(0x100, RefKind::Load);
+    // Probing A repeatedly must not refresh its LRU position.
+    for (int i = 0; i < 5; ++i)
+        EXPECT_TRUE(cache.probe(0x000));
+    cache.access(0x200, RefKind::Load); // evicts A (still LRU oldest)
+    EXPECT_FALSE(cache.probe(0x000));
+    const CacheStats &s = cache.stats();
+    EXPECT_EQ(s.totalAccesses(), 3u);
+}
+
+TEST(Cache, StatsPerKind)
+{
+    Cache cache(makeParams(1024, 16, 1));
+    cache.access(0x0, RefKind::IFetch);
+    cache.access(0x0, RefKind::IFetch);
+    cache.access(0x40, RefKind::Load);
+    cache.access(0x80, RefKind::Store);
+    const CacheStats &s = cache.stats();
+    EXPECT_EQ(s.accesses[unsigned(RefKind::IFetch)], 2u);
+    EXPECT_EQ(s.misses[unsigned(RefKind::IFetch)], 1u);
+    EXPECT_EQ(s.accesses[unsigned(RefKind::Load)], 1u);
+    EXPECT_EQ(s.misses[unsigned(RefKind::Load)], 1u);
+    EXPECT_EQ(s.misses[unsigned(RefKind::Store)], 1u);
+    EXPECT_DOUBLE_EQ(s.missRatio(), 0.75);
+    EXPECT_DOUBLE_EQ(s.missRatio(RefKind::IFetch), 0.5);
+}
+
+TEST(Cache, WriteThroughCountsWords)
+{
+    Cache cache(makeParams(1024, 16, 1));
+    cache.access(0x0, RefKind::Store);
+    cache.access(0x0, RefKind::Store);
+    cache.access(0x4, RefKind::Store);
+    EXPECT_EQ(cache.stats().writeThroughWords, 3u);
+    EXPECT_EQ(cache.stats().writebacks, 0u);
+}
+
+TEST(Cache, WriteBackCountsEvictions)
+{
+    CacheParams p = makeParams(32, 16, 1);
+    p.write = WritePolicy::WriteBack;
+    Cache cache(p);
+    cache.access(0x000, RefKind::Store); // dirty A (set 0)
+    cache.access(0x010, RefKind::Store); // dirty B (set 1)
+    cache.access(0x100, RefKind::Load);  // evicts dirty A
+    EXPECT_EQ(cache.stats().writebacks, 1u);
+    cache.access(0x110, RefKind::Load); // evicts dirty B
+    EXPECT_EQ(cache.stats().writebacks, 2u);
+    EXPECT_EQ(cache.stats().writeThroughWords, 0u);
+}
+
+TEST(Cache, CleanEvictionHasNoWriteback)
+{
+    CacheParams p = makeParams(32, 16, 1);
+    p.write = WritePolicy::WriteBack;
+    Cache cache(p);
+    cache.access(0x000, RefKind::Load);
+    cache.access(0x100, RefKind::Load); // evicts clean line
+    EXPECT_EQ(cache.stats().writebacks, 0u);
+}
+
+TEST(Cache, NoWriteAllocateLeavesStoreMissesUncached)
+{
+    CacheParams p = makeParams(1024, 16, 1);
+    p.alloc = AllocPolicy::NoWriteAllocate;
+    Cache cache(p);
+    EXPECT_FALSE(cache.access(0x0, RefKind::Store));
+    EXPECT_FALSE(cache.probe(0x0));
+    EXPECT_FALSE(cache.access(0x0, RefKind::Store)); // still missing
+    // Loads do allocate.
+    EXPECT_FALSE(cache.access(0x0, RefKind::Load));
+    EXPECT_TRUE(cache.access(0x0, RefKind::Store));
+}
+
+TEST(Cache, CompulsoryMissesCountDistinctLines)
+{
+    Cache cache(makeParams(64, 16, 1));
+    for (int round = 0; round < 3; ++round) {
+        for (std::uint64_t line = 0; line < 16; ++line)
+            cache.access(line * 16, RefKind::Load);
+    }
+    // The cache thrashes (16 lines into 4 sets), but only the first
+    // round's misses are compulsory.
+    EXPECT_EQ(cache.stats().compulsoryMisses, 16u);
+    EXPECT_GT(cache.stats().totalMisses(), 16u);
+}
+
+TEST(Cache, InvalidateAllForcesMisses)
+{
+    Cache cache(makeParams(1024, 16, 2));
+    cache.access(0x0, RefKind::Load);
+    EXPECT_TRUE(cache.probe(0x0));
+    cache.invalidateAll();
+    EXPECT_FALSE(cache.probe(0x0));
+}
+
+TEST(Cache, ResetStatsKeepsContents)
+{
+    Cache cache(makeParams(1024, 16, 1));
+    cache.access(0x0, RefKind::Load);
+    cache.resetStats();
+    EXPECT_EQ(cache.stats().totalAccesses(), 0u);
+    EXPECT_TRUE(cache.access(0x0, RefKind::Load)); // still resident
+}
+
+TEST(Cache, LineFillsMatchAllocatedMisses)
+{
+    Cache cache(makeParams(1024, 16, 1));
+    Rng rng(5);
+    for (int i = 0; i < 5000; ++i)
+        cache.access(rng.below(4096) & ~3ULL, RefKind::Load);
+    EXPECT_EQ(cache.stats().lineFills, cache.stats().totalMisses());
+}
+
+} // namespace
+} // namespace oma

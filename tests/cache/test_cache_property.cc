@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Property tests on cache-simulator invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cache/cache.hh"
+#include "support/rng.hh"
+
+namespace oma
+{
+namespace
+{
+
+/** A mixed random/sequential/looping address stream. */
+std::vector<std::uint64_t>
+mixedStream(std::uint64_t seed, std::size_t n)
+{
+    Rng rng(seed);
+    std::vector<std::uint64_t> addrs;
+    addrs.reserve(n);
+    std::uint64_t seq = 0;
+    while (addrs.size() < n) {
+        const double mode = rng.uniform();
+        if (mode < 0.4) {
+            // Sequential run.
+            const std::uint64_t len = rng.range(4, 32);
+            for (std::uint64_t i = 0; i < len && addrs.size() < n; ++i) {
+                addrs.push_back(seq);
+                seq += 4;
+            }
+        } else if (mode < 0.8) {
+            // Hot working set.
+            addrs.push_back(rng.below(512) * 4);
+        } else {
+            // Cold scatter.
+            addrs.push_back(rng.below(1 << 20) * 4);
+        }
+    }
+    return addrs;
+}
+
+std::uint64_t
+missesFor(const CacheParams &params,
+          const std::vector<std::uint64_t> &addrs)
+{
+    Cache cache(params);
+    for (std::uint64_t a : addrs)
+        cache.access(a, RefKind::Load);
+    return cache.stats().totalMisses();
+}
+
+class StreamSeed : public ::testing::TestWithParam<std::uint64_t>
+{
+  protected:
+    std::vector<std::uint64_t> addrs = mixedStream(GetParam(), 40000);
+};
+
+TEST_P(StreamSeed, LruInclusionAcrossWays)
+{
+    // With the set count fixed, an LRU cache with more ways misses
+    // no more than one with fewer ways (the stack inclusion
+    // property).
+    for (std::uint64_t sets : {16, 64}) {
+        std::uint64_t prev = ~0ULL;
+        for (std::uint64_t ways : {1, 2, 4, 8}) {
+            CacheParams p;
+            p.geom = CacheGeometry(sets * 16 * ways, 16, ways);
+            const std::uint64_t misses = missesFor(p, addrs);
+            EXPECT_LE(misses, prev)
+                << p.geom.describe() << " sets=" << sets;
+            prev = misses;
+        }
+    }
+}
+
+TEST_P(StreamSeed, FullyAssociativeLruMonotoneInCapacity)
+{
+    std::uint64_t prev = ~0ULL;
+    for (std::uint64_t lines : {4, 8, 16, 32, 64}) {
+        CacheParams p;
+        p.geom = CacheGeometry(lines * 16, 16, lines);
+        const std::uint64_t misses = missesFor(p, addrs);
+        EXPECT_LE(misses, prev);
+        prev = misses;
+    }
+}
+
+TEST_P(StreamSeed, CompulsoryMissesIndependentOfGeometry)
+{
+    // Every cache sees the same distinct lines, so compulsory misses
+    // must agree across geometries with the same line size.
+    CacheParams a;
+    a.geom = CacheGeometry(2048, 16, 1);
+    CacheParams b;
+    b.geom = CacheGeometry(16384, 16, 8);
+    Cache ca(a), cb(b);
+    for (std::uint64_t addr : addrs) {
+        ca.access(addr, RefKind::Load);
+        cb.access(addr, RefKind::Load);
+    }
+    EXPECT_EQ(ca.stats().compulsoryMisses, cb.stats().compulsoryMisses);
+}
+
+TEST_P(StreamSeed, MissesNeverBelowCompulsory)
+{
+    CacheParams p;
+    p.geom = CacheGeometry(64 * 1024, 16, 4);
+    Cache cache(p);
+    for (std::uint64_t addr : addrs)
+        cache.access(addr, RefKind::Load);
+    EXPECT_GE(cache.stats().totalMisses(),
+              cache.stats().compulsoryMisses);
+}
+
+TEST_P(StreamSeed, LruNeverWorseThanFifoOnAverageStreams)
+{
+    // Not a theorem in general (Belady anomalies exist for FIFO),
+    // but on these mixed streams LRU should not lose by much; we
+    // assert a loose bound to catch gross policy implementation bugs.
+    CacheParams lru;
+    lru.geom = CacheGeometry(4096, 16, 4);
+    lru.repl = ReplacementPolicy::Lru;
+    CacheParams fifo = lru;
+    fifo.repl = ReplacementPolicy::Fifo;
+    const std::uint64_t m_lru = missesFor(lru, addrs);
+    const std::uint64_t m_fifo = missesFor(fifo, addrs);
+    EXPECT_LT(double(m_lru), 1.05 * double(m_fifo));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StreamSeed,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+} // namespace
+} // namespace oma

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Tests for the Cheetah all-associativity engine, including
+ * equivalence with the direct cache simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cache/cache.hh"
+#include "cache/cheetah.hh"
+#include "support/rng.hh"
+
+namespace oma
+{
+namespace
+{
+
+std::vector<std::uint64_t>
+randomStream(std::uint64_t seed, std::size_t n, std::uint64_t span)
+{
+    Rng rng(seed);
+    std::vector<std::uint64_t> addrs(n);
+    for (auto &a : addrs)
+        a = rng.below(span) & ~3ULL;
+    return addrs;
+}
+
+TEST(Cheetah, SimpleStackDistances)
+{
+    Cheetah sim(1, 16, 4);
+    // A B A -> A misses, B misses, A hits at depth 1.
+    sim.access(0x00);
+    sim.access(0x10);
+    sim.access(0x00);
+    EXPECT_EQ(sim.accesses(), 3u);
+    EXPECT_EQ(sim.misses(1), 3u); // 1-entry: the re-reference misses
+    EXPECT_EQ(sim.misses(2), 2u); // 2 entries: re-reference hits
+    EXPECT_EQ(sim.misses(4), 2u);
+    EXPECT_EQ(sim.compulsoryMisses(), 2u);
+}
+
+TEST(Cheetah, MissesMonotoneInWays)
+{
+    Cheetah sim(16, 16, 8);
+    for (std::uint64_t addr : randomStream(3, 50000, 1 << 16))
+        sim.access(addr);
+    std::uint64_t prev = ~0ULL;
+    for (std::uint64_t ways = 1; ways <= 8; ++ways) {
+        EXPECT_LE(sim.misses(ways), prev);
+        prev = sim.misses(ways);
+    }
+}
+
+class CheetahEquivalence
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t,
+                                                 std::uint64_t>>
+{
+};
+
+TEST_P(CheetahEquivalence, MatchesDirectLruSimulatorExactly)
+{
+    const auto [sets, seed] = GetParam();
+    const std::uint64_t line = 16;
+    const std::uint64_t max_ways = 8;
+    Cheetah sim(sets, line, max_ways);
+
+    std::vector<Cache> direct;
+    for (std::uint64_t ways = 1; ways <= max_ways; ways *= 2) {
+        CacheParams p;
+        p.geom = CacheGeometry(sets * line * ways, line, ways);
+        direct.emplace_back(p);
+    }
+
+    for (std::uint64_t addr : randomStream(seed, 30000, 1 << 18)) {
+        sim.access(addr);
+        for (auto &cache : direct)
+            cache.access(addr, RefKind::Load);
+    }
+
+    std::size_t i = 0;
+    for (std::uint64_t ways = 1; ways <= max_ways; ways *= 2, ++i) {
+        EXPECT_EQ(sim.misses(ways), direct[i].stats().totalMisses())
+            << "sets=" << sets << " ways=" << ways;
+    }
+    EXPECT_EQ(sim.compulsoryMisses(),
+              direct[0].stats().compulsoryMisses);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CheetahEquivalence,
+    ::testing::Combine(::testing::Values(1u, 8u, 64u, 256u),
+                       ::testing::Values(11u, 12u, 13u)));
+
+TEST(Cheetah, FullyAssociativeModeSweepsTlbSizes)
+{
+    // sets=1, line=1: keys are used directly, which is how FA TLB
+    // size sweeps run (vpn as the key).
+    Cheetah sim(1, 1, 64);
+    Rng rng(9);
+    std::vector<std::uint64_t> keys(20000);
+    for (auto &k : keys)
+        k = rng.zipf(256, 1.0);
+    for (std::uint64_t k : keys)
+        sim.access(k);
+
+    // Cross-check one size against a direct fully-associative cache
+    // of 32 entries with 1-byte lines... the Cache requires >= 4-byte
+    // lines, so use a hand LRU check instead: monotone + bounded.
+    EXPECT_GE(sim.misses(1), sim.misses(32));
+    EXPECT_GE(sim.misses(32), sim.misses(64));
+    EXPECT_GE(sim.misses(64), sim.compulsoryMisses());
+}
+
+TEST(Cheetah, AccessCountsAreExact)
+{
+    Cheetah sim(4, 16, 2);
+    for (int i = 0; i < 123; ++i)
+        sim.access(i * 4);
+    EXPECT_EQ(sim.accesses(), 123u);
+}
+
+TEST(CheetahDeath, WaysOutOfRange)
+{
+    Cheetah sim(4, 16, 2);
+    sim.access(0);
+    EXPECT_DEATH(sim.misses(3), "out of range");
+    EXPECT_DEATH(sim.misses(0), "out of range");
+}
+
+} // namespace
+} // namespace oma

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Tests for the configuration space and the allocation search.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/search.hh"
+
+namespace oma
+{
+namespace
+{
+
+/** Synthetic CPI tables with known structure. */
+ComponentCpiTables
+syntheticTables()
+{
+    ConfigSpace space;
+    ComponentCpiTables tables;
+    tables.tlbGeoms = space.tlbGeometries();
+    tables.icacheGeoms = space.cacheGeometries();
+    tables.dcacheGeoms = space.cacheGeometries();
+    tables.baseCpi = 1.2;
+    // CPI contributions fall with capacity (and slightly with ways),
+    // a clean monotone benefit model.
+    auto cache_cpi = [](const CacheGeometry &g) {
+        return 2000.0 / double(g.capacityBytes) +
+            0.01 / double(g.assoc);
+    };
+    for (const auto &g : tables.icacheGeoms)
+        tables.icacheCpi.push_back(cache_cpi(g));
+    for (const auto &g : tables.dcacheGeoms)
+        tables.dcacheCpi.push_back(0.5 * cache_cpi(g));
+    for (const auto &g : tables.tlbGeoms)
+        tables.tlbCpi.push_back(10.0 / double(g.entries));
+    return tables;
+}
+
+TEST(ConfigSpace, Table5TlbGrid)
+{
+    ConfigSpace space;
+    const auto tlbs = space.tlbGeometries();
+    // 4 sizes x 4 set-assoc ways + fully-assoc at 64 entries.
+    EXPECT_EQ(tlbs.size(), 17u);
+    int fa = 0;
+    for (const auto &g : tlbs) {
+        g.validate();
+        fa += g.fullyAssociative();
+    }
+    EXPECT_EQ(fa, 1);
+}
+
+TEST(ConfigSpace, Table5CacheGrid)
+{
+    ConfigSpace space;
+    const auto caches = space.cacheGeometries();
+    // 5 sizes x 6 lines x 4 ways, minus shapes with < 1 set:
+    // 2-KB @ 32-word lines supports only 1..16 ways -> all 4 fit
+    // (2048 / 128 = 16 lines >= 8 ways)... every combination is
+    // realizable, so 120 configurations.
+    EXPECT_EQ(caches.size(), 120u);
+    for (const auto &g : caches)
+        g.validate();
+}
+
+TEST(ConfigSpace, AssocRestrictionFilters)
+{
+    ConfigSpace space;
+    EXPECT_EQ(space.cacheGeometries(2).size(), 60u);
+    EXPECT_EQ(space.cacheGeometries(1).size(), 30u);
+}
+
+TEST(AllocationSearch, EverythingWithinBudget)
+{
+    AreaModel area;
+    AllocationSearch search(area, 250000.0);
+    const auto ranked = search.rank(syntheticTables());
+    ASSERT_FALSE(ranked.empty());
+    for (const auto &a : ranked) {
+        EXPECT_LE(a.areaRbe, 250000.0);
+        // Area recomputes consistently.
+        const double recomputed = area.tlbArea(a.tlb) +
+            area.cacheArea(a.icache) + area.cacheArea(a.dcache);
+        EXPECT_NEAR(a.areaRbe, recomputed, 1e-6);
+    }
+}
+
+TEST(AllocationSearch, SortedByCpiAndRanked)
+{
+    AllocationSearch search(AreaModel(), 250000.0);
+    const auto ranked = search.rank(syntheticTables());
+    for (std::size_t i = 1; i < ranked.size(); ++i) {
+        EXPECT_LE(ranked[i - 1].cpi, ranked[i].cpi);
+        EXPECT_EQ(ranked[i].rank, i + 1);
+    }
+}
+
+TEST(AllocationSearch, CpiIsSumOfComponents)
+{
+    const ComponentCpiTables tables = syntheticTables();
+    AllocationSearch search(AreaModel(), 250000.0);
+    const auto ranked = search.rank(tables);
+    for (std::size_t i = 0; i < std::min<std::size_t>(50,
+                                                      ranked.size());
+         ++i) {
+        const Allocation &a = ranked[i];
+        EXPECT_NEAR(a.cpi,
+                    tables.baseCpi + a.tlbCpi + a.icacheCpi +
+                        a.dcacheCpi,
+                    1e-12);
+    }
+}
+
+TEST(AllocationSearch, PrefersBigCheapTlbWhenBenefitIsMonotone)
+{
+    // With the synthetic benefit model (TLB CPI ~ 1/entries) and the
+    // MQF costs (big set-associative TLBs are cheap), the best
+    // allocation must use a 512-entry TLB — the paper's Table 6
+    // conclusion.
+    AllocationSearch search(AreaModel(), 250000.0);
+    const auto ranked = search.rank(syntheticTables());
+    ASSERT_FALSE(ranked.empty());
+    EXPECT_EQ(ranked.front().tlb.entries, 512u);
+}
+
+TEST(AllocationSearch, AssocRestrictionRaisesBestCpi)
+{
+    // Table 7: restricting cache associativity to 2 ways cannot give
+    // a better optimum than the unrestricted search.
+    AllocationSearch search(AreaModel(), 250000.0);
+    const auto unrestricted = search.rank(syntheticTables(), 8);
+    const auto restricted = search.rank(syntheticTables(), 2);
+    ASSERT_FALSE(unrestricted.empty());
+    ASSERT_FALSE(restricted.empty());
+    EXPECT_LE(unrestricted.front().cpi, restricted.front().cpi);
+    for (const auto &a : restricted) {
+        EXPECT_LE(a.icache.assoc, 2u);
+        EXPECT_LE(a.dcache.assoc, 2u);
+    }
+}
+
+TEST(AllocationSearch, TightBudgetShrinksTheList)
+{
+    AllocationSearch wide(AreaModel(), 250000.0);
+    AllocationSearch tight(AreaModel(), 60000.0);
+    const auto big = wide.rank(syntheticTables());
+    const auto small = tight.rank(syntheticTables());
+    EXPECT_GT(big.size(), small.size());
+    EXPECT_FALSE(small.empty());
+    // A tight budget forces a worse best CPI.
+    EXPECT_LT(big.front().cpi, small.front().cpi);
+}
+
+TEST(AllocationSearchDeath, RejectsNonPositiveBudget)
+{
+    EXPECT_EXIT(AllocationSearch(AreaModel(), 0.0),
+                testing::ExitedWithCode(1), "positive");
+}
+
+} // namespace
+} // namespace oma

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Golden regression tests: pin the calibrated baseline numbers so
+ * accidental drift in the workload/OS models is caught immediately.
+ *
+ * The values below were recorded from the calibrated models at seed
+ * 42 with 400,000 references (the exact configuration used here).
+ * They are given generous ±20% bands — tight enough to catch a
+ * broken knob, loose enough to survive benign reordering of RNG
+ * draws. If you *intend* to recalibrate, update the table and the
+ * corresponding EXPERIMENTS.md entries together.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+
+namespace oma
+{
+namespace
+{
+
+struct Golden
+{
+    BenchmarkId id;
+    OsKind os;
+    double cpi;
+    double tlb;
+    double icache;
+    double dcache;
+};
+
+// Recorded calibration snapshot (seed 42, 400k references).
+const Golden kGolden[] = {
+    {BenchmarkId::Mpeg, OsKind::Ultrix, 1.669, 0.071, 0.236, 0.157},
+    {BenchmarkId::Mpeg, OsKind::Mach, 1.853, 0.156, 0.413, 0.104},
+    {BenchmarkId::Mab, OsKind::Ultrix, 1.662, 0.107, 0.249, 0.182},
+    {BenchmarkId::Mab, OsKind::Mach, 1.986, 0.229, 0.459, 0.186},
+    {BenchmarkId::Jpeg, OsKind::Ultrix, 1.406, 0.037, 0.152, 0.078},
+    {BenchmarkId::Jpeg, OsKind::Mach, 1.522, 0.076, 0.220, 0.088},
+    {BenchmarkId::Ousterhout, OsKind::Ultrix, 2.102, 0.045, 0.183,
+     0.638},
+    {BenchmarkId::Ousterhout, OsKind::Mach, 2.452, 0.255, 0.667,
+     0.388},
+    {BenchmarkId::IOzone, OsKind::Ultrix, 2.327, 0.044, 0.149, 0.810},
+    {BenchmarkId::IOzone, OsKind::Mach, 2.734, 0.262, 0.603, 0.632},
+    {BenchmarkId::VideoPlay, OsKind::Ultrix, 2.038, 0.099, 0.237,
+     0.438},
+    {BenchmarkId::VideoPlay, OsKind::Mach, 2.517, 0.278, 0.512,
+     0.487},
+};
+
+class GoldenBaseline : public ::testing::TestWithParam<Golden>
+{
+};
+
+TEST_P(GoldenBaseline, StaysWithinBand)
+{
+    const Golden &g = GetParam();
+    RunConfig rc;
+    rc.references = 400000;
+    rc.seed = 42;
+    const BaselineResult r = runBaseline(g.id, g.os, rc);
+
+    const double tol = 0.20;
+    EXPECT_NEAR(r.cpi.cpi, g.cpi, tol * g.cpi)
+        << benchmarkName(g.id) << "/" << osKindName(g.os);
+    EXPECT_NEAR(r.cpi.tlb, g.tlb, std::max(0.03, tol * g.tlb));
+    EXPECT_NEAR(r.cpi.icache, g.icache,
+                std::max(0.04, tol * g.icache));
+    EXPECT_NEAR(r.cpi.dcache, g.dcache,
+                std::max(0.04, tol * g.dcache));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPairs, GoldenBaseline, ::testing::ValuesIn(kGolden),
+    [](const ::testing::TestParamInfo<Golden> &info) {
+        std::string name = benchmarkName(info.param.id);
+        for (auto &c : name)
+            if (!isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return name + "_" + osKindName(info.param.os);
+    });
+
+} // namespace
+} // namespace oma

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Machine-level TLB stall attribution tests: mapped references whose
+ * translations miss must surface as TLB stall cycles with the right
+ * penalties, and invalidations must propagate through the machine.
+ */
+
+#include <gtest/gtest.h>
+
+#include "machine/machine.hh"
+#include "os/layout.hh"
+
+namespace oma
+{
+namespace
+{
+
+MemRef
+mapped(std::uint64_t vaddr, std::uint32_t asid,
+       RefKind kind = RefKind::Load)
+{
+    MemRef r;
+    r.vaddr = vaddr;
+    r.paddr = 0x100000 + (vaddr & 0xfffff);
+    r.asid = asid;
+    r.kind = kind;
+    r.mode = Mode::User;
+    r.mapped = true;
+    return r;
+}
+
+MachineParams
+tinyTlbMachine()
+{
+    MachineParams p = MachineParams::decstation3100();
+    p.tlb.geom = TlbGeometry::fullyAssoc(2);
+    return p;
+}
+
+TEST(MachineTlb, EvictionRefillsSurfaceAsTlbStall)
+{
+    Machine machine(tinyTlbMachine());
+    // Touch three far-apart pages (sharing one PT page region would
+    // still exceed the 2-entry TLB), then re-touch the first.
+    machine.observe(mapped(0x00001000, 1));
+    machine.observe(mapped(0x00002000, 1));
+    machine.observe(mapped(0x00003000, 1));
+    const std::uint64_t before = machine.stalls().tlbStall;
+    machine.observe(mapped(0x00001000, 1));
+    const std::uint64_t delta = machine.stalls().tlbStall - before;
+    EXPECT_GE(delta, machine.params().tlbPenalties.userMiss);
+}
+
+TEST(MachineTlb, ModifyFaultChargesStall)
+{
+    Machine machine(MachineParams::decstation3100());
+    machine.observe(mapped(0x5000, 1, RefKind::Load)); // fault, clean
+    const std::uint64_t before = machine.stalls().tlbStall;
+    machine.observe(mapped(0x5000, 1, RefKind::Store)); // modify
+    EXPECT_EQ(machine.stalls().tlbStall - before,
+              machine.params().tlbPenalties.modifyFault);
+}
+
+TEST(MachineTlb, InvalidationHookForcesInvalidFault)
+{
+    Machine machine(MachineParams::decstation3100());
+    machine.observe(mapped(0x7000, 1));
+    machine.mmu().invalidatePage(vpnOf(0x7000), 1, false);
+    const std::uint64_t before = machine.stalls().tlbStall;
+    machine.observe(mapped(0x7000, 1));
+    EXPECT_GE(machine.stalls().tlbStall - before,
+              machine.params().tlbPenalties.invalidFault);
+}
+
+TEST(MachineTlb, UnmappedRefsNeverChargeTlb)
+{
+    Machine machine(tinyTlbMachine());
+    for (int i = 0; i < 1000; ++i) {
+        MemRef r;
+        r.vaddr = kseg0Base + i * 4096;
+        r.paddr = i * 4096;
+        r.kind = RefKind::Load;
+        r.mode = Mode::Kernel;
+        r.mapped = false;
+        machine.observe(r);
+    }
+    EXPECT_EQ(machine.stalls().tlbStall, 0u);
+    EXPECT_EQ(machine.mmu().stats().translations, 0u);
+}
+
+TEST(MachineTlb, CyclesIncludeTlbService)
+{
+    Machine machine(tinyTlbMachine());
+    machine.observe(mapped(0x1000, 1));
+    machine.observe(mapped(0x2000, 1));
+    machine.observe(mapped(0x3000, 1));
+    machine.observe(mapped(0x1000, 1)); // refill
+    EXPECT_EQ(machine.cycles(), machine.stalls().cycles());
+    EXPECT_GT(machine.stalls().tlbStall, 0u);
+}
+
+} // namespace
+} // namespace oma

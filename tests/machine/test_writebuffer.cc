@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Unit tests for the write-buffer model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "machine/writebuffer.hh"
+
+namespace oma
+{
+namespace
+{
+
+TEST(WriteBuffer, SlowStoresNeverStall)
+{
+    WriteBuffer wb(4, 6);
+    std::uint64_t now = 0;
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(wb.store(now), 0u);
+        now += 10; // slower than the drain rate
+    }
+    EXPECT_EQ(wb.stallCycles(), 0u);
+    EXPECT_EQ(wb.stores(), 100u);
+}
+
+TEST(WriteBuffer, BurstFillsAndStalls)
+{
+    WriteBuffer wb(4, 6);
+    // Five back-to-back stores at the same cycle: the fifth finds the
+    // buffer full and waits for the first retire (6 cycles).
+    std::uint64_t now = 0;
+    EXPECT_EQ(wb.store(now), 0u);
+    EXPECT_EQ(wb.store(now), 0u);
+    EXPECT_EQ(wb.store(now), 0u);
+    EXPECT_EQ(wb.store(now), 0u);
+    const std::uint64_t stall = wb.store(now);
+    EXPECT_EQ(stall, 6u);
+    EXPECT_EQ(wb.stallCycles(), 6u);
+}
+
+TEST(WriteBuffer, SustainedSaturationStallsPerStore)
+{
+    WriteBuffer wb(2, 10);
+    std::uint64_t now = 0;
+    std::uint64_t total = 0;
+    for (int i = 0; i < 100; ++i) {
+        const std::uint64_t stall = wb.store(now);
+        total += stall;
+        now += 1 + stall; // 1 cycle of work per store
+    }
+    // Steady state: one store per drain period (10 cycles), so ~9
+    // stall cycles per store once saturated.
+    EXPECT_GT(total, 100 * 7u);
+}
+
+TEST(WriteBuffer, DrainsDuringQuietPeriods)
+{
+    WriteBuffer wb(2, 10);
+    std::uint64_t now = 0;
+    wb.store(now);
+    wb.store(now);
+    now += 100; // everything retires
+    EXPECT_EQ(wb.store(now), 0u);
+}
+
+TEST(WriteBuffer, SyncWaitOnEmptyBufferIsFree)
+{
+    WriteBuffer wb(4, 6);
+    EXPECT_EQ(wb.syncWait(0), 0u);
+    wb.store(0);
+    EXPECT_EQ(wb.syncWait(100), 0u); // long retired
+}
+
+TEST(WriteBuffer, SyncWaitBlocksOnInFlightWrite)
+{
+    WriteBuffer wb(4, 6);
+    wb.store(0); // retires at cycle 6
+    const std::uint64_t wait = wb.syncWait(2);
+    EXPECT_EQ(wait, 4u);
+    EXPECT_EQ(wb.stallCycles(), 4u);
+}
+
+TEST(WriteBuffer, SyncWaitConsumesOnlyTheFrontWrite)
+{
+    WriteBuffer wb(4, 6);
+    wb.store(0); // retires at 6
+    wb.store(0); // retires at 12
+    EXPECT_EQ(wb.syncWait(0), 6u); // waits for the first
+    // Second write still pending: another sync at cycle 6 waits for
+    // its completion at 12.
+    EXPECT_EQ(wb.syncWait(6), 6u);
+}
+
+TEST(WriteBuffer, SerializedRetirement)
+{
+    WriteBuffer wb(8, 5);
+    // Two stores at t=0: retire at 5 and 10 (not both at 5).
+    wb.store(0);
+    wb.store(0);
+    // At t=5 the first has retired but the second is in flight until
+    // t=10, so a read conflicts for 5 more cycles.
+    EXPECT_EQ(wb.syncWait(5), 5u);
+    EXPECT_EQ(wb.syncWait(10), 0u);
+}
+
+} // namespace
+} // namespace oma

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Unit tests for the code walker.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "os/codewalk.hh"
+
+namespace oma
+{
+namespace
+{
+
+CodeRegion
+region(std::uint64_t base, std::uint64_t footprint, double skew = 1.0,
+       double run = 12.0, double iters = 4.0)
+{
+    CodeRegion r;
+    r.base = base;
+    r.footprint = footprint;
+    r.skew = skew;
+    r.meanRun = run;
+    r.meanIterations = iters;
+    return r;
+}
+
+TEST(CodeWalker, StaysWithinRegion)
+{
+    const CodeRegion r = region(0x400000, 16 * 1024);
+    CodeWalker walker(r, 1);
+    for (int i = 0; i < 50000; ++i) {
+        const std::uint64_t pc = walker.step();
+        ASSERT_GE(pc, r.base);
+        ASSERT_LT(pc, r.base + r.footprint);
+        ASSERT_EQ(pc % 4, 0u);
+    }
+}
+
+TEST(CodeWalker, DeterministicPerSeed)
+{
+    const CodeRegion r = region(0x400000, 32 * 1024);
+    CodeWalker a(r, 7), b(r, 7), c(r, 8);
+    bool any_diff = false;
+    for (int i = 0; i < 1000; ++i) {
+        const std::uint64_t pa = a.step();
+        ASSERT_EQ(pa, b.step());
+        any_diff |= (pa != c.step());
+    }
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(CodeWalker, MostlySequentialWithinRuns)
+{
+    const CodeRegion r = region(0x400000, 64 * 1024, 1.0, 16.0, 1.0);
+    CodeWalker walker(r, 3);
+    std::uint64_t prev = walker.step();
+    int sequential = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const std::uint64_t pc = walker.step();
+        if (pc == prev + 4)
+            ++sequential;
+        prev = pc;
+    }
+    // Mean run 16 => ~15/16 of steps are sequential.
+    EXPECT_GT(double(sequential) / n, 0.8);
+}
+
+TEST(CodeWalker, LoopIterationCreatesReuse)
+{
+    // With heavy iteration the same addresses recur: distinct/total
+    // must be far below 1.
+    const CodeRegion heavy = region(0x400000, 64 * 1024, 1.0, 16, 10);
+    CodeWalker walker(heavy, 5);
+    std::set<std::uint64_t> distinct;
+    const int n = 40000;
+    for (int i = 0; i < n; ++i)
+        distinct.insert(walker.step());
+    EXPECT_LT(double(distinct.size()) / n, 0.25);
+
+    // Without iteration the stream touches far more distinct code.
+    const CodeRegion flat = region(0x400000, 64 * 1024, 1.0, 16, 1);
+    CodeWalker once(flat, 5);
+    std::set<std::uint64_t> distinct_once;
+    for (int i = 0; i < n; ++i)
+        distinct_once.insert(once.step());
+    EXPECT_GT(distinct_once.size(), distinct.size());
+}
+
+TEST(CodeWalker, SkewConcentratesFetches)
+{
+    auto top_share = [](double skew) {
+        CodeWalker walker(region(0, 64 * 1024, skew, 12, 2), 11);
+        std::map<std::uint64_t, int> hist;
+        for (int i = 0; i < 50000; ++i)
+            ++hist[walker.step() / 4096];
+        // Share of the 4 hottest pages.
+        std::vector<int> counts;
+        for (auto &kv : hist)
+            counts.push_back(kv.second);
+        std::sort(counts.rbegin(), counts.rend());
+        int top = 0, total = 0;
+        for (std::size_t i = 0; i < counts.size(); ++i) {
+            total += counts[i];
+            if (i < 4)
+                top += counts[i];
+        }
+        return double(top) / total;
+    };
+    EXPECT_GT(top_share(1.4), top_share(0.6));
+}
+
+TEST(CodePath, SequentialAddresses)
+{
+    const CodePath path{0x80030000, 100};
+    EXPECT_EQ(path.pc(0), 0x80030000u);
+    EXPECT_EQ(path.pc(1), 0x80030004u);
+    EXPECT_EQ(path.pc(99), 0x80030000u + 99 * 4);
+    EXPECT_EQ(path.bytes(), 400u);
+}
+
+TEST(CodeWalkerDeath, TinyRegionRejected)
+{
+    const CodeRegion r = region(0x400000, 32);
+    EXPECT_EXIT(CodeWalker(r, 1), testing::ExitedWithCode(1),
+                "granule");
+}
+
+} // namespace
+} // namespace oma

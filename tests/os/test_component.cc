@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Unit tests for Component reference emission.
+ */
+
+#include <gtest/gtest.h>
+
+#include "os/component.hh"
+#include "os/layout.hh"
+
+namespace oma
+{
+namespace
+{
+
+CodeRegion
+code()
+{
+    CodeRegion r;
+    r.base = layout::userTextBase;
+    r.footprint = 16 * 1024;
+    return r;
+}
+
+DataBehavior
+data()
+{
+    DataBehavior d;
+    d.loadPerInstr = 0.2;
+    d.storePerInstr = 0.1;
+    d.stackBase = layout::userStackBase;
+    d.wsBase = layout::userWsBase;
+    d.wsBytes = 64 * 1024;
+    return d;
+}
+
+TEST(Component, RunEmitsRequestedInstructionCount)
+{
+    AddressSpace space(1, 1);
+    Component comp("app", space, Mode::User, code(), data(), 1);
+    VectorTraceSink sink;
+    comp.run(1000, sink);
+    std::uint64_t fetches = 0, datarefs = 0;
+    for (const MemRef &r : sink.refs) {
+        if (r.isFetch())
+            ++fetches;
+        else
+            ++datarefs;
+    }
+    EXPECT_EQ(fetches, 1000u);
+    EXPECT_EQ(comp.instructionsRun(), 1000u);
+    EXPECT_GT(datarefs, 100u);
+    EXPECT_LT(datarefs, 600u);
+}
+
+TEST(Component, RefsCarryModeAndAsid)
+{
+    AddressSpace space(5, 1);
+    Component comp("app", space, Mode::User, code(), data(), 2);
+    VectorTraceSink sink;
+    comp.run(200, sink);
+    for (const MemRef &r : sink.refs) {
+        EXPECT_EQ(r.mode, Mode::User);
+        EXPECT_EQ(r.asid, 5u);
+        EXPECT_TRUE(r.mapped);
+        EXPECT_EQ(r.paddr, space.paddrFor(r.vaddr));
+    }
+}
+
+TEST(Component, KernelComponentEmitsUnmappedKseg0)
+{
+    AddressSpace kspace(0, 1);
+    CodeRegion kcode;
+    kcode.base = layout::kTrapTextBase;
+    kcode.footprint = 8 * 1024;
+    DataBehavior kdata = data();
+    kdata.stackBase = layout::kStackBase;
+    kdata.wsBase = layout::kDataBase;
+    Component comp("kern", kspace, Mode::Kernel, kcode, kdata, 3);
+    VectorTraceSink sink;
+    comp.run(200, sink);
+    for (const MemRef &r : sink.refs) {
+        EXPECT_EQ(r.mode, Mode::Kernel);
+        if (r.isFetch()) {
+            EXPECT_FALSE(r.mapped); // kseg0 text
+        }
+    }
+}
+
+TEST(Component, RunPathIsSequential)
+{
+    AddressSpace space(1, 1);
+    Component comp("app", space, Mode::User, code(), data(), 4);
+    VectorTraceSink sink;
+    const CodePath path{layout::userTextBase + 0x8000, 50};
+    comp.runPath(path, sink, 0.0);
+    ASSERT_EQ(sink.refs.size(), 50u);
+    for (std::size_t i = 0; i < 50; ++i) {
+        EXPECT_EQ(sink.refs[i].vaddr, path.base + i * 4);
+        EXPECT_TRUE(sink.refs[i].isFetch());
+    }
+}
+
+TEST(Component, RunPathDataMixRespectsRate)
+{
+    AddressSpace space(1, 1);
+    Component comp("app", space, Mode::User, code(), data(), 5);
+    VectorTraceSink sink;
+    comp.runPath({layout::userTextBase, 1000}, sink, 0.25);
+    std::uint64_t fetches = 0, datarefs = 0;
+    for (const MemRef &r : sink.refs)
+        (r.isFetch() ? fetches : datarefs)++;
+    EXPECT_EQ(fetches, 1000u);
+    EXPECT_EQ(datarefs, 250u);
+}
+
+TEST(Component, CopyLoopStructure)
+{
+    AddressSpace ksp(0, 1), usp(1, 1);
+    CodeRegion kcode;
+    kcode.base = layout::kTrapTextBase;
+    kcode.footprint = 8 * 1024;
+    Component kern("kern", ksp, Mode::Kernel, kcode, data(), 6);
+    VectorTraceSink sink;
+    kern.copyLoop(ksp, layout::kBufferCacheBase, usp, 0x20000000, 64,
+                  sink);
+    // 16 words: per word 2 ifetches + 1 load + 1 store.
+    ASSERT_EQ(sink.refs.size(), 16u * 4);
+    for (std::size_t w = 0; w < 16; ++w) {
+        const MemRef &f1 = sink.refs[w * 4 + 0];
+        const MemRef &ld = sink.refs[w * 4 + 1];
+        const MemRef &f2 = sink.refs[w * 4 + 2];
+        const MemRef &st = sink.refs[w * 4 + 3];
+        EXPECT_TRUE(f1.isFetch());
+        EXPECT_TRUE(f2.isFetch());
+        EXPECT_TRUE(ld.isLoad());
+        EXPECT_TRUE(st.isStore());
+        // Load walks the kernel buffer; store walks the user buffer.
+        EXPECT_EQ(ld.vaddr, layout::kBufferCacheBase + w * 4);
+        EXPECT_FALSE(ld.mapped); // kseg0 buffer
+        EXPECT_EQ(st.vaddr, 0x20000000u + w * 4);
+        EXPECT_TRUE(st.mapped);
+        EXPECT_EQ(st.asid, 1u); // destination space's ASID
+        EXPECT_EQ(st.mode, Mode::Kernel);
+    }
+}
+
+TEST(Component, CopyLoopRoundsUpPartialWords)
+{
+    AddressSpace sp(1, 1);
+    Component comp("app", sp, Mode::User, code(), data(), 7);
+    VectorTraceSink sink;
+    comp.copyLoop(sp, 0x1000, sp, 0x2000, 10, sink); // 10 B -> 3 words
+    EXPECT_EQ(sink.refs.size(), 3u * 4);
+}
+
+} // namespace
+} // namespace oma

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Unit tests for the data-reference generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "os/datagen.hh"
+
+namespace oma
+{
+namespace
+{
+
+DataBehavior
+behavior()
+{
+    DataBehavior d;
+    d.loadPerInstr = 0.2;
+    d.storePerInstr = 0.1;
+    d.stackBase = 0x7ffe0000;
+    d.stackBytes = 8 * 1024;
+    d.stackFrac = 0.3;
+    d.wsBase = 0x10000000;
+    d.wsBytes = 128 * 1024;
+    d.streamFracLoad = 0.2;
+    d.streamFracStore = 0.4;
+    d.streamBase = 0x20000000;
+    d.streamBytes = 64 * 1024;
+    return d;
+}
+
+TEST(DataGen, RatesApproximatelyHonoured)
+{
+    DataGen gen(behavior(), 1);
+    const int n = 200000;
+    int loads = 0, stores = 0;
+    for (int i = 0; i < n; ++i) {
+        bool is_store = false;
+        if (gen.refForInstr(is_store)) {
+            (is_store ? stores : loads)++;
+            gen.nextAddr(is_store);
+        }
+    }
+    EXPECT_NEAR(double(loads) / n, 0.2, 0.02);
+    EXPECT_NEAR(double(stores) / n, 0.1, 0.02);
+}
+
+TEST(DataGen, AddressesStayInConfiguredRegions)
+{
+    const DataBehavior d = behavior();
+    DataGen gen(d, 2);
+    for (int i = 0; i < 100000; ++i) {
+        bool is_store = false;
+        if (!gen.refForInstr(is_store))
+            continue;
+        const std::uint64_t addr = gen.nextAddr(is_store);
+        const bool in_stack = addr >= d.stackBase &&
+            addr < d.stackBase + d.stackBytes;
+        const bool in_ws =
+            addr >= d.wsBase && addr < d.wsBase + d.wsBytes;
+        const bool in_stream = addr >= d.streamBase &&
+            addr < d.streamBase + d.streamBytes + 64;
+        ASSERT_TRUE(in_stack || in_ws || in_stream)
+            << std::hex << addr;
+        ASSERT_EQ(addr % 4, 0u);
+    }
+}
+
+TEST(DataGen, StoreBurstsAreSequentialWords)
+{
+    DataBehavior d = behavior();
+    d.storeBurstMean = 8.0;
+    DataGen gen(d, 3);
+    int burst_continuations = 0;
+    int stores = 0;
+    std::uint64_t prev_store = 0;
+    for (int i = 0; i < 100000; ++i) {
+        bool is_store = false;
+        if (!gen.refForInstr(is_store))
+            continue;
+        const std::uint64_t addr = gen.nextAddr(is_store);
+        if (is_store) {
+            if (stores && addr == prev_store + 4)
+                ++burst_continuations;
+            prev_store = addr;
+            ++stores;
+        }
+    }
+    // With mean burst 8, most stores continue a burst.
+    EXPECT_GT(double(burst_continuations) / stores, 0.6);
+}
+
+TEST(DataGen, BurstNormalizationKeepsStoreRate)
+{
+    DataBehavior d = behavior();
+    d.storeBurstMean = 6.0;
+    DataGen gen(d, 4);
+    const int n = 300000;
+    int stores = 0;
+    for (int i = 0; i < n; ++i) {
+        bool is_store = false;
+        if (gen.refForInstr(is_store) && is_store) {
+            ++stores;
+            gen.nextAddr(true);
+        } else if (!is_store) {
+            // refForInstr returned load or nothing; address only on
+            // a data ref, which this branch cannot distinguish, so
+            // draw nothing.
+        }
+    }
+    EXPECT_NEAR(double(stores) / n, d.storePerInstr,
+                0.25 * d.storePerInstr);
+}
+
+TEST(DataGen, StreamWrapsAround)
+{
+    DataBehavior d = behavior();
+    d.loadPerInstr = 1.0;
+    d.storePerInstr = 0.0;
+    d.streamFracLoad = 1.0;
+    d.stackFrac = 0.0;
+    d.streamBytes = 256;
+    DataGen gen(d, 5);
+    std::uint64_t max_seen = 0;
+    for (int i = 0; i < 1000; ++i) {
+        bool is_store = false;
+        ASSERT_TRUE(gen.refForInstr(is_store));
+        const std::uint64_t addr = gen.nextAddr(is_store);
+        ASSERT_LT(addr, d.streamBase + d.streamBytes);
+        max_seen = std::max(max_seen, addr);
+    }
+    EXPECT_EQ(max_seen, d.streamBase + d.streamBytes - 4);
+}
+
+TEST(DataGen, SecondWorkingSetUsedWhenConfigured)
+{
+    DataBehavior d = behavior();
+    d.streamFracLoad = 0.0;
+    d.streamFracStore = 0.0;
+    d.stackFrac = 0.0;
+    d.ws2Frac = 1.0;
+    d.ws2Base = 0xd0000000;
+    d.ws2Bytes = 32 * 1024;
+    DataGen gen(d, 6);
+    for (int i = 0; i < 10000; ++i) {
+        bool is_store = false;
+        if (!gen.refForInstr(is_store))
+            continue;
+        const std::uint64_t addr = gen.nextAddr(is_store);
+        if (is_store)
+            continue; // bursts may continue outside; loads only
+        ASSERT_GE(addr, d.ws2Base);
+        ASSERT_LT(addr, d.ws2Base + d.ws2Bytes);
+    }
+}
+
+TEST(DataGen, DeterministicPerSeed)
+{
+    DataGen a(behavior(), 9), b(behavior(), 9);
+    for (int i = 0; i < 10000; ++i) {
+        bool sa = false, sb = false;
+        const bool ra = a.refForInstr(sa);
+        const bool rb = b.refForInstr(sb);
+        ASSERT_EQ(ra, rb);
+        ASSERT_EQ(sa, sb);
+        if (ra) {
+            ASSERT_EQ(a.nextAddr(sa), b.nextAddr(sb));
+        }
+    }
+}
+
+} // namespace
+} // namespace oma

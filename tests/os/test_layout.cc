@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Tests on the canonical virtual-memory layout: kernel regions must
+ * be non-overlapping, properly segmented, and laid out so they do
+ * not alias each other in a direct-mapped physically-indexed cache
+ * (kseg0 is identity-mapped).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "os/layout.hh"
+
+namespace oma
+{
+namespace
+{
+
+struct Region
+{
+    const char *name;
+    std::uint64_t base;
+    std::uint64_t size;
+};
+
+std::vector<Region>
+kernelTextRegions()
+{
+    return {
+        {"trap", layout::kTrapTextBase, 8 * 1024},
+        {"svc", layout::kSvcTextBase, 24 * 1024},
+        {"ipc", layout::kIpcTextBase, 20 * 1024},
+        {"timer", layout::kTimerTextBase, 4 * 1024},
+        {"kstack", layout::kStackBase, 8 * 1024},
+    };
+}
+
+TEST(Layout, KernelRegionsDoNotOverlap)
+{
+    const auto regions = kernelTextRegions();
+    for (std::size_t i = 0; i < regions.size(); ++i) {
+        for (std::size_t j = i + 1; j < regions.size(); ++j) {
+            const Region &a = regions[i];
+            const Region &b = regions[j];
+            const bool disjoint = a.base + a.size <= b.base ||
+                b.base + b.size <= a.base;
+            EXPECT_TRUE(disjoint) << a.name << " vs " << b.name;
+        }
+    }
+}
+
+TEST(Layout, KernelRegionsLiveInKseg0)
+{
+    for (const Region &r : kernelTextRegions()) {
+        EXPECT_TRUE(inKseg0(r.base)) << r.name;
+        EXPECT_TRUE(inKseg0(r.base + r.size - 1)) << r.name;
+        EXPECT_FALSE(isMappedAddress(r.base)) << r.name;
+    }
+    EXPECT_TRUE(inKseg0(layout::kDataBase));
+    EXPECT_TRUE(inKseg0(layout::kBufferCacheBase));
+}
+
+TEST(Layout, KernelTextFitsA64KDirectMappedCacheWithoutSelfAliasing)
+{
+    // The packed kernel image must not wrap around a 64-KB
+    // direct-mapped cache: its total span stays under 64 KB.
+    const auto regions = kernelTextRegions();
+    std::uint64_t lo = ~0ULL, hi = 0;
+    for (const Region &r : regions) {
+        lo = std::min(lo, r.base);
+        hi = std::max(hi, r.base + r.size);
+    }
+    EXPECT_LE(hi - lo, 64u * 1024);
+}
+
+TEST(Layout, UserRegionsAreMapped)
+{
+    for (std::uint64_t va :
+         {layout::userTextBase, layout::userWsBase,
+          layout::userStreamBase, layout::userStackBase,
+          layout::emulTextBase, layout::serverBufBase,
+          layout::xShareBase}) {
+        EXPECT_TRUE(inKuseg(va)) << std::hex << va;
+        EXPECT_TRUE(isMappedAddress(va));
+    }
+}
+
+TEST(Layout, FrameBufferIsUncachedKseg1)
+{
+    EXPECT_GE(layout::frameBufferBase, kseg1Base);
+    EXPECT_LT(layout::frameBufferBase, kseg2Base);
+    EXPECT_FALSE(isMappedAddress(layout::frameBufferBase));
+}
+
+TEST(Layout, Kseg2DynamicsAboveAllPageTables)
+{
+    // The per-ASID linear page tables occupy kseg2Base + asid * 4 MB;
+    // dynamic kernel structures must start above the last one.
+    const std::uint64_t last_pt_end = pageTableBase(63) + (1ULL << 22);
+    EXPECT_GE(layout::kseg2DynBase, last_pt_end);
+    EXPECT_TRUE(inKseg2(layout::kseg2DynBase));
+}
+
+TEST(Layout, AsidsAreDistinct)
+{
+    std::vector<std::uint32_t> asids = {
+        layout::kernelAsid, layout::appAsid, layout::xServerAsid,
+        layout::bsdServerAsid, layout::pagerAsid,
+        layout::extraServerAsid};
+    for (std::size_t i = 0; i < asids.size(); ++i)
+        for (std::size_t j = i + 1; j < asids.size(); ++j)
+            EXPECT_NE(asids[i], asids[j]);
+}
+
+TEST(Layout, PteVpnHelperIsConsistent)
+{
+    // The PTE page of user vpn V in space A sits (V >> 10) pages
+    // above that space's page-table base.
+    for (std::uint32_t asid : {1u, 7u, 63u}) {
+        for (std::uint64_t vpn : {0ULL, 1023ULL, 1024ULL, 0xfffffULL}) {
+            EXPECT_EQ(ptePageVpn(asid, vpn),
+                      vpnOf(pageTableBase(asid)) + (vpn >> 10));
+        }
+    }
+}
+
+} // namespace
+} // namespace oma

@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Tests for the Ultrix and Mach OS structure models: the structural
+ * properties of Section 4 (invocation path lengths, address spaces
+ * crossed, mapped vs unmapped service code).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "os/mach.hh"
+#include "os/osmodel.hh"
+#include "os/ultrix.hh"
+
+namespace oma
+{
+namespace
+{
+
+struct Harness
+{
+    explicit Harness(OsKind kind)
+        : os(makeOsModel(kind, 99)), appSpace(layout::appAsid, 99)
+    {
+        CodeRegion code;
+        code.base = layout::userTextBase;
+        code.footprint = 32 * 1024;
+        DataBehavior data;
+        data.stackBase = layout::userStackBase;
+        data.wsBase = layout::userWsBase;
+        data.wsBytes = 64 * 1024;
+        data.streamBase = layout::userStreamBase;
+        data.streamBytes = 1024 * 1024;
+        app = std::make_unique<Component>("app", appSpace, Mode::User,
+                                          code, data, 99);
+        os->attachApp(appSpace, app->dataBehavior());
+    }
+
+    VectorTraceSink
+    invoke(ServiceKind kind, std::uint64_t bytes)
+    {
+        VectorTraceSink sink;
+        ServiceRequest req;
+        req.kind = kind;
+        req.bytes = bytes;
+        req.userBufferVa = layout::userStreamBase;
+        os->invokeService(*app, req, sink);
+        return sink;
+    }
+
+    std::unique_ptr<OsModel> os;
+    AddressSpace appSpace;
+    std::unique_ptr<Component> app;
+};
+
+std::map<std::uint32_t, std::uint64_t>
+fetchesByAsid(const VectorTraceSink &sink)
+{
+    std::map<std::uint32_t, std::uint64_t> by;
+    for (const MemRef &r : sink.refs) {
+        if (r.isFetch())
+            ++by[r.asid];
+    }
+    return by;
+}
+
+std::uint64_t
+countFetches(const VectorTraceSink &sink, bool mapped_only)
+{
+    std::uint64_t n = 0;
+    for (const MemRef &r : sink.refs) {
+        if (r.isFetch() && (!mapped_only || r.mapped))
+            ++n;
+    }
+    return n;
+}
+
+TEST(UltrixModel, StatServiceIsShortAndKernelOnly)
+{
+    Harness h(OsKind::Ultrix);
+    const auto sink = h.invoke(ServiceKind::Stat, 0);
+    for (const MemRef &r : sink.refs) {
+        EXPECT_EQ(r.mode, Mode::Kernel);
+        if (r.isFetch()) {
+            EXPECT_FALSE(r.mapped); // all service code in kseg0
+        }
+    }
+    // trap + body + return: a few hundred to ~1500 instructions.
+    const std::uint64_t fetches = countFetches(sink, false);
+    EXPECT_GT(fetches, 300u);
+    EXPECT_LT(fetches, 2000u);
+}
+
+TEST(UltrixModel, FileReadCopiesIntoCallerBuffer)
+{
+    Harness h(OsKind::Ultrix);
+    const auto sink = h.invoke(ServiceKind::FileRead, 4096);
+    std::uint64_t stores_to_user = 0;
+    for (const MemRef &r : sink.refs) {
+        if (r.isStore() && r.asid == layout::appAsid && r.mapped)
+            ++stores_to_user;
+    }
+    EXPECT_EQ(stores_to_user, 1024u); // 4 KB / 4-byte words
+}
+
+TEST(UltrixModel, NoUserLevelServerInvolved)
+{
+    Harness h(OsKind::Ultrix);
+    const auto sink = h.invoke(ServiceKind::FileRead, 1024);
+    const auto by = fetchesByAsid(sink);
+    // Only kernel (asid 0) instruction fetches.
+    EXPECT_EQ(by.size(), 1u);
+    EXPECT_TRUE(by.count(0));
+}
+
+TEST(MachModel, ServiceCrossesThreeAddressSpaces)
+{
+    Harness h(OsKind::Mach);
+    const auto sink = h.invoke(ServiceKind::Stat, 0);
+    const auto by = fetchesByAsid(sink);
+    EXPECT_TRUE(by.count(0)) << "kernel fetches";
+    EXPECT_TRUE(by.count(layout::appAsid)) << "emulation library";
+    EXPECT_TRUE(by.count(layout::bsdServerAsid)) << "BSD server";
+}
+
+TEST(MachModel, ServerCodeRunsMappedInUserMode)
+{
+    Harness h(OsKind::Mach);
+    const auto sink = h.invoke(ServiceKind::Stat, 0);
+    std::uint64_t mapped_user_fetches = 0;
+    for (const MemRef &r : sink.refs) {
+        if (r.isFetch() && r.asid == layout::bsdServerAsid) {
+            EXPECT_EQ(r.mode, Mode::User);
+            EXPECT_TRUE(r.mapped);
+            ++mapped_user_fetches;
+        }
+    }
+    EXPECT_GT(mapped_user_fetches, 200u);
+}
+
+TEST(MachModel, InvocationPathMuchLongerThanUltrix)
+{
+    // Section 4.1: Ultrix round trip < 100 instructions of
+    // invocation; Mach ~1000 call + ~850 return. Compare identical
+    // Stat services: the difference is pure invocation plumbing.
+    Harness ultrix(OsKind::Ultrix);
+    Harness mach(OsKind::Mach);
+    // Average over several calls (bodies are jittered).
+    std::uint64_t u = 0, m = 0;
+    const int calls = 20;
+    for (int i = 0; i < calls; ++i) {
+        u += countFetches(ultrix.invoke(ServiceKind::Stat, 0), false);
+        m += countFetches(mach.invoke(ServiceKind::Stat, 0), false);
+    }
+    const double extra = double(m - u) / calls;
+    // The Mach extra plumbing is ~1850 instructions of paths plus
+    // stubs and context switches.
+    EXPECT_GT(extra, 1200.0);
+    EXPECT_LT(extra, 3500.0);
+}
+
+TEST(MachModel, EmulationLibraryRunsInCallersSpace)
+{
+    Harness h(OsKind::Mach);
+    const auto sink = h.invoke(ServiceKind::Stat, 0);
+    std::uint64_t emul_fetches = 0;
+    for (const MemRef &r : sink.refs) {
+        if (r.isFetch() && r.asid == layout::appAsid &&
+            r.vaddr >= layout::emulTextBase) {
+            EXPECT_EQ(r.mode, Mode::User);
+            ++emul_fetches;
+        }
+    }
+    // emulCall (200) + emulRet (150) instructions.
+    EXPECT_GE(emul_fetches, 300u);
+}
+
+TEST(MachModel, DisplayFrameGoesThroughBsdServerByDefault)
+{
+    Harness h(OsKind::Mach);
+    VectorTraceSink sink;
+    h.os->displayFrame(*h.app, 8192, sink);
+    const auto by = fetchesByAsid(sink);
+    EXPECT_TRUE(by.count(layout::bsdServerAsid));
+    EXPECT_TRUE(by.count(layout::xServerAsid));
+    // Frame payload copied twice: app->server and server->X.
+    std::uint64_t copy_stores = 0;
+    for (const MemRef &r : sink.refs) {
+        if (r.isStore() && r.mapped)
+            ++copy_stores;
+    }
+    EXPECT_GT(copy_stores, 2 * 8192 / 4 - 200);
+}
+
+TEST(MachModel, VmShareVariantSkipsTheCopies)
+{
+    MachParams params;
+    params.xViaBsdServer = false;
+    auto os = std::make_unique<MachModel>(7, params);
+    AddressSpace app_space(layout::appAsid, 7);
+    CodeRegion code;
+    code.base = layout::userTextBase;
+    code.footprint = 32 * 1024;
+    DataBehavior data;
+    data.streamBase = layout::userStreamBase;
+    data.streamBytes = 1024 * 1024;
+    Component app("app", app_space, Mode::User, code, data, 7);
+    os->attachApp(app_space, app.dataBehavior());
+
+    VectorTraceSink sink;
+    os->displayFrame(app, 8192, sink);
+    const auto by = fetchesByAsid(sink);
+    EXPECT_FALSE(by.count(layout::bsdServerAsid));
+    EXPECT_TRUE(by.count(layout::xServerAsid));
+}
+
+TEST(MachModel, FrameBufferWritesAreUncachedKseg1)
+{
+    Harness h(OsKind::Mach);
+    VectorTraceSink sink;
+    h.os->displayFrame(*h.app, 4096, sink);
+    std::uint64_t fb_stores = 0;
+    for (const MemRef &r : sink.refs) {
+        if (r.isStore() && r.vaddr >= kseg1Base &&
+            r.vaddr < kseg2Base) {
+            EXPECT_FALSE(r.mapped);
+            ++fb_stores;
+        }
+    }
+    EXPECT_EQ(fb_stores, 1024u);
+}
+
+TEST(OsModel, VmActivityFiresInvalidateHook)
+{
+    for (OsKind kind : {OsKind::Ultrix, OsKind::Mach}) {
+        Harness h(kind);
+        int invalidations = 0;
+        h.os->setInvalidateHook(
+            [&](std::uint64_t, std::uint32_t, bool) {
+                ++invalidations;
+            });
+        VectorTraceSink sink;
+        h.os->vmActivity(*h.app, sink);
+        EXPECT_GT(invalidations, 0) << osKindName(kind);
+        EXPECT_GT(sink.refs.size(), 100u) << osKindName(kind);
+    }
+}
+
+TEST(OsModel, TimerTickIsShortKernelPath)
+{
+    for (OsKind kind : {OsKind::Ultrix, OsKind::Mach}) {
+        Harness h(kind);
+        VectorTraceSink sink;
+        h.os->timerTick(sink);
+        for (const MemRef &r : sink.refs)
+            EXPECT_EQ(r.mode, Mode::Kernel);
+        EXPECT_GT(countFetches(sink, false), 100u);
+        EXPECT_LT(countFetches(sink, false), 1000u);
+    }
+}
+
+TEST(OsModel, Names)
+{
+    EXPECT_STREQ(osKindName(OsKind::Ultrix), "Ultrix");
+    EXPECT_STREQ(osKindName(OsKind::Mach), "Mach");
+    EXPECT_STREQ(makeOsModel(OsKind::Ultrix, 1)->name(), "Ultrix");
+    EXPECT_STREQ(makeOsModel(OsKind::Mach, 1)->name(), "Mach");
+}
+
+TEST(MachModelDeath, ServiceWithoutAttachPanics)
+{
+    MachModel os(3, MachParams());
+    AddressSpace space(layout::appAsid, 3);
+    CodeRegion code;
+    code.base = layout::userTextBase;
+    code.footprint = 16 * 1024;
+    Component app("app", space, Mode::User, code, DataBehavior(), 3);
+    VectorTraceSink sink;
+    ServiceRequest req;
+    EXPECT_DEATH(os.invokeService(app, req, sink), "attachApp");
+}
+
+} // namespace
+} // namespace oma

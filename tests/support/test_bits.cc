@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Unit tests for the bit-manipulation helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/bits.hh"
+
+namespace oma
+{
+namespace
+{
+
+TEST(Bits, IsPowerOfTwo)
+{
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_TRUE(isPowerOfTwo(1ULL << 40));
+    EXPECT_FALSE(isPowerOfTwo((1ULL << 40) + 1));
+    EXPECT_TRUE(isPowerOfTwo(1ULL << 63));
+}
+
+TEST(Bits, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(4), 2u);
+    EXPECT_EQ(floorLog2(4096), 12u);
+    EXPECT_EQ(floorLog2((1ULL << 50) + 17), 50u);
+}
+
+TEST(Bits, CeilLog2)
+{
+    EXPECT_EQ(ceilLog2(0), 0u);
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(2), 1u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(4), 2u);
+    EXPECT_EQ(ceilLog2(5), 3u);
+    EXPECT_EQ(ceilLog2(1ULL << 20), 20u);
+}
+
+TEST(Bits, AlignDownUp)
+{
+    EXPECT_EQ(alignDown(0x1234, 0x1000), 0x1000u);
+    EXPECT_EQ(alignUp(0x1234, 0x1000), 0x2000u);
+    EXPECT_EQ(alignDown(0x1000, 0x1000), 0x1000u);
+    EXPECT_EQ(alignUp(0x1000, 0x1000), 0x1000u);
+    EXPECT_EQ(alignDown(7, 4), 4u);
+    EXPECT_EQ(alignUp(7, 4), 8u);
+}
+
+TEST(Bits, BitField)
+{
+    EXPECT_EQ(bitField(0xdeadbeef, 0, 8), 0xefu);
+    EXPECT_EQ(bitField(0xdeadbeef, 8, 8), 0xbeu);
+    EXPECT_EQ(bitField(0xdeadbeef, 16, 16), 0xdeadu);
+    EXPECT_EQ(bitField(~0ULL, 0, 64), ~0ULL);
+    EXPECT_EQ(bitField(0xff, 4, 0), 0u);
+}
+
+class Log2Roundtrip : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(Log2Roundtrip, PowerOfTwoIsItsOwnLog)
+{
+    const unsigned bit = GetParam();
+    const std::uint64_t value = 1ULL << bit;
+    EXPECT_EQ(floorLog2(value), bit);
+    EXPECT_EQ(ceilLog2(value), bit);
+    EXPECT_TRUE(isPowerOfTwo(value));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBits, Log2Roundtrip,
+                         ::testing::Values(0u, 1u, 2u, 3u, 7u, 12u, 20u,
+                                           31u, 32u, 47u, 63u));
+
+} // namespace
+} // namespace oma

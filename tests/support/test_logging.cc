@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Tests for the error-reporting helpers (fatal/panic semantics).
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/logging.hh"
+
+namespace oma
+{
+namespace
+{
+
+TEST(LoggingDeath, FatalExitsWithStatusOne)
+{
+    EXPECT_EXIT(fatal("user mistake"), testing::ExitedWithCode(1),
+                "user mistake");
+}
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH(panic("library bug"), "library bug");
+}
+
+TEST(LoggingDeath, FatalIfTriggersOnlyWhenTrue)
+{
+    fatalIf(false, "must not fire");
+    EXPECT_EXIT(fatalIf(true, "condition met"),
+                testing::ExitedWithCode(1), "condition met");
+}
+
+TEST(LoggingDeath, PanicIfTriggersOnlyWhenTrue)
+{
+    panicIf(false, "must not fire");
+    EXPECT_DEATH(panicIf(true, "invariant broken"),
+                 "invariant broken");
+}
+
+TEST(Logging, WarnAndInformDoNotTerminate)
+{
+    warn("just a warning");
+    inform("just a note");
+    SUCCEED();
+}
+
+} // namespace
+} // namespace oma

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Unit and statistical tests for the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "support/rng.hh"
+
+namespace oma
+{
+namespace
+{
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+        for (int i = 0; i < 200; ++i)
+            ASSERT_LT(rng.below(bound), bound);
+    }
+}
+
+TEST(Rng, BelowCoversAllValues)
+{
+    Rng rng(11);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(rng.below(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(3);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const std::uint64_t v = rng.range(5, 9);
+        ASSERT_GE(v, 5u);
+        ASSERT_LE(v, 9u);
+        saw_lo |= (v == 5);
+        saw_hi |= (v == 9);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformMeanNearHalf)
+{
+    Rng rng(17);
+    double sum = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, GeometricMeanMatchesParameter)
+{
+    Rng rng(23);
+    const double p = 1.0 / 20.0;
+    double sum = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        sum += double(rng.geometric(p));
+    EXPECT_NEAR(sum / n, 20.0, 1.0);
+}
+
+TEST(Rng, GeometricOfOneIsAlwaysOne)
+{
+    Rng rng(29);
+    for (int i = 0; i < 100; ++i)
+        ASSERT_EQ(rng.geometric(1.0), 1u);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(31);
+    for (int i = 0; i < 100; ++i) {
+        ASSERT_FALSE(rng.chance(0.0));
+        ASSERT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, Mix64IsDeterministicAndSpreads)
+{
+    EXPECT_EQ(mix64(42), mix64(42));
+    EXPECT_NE(mix64(42), mix64(43));
+    // Avalanche sanity: flipping one input bit flips many output bits.
+    const std::uint64_t delta = mix64(1000) ^ mix64(1001);
+    EXPECT_GE(__builtin_popcountll(delta), 16);
+}
+
+/** Zipf mass must concentrate on low ranks and stay in range. */
+class ZipfSkew : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(ZipfSkew, MassConcentratesOnLowRanks)
+{
+    const double s = GetParam();
+    Rng rng(37);
+    const std::uint64_t n = 1024;
+    const int draws = 20000;
+    int top_decile = 0;
+    for (int i = 0; i < draws; ++i) {
+        const std::uint64_t v = rng.zipf(n, s);
+        ASSERT_LT(v, n);
+        if (v < n / 10)
+            ++top_decile;
+    }
+    // A uniform draw would put ~10% in the top decile; Zipf puts far
+    // more, increasing with the exponent.
+    EXPECT_GT(double(top_decile) / draws, 0.3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Skews, ZipfSkew,
+                         ::testing::Values(0.8, 1.0, 1.2, 1.5));
+
+TEST(Rng, ZipfHigherSkewConcentratesMore)
+{
+    Rng a(41), b(41);
+    const std::uint64_t n = 4096;
+    const int draws = 20000;
+    int low_top = 0, high_top = 0;
+    for (int i = 0; i < draws; ++i) {
+        if (a.zipf(n, 0.8) < n / 16)
+            ++low_top;
+        if (b.zipf(n, 1.4) < n / 16)
+            ++high_top;
+    }
+    EXPECT_GT(high_top, low_top);
+}
+
+TEST(Rng, ZipfDegenerateSizes)
+{
+    Rng rng(43);
+    EXPECT_EQ(rng.zipf(0, 1.0), 0u);
+    EXPECT_EQ(rng.zipf(1, 1.0), 0u);
+}
+
+} // namespace
+} // namespace oma

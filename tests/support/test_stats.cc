@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Unit tests for the statistics accumulators.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "support/stats.hh"
+
+namespace oma
+{
+namespace
+{
+
+TEST(RunningStat, EmptyIsZero)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stderrOfMean(), 0.0);
+}
+
+TEST(RunningStat, MatchesDirectComputation)
+{
+    const std::vector<double> xs = {1.5, 2.0, -3.0, 7.25, 0.0, 4.5};
+    RunningStat s;
+    for (double x : xs)
+        s.add(x);
+
+    double mean = 0;
+    for (double x : xs)
+        mean += x;
+    mean /= xs.size();
+    double var = 0;
+    for (double x : xs)
+        var += (x - mean) * (x - mean);
+    var /= (xs.size() - 1);
+
+    EXPECT_EQ(s.count(), xs.size());
+    EXPECT_NEAR(s.mean(), mean, 1e-12);
+    EXPECT_NEAR(s.variance(), var, 1e-12);
+    EXPECT_NEAR(s.stddev(), std::sqrt(var), 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), -3.0);
+    EXPECT_DOUBLE_EQ(s.max(), 7.25);
+}
+
+TEST(RunningStat, SingleObservation)
+{
+    RunningStat s;
+    s.add(42.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 42.0);
+    EXPECT_DOUBLE_EQ(s.max(), 42.0);
+}
+
+TEST(RunningStat, ConstantSequenceHasZeroVariance)
+{
+    RunningStat s;
+    for (int i = 0; i < 100; ++i)
+        s.add(3.25);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.25);
+    EXPECT_NEAR(s.variance(), 0.0, 1e-12);
+}
+
+TEST(Ratio, Basics)
+{
+    Ratio r;
+    EXPECT_DOUBLE_EQ(r.value(), 0.0);
+    r.record(true);
+    r.record(false);
+    r.record(false);
+    r.record(true);
+    EXPECT_EQ(r.events, 2u);
+    EXPECT_EQ(r.total, 4u);
+    EXPECT_DOUBLE_EQ(r.value(), 0.5);
+}
+
+} // namespace
+} // namespace oma

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Unit tests for the software-managed MMU model: miss classification,
+ * nested page-table refills and penalty accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tlb/mmu.hh"
+
+namespace oma
+{
+namespace
+{
+
+MemRef
+ref(std::uint64_t vaddr, std::uint32_t asid,
+    RefKind kind = RefKind::Load, Mode mode = Mode::User)
+{
+    MemRef r;
+    r.vaddr = vaddr;
+    r.asid = asid;
+    r.kind = kind;
+    r.mode = mode;
+    r.mapped = isMappedAddress(vaddr);
+    return r;
+}
+
+Mmu
+makeMmu(std::uint64_t entries = 64)
+{
+    TlbParams p;
+    p.geom = TlbGeometry::fullyAssoc(entries);
+    return Mmu(p, TlbPenalties());
+}
+
+TEST(Mmu, UnmappedKseg0CostsNothing)
+{
+    Mmu mmu = makeMmu();
+    EXPECT_EQ(mmu.translate(ref(kseg0Base + 0x1000, 0,
+                                RefKind::IFetch, Mode::Kernel)),
+              0u);
+    EXPECT_EQ(mmu.stats().translations, 0u);
+}
+
+TEST(Mmu, FirstTouchIsPageFaultNotStall)
+{
+    Mmu mmu = makeMmu();
+    // First touch: recorded as a page fault, returned stall is 0.
+    EXPECT_EQ(mmu.translate(ref(0x1000, 1)), 0u);
+    EXPECT_EQ(mmu.stats().counts[unsigned(MissClass::PageFault)], 1u);
+    // Resident now.
+    EXPECT_EQ(mmu.translate(ref(0x1000, 1)), 0u);
+    EXPECT_EQ(mmu.stats().totalMisses(), 1u);
+}
+
+TEST(Mmu, EvictedUserPageRefillsViaFastHandler)
+{
+    TlbPenalties pen;
+    Mmu mmu = makeMmu(4);
+    // Touch enough distinct pages to evict the first.
+    for (std::uint64_t page = 0; page < 8; ++page)
+        mmu.translate(ref(0x100000 + page * pageBytes, 1));
+    const std::uint64_t before =
+        mmu.stats().counts[unsigned(MissClass::UserMiss)];
+    const std::uint64_t cycles = mmu.translate(ref(0x100000, 1));
+    EXPECT_GE(cycles, pen.userMiss);
+    EXPECT_EQ(mmu.stats().counts[unsigned(MissClass::UserMiss)],
+              before + 1);
+}
+
+TEST(Mmu, Kseg2MissIsKernelClass)
+{
+    TlbPenalties pen;
+    Mmu mmu = makeMmu(4);
+    const std::uint64_t va = kseg2Base + 0x100000;
+    mmu.translate(ref(va, 0, RefKind::Load, Mode::Kernel)); // fault
+    for (std::uint64_t page = 0; page < 8; ++page)
+        mmu.translate(ref(0x200000 + page * pageBytes, 1)); // evict
+    const std::uint64_t cycles =
+        mmu.translate(ref(va, 0, RefKind::Load, Mode::Kernel));
+    EXPECT_EQ(cycles, pen.kernelMiss);
+    EXPECT_EQ(mmu.stats().counts[unsigned(MissClass::KernelMiss)], 1u);
+}
+
+TEST(Mmu, FirstStoreTakesModifyFault)
+{
+    TlbPenalties pen;
+    Mmu mmu = makeMmu();
+    mmu.translate(ref(0x1000, 1)); // load faults the page in, clean
+    const std::uint64_t cycles =
+        mmu.translate(ref(0x1000, 1, RefKind::Store));
+    EXPECT_EQ(cycles, pen.modifyFault);
+    // Second store: no further fault.
+    EXPECT_EQ(mmu.translate(ref(0x1000, 1, RefKind::Store)), 0u);
+    EXPECT_EQ(mmu.stats().counts[unsigned(MissClass::ModifyFault)], 1u);
+}
+
+TEST(Mmu, StoreFirstTouchMarksDirtyImmediately)
+{
+    Mmu mmu = makeMmu();
+    // Page fault + modify in one go.
+    mmu.translate(ref(0x2000, 1, RefKind::Store));
+    EXPECT_EQ(mmu.stats().counts[unsigned(MissClass::ModifyFault)], 1u);
+    // Subsequent stores are free.
+    EXPECT_EQ(mmu.translate(ref(0x2000, 1, RefKind::Store)), 0u);
+}
+
+TEST(Mmu, InvalidationCausesInvalidFault)
+{
+    TlbPenalties pen;
+    Mmu mmu = makeMmu();
+    mmu.translate(ref(0x3000, 1));
+    mmu.invalidatePage(vpnOf(0x3000), 1, false);
+    const std::uint64_t cycles = mmu.translate(ref(0x3000, 1));
+    EXPECT_GE(cycles, pen.invalidFault);
+    EXPECT_EQ(mmu.stats().counts[unsigned(MissClass::InvalidFault)],
+              1u);
+}
+
+TEST(Mmu, InvalidatingUntouchedPageIsANoop)
+{
+    Mmu mmu = makeMmu();
+    mmu.invalidatePage(vpnOf(0x5000), 1, false);
+    mmu.translate(ref(0x5000, 1));
+    EXPECT_EQ(mmu.stats().counts[unsigned(MissClass::InvalidFault)],
+              0u);
+    EXPECT_EQ(mmu.stats().counts[unsigned(MissClass::PageFault)], 1u);
+}
+
+TEST(Mmu, UserRefillTouchesPageTablePage)
+{
+    // After heavy eviction, a user refill whose page-table page also
+    // left the TLB pays a nested kernel miss.
+    TlbPenalties pen;
+    Mmu mmu = makeMmu(2);
+    mmu.translate(ref(0x1000, 1)); // fault in
+    // Evict everything with far-apart pages (different PT pages too).
+    mmu.translate(ref(0x10000000, 1));
+    mmu.translate(ref(0x20000000, 1));
+    mmu.translate(ref(0x30000000, 1));
+    const std::uint64_t cycles = mmu.translate(ref(0x1000, 1));
+    EXPECT_EQ(cycles, pen.userMiss + pen.kernelMiss);
+}
+
+TEST(Mmu, PtePageStaysResidentForNearbyRefills)
+{
+    // Two user pages in the same 4-MB region share a PT page: with a
+    // roomy TLB the second refill pays only the fast handler.
+    TlbPenalties pen;
+    Mmu mmu = makeMmu(64);
+    Mmu small = makeMmu(2);
+    (void)small;
+    mmu.translate(ref(0x1000, 1));
+    mmu.translate(ref(0x2000, 1));
+    // Force both user entries out but keep the PT page: touch many
+    // pages in the same region.
+    for (std::uint64_t page = 0; page < 100; ++page)
+        mmu.translate(ref(0x100000 + page * pageBytes, 1));
+    const std::uint64_t cycles = mmu.translate(ref(0x1000, 1));
+    EXPECT_EQ(cycles, pen.userMiss); // PT page still cached
+}
+
+TEST(Mmu, ServiceSecondsUseConfiguredClock)
+{
+    TlbPenalties pen;
+    pen.clockHz = 1e6;
+    TlbParams p;
+    p.geom = TlbGeometry::fullyAssoc(4);
+    Mmu mmu(p, pen);
+    mmu.translate(ref(0x1000, 1)); // page fault: pen.pageFault cycles
+    EXPECT_DOUBLE_EQ(mmu.serviceSeconds(),
+                     double(pen.pageFault) / 1e6);
+}
+
+TEST(Mmu, GeometryDependentCyclesExcludePageFaults)
+{
+    Mmu mmu = makeMmu();
+    mmu.translate(ref(0x1000, 1));
+    EXPECT_EQ(mmu.stats().geometryDependentCycles(), 0u);
+    EXPECT_GT(mmu.stats().totalServiceCycles(), 0u);
+}
+
+TEST(Mmu, MissClassNames)
+{
+    EXPECT_STREQ(missClassName(MissClass::UserMiss), "user");
+    EXPECT_STREQ(missClassName(MissClass::KernelMiss), "kernel");
+    EXPECT_STREQ(missClassName(MissClass::ModifyFault), "modify");
+    EXPECT_STREQ(missClassName(MissClass::InvalidFault), "invalid");
+    EXPECT_STREQ(missClassName(MissClass::PageFault), "other");
+}
+
+} // namespace
+} // namespace oma

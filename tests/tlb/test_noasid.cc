@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tests for the ASID-less (flush-on-switch) TLB mode.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tlb/mmu.hh"
+#include "workload/system.hh"
+
+namespace oma
+{
+namespace
+{
+
+MemRef
+userLoad(std::uint64_t vaddr, std::uint32_t asid)
+{
+    MemRef r;
+    r.vaddr = vaddr;
+    r.asid = asid;
+    r.kind = RefKind::Load;
+    r.mapped = true;
+    return r;
+}
+
+TEST(NoAsidTlb, SwitchFlushesEverything)
+{
+    TlbParams p;
+    p.geom = TlbGeometry::fullyAssoc(64);
+    p.flushOnAsidSwitch = true;
+    Mmu mmu(p, TlbPenalties());
+
+    mmu.translate(userLoad(0x1000, 1)); // page fault, fills
+    EXPECT_EQ(mmu.translate(userLoad(0x1000, 1)), 0u); // hit
+    mmu.translate(userLoad(0x2000, 2)); // switch: flush + fault
+    EXPECT_EQ(mmu.stats().asidFlushes, 1u);
+    // Back to ASID 1: another flush, and the old page must refill.
+    const std::uint64_t cycles = mmu.translate(userLoad(0x1000, 1));
+    EXPECT_GT(cycles, 0u);
+    EXPECT_EQ(mmu.stats().asidFlushes, 2u);
+}
+
+TEST(NoAsidTlb, WithAsidsNoFlushes)
+{
+    TlbParams p;
+    p.geom = TlbGeometry::fullyAssoc(64);
+    Mmu mmu(p, TlbPenalties());
+    mmu.translate(userLoad(0x1000, 1));
+    mmu.translate(userLoad(0x2000, 2));
+    EXPECT_EQ(mmu.translate(userLoad(0x1000, 1)), 0u); // still there
+    EXPECT_EQ(mmu.stats().asidFlushes, 0u);
+}
+
+TEST(NoAsidTlb, KernelRefsDoNotTriggerFlushes)
+{
+    TlbParams p;
+    p.geom = TlbGeometry::fullyAssoc(64);
+    p.flushOnAsidSwitch = true;
+    Mmu mmu(p, TlbPenalties());
+    mmu.translate(userLoad(0x1000, 1));
+    MemRef k;
+    k.vaddr = kseg2Base + 0x4000;
+    k.asid = 0;
+    k.mapped = true;
+    k.mode = Mode::Kernel;
+    mmu.translate(k); // kernel-segment ref: not a context switch
+    EXPECT_EQ(mmu.stats().asidFlushes, 0u);
+    EXPECT_EQ(mmu.translate(userLoad(0x1000, 1)), 0u);
+}
+
+TEST(NoAsidTlb, HurtsMachMoreThanUltrix)
+{
+    // The multiple-API system hops address spaces per service; the
+    // monolithic system mostly stays in one. Flushing on every
+    // switch must therefore cost Mach relatively more refill time.
+    auto refill_cycles = [](OsKind os, bool flush) {
+        TlbParams p;
+        p.geom = TlbGeometry::fullyAssoc(64);
+        p.flushOnAsidSwitch = flush;
+        Mmu mmu(p, TlbPenalties());
+        System system(benchmarkParams(BenchmarkId::VideoPlay), os, 11);
+        system.setInvalidateHook(
+            [&](std::uint64_t vpn, std::uint32_t asid, bool global) {
+                mmu.invalidatePage(vpn, asid, global);
+            });
+        MemRef r;
+        for (int i = 0; i < 400000; ++i) {
+            system.next(r);
+            mmu.translate(r);
+        }
+        return double(mmu.stats().refillCycles());
+    };
+
+    const double ultrix_ratio =
+        refill_cycles(OsKind::Ultrix, true) /
+        refill_cycles(OsKind::Ultrix, false);
+    const double mach_ratio = refill_cycles(OsKind::Mach, true) /
+        refill_cycles(OsKind::Mach, false);
+    EXPECT_GE(ultrix_ratio, 1.0);
+    EXPECT_GT(mach_ratio, ultrix_ratio);
+}
+
+} // namespace
+} // namespace oma

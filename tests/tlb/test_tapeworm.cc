@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Tests for Tapeworm multi-configuration simulation and the
+ * fully-associative size sweep.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "support/rng.hh"
+#include "tlb/tapeworm.hh"
+
+namespace oma
+{
+namespace
+{
+
+MemRef
+userRef(std::uint64_t vaddr, std::uint32_t asid)
+{
+    MemRef r;
+    r.vaddr = vaddr;
+    r.asid = asid;
+    r.kind = RefKind::Load;
+    r.mapped = true;
+    return r;
+}
+
+std::vector<MemRef>
+zipfPageStream(std::uint64_t seed, std::size_t n, std::uint64_t pages)
+{
+    Rng rng(seed);
+    std::vector<MemRef> refs;
+    refs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t page = rng.zipf(pages, 1.0);
+        refs.push_back(userRef(0x01000000 + page * pageBytes,
+                               1 + std::uint32_t(rng.below(2))));
+    }
+    return refs;
+}
+
+TEST(Tapeworm, SameConfigTwiceGivesIdenticalStats)
+{
+    TlbParams a;
+    a.geom = TlbGeometry::fullyAssoc(32);
+    Tapeworm tapeworm({a, a}, TlbPenalties());
+    for (const MemRef &r : zipfPageStream(5, 30000, 256))
+        tapeworm.observe(r);
+    const MmuStats &s0 = tapeworm.at(0).stats();
+    const MmuStats &s1 = tapeworm.at(1).stats();
+    for (unsigned c = 0; c < numMissClasses; ++c) {
+        EXPECT_EQ(s0.counts[c], s1.counts[c]);
+        EXPECT_EQ(s0.cycles[c], s1.cycles[c]);
+    }
+}
+
+TEST(Tapeworm, BiggerTlbNeverServicesMoreGeometryCycles)
+{
+    std::vector<TlbParams> configs;
+    for (std::uint64_t entries : {16, 32, 64, 128, 256}) {
+        TlbParams p;
+        p.geom = TlbGeometry::fullyAssoc(entries);
+        configs.push_back(p);
+    }
+    Tapeworm tapeworm(configs, TlbPenalties());
+    for (const MemRef &r : zipfPageStream(7, 60000, 512))
+        tapeworm.observe(r);
+    std::uint64_t prev = ~0ULL;
+    for (std::size_t i = 0; i < tapeworm.size(); ++i) {
+        const std::uint64_t cycles =
+            tapeworm.at(i).stats().geometryDependentCycles();
+        EXPECT_LE(cycles, prev) << "config " << i;
+        prev = cycles;
+    }
+}
+
+TEST(Tapeworm, PageFaultsIdenticalAcrossConfigs)
+{
+    std::vector<TlbParams> configs;
+    for (std::uint64_t entries : {16, 256}) {
+        TlbParams p;
+        p.geom = TlbGeometry::fullyAssoc(entries);
+        configs.push_back(p);
+    }
+    Tapeworm tapeworm(configs, TlbPenalties());
+    for (const MemRef &r : zipfPageStream(9, 30000, 300))
+        tapeworm.observe(r);
+    EXPECT_EQ(
+        tapeworm.at(0).stats().counts[unsigned(MissClass::PageFault)],
+        tapeworm.at(1).stats().counts[unsigned(MissClass::PageFault)]);
+}
+
+TEST(Tapeworm, InvalidationBroadcasts)
+{
+    std::vector<TlbParams> configs(2);
+    configs[0].geom = TlbGeometry::fullyAssoc(64);
+    configs[1].geom = TlbGeometry(64, 4);
+    Tapeworm tapeworm(configs, TlbPenalties());
+    const MemRef r = userRef(0x2000, 1);
+    tapeworm.observe(r);
+    tapeworm.invalidatePage(vpnOf(0x2000), 1, false);
+    tapeworm.observe(r);
+    for (std::size_t i = 0; i < 2; ++i) {
+        EXPECT_EQ(tapeworm.at(i).stats().counts[unsigned(
+                      MissClass::InvalidFault)],
+                  1u)
+            << i;
+    }
+}
+
+TEST(FaTlbSweep, MatchesDirectFullyAssociativeTlbs)
+{
+    // The sweep's raw miss counts must equal a direct FA LRU TLB
+    // fed the same (vpn, asid) stream, for every size at once.
+    const auto refs = zipfPageStream(11, 40000, 400);
+    FaTlbSweep sweep(128);
+
+    std::vector<Tlb> direct;
+    const std::vector<std::uint64_t> sizes = {8, 16, 32, 64, 128};
+    for (std::uint64_t entries : sizes) {
+        TlbParams p;
+        p.geom = TlbGeometry::fullyAssoc(entries);
+        direct.emplace_back(p);
+    }
+
+    for (const MemRef &r : refs) {
+        sweep.observe(r);
+        const std::uint64_t vpn = vpnOf(r.vaddr);
+        for (auto &tlb : direct) {
+            if (!tlb.lookup(vpn, r.asid))
+                tlb.insert(vpn, r.asid, false, false);
+        }
+    }
+
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+        EXPECT_EQ(sweep.misses(sizes[i]), direct[i].stats().misses)
+            << sizes[i] << " entries";
+    }
+}
+
+TEST(FaTlbSweep, ClassCountsSumToTotal)
+{
+    const auto refs = zipfPageStream(13, 20000, 300);
+    FaTlbSweep sweep(64);
+    for (const MemRef &r : refs)
+        sweep.observe(r);
+    for (std::uint64_t entries : {8, 32, 64}) {
+        const std::uint64_t total = sweep.misses(entries);
+        const std::uint64_t parts =
+            sweep.missesOfClass(entries, MissClass::UserMiss) +
+            sweep.missesOfClass(entries, MissClass::KernelMiss) +
+            sweep.missesOfClass(entries, MissClass::PageFault);
+        EXPECT_EQ(total, parts) << entries;
+    }
+}
+
+TEST(FaTlbSweep, KernelRefsClassified)
+{
+    FaTlbSweep sweep(16);
+    MemRef k;
+    k.vaddr = kseg2Base + 0x5000;
+    k.asid = 0;
+    k.mapped = true;
+    sweep.observe(k);
+    EXPECT_EQ(sweep.missesOfClass(16, MissClass::PageFault), 1u);
+    EXPECT_EQ(sweep.translations(), 1u);
+    // Unmapped refs are ignored.
+    MemRef unmapped;
+    unmapped.vaddr = kseg0Base + 0x100;
+    unmapped.mapped = false;
+    sweep.observe(unmapped);
+    EXPECT_EQ(sweep.translations(), 1u);
+}
+
+} // namespace
+} // namespace oma

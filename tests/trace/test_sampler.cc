@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Unit tests for Laha-style trace sampling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/sampler.hh"
+
+namespace oma
+{
+namespace
+{
+
+/** Endless counter source: vaddr encodes the stream position. */
+class CountingSource : public TraceSource
+{
+  public:
+    bool
+    next(MemRef &ref) override
+    {
+        ref = MemRef();
+        ref.vaddr = _n++;
+        return true;
+    }
+
+    std::uint64_t produced() const { return _n; }
+
+  private:
+    std::uint64_t _n = 0;
+};
+
+TEST(Sampler, ProducesExactSampleVolume)
+{
+    CountingSource source;
+    SamplerParams params;
+    params.sampleCount = 10;
+    params.sampleLength = 1000;
+    params.meanGap = 5000;
+    TraceSampler sampler(source, params);
+
+    MemRef r;
+    std::uint64_t n = 0;
+    std::uint64_t window_starts = 0;
+    while (sampler.next(r)) {
+        ++n;
+        if (sampler.atWindowStart())
+            ++window_starts;
+    }
+    EXPECT_EQ(n, params.sampleCount * params.sampleLength);
+    EXPECT_EQ(window_starts, params.sampleCount);
+}
+
+TEST(Sampler, WindowsAreContiguousInsideAndGappedBetween)
+{
+    CountingSource source;
+    SamplerParams params;
+    params.sampleCount = 5;
+    params.sampleLength = 100;
+    params.meanGap = 1000;
+    TraceSampler sampler(source, params);
+
+    MemRef r;
+    std::uint64_t prev = 0;
+    bool first = true;
+    while (sampler.next(r)) {
+        if (!first && !sampler.atWindowStart()) {
+            // Consecutive refs inside a window are adjacent.
+            EXPECT_EQ(r.vaddr, prev + 1);
+        }
+        if (!first && sampler.atWindowStart()) {
+            // Between windows there is a gap.
+            EXPECT_GT(r.vaddr, prev + 1);
+        }
+        prev = r.vaddr;
+        first = false;
+    }
+}
+
+TEST(Sampler, MeanGapRoughlyHonoured)
+{
+    CountingSource source;
+    SamplerParams params;
+    params.sampleCount = 200;
+    params.sampleLength = 10;
+    params.meanGap = 500;
+    params.seed = 5;
+    TraceSampler sampler(source, params);
+    MemRef r;
+    while (sampler.next(r)) {
+    }
+    // Total stream consumed = samples + gaps; gaps average ~meanGap.
+    const double consumed = double(source.produced());
+    const double expected = 200.0 * 10 + 201.0 * 500;
+    EXPECT_NEAR(consumed, expected, 0.25 * expected);
+}
+
+TEST(Sampler, ExhaustedUnderlyingSourceStops)
+{
+    VectorTraceSource source(std::vector<MemRef>(100));
+    SamplerParams params;
+    params.sampleCount = 10;
+    params.sampleLength = 50;
+    params.meanGap = 50;
+    TraceSampler sampler(source, params);
+    MemRef r;
+    std::uint64_t n = 0;
+    while (sampler.next(r))
+        ++n;
+    EXPECT_LE(n, 100u);
+}
+
+TEST(Sampler, DeterministicForSeed)
+{
+    auto run = [](std::uint64_t seed) {
+        CountingSource source;
+        SamplerParams params;
+        params.sampleCount = 5;
+        params.sampleLength = 20;
+        params.meanGap = 300;
+        params.seed = seed;
+        TraceSampler sampler(source, params);
+        std::vector<std::uint64_t> order;
+        MemRef r;
+        while (sampler.next(r))
+            order.push_back(r.vaddr);
+        return order;
+    };
+    EXPECT_EQ(run(9), run(9));
+    EXPECT_NE(run(9), run(10));
+}
+
+} // namespace
+} // namespace oma

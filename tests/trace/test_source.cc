@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Unit tests for trace sources, sinks, drain and filtering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/filter.hh"
+#include "trace/source.hh"
+
+namespace oma
+{
+namespace
+{
+
+std::vector<MemRef>
+makeRefs(int n)
+{
+    std::vector<MemRef> refs;
+    for (int i = 0; i < n; ++i) {
+        MemRef r;
+        r.vaddr = 0x1000 + 4 * i;
+        r.asid = (i % 3 == 0) ? 1 : 2;
+        r.mode = (i % 2 == 0) ? Mode::User : Mode::Kernel;
+        refs.push_back(r);
+    }
+    return refs;
+}
+
+TEST(VectorTraceSource, ReplaysInOrder)
+{
+    VectorTraceSource src(makeRefs(10));
+    MemRef r;
+    for (int i = 0; i < 10; ++i) {
+        ASSERT_TRUE(src.next(r));
+        EXPECT_EQ(r.vaddr, 0x1000u + 4 * i);
+    }
+    EXPECT_FALSE(src.next(r));
+}
+
+TEST(VectorTraceSource, RewindRestarts)
+{
+    VectorTraceSource src(makeRefs(3));
+    MemRef r;
+    while (src.next(r)) {
+    }
+    src.rewind();
+    ASSERT_TRUE(src.next(r));
+    EXPECT_EQ(r.vaddr, 0x1000u);
+}
+
+TEST(Drain, CountsAndLimits)
+{
+    VectorTraceSource src(makeRefs(100));
+    int seen = 0;
+    const std::uint64_t n =
+        drain(src, [&](const MemRef &) { ++seen; }, 42);
+    EXPECT_EQ(n, 42u);
+    EXPECT_EQ(seen, 42);
+
+    // Unlimited drains the rest.
+    const std::uint64_t rest = drain(src, [](const MemRef &) {});
+    EXPECT_EQ(rest, 58u);
+}
+
+TEST(VectorTraceSink, Collects)
+{
+    VectorTraceSink sink;
+    MemRef r;
+    r.vaddr = 0xabc;
+    sink.put(r);
+    sink.put(r);
+    EXPECT_EQ(sink.refs.size(), 2u);
+    EXPECT_EQ(sink.refs[0].vaddr, 0xabcu);
+}
+
+TEST(Filter, UserOnlyKeepsOneAddressSpace)
+{
+    VectorTraceSource src(makeRefs(100));
+    FilteredTraceSource filtered = userOnly(src, 1);
+    MemRef r;
+    int count = 0;
+    while (filtered.next(r)) {
+        EXPECT_EQ(r.asid, 1u);
+        EXPECT_EQ(r.mode, Mode::User);
+        ++count;
+    }
+    // asid 1 at i % 3 == 0 and user mode at i % 2 == 0: i % 6 == 0.
+    EXPECT_EQ(count, 17);
+}
+
+TEST(Filter, PredicateComposes)
+{
+    VectorTraceSource src(makeRefs(20));
+    FilteredTraceSource even(
+        src, [](const MemRef &ref) { return (ref.vaddr & 7) == 0; });
+    MemRef r;
+    int count = 0;
+    while (even.next(r))
+        ++count;
+    EXPECT_EQ(count, 10);
+}
+
+} // namespace
+} // namespace oma

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Tests for the trace-stream summarizer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "os/layout.hh"
+#include "trace/stats.hh"
+#include "workload/system.hh"
+
+namespace oma
+{
+namespace
+{
+
+MemRef
+make(std::uint64_t vaddr, RefKind kind, Mode mode, std::uint32_t asid)
+{
+    MemRef r;
+    r.vaddr = vaddr;
+    r.paddr = vaddr & 0xffffff;
+    r.kind = kind;
+    r.mode = mode;
+    r.asid = asid;
+    r.mapped = isMappedAddress(vaddr);
+    return r;
+}
+
+TEST(TraceStatistics, CountsMixAndShares)
+{
+    TraceStatistics stats;
+    stats.put(make(0x1000, RefKind::IFetch, Mode::User, 1));
+    stats.put(make(0x2000, RefKind::Load, Mode::User, 1));
+    stats.put(make(kseg0Base + 0x100, RefKind::IFetch, Mode::Kernel,
+                   0));
+    stats.put(make(0x3000, RefKind::Store, Mode::User, 2));
+
+    EXPECT_EQ(stats.total(), 4u);
+    EXPECT_EQ(stats.instructions(), 2u);
+    EXPECT_EQ(stats.countOf(RefKind::Load), 1u);
+    EXPECT_EQ(stats.countOf(RefKind::Store), 1u);
+    EXPECT_DOUBLE_EQ(stats.dataPerInstruction(), 1.0);
+    EXPECT_DOUBLE_EQ(stats.kernelShare(), 0.25);
+    EXPECT_DOUBLE_EQ(stats.mappedShare(), 0.75);
+    EXPECT_EQ(stats.byAsid().at(1), 2u);
+    EXPECT_EQ(stats.byAsid().at(2), 1u);
+}
+
+TEST(TraceStatistics, SegmentBreakdown)
+{
+    TraceStatistics stats;
+    stats.put(make(0x1000, RefKind::Load, Mode::User, 1));
+    stats.put(make(kseg0Base + 0x40, RefKind::Load, Mode::Kernel, 0));
+    stats.put(make(kseg1Base + 0x40, RefKind::Store, Mode::User, 2));
+    stats.put(make(kseg2Base + 0x40, RefKind::Load, Mode::Kernel, 0));
+    EXPECT_EQ(stats.bySegment().at("kuseg"), 1u);
+    EXPECT_EQ(stats.bySegment().at("kseg0"), 1u);
+    EXPECT_EQ(stats.bySegment().at("kseg1"), 1u);
+    EXPECT_EQ(stats.bySegment().at("kseg2"), 1u);
+}
+
+TEST(TraceStatistics, FootprintsCountDistinctUnits)
+{
+    TraceStatistics stats;
+    // Two refs on the same page/line, one on another page.
+    MemRef a = make(0x1000, RefKind::Load, Mode::User, 1);
+    MemRef b = make(0x1004, RefKind::Load, Mode::User, 1);
+    MemRef c = make(0x9000, RefKind::Load, Mode::User, 1);
+    stats.put(a);
+    stats.put(b);
+    stats.put(c);
+    EXPECT_EQ(stats.pageFootprint(), 2u);
+    EXPECT_EQ(stats.lineFootprint(), 2u);
+    // Same vaddr in a different space is a different page.
+    stats.put(make(0x1000, RefKind::Load, Mode::User, 5));
+    EXPECT_EQ(stats.pageFootprint(), 3u);
+}
+
+TEST(TraceStatistics, PrintIsReadable)
+{
+    TraceStatistics stats;
+    System system(benchmarkParams(BenchmarkId::Jpeg), OsKind::Mach, 4);
+    MemRef ref;
+    for (int i = 0; i < 50000; ++i) {
+        system.next(ref);
+        stats.put(ref);
+    }
+    std::ostringstream os;
+    stats.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("references:"), std::string::npos);
+    EXPECT_NE(out.find("kseg0"), std::string::npos);
+    EXPECT_NE(out.find("asid"), std::string::npos);
+    // A Mach run involves several address spaces.
+    EXPECT_GE(stats.byAsid().size(), 3u);
+}
+
+TEST(TraceStatistics, MachTouchesMorePagesThanUltrix)
+{
+    // The §4.2 mechanism, visible directly in the stream summary.
+    auto footprint = [](OsKind os) {
+        TraceStatistics stats;
+        System system(benchmarkParams(BenchmarkId::Ousterhout), os, 8);
+        MemRef ref;
+        for (int i = 0; i < 300000; ++i) {
+            system.next(ref);
+            if (ref.mapped)
+                stats.put(ref);
+        }
+        return stats.pageFootprint();
+    };
+    EXPECT_GT(footprint(OsKind::Mach), footprint(OsKind::Ultrix));
+}
+
+} // namespace
+} // namespace oma

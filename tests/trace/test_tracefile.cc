@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Unit tests for binary trace-file round trips.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "support/rng.hh"
+#include "trace/tracefile.hh"
+
+namespace oma
+{
+namespace
+{
+
+std::string
+tempPath(const std::string &name)
+{
+    return testing::TempDir() + "/" + name;
+}
+
+MemRef
+randomRef(Rng &rng)
+{
+    MemRef r;
+    r.vaddr = rng.next() & 0xffffffff;
+    r.paddr = rng.next() & 0x3fffffff;
+    r.asid = std::uint32_t(rng.below(64));
+    r.kind = static_cast<RefKind>(rng.below(3));
+    r.mode = static_cast<Mode>(rng.below(2));
+    r.mapped = rng.chance(0.8);
+    return r;
+}
+
+TEST(TraceFile, RoundTripPreservesEverything)
+{
+    const std::string path = tempPath("roundtrip.trace");
+    Rng rng(99);
+    std::vector<MemRef> original;
+    {
+        TraceFileWriter writer(path);
+        for (int i = 0; i < 5000; ++i) {
+            const MemRef r = randomRef(rng);
+            original.push_back(r);
+            writer.put(r);
+        }
+        EXPECT_EQ(writer.count(), 5000u);
+        writer.close();
+    }
+
+    TraceFileReader reader(path);
+    EXPECT_EQ(reader.count(), 5000u);
+    MemRef r;
+    for (const MemRef &want : original) {
+        ASSERT_TRUE(reader.next(r));
+        EXPECT_EQ(r.vaddr, want.vaddr);
+        EXPECT_EQ(r.paddr, want.paddr);
+        EXPECT_EQ(r.asid, want.asid);
+        EXPECT_EQ(r.kind, want.kind);
+        EXPECT_EQ(r.mode, want.mode);
+        EXPECT_EQ(r.mapped, want.mapped);
+    }
+    EXPECT_FALSE(reader.next(r));
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, DestructorCloses)
+{
+    const std::string path = tempPath("dtor.trace");
+    {
+        TraceFileWriter writer(path);
+        MemRef r;
+        writer.put(r);
+        // No explicit close: the destructor must patch the header.
+    }
+    TraceFileReader reader(path);
+    EXPECT_EQ(reader.count(), 1u);
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, EmptyTrace)
+{
+    const std::string path = tempPath("empty.trace");
+    {
+        TraceFileWriter writer(path);
+        writer.close();
+    }
+    TraceFileReader reader(path);
+    EXPECT_EQ(reader.count(), 0u);
+    MemRef r;
+    EXPECT_FALSE(reader.next(r));
+    std::remove(path.c_str());
+}
+
+TEST(TraceFileDeath, MissingFileIsFatal)
+{
+    EXPECT_EXIT(TraceFileReader("/nonexistent/zzz.trace"),
+                testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(TraceFileDeath, BadMagicIsFatal)
+{
+    const std::string path = tempPath("garbage.trace");
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << "this is not a trace file at all, not even close....";
+    }
+    EXPECT_EXIT(TraceFileReader reader(path),
+                testing::ExitedWithCode(1), "not a trace file");
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace oma

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Sanity tests over the calibrated benchmark records.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/workload.hh"
+
+namespace oma
+{
+namespace
+{
+
+TEST(Benchmarks, SixDistinctBenchmarks)
+{
+    const auto all = allBenchmarks();
+    EXPECT_EQ(all.size(), std::size_t(numBenchmarks));
+    std::set<std::string> names;
+    for (BenchmarkId id : all)
+        names.insert(benchmarkName(id));
+    EXPECT_EQ(names.size(), std::size_t(numBenchmarks));
+}
+
+TEST(Benchmarks, MatchesPaperTable2Names)
+{
+    const std::set<std::string> expected = {
+        "IOzone", "jpeg_play", "mab", "mpeg_play", "ousterhout",
+        "video_play"};
+    std::set<std::string> actual;
+    for (BenchmarkId id : allBenchmarks())
+        actual.insert(benchmarkName(id));
+    EXPECT_EQ(actual, expected);
+}
+
+TEST(Benchmarks, ParametersAreSane)
+{
+    for (BenchmarkId id : allBenchmarks()) {
+        const WorkloadParams &wl = benchmarkParams(id);
+        EXPECT_FALSE(wl.description.empty()) << wl.name;
+        EXPECT_GE(wl.codeFootprint, 8u * 1024) << wl.name;
+        EXPECT_LE(wl.codeFootprint, 512u * 1024) << wl.name;
+        EXPECT_GT(wl.loadPerInstr, 0.0) << wl.name;
+        EXPECT_LT(wl.loadPerInstr + wl.storePerInstr, 0.6) << wl.name;
+        EXPECT_GT(wl.syscallPerInstr, 0.0) << wl.name;
+        EXPECT_LT(wl.syscallPerInstr, 0.01) << wl.name;
+        EXPECT_FALSE(wl.syscalls.empty()) << wl.name;
+        EXPECT_GT(wl.userOtherCpi, 0.0) << wl.name;
+        EXPECT_GT(wl.nominalInstructions, 1e8) << wl.name;
+        double weight = 0.0;
+        for (const auto &entry : wl.syscalls)
+            weight += entry.weight;
+        EXPECT_NEAR(weight, 1.0, 1e-9) << wl.name;
+    }
+}
+
+TEST(Benchmarks, DisplayWorkloadsSendFrames)
+{
+    EXPECT_GT(benchmarkParams(BenchmarkId::Mpeg).framePerInstr, 0.0);
+    EXPECT_GT(benchmarkParams(BenchmarkId::VideoPlay).framePerInstr,
+              0.0);
+    EXPECT_GT(benchmarkParams(BenchmarkId::Jpeg).framePerInstr, 0.0);
+    // The pure file/syscall workloads do not.
+    EXPECT_EQ(benchmarkParams(BenchmarkId::IOzone).framePerInstr, 0.0);
+    EXPECT_EQ(benchmarkParams(BenchmarkId::Ousterhout).framePerInstr,
+              0.0);
+}
+
+TEST(Benchmarks, OusterhoutIsTheSyscallHeaviest)
+{
+    const double oust =
+        benchmarkParams(BenchmarkId::Ousterhout).syscallPerInstr;
+    for (BenchmarkId id : allBenchmarks()) {
+        if (id == BenchmarkId::Ousterhout)
+            continue;
+        EXPECT_GE(oust, benchmarkParams(id).syscallPerInstr)
+            << benchmarkName(id);
+    }
+}
+
+TEST(Benchmarks, ReferencesAreStable)
+{
+    // benchmarkParams returns a stable reference per id.
+    const WorkloadParams &a = benchmarkParams(BenchmarkId::Mab);
+    const WorkloadParams &b = benchmarkParams(BenchmarkId::Mab);
+    EXPECT_EQ(&a, &b);
+}
+
+} // namespace
+} // namespace oma

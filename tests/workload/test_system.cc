@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Tests for the System trace generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "workload/system.hh"
+
+namespace oma
+{
+namespace
+{
+
+WorkloadParams
+lightWorkload()
+{
+    WorkloadParams wl;
+    wl.name = "test";
+    wl.codeFootprint = 16 * 1024;
+    wl.syscallPerInstr = 1.0 / 2000;
+    wl.syscallBurstMean = 1.0;
+    wl.framePerInstr = 1.0 / 20000;
+    wl.frameBytes = 4096;
+    return wl;
+}
+
+TEST(System, ProducesReferencesIndefinitely)
+{
+    System system(lightWorkload(), OsKind::Ultrix, 1);
+    MemRef r;
+    for (int i = 0; i < 100000; ++i)
+        ASSERT_TRUE(system.next(r));
+}
+
+TEST(System, DeterministicPerSeed)
+{
+    System a(lightWorkload(), OsKind::Mach, 5);
+    System b(lightWorkload(), OsKind::Mach, 5);
+    System c(lightWorkload(), OsKind::Mach, 6);
+    MemRef ra, rb, rc;
+    bool differs = false;
+    for (int i = 0; i < 50000; ++i) {
+        ASSERT_TRUE(a.next(ra));
+        ASSERT_TRUE(b.next(rb));
+        ASSERT_TRUE(c.next(rc));
+        ASSERT_EQ(ra.vaddr, rb.vaddr);
+        ASSERT_EQ(ra.paddr, rb.paddr);
+        ASSERT_EQ(ra.kind, rb.kind);
+        differs |= (ra.vaddr != rc.vaddr);
+    }
+    EXPECT_TRUE(differs);
+}
+
+TEST(System, MixesUserAndKernelActivity)
+{
+    System system(lightWorkload(), OsKind::Ultrix, 2);
+    MemRef r;
+    std::uint64_t user = 0, kernel = 0;
+    for (int i = 0; i < 200000; ++i) {
+        system.next(r);
+        (r.isKernel() ? kernel : user)++;
+    }
+    EXPECT_GT(user, 0u);
+    EXPECT_GT(kernel, 0u);
+    const double frac = system.userInstructionFraction();
+    EXPECT_GT(frac, 0.1);
+    EXPECT_LT(frac, 0.99);
+}
+
+TEST(System, MachInvolvesServerAddressSpaces)
+{
+    System ultrix(lightWorkload(), OsKind::Ultrix, 3);
+    System mach(lightWorkload(), OsKind::Mach, 3);
+    auto asids = [](System &system) {
+        std::map<std::uint32_t, std::uint64_t> seen;
+        MemRef r;
+        for (int i = 0; i < 200000; ++i) {
+            system.next(r);
+            ++seen[r.asid];
+        }
+        return seen;
+    };
+    const auto u = asids(ultrix);
+    const auto m = asids(mach);
+    EXPECT_FALSE(u.count(layout::bsdServerAsid));
+    EXPECT_TRUE(m.count(layout::bsdServerAsid));
+    // X server participates in both (frames flow in this workload).
+    EXPECT_TRUE(u.count(layout::xServerAsid));
+    EXPECT_TRUE(m.count(layout::xServerAsid));
+}
+
+TEST(System, SyscallRateApproximatelyHonoured)
+{
+    WorkloadParams wl = lightWorkload();
+    wl.framePerInstr = 0.0;
+    wl.vmPerInstr = 0.0;
+    wl.timerPerInstr = 0.0;
+    wl.syscallPerInstr = 1.0 / 1000;
+    wl.syscallBurstMean = 1.0;
+    wl.syscalls = {{ServiceKind::Stat, 1.0, 0}};
+    System system(wl, OsKind::Ultrix, 4);
+    // Count app instructions per kernel entry.
+    MemRef r;
+    std::uint64_t app_instr = 0, entries = 0;
+    bool in_kernel = false;
+    for (int i = 0; i < 400000; ++i) {
+        system.next(r);
+        if (!r.isFetch())
+            continue;
+        if (r.isKernel() && !in_kernel)
+            ++entries;
+        in_kernel = r.isKernel();
+        if (!r.isKernel())
+            ++app_instr;
+    }
+    ASSERT_GT(entries, 50u);
+    const double interval = double(app_instr) / double(entries);
+    EXPECT_NEAR(interval, 1000.0, 300.0);
+}
+
+TEST(System, BurstsClusterSyscalls)
+{
+    WorkloadParams wl = lightWorkload();
+    wl.framePerInstr = 0.0;
+    wl.vmPerInstr = 0.0;
+    wl.timerPerInstr = 0.0;
+    wl.syscallPerInstr = 1.0 / 5000;
+    wl.syscallBurstMean = 8.0;
+    wl.syscallBurstGap = 200.0;
+    wl.syscalls = {{ServiceKind::Stat, 1.0, 0}};
+    System system(wl, OsKind::Ultrix, 5);
+    // Measure gaps (in app instructions) between kernel entries:
+    // with bursting most gaps are short, a few are very long.
+    MemRef r;
+    std::uint64_t gap = 0;
+    bool in_kernel = false;
+    std::uint64_t short_gaps = 0, long_gaps = 0;
+    for (int i = 0; i < 600000; ++i) {
+        system.next(r);
+        if (!r.isFetch())
+            continue;
+        if (r.isKernel()) {
+            if (!in_kernel) {
+                if (gap < 2000)
+                    ++short_gaps;
+                else
+                    ++long_gaps;
+                gap = 0;
+            }
+            in_kernel = true;
+        } else {
+            in_kernel = false;
+            ++gap;
+        }
+    }
+    EXPECT_GT(short_gaps, 2 * long_gaps);
+    EXPECT_GT(long_gaps, 0u);
+}
+
+TEST(System, OtherCpiBlendsUserAndKernelRates)
+{
+    WorkloadParams wl = lightWorkload();
+    wl.userOtherCpi = 0.30;
+    wl.kernelOtherCpi = 0.02;
+    System system(wl, OsKind::Mach, 6);
+    MemRef r;
+    for (int i = 0; i < 100000; ++i)
+        system.next(r);
+    const double other = system.otherCpiSoFar();
+    EXPECT_GT(other, 0.02);
+    EXPECT_LT(other, 0.30);
+}
+
+TEST(System, InvalidateHookFires)
+{
+    WorkloadParams wl = lightWorkload();
+    wl.vmPerInstr = 1.0 / 5000;
+    System system(wl, OsKind::Mach, 7);
+    int invalidations = 0;
+    system.setInvalidateHook(
+        [&](std::uint64_t, std::uint32_t, bool) { ++invalidations; });
+    MemRef r;
+    for (int i = 0; i < 300000; ++i)
+        system.next(r);
+    EXPECT_GT(invalidations, 0);
+}
+
+} // namespace
+} // namespace oma
