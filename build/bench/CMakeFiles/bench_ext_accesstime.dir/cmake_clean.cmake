@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_accesstime.dir/bench_ext_accesstime.cc.o"
+  "CMakeFiles/bench_ext_accesstime.dir/bench_ext_accesstime.cc.o.d"
+  "bench_ext_accesstime"
+  "bench_ext_accesstime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_accesstime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

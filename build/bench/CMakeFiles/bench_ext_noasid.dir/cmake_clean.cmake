@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_noasid.dir/bench_ext_noasid.cc.o"
+  "CMakeFiles/bench_ext_noasid.dir/bench_ext_noasid.cc.o.d"
+  "bench_ext_noasid"
+  "bench_ext_noasid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_noasid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_victim.dir/bench_ext_victim.cc.o"
+  "CMakeFiles/bench_ext_victim.dir/bench_ext_victim.cc.o.d"
+  "bench_ext_victim"
+  "bench_ext_victim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_victim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

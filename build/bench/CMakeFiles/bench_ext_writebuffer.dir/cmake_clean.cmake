@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_writebuffer.dir/bench_ext_writebuffer.cc.o"
+  "CMakeFiles/bench_ext_writebuffer.dir/bench_ext_writebuffer.cc.o.d"
+  "bench_ext_writebuffer"
+  "bench_ext_writebuffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_writebuffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

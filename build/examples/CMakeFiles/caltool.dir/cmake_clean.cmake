@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caltool.dir/__/tools/caltool.cc.o"
+  "CMakeFiles/caltool.dir/__/tools/caltool.cc.o.d"
+  "caltool"
+  "caltool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caltool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for caltool.
+# This may be replaced when dependencies are built.

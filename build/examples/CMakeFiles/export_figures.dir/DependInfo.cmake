@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/export_figures.cpp" "examples/CMakeFiles/export_figures.dir/export_figures.cpp.o" "gcc" "examples/CMakeFiles/export_figures.dir/export_figures.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/oma_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/oma_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/oma_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/oma_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/tlb/CMakeFiles/oma_tlb.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/oma_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/oma_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/area/CMakeFiles/oma_area.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/oma_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/os_comparison.dir/os_comparison.cpp.o"
+  "CMakeFiles/os_comparison.dir/os_comparison.cpp.o.d"
+  "os_comparison"
+  "os_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/os_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

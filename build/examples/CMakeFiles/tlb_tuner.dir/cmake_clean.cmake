@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlb_tuner.dir/tlb_tuner.cpp.o"
+  "CMakeFiles/tlb_tuner.dir/tlb_tuner.cpp.o.d"
+  "tlb_tuner"
+  "tlb_tuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlb_tuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

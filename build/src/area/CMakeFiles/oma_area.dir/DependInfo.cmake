@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/area/access_time.cc" "src/area/CMakeFiles/oma_area.dir/access_time.cc.o" "gcc" "src/area/CMakeFiles/oma_area.dir/access_time.cc.o.d"
+  "/root/repo/src/area/geometry.cc" "src/area/CMakeFiles/oma_area.dir/geometry.cc.o" "gcc" "src/area/CMakeFiles/oma_area.dir/geometry.cc.o.d"
+  "/root/repo/src/area/mqf.cc" "src/area/CMakeFiles/oma_area.dir/mqf.cc.o" "gcc" "src/area/CMakeFiles/oma_area.dir/mqf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/oma_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oma_area.dir/access_time.cc.o"
+  "CMakeFiles/oma_area.dir/access_time.cc.o.d"
+  "CMakeFiles/oma_area.dir/geometry.cc.o"
+  "CMakeFiles/oma_area.dir/geometry.cc.o.d"
+  "CMakeFiles/oma_area.dir/mqf.cc.o"
+  "CMakeFiles/oma_area.dir/mqf.cc.o.d"
+  "liboma_area.a"
+  "liboma_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oma_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oma_cache.dir/cache.cc.o"
+  "CMakeFiles/oma_cache.dir/cache.cc.o.d"
+  "CMakeFiles/oma_cache.dir/cheetah.cc.o"
+  "CMakeFiles/oma_cache.dir/cheetah.cc.o.d"
+  "CMakeFiles/oma_cache.dir/hierarchy.cc.o"
+  "CMakeFiles/oma_cache.dir/hierarchy.cc.o.d"
+  "CMakeFiles/oma_cache.dir/victim.cc.o"
+  "CMakeFiles/oma_cache.dir/victim.cc.o.d"
+  "liboma_cache.a"
+  "liboma_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oma_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

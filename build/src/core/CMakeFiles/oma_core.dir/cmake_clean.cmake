@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oma_core.dir/experiment.cc.o"
+  "CMakeFiles/oma_core.dir/experiment.cc.o.d"
+  "CMakeFiles/oma_core.dir/search.cc.o"
+  "CMakeFiles/oma_core.dir/search.cc.o.d"
+  "CMakeFiles/oma_core.dir/sweep.cc.o"
+  "CMakeFiles/oma_core.dir/sweep.cc.o.d"
+  "liboma_core.a"
+  "liboma_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oma_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oma_machine.dir/machine.cc.o"
+  "CMakeFiles/oma_machine.dir/machine.cc.o.d"
+  "liboma_machine.a"
+  "liboma_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oma_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/addrspace.cc" "src/os/CMakeFiles/oma_os.dir/addrspace.cc.o" "gcc" "src/os/CMakeFiles/oma_os.dir/addrspace.cc.o.d"
+  "/root/repo/src/os/codewalk.cc" "src/os/CMakeFiles/oma_os.dir/codewalk.cc.o" "gcc" "src/os/CMakeFiles/oma_os.dir/codewalk.cc.o.d"
+  "/root/repo/src/os/component.cc" "src/os/CMakeFiles/oma_os.dir/component.cc.o" "gcc" "src/os/CMakeFiles/oma_os.dir/component.cc.o.d"
+  "/root/repo/src/os/datagen.cc" "src/os/CMakeFiles/oma_os.dir/datagen.cc.o" "gcc" "src/os/CMakeFiles/oma_os.dir/datagen.cc.o.d"
+  "/root/repo/src/os/mach.cc" "src/os/CMakeFiles/oma_os.dir/mach.cc.o" "gcc" "src/os/CMakeFiles/oma_os.dir/mach.cc.o.d"
+  "/root/repo/src/os/osmodel.cc" "src/os/CMakeFiles/oma_os.dir/osmodel.cc.o" "gcc" "src/os/CMakeFiles/oma_os.dir/osmodel.cc.o.d"
+  "/root/repo/src/os/ultrix.cc" "src/os/CMakeFiles/oma_os.dir/ultrix.cc.o" "gcc" "src/os/CMakeFiles/oma_os.dir/ultrix.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/oma_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/oma_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/tlb/CMakeFiles/oma_tlb.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/oma_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/area/CMakeFiles/oma_area.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

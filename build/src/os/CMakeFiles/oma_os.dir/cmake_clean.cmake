@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oma_os.dir/addrspace.cc.o"
+  "CMakeFiles/oma_os.dir/addrspace.cc.o.d"
+  "CMakeFiles/oma_os.dir/codewalk.cc.o"
+  "CMakeFiles/oma_os.dir/codewalk.cc.o.d"
+  "CMakeFiles/oma_os.dir/component.cc.o"
+  "CMakeFiles/oma_os.dir/component.cc.o.d"
+  "CMakeFiles/oma_os.dir/datagen.cc.o"
+  "CMakeFiles/oma_os.dir/datagen.cc.o.d"
+  "CMakeFiles/oma_os.dir/mach.cc.o"
+  "CMakeFiles/oma_os.dir/mach.cc.o.d"
+  "CMakeFiles/oma_os.dir/osmodel.cc.o"
+  "CMakeFiles/oma_os.dir/osmodel.cc.o.d"
+  "CMakeFiles/oma_os.dir/ultrix.cc.o"
+  "CMakeFiles/oma_os.dir/ultrix.cc.o.d"
+  "liboma_os.a"
+  "liboma_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oma_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

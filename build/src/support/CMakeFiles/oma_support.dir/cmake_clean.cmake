@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oma_support.dir/logging.cc.o"
+  "CMakeFiles/oma_support.dir/logging.cc.o.d"
+  "CMakeFiles/oma_support.dir/table.cc.o"
+  "CMakeFiles/oma_support.dir/table.cc.o.d"
+  "liboma_support.a"
+  "liboma_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oma_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

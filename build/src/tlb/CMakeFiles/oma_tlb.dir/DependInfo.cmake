@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tlb/mmu.cc" "src/tlb/CMakeFiles/oma_tlb.dir/mmu.cc.o" "gcc" "src/tlb/CMakeFiles/oma_tlb.dir/mmu.cc.o.d"
+  "/root/repo/src/tlb/tapeworm.cc" "src/tlb/CMakeFiles/oma_tlb.dir/tapeworm.cc.o" "gcc" "src/tlb/CMakeFiles/oma_tlb.dir/tapeworm.cc.o.d"
+  "/root/repo/src/tlb/tlb.cc" "src/tlb/CMakeFiles/oma_tlb.dir/tlb.cc.o" "gcc" "src/tlb/CMakeFiles/oma_tlb.dir/tlb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/oma_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/area/CMakeFiles/oma_area.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/oma_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/oma_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

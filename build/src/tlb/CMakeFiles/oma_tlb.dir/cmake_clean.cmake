@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oma_tlb.dir/mmu.cc.o"
+  "CMakeFiles/oma_tlb.dir/mmu.cc.o.d"
+  "CMakeFiles/oma_tlb.dir/tapeworm.cc.o"
+  "CMakeFiles/oma_tlb.dir/tapeworm.cc.o.d"
+  "CMakeFiles/oma_tlb.dir/tlb.cc.o"
+  "CMakeFiles/oma_tlb.dir/tlb.cc.o.d"
+  "liboma_tlb.a"
+  "liboma_tlb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oma_tlb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

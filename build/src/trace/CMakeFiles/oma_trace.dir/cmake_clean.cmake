@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oma_trace.dir/stats.cc.o"
+  "CMakeFiles/oma_trace.dir/stats.cc.o.d"
+  "CMakeFiles/oma_trace.dir/trace.cc.o"
+  "CMakeFiles/oma_trace.dir/trace.cc.o.d"
+  "CMakeFiles/oma_trace.dir/tracefile.cc.o"
+  "CMakeFiles/oma_trace.dir/tracefile.cc.o.d"
+  "liboma_trace.a"
+  "liboma_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oma_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oma_workload.dir/benchmarks.cc.o"
+  "CMakeFiles/oma_workload.dir/benchmarks.cc.o.d"
+  "CMakeFiles/oma_workload.dir/system.cc.o"
+  "CMakeFiles/oma_workload.dir/system.cc.o.d"
+  "liboma_workload.a"
+  "liboma_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oma_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

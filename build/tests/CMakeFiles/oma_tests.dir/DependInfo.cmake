@@ -1,0 +1,73 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/area/test_access_time.cc" "tests/CMakeFiles/oma_tests.dir/area/test_access_time.cc.o" "gcc" "tests/CMakeFiles/oma_tests.dir/area/test_access_time.cc.o.d"
+  "/root/repo/tests/area/test_geometry.cc" "tests/CMakeFiles/oma_tests.dir/area/test_geometry.cc.o" "gcc" "tests/CMakeFiles/oma_tests.dir/area/test_geometry.cc.o.d"
+  "/root/repo/tests/area/test_mqf.cc" "tests/CMakeFiles/oma_tests.dir/area/test_mqf.cc.o" "gcc" "tests/CMakeFiles/oma_tests.dir/area/test_mqf.cc.o.d"
+  "/root/repo/tests/area/test_mqf_calibration.cc" "tests/CMakeFiles/oma_tests.dir/area/test_mqf_calibration.cc.o" "gcc" "tests/CMakeFiles/oma_tests.dir/area/test_mqf_calibration.cc.o.d"
+  "/root/repo/tests/cache/test_bank.cc" "tests/CMakeFiles/oma_tests.dir/cache/test_bank.cc.o" "gcc" "tests/CMakeFiles/oma_tests.dir/cache/test_bank.cc.o.d"
+  "/root/repo/tests/cache/test_cache.cc" "tests/CMakeFiles/oma_tests.dir/cache/test_cache.cc.o" "gcc" "tests/CMakeFiles/oma_tests.dir/cache/test_cache.cc.o.d"
+  "/root/repo/tests/cache/test_cache_property.cc" "tests/CMakeFiles/oma_tests.dir/cache/test_cache_property.cc.o" "gcc" "tests/CMakeFiles/oma_tests.dir/cache/test_cache_property.cc.o.d"
+  "/root/repo/tests/cache/test_cheetah.cc" "tests/CMakeFiles/oma_tests.dir/cache/test_cheetah.cc.o" "gcc" "tests/CMakeFiles/oma_tests.dir/cache/test_cheetah.cc.o.d"
+  "/root/repo/tests/cache/test_hierarchy.cc" "tests/CMakeFiles/oma_tests.dir/cache/test_hierarchy.cc.o" "gcc" "tests/CMakeFiles/oma_tests.dir/cache/test_hierarchy.cc.o.d"
+  "/root/repo/tests/cache/test_prefetch.cc" "tests/CMakeFiles/oma_tests.dir/cache/test_prefetch.cc.o" "gcc" "tests/CMakeFiles/oma_tests.dir/cache/test_prefetch.cc.o.d"
+  "/root/repo/tests/cache/test_victim.cc" "tests/CMakeFiles/oma_tests.dir/cache/test_victim.cc.o" "gcc" "tests/CMakeFiles/oma_tests.dir/cache/test_victim.cc.o.d"
+  "/root/repo/tests/cache/test_writepolicy.cc" "tests/CMakeFiles/oma_tests.dir/cache/test_writepolicy.cc.o" "gcc" "tests/CMakeFiles/oma_tests.dir/cache/test_writepolicy.cc.o.d"
+  "/root/repo/tests/core/test_experiment.cc" "tests/CMakeFiles/oma_tests.dir/core/test_experiment.cc.o" "gcc" "tests/CMakeFiles/oma_tests.dir/core/test_experiment.cc.o.d"
+  "/root/repo/tests/core/test_experiment_machines.cc" "tests/CMakeFiles/oma_tests.dir/core/test_experiment_machines.cc.o" "gcc" "tests/CMakeFiles/oma_tests.dir/core/test_experiment_machines.cc.o.d"
+  "/root/repo/tests/core/test_search.cc" "tests/CMakeFiles/oma_tests.dir/core/test_search.cc.o" "gcc" "tests/CMakeFiles/oma_tests.dir/core/test_search.cc.o.d"
+  "/root/repo/tests/core/test_search_property.cc" "tests/CMakeFiles/oma_tests.dir/core/test_search_property.cc.o" "gcc" "tests/CMakeFiles/oma_tests.dir/core/test_search_property.cc.o.d"
+  "/root/repo/tests/core/test_sweep.cc" "tests/CMakeFiles/oma_tests.dir/core/test_sweep.cc.o" "gcc" "tests/CMakeFiles/oma_tests.dir/core/test_sweep.cc.o.d"
+  "/root/repo/tests/integration/test_endtoend.cc" "tests/CMakeFiles/oma_tests.dir/integration/test_endtoend.cc.o" "gcc" "tests/CMakeFiles/oma_tests.dir/integration/test_endtoend.cc.o.d"
+  "/root/repo/tests/integration/test_golden.cc" "tests/CMakeFiles/oma_tests.dir/integration/test_golden.cc.o" "gcc" "tests/CMakeFiles/oma_tests.dir/integration/test_golden.cc.o.d"
+  "/root/repo/tests/machine/test_machine.cc" "tests/CMakeFiles/oma_tests.dir/machine/test_machine.cc.o" "gcc" "tests/CMakeFiles/oma_tests.dir/machine/test_machine.cc.o.d"
+  "/root/repo/tests/machine/test_machine_tlb.cc" "tests/CMakeFiles/oma_tests.dir/machine/test_machine_tlb.cc.o" "gcc" "tests/CMakeFiles/oma_tests.dir/machine/test_machine_tlb.cc.o.d"
+  "/root/repo/tests/machine/test_writebuffer.cc" "tests/CMakeFiles/oma_tests.dir/machine/test_writebuffer.cc.o" "gcc" "tests/CMakeFiles/oma_tests.dir/machine/test_writebuffer.cc.o.d"
+  "/root/repo/tests/os/test_addrspace.cc" "tests/CMakeFiles/oma_tests.dir/os/test_addrspace.cc.o" "gcc" "tests/CMakeFiles/oma_tests.dir/os/test_addrspace.cc.o.d"
+  "/root/repo/tests/os/test_codewalk.cc" "tests/CMakeFiles/oma_tests.dir/os/test_codewalk.cc.o" "gcc" "tests/CMakeFiles/oma_tests.dir/os/test_codewalk.cc.o.d"
+  "/root/repo/tests/os/test_component.cc" "tests/CMakeFiles/oma_tests.dir/os/test_component.cc.o" "gcc" "tests/CMakeFiles/oma_tests.dir/os/test_component.cc.o.d"
+  "/root/repo/tests/os/test_datagen.cc" "tests/CMakeFiles/oma_tests.dir/os/test_datagen.cc.o" "gcc" "tests/CMakeFiles/oma_tests.dir/os/test_datagen.cc.o.d"
+  "/root/repo/tests/os/test_layout.cc" "tests/CMakeFiles/oma_tests.dir/os/test_layout.cc.o" "gcc" "tests/CMakeFiles/oma_tests.dir/os/test_layout.cc.o.d"
+  "/root/repo/tests/os/test_osmodel.cc" "tests/CMakeFiles/oma_tests.dir/os/test_osmodel.cc.o" "gcc" "tests/CMakeFiles/oma_tests.dir/os/test_osmodel.cc.o.d"
+  "/root/repo/tests/support/test_bits.cc" "tests/CMakeFiles/oma_tests.dir/support/test_bits.cc.o" "gcc" "tests/CMakeFiles/oma_tests.dir/support/test_bits.cc.o.d"
+  "/root/repo/tests/support/test_logging.cc" "tests/CMakeFiles/oma_tests.dir/support/test_logging.cc.o" "gcc" "tests/CMakeFiles/oma_tests.dir/support/test_logging.cc.o.d"
+  "/root/repo/tests/support/test_rng.cc" "tests/CMakeFiles/oma_tests.dir/support/test_rng.cc.o" "gcc" "tests/CMakeFiles/oma_tests.dir/support/test_rng.cc.o.d"
+  "/root/repo/tests/support/test_stats.cc" "tests/CMakeFiles/oma_tests.dir/support/test_stats.cc.o" "gcc" "tests/CMakeFiles/oma_tests.dir/support/test_stats.cc.o.d"
+  "/root/repo/tests/support/test_table.cc" "tests/CMakeFiles/oma_tests.dir/support/test_table.cc.o" "gcc" "tests/CMakeFiles/oma_tests.dir/support/test_table.cc.o.d"
+  "/root/repo/tests/tlb/test_mmu.cc" "tests/CMakeFiles/oma_tests.dir/tlb/test_mmu.cc.o" "gcc" "tests/CMakeFiles/oma_tests.dir/tlb/test_mmu.cc.o.d"
+  "/root/repo/tests/tlb/test_mmu_property.cc" "tests/CMakeFiles/oma_tests.dir/tlb/test_mmu_property.cc.o" "gcc" "tests/CMakeFiles/oma_tests.dir/tlb/test_mmu_property.cc.o.d"
+  "/root/repo/tests/tlb/test_noasid.cc" "tests/CMakeFiles/oma_tests.dir/tlb/test_noasid.cc.o" "gcc" "tests/CMakeFiles/oma_tests.dir/tlb/test_noasid.cc.o.d"
+  "/root/repo/tests/tlb/test_tapeworm.cc" "tests/CMakeFiles/oma_tests.dir/tlb/test_tapeworm.cc.o" "gcc" "tests/CMakeFiles/oma_tests.dir/tlb/test_tapeworm.cc.o.d"
+  "/root/repo/tests/tlb/test_tlb.cc" "tests/CMakeFiles/oma_tests.dir/tlb/test_tlb.cc.o" "gcc" "tests/CMakeFiles/oma_tests.dir/tlb/test_tlb.cc.o.d"
+  "/root/repo/tests/trace/test_memref.cc" "tests/CMakeFiles/oma_tests.dir/trace/test_memref.cc.o" "gcc" "tests/CMakeFiles/oma_tests.dir/trace/test_memref.cc.o.d"
+  "/root/repo/tests/trace/test_sampler.cc" "tests/CMakeFiles/oma_tests.dir/trace/test_sampler.cc.o" "gcc" "tests/CMakeFiles/oma_tests.dir/trace/test_sampler.cc.o.d"
+  "/root/repo/tests/trace/test_source.cc" "tests/CMakeFiles/oma_tests.dir/trace/test_source.cc.o" "gcc" "tests/CMakeFiles/oma_tests.dir/trace/test_source.cc.o.d"
+  "/root/repo/tests/trace/test_stats.cc" "tests/CMakeFiles/oma_tests.dir/trace/test_stats.cc.o" "gcc" "tests/CMakeFiles/oma_tests.dir/trace/test_stats.cc.o.d"
+  "/root/repo/tests/trace/test_tracefile.cc" "tests/CMakeFiles/oma_tests.dir/trace/test_tracefile.cc.o" "gcc" "tests/CMakeFiles/oma_tests.dir/trace/test_tracefile.cc.o.d"
+  "/root/repo/tests/workload/test_benchmarks.cc" "tests/CMakeFiles/oma_tests.dir/workload/test_benchmarks.cc.o" "gcc" "tests/CMakeFiles/oma_tests.dir/workload/test_benchmarks.cc.o.d"
+  "/root/repo/tests/workload/test_multiprog.cc" "tests/CMakeFiles/oma_tests.dir/workload/test_multiprog.cc.o" "gcc" "tests/CMakeFiles/oma_tests.dir/workload/test_multiprog.cc.o.d"
+  "/root/repo/tests/workload/test_system.cc" "tests/CMakeFiles/oma_tests.dir/workload/test_system.cc.o" "gcc" "tests/CMakeFiles/oma_tests.dir/workload/test_system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/oma_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/oma_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/oma_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/oma_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/tlb/CMakeFiles/oma_tlb.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/oma_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/oma_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/area/CMakeFiles/oma_area.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/oma_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
