@@ -10,6 +10,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
 #include "cache/bank.hh"
 #include "cache/cheetah.hh"
 #include "core/search.hh"
@@ -130,6 +132,109 @@ BM_TraceGeneration(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_TraceGeneration)->Arg(0)->Arg(1);
+
+/**
+ * The headline win: one ComponentSweep over a Table 5 grid subset,
+ * serial (threads=1) vs parallel. Registered with Arg(1) first so
+ * the parallel runs can report their measured speedup against the
+ * serial wall clock in the JSON ("speedup_vs_serial" counter).
+ */
+void
+BM_SweepTable5Grid(benchmark::State &state)
+{
+    static double serial_seconds = 0.0;
+    const unsigned threads = unsigned(state.range(0));
+
+    ConfigSpace space;
+    // Trimmed grid (2-way max, no 16/32-word lines) so a full
+    // iteration stays in benchmark-friendly territory; the sharding
+    // is identical to the full Table 5 sweep.
+    space.lineWords = {1, 4, 8};
+    space.cacheWays = {1, 2};
+    ComponentSweep sweep(space.cacheGeometries(2),
+                         space.cacheGeometries(2),
+                         space.tlbGeometries());
+    RunConfig rc;
+    rc.references = 100000;
+    rc.threads = threads;
+
+    const auto t0 = std::chrono::steady_clock::now();
+    for (auto _ : state) {
+        const SweepResult r =
+            sweep.run(BenchmarkId::Mpeg, OsKind::Mach, rc);
+        benchmark::DoNotOptimize(r.icacheStats.data());
+    }
+    const double per_iter = state.iterations()
+        ? std::chrono::duration<double>(
+              std::chrono::steady_clock::now() - t0)
+                .count() /
+            double(state.iterations())
+        : 0.0;
+
+    if (threads == 1)
+        serial_seconds = per_iter;
+    state.counters["threads"] = double(threads);
+    if (threads > 1 && serial_seconds > 0.0 && per_iter > 0.0)
+        state.counters["speedup_vs_serial"] = serial_seconds / per_iter;
+    state.SetItemsProcessed(state.iterations() * int64_t(rc.references));
+}
+BENCHMARK(BM_SweepTable5Grid)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/** Scoring/ranking loop over the full Table 5 grid, serial vs
+ * parallel sharding by TLB geometry. */
+void
+BM_RankTable5Grid(benchmark::State &state)
+{
+    static double serial_seconds = 0.0;
+    const unsigned threads = unsigned(state.range(0));
+
+    ConfigSpace space;
+    ComponentCpiTables tables;
+    tables.tlbGeoms = space.tlbGeometries();
+    tables.icacheGeoms = space.cacheGeometries();
+    tables.dcacheGeoms = space.cacheGeometries();
+    tables.tlbCpi.resize(tables.tlbGeoms.size());
+    for (std::size_t i = 0; i < tables.tlbCpi.size(); ++i)
+        tables.tlbCpi[i] = 0.01 * double(i % 5);
+    tables.icacheCpi.resize(tables.icacheGeoms.size());
+    for (std::size_t i = 0; i < tables.icacheCpi.size(); ++i)
+        tables.icacheCpi[i] = 0.02 * double(i % 7);
+    tables.dcacheCpi.resize(tables.dcacheGeoms.size());
+    for (std::size_t i = 0; i < tables.dcacheCpi.size(); ++i)
+        tables.dcacheCpi[i] = 0.015 * double(i % 6);
+
+    const AllocationSearch search(AreaModel(), 250000.0);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (auto _ : state) {
+        const auto ranked = search.rank(tables, 8, threads);
+        benchmark::DoNotOptimize(ranked.data());
+    }
+    const double per_iter = state.iterations()
+        ? std::chrono::duration<double>(
+              std::chrono::steady_clock::now() - t0)
+                .count() /
+            double(state.iterations())
+        : 0.0;
+    if (threads == 1)
+        serial_seconds = per_iter;
+    state.counters["threads"] = double(threads);
+    if (threads > 1 && serial_seconds > 0.0 && per_iter > 0.0)
+        state.counters["speedup_vs_serial"] = serial_seconds / per_iter;
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RankTable5Grid)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 void
 BM_FullMachineStep(benchmark::State &state)

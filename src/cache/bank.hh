@@ -18,7 +18,15 @@
 namespace oma
 {
 
-/** A set of caches that all observe the same reference stream. */
+/**
+ * A set of caches that all observe the same reference stream.
+ *
+ * Not thread-safe: a bank (and each Cache in it) belongs to one
+ * thread. The parallel sweep engine gets its speedup the other way
+ * round — one private Cache per lane replaying a recorded stream —
+ * which is bitwise-equivalent to a bank because member caches never
+ * interact (see ComponentSweep).
+ */
 class CacheBank
 {
   public:

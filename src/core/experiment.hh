@@ -22,6 +22,14 @@ struct RunConfig
     /** Simulate only the application's own user-mode references
      * (the pixie+cache2000 methodology of Table 3, row 1). */
     bool userOnly = false;
+    /**
+     * Execution lanes for the sweep/search engines. 0 = one lane per
+     * hardware thread; 1 = the legacy single-pass serial path. Any
+     * setting produces bitwise-identical results (see
+     * docs/MODEL.md, "Threading model"); the knob only trades
+     * wall-clock for cores.
+     */
+    unsigned threads = 0;
 };
 
 /** Outcome of a baseline (fixed-machine) run. */

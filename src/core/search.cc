@@ -8,6 +8,7 @@
 #include <algorithm>
 
 #include "support/logging.hh"
+#include "support/threadpool.hh"
 
 namespace oma
 {
@@ -56,7 +57,8 @@ AllocationSearch::AllocationSearch(const AreaModel &area,
 
 std::vector<Allocation>
 AllocationSearch::rank(const ComponentCpiTables &tables,
-                       std::uint64_t max_cache_ways) const
+                       std::uint64_t max_cache_ways,
+                       unsigned threads) const
 {
     // Precompute areas once per distinct geometry.
     std::vector<double> tlb_area(tables.tlbGeoms.size());
@@ -69,8 +71,10 @@ AllocationSearch::rank(const ComponentCpiTables &tables,
     for (std::size_t i = 0; i < tables.dcacheGeoms.size(); ++i)
         d_area[i] = _area.cacheArea(tables.dcacheGeoms[i]);
 
-    std::vector<Allocation> out;
-    for (std::size_t t = 0; t < tables.tlbGeoms.size(); ++t) {
+    // Score one TLB-geometry shard: exactly the serial enumeration
+    // restricted to TLB index t, emitting allocations in (i, d) order.
+    const auto score_shard = [&](std::size_t t,
+                                 std::vector<Allocation> &shard) {
         for (std::size_t i = 0; i < tables.icacheGeoms.size(); ++i) {
             if (tables.icacheGeoms[i].assoc > max_cache_ways)
                 continue;
@@ -93,10 +97,26 @@ AllocationSearch::rank(const ComponentCpiTables &tables,
                 a.dcacheCpi = tables.dcacheCpi[d];
                 a.cpi = tables.baseCpi + a.tlbCpi + a.icacheCpi +
                     a.dcacheCpi;
-                out.push_back(a);
+                shard.push_back(a);
             }
         }
-    }
+    };
+
+    // Concatenating the shards in TLB order reproduces the serial
+    // (t, i, d) emission order, so the stable sort below sees the
+    // same sequence — and breaks CPI ties identically — no matter
+    // how many lanes scored the shards.
+    std::vector<std::vector<Allocation>> shards(tables.tlbGeoms.size());
+    parallelFor(threads, 0, shards.size(),
+                [&](std::size_t t) { score_shard(t, shards[t]); });
+
+    std::vector<Allocation> out;
+    std::size_t total = 0;
+    for (const auto &shard : shards)
+        total += shard.size();
+    out.reserve(total);
+    for (auto &shard : shards)
+        out.insert(out.end(), shard.begin(), shard.end());
 
     std::stable_sort(out.begin(), out.end(),
                      [](const Allocation &x, const Allocation &y) {

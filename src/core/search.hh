@@ -75,10 +75,16 @@ class AllocationSearch
      * @param tables Suite-averaged per-component CPI contributions.
      * @param max_cache_ways Associativity restriction (8 = Table 6,
      *        2 = Table 7).
+     * @param threads Execution lanes for the scoring loop; 0 = one
+     *        per hardware thread, 1 = serial. The enumeration is
+     *        sharded by TLB geometry and stitched back in TLB order,
+     *        so the ranking (ties included) is bitwise identical for
+     *        every thread count.
      * @return all in-budget allocations, best (lowest CPI) first.
      */
     std::vector<Allocation> rank(const ComponentCpiTables &tables,
-                                 std::uint64_t max_cache_ways = 8) const;
+                                 std::uint64_t max_cache_ways = 8,
+                                 unsigned threads = 0) const;
 
     double budget() const { return _budget; }
     const AreaModel &areaModel() const { return _area; }

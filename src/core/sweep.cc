@@ -6,10 +6,53 @@
 #include "core/sweep.hh"
 
 #include "support/logging.hh"
+#include "support/threadpool.hh"
 #include "tlb/mips_va.hh"
 
 namespace oma
 {
+
+namespace
+{
+
+/**
+ * Cache parameters for sweep slot @p index of bank @p bank_salt.
+ * Every geometry owns a private Rng stream derived from its index, so
+ * replacement tie-breaking (Random policy) is a function of the
+ * configuration alone, never of which thread replays it or of which
+ * other configurations share the run.
+ */
+CacheParams
+sweepCacheParams(const CacheGeometry &geom, std::uint64_t bank_salt,
+                 std::size_t index)
+{
+    CacheParams p;
+    p.geom = geom;
+    p.seed = mix64((bank_salt << 32) | std::uint64_t(index));
+    return p;
+}
+
+constexpr std::uint64_t icacheBankSalt = 1;
+constexpr std::uint64_t dcacheBankSalt = 2;
+
+/** A page invalidation pinned to its position in the trace: it takes
+ * effect before reference number @c index is observed. */
+struct InvalEvent
+{
+    std::uint64_t index;
+    std::uint64_t vpn;
+    std::uint32_t asid;
+    bool global;
+};
+
+/** A D-cache access surviving the kseg1 (uncached) filter. */
+struct DataAccess
+{
+    std::uint64_t paddr;
+    RefKind kind;
+};
+
+} // namespace
 
 double
 SweepResult::icacheCpi(std::size_t i, const MachineParams &mp) const
@@ -61,21 +104,25 @@ SweepResult
 ComponentSweep::run(const WorkloadParams &workload, OsKind os,
                     const RunConfig &run) const
 {
+    const unsigned threads = ThreadPool::resolveThreads(run.threads);
+    if (threads <= 1)
+        return runSerial(workload, os, run);
+    return runParallel(workload, os, run, threads);
+}
+
+SweepResult
+ComponentSweep::runSerial(const WorkloadParams &workload, OsKind os,
+                          const RunConfig &run) const
+{
     System system(workload, os, run.seed);
     Machine machine(_refMachine);
 
     CacheBank ibank;
-    for (const auto &geom : _icacheGeoms) {
-        CacheParams p;
-        p.geom = geom;
-        ibank.add(p);
-    }
+    for (std::size_t i = 0; i < _icacheGeoms.size(); ++i)
+        ibank.add(sweepCacheParams(_icacheGeoms[i], icacheBankSalt, i));
     CacheBank dbank;
-    for (const auto &geom : _dcacheGeoms) {
-        CacheParams p;
-        p.geom = geom;
-        dbank.add(p);
-    }
+    for (std::size_t i = 0; i < _dcacheGeoms.size(); ++i)
+        dbank.add(sweepCacheParams(_dcacheGeoms[i], dcacheBankSalt, i));
 
     std::vector<TlbParams> tlb_params;
     tlb_params.reserve(_tlbGeoms.size());
@@ -117,6 +164,103 @@ ComponentSweep::run(const WorkloadParams &workload, OsKind os,
         result.dcacheStats.push_back(dbank.at(i).stats());
     for (std::size_t i = 0; i < tapeworm.size(); ++i)
         result.tlbStats.push_back(tapeworm.at(i).stats());
+
+    const double instr =
+        double(std::max<std::uint64_t>(1, result.instructions));
+    result.wbCpi = double(machine.stalls().wbStall) / instr;
+    result.otherCpi = system.otherCpiSoFar();
+    return result;
+}
+
+SweepResult
+ComponentSweep::runParallel(const WorkloadParams &workload, OsKind os,
+                            const RunConfig &run,
+                            unsigned threads) const
+{
+    // Phase 1 (serial): generate the trace once. The workload RNG,
+    // the OS model and the reference machine all advance exactly as
+    // on the serial path; the stream and the page-invalidation events
+    // are recorded for replay. Events are stamped with the index of
+    // the reference about to be emitted, because the OS fires them
+    // while producing that reference — the serial path applies them
+    // to the simulators before observing it.
+    System system(workload, os, run.seed);
+    Machine machine(_refMachine);
+
+    std::vector<MemRef> refs;
+    refs.reserve(run.references);
+    std::vector<InvalEvent> events;
+    system.setInvalidateHook(
+        [&](std::uint64_t vpn, std::uint32_t asid, bool global) {
+            machine.mmu().invalidatePage(vpn, asid, global);
+            events.push_back({refs.size(), vpn, asid, global});
+        });
+
+    std::vector<std::uint64_t> fetches;
+    std::vector<DataAccess> data;
+    MemRef ref;
+    std::uint64_t consumed = 0;
+    while (consumed < run.references && system.next(ref)) {
+        machine.observe(ref);
+        if (ref.isFetch()) {
+            fetches.push_back(ref.paddr);
+        } else if (!(ref.vaddr >= kseg1Base && ref.vaddr < kseg2Base)) {
+            data.push_back({ref.paddr, ref.kind});
+        }
+        refs.push_back(ref);
+        ++consumed;
+    }
+
+    // Phase 2 (parallel): replay per configuration. One flat index
+    // space across all three component kinds keeps every lane busy;
+    // each index owns its private simulator and writes only its own
+    // result slot, so the reduction order is fixed by construction.
+    const std::size_t n_i = _icacheGeoms.size();
+    const std::size_t n_d = _dcacheGeoms.size();
+    const std::size_t n_t = _tlbGeoms.size();
+
+    SweepResult result;
+    result.instructions = machine.stalls().instructions;
+    result.references = consumed;
+    result.icacheGeoms = _icacheGeoms;
+    result.dcacheGeoms = _dcacheGeoms;
+    result.tlbGeoms = _tlbGeoms;
+    result.icacheStats.resize(n_i);
+    result.dcacheStats.resize(n_d);
+    result.tlbStats.resize(n_t);
+
+    ThreadPool pool(threads);
+    pool.parallelFor(0, n_i + n_d + n_t, [&](std::size_t task) {
+        if (task < n_i) {
+            Cache cache(sweepCacheParams(_icacheGeoms[task],
+                                         icacheBankSalt, task));
+            for (std::uint64_t paddr : fetches)
+                cache.access(paddr, RefKind::IFetch);
+            result.icacheStats[task] = cache.stats();
+        } else if (task < n_i + n_d) {
+            const std::size_t d = task - n_i;
+            Cache cache(sweepCacheParams(_dcacheGeoms[d],
+                                         dcacheBankSalt, d));
+            for (const DataAccess &a : data)
+                cache.access(a.paddr, a.kind);
+            result.dcacheStats[d] = cache.stats();
+        } else {
+            const std::size_t t = task - n_i - n_d;
+            TlbParams p;
+            p.geom = _tlbGeoms[t];
+            Mmu mmu(p, _refMachine.tlbPenalties);
+            std::size_t e = 0;
+            for (std::size_t k = 0; k < refs.size(); ++k) {
+                while (e < events.size() && events[e].index == k) {
+                    mmu.invalidatePage(events[e].vpn, events[e].asid,
+                                       events[e].global);
+                    ++e;
+                }
+                mmu.translate(refs[k]);
+            }
+            result.tlbStats[t] = mmu.stats();
+        }
+    });
 
     const double instr =
         double(std::max<std::uint64_t>(1, result.instructions));

@@ -68,6 +68,13 @@ struct SweepResult
 /**
  * Runs one workload/OS pair against banks of I-cache, D-cache and TLB
  * configurations simultaneously.
+ *
+ * With RunConfig::threads != 1 the per-configuration replays run on a
+ * ThreadPool: the trace is generated once (serially, so the workload
+ * RNG and the reference machine see exactly the serial stream), then
+ * every cache and TLB geometry replays the recorded stream on its own
+ * simulator instance. Results are bitwise identical to the serial
+ * single-pass path for any thread count.
  */
 class ComponentSweep
 {
@@ -90,6 +97,12 @@ class ComponentSweep
     }
 
   private:
+    SweepResult runSerial(const WorkloadParams &workload, OsKind os,
+                          const RunConfig &run) const;
+    SweepResult runParallel(const WorkloadParams &workload, OsKind os,
+                            const RunConfig &run,
+                            unsigned threads) const;
+
     std::vector<CacheGeometry> _icacheGeoms;
     std::vector<CacheGeometry> _dcacheGeoms;
     std::vector<TlbGeometry> _tlbGeoms;

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Implementation of the thread pool.
+ */
+
+#include "support/threadpool.hh"
+
+#include <limits>
+
+namespace oma
+{
+
+namespace
+{
+
+/** Set while this thread is executing parallelFor body indices, so a
+ * nested submission can be detected and run inline. */
+thread_local bool t_inParallelFor = false;
+
+} // namespace
+
+unsigned
+ThreadPool::resolveThreads(unsigned threads)
+{
+    if (threads != 0)
+        return threads;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    const unsigned lanes = resolveThreads(threads);
+    _workers.reserve(lanes - 1);
+    for (unsigned i = 0; i + 1 < lanes; ++i)
+        _workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _stopping = true;
+    }
+    _wake.notify_all();
+    // Join here, not via ~jthread: members are destroyed in reverse
+    // declaration order, so the condition variables would die before
+    // the workers vector — while a worker may still be inside its
+    // final notify_one().
+    for (auto &worker : _workers)
+        worker.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(_mutex);
+            _wake.wait(lock,
+                       [&] { return _stopping || _jobGen != seen; });
+            if (_stopping)
+                return;
+            seen = _jobGen;
+        }
+        claimIndices();
+        {
+            std::lock_guard<std::mutex> lock(_mutex);
+            --_activeWorkers;
+        }
+        _done.notify_one();
+    }
+}
+
+void
+ThreadPool::claimIndices()
+{
+    t_inParallelFor = true;
+    for (;;) {
+        const std::size_t i =
+            _next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= _end)
+            break;
+        try {
+            (*_body)(i);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(_mutex);
+            if (i < _errorIndex) {
+                _errorIndex = i;
+                _error = std::current_exception();
+            }
+        }
+    }
+    t_inParallelFor = false;
+}
+
+void
+ThreadPool::parallelFor(std::size_t begin, std::size_t end,
+                        const std::function<void(std::size_t)> &body)
+{
+    if (begin >= end)
+        return;
+    // Serial pool, or a nested call from inside one of our own
+    // bodies: run inline on this lane (see class comment).
+    if (_workers.empty() || t_inParallelFor) {
+        for (std::size_t i = begin; i < end; ++i)
+            body(i);
+        return;
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _next.store(begin, std::memory_order_relaxed);
+        _end = end;
+        _body = &body;
+        _error = nullptr;
+        _errorIndex = std::numeric_limits<std::size_t>::max();
+        _activeWorkers = unsigned(_workers.size());
+        ++_jobGen;
+    }
+    _wake.notify_all();
+
+    claimIndices(); // The caller is a lane too.
+
+    std::exception_ptr error;
+    {
+        std::unique_lock<std::mutex> lock(_mutex);
+        _done.wait(lock, [&] { return _activeWorkers == 0; });
+        _body = nullptr;
+        error = _error;
+        _error = nullptr;
+    }
+    if (error)
+        std::rethrow_exception(error);
+}
+
+void
+parallelFor(unsigned threads, std::size_t begin, std::size_t end,
+            const std::function<void(std::size_t)> &body)
+{
+    const unsigned lanes = ThreadPool::resolveThreads(threads);
+    if (lanes <= 1 || end - begin <= 1) {
+        for (std::size_t i = begin; i < end; ++i)
+            body(i);
+        return;
+    }
+    ThreadPool pool(lanes);
+    pool.parallelFor(begin, end, body);
+}
+
+} // namespace oma

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * A small fixed-size thread pool with a deterministic parallel-for.
+ *
+ * The design-space sweeps replay one in-memory trace through hundreds
+ * of independent simulator instances; that work is embarrassingly
+ * parallel, so a chunk-claiming pool over std::jthread is all the
+ * machinery needed. Determinism is preserved structurally: every
+ * index writes only its own output slot, so the schedule cannot leak
+ * into the results, and the caller observes completion of the whole
+ * range before continuing.
+ */
+
+#ifndef OMA_SUPPORT_THREADPOOL_HH
+#define OMA_SUPPORT_THREADPOOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace oma
+{
+
+/**
+ * Fixed-size pool executing parallel-for jobs.
+ *
+ * The pool owns `lanes - 1` worker threads; the thread calling
+ * parallelFor() participates as the remaining lane, so a pool of one
+ * lane degenerates to a plain serial loop with no synchronization.
+ *
+ * Nested submission: a parallelFor() issued from inside a body
+ * running on this pool executes inline on the calling lane (serially)
+ * rather than deadlocking on the pool's own workers. This keeps
+ * nesting safe but gains it no parallelism; structure hot loops as a
+ * single flat index space instead.
+ */
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads Total lanes including the caller;
+     *        0 = std::thread::hardware_concurrency().
+     */
+    explicit ThreadPool(unsigned threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Total execution lanes (worker threads + the calling thread). */
+    unsigned
+    threadCount() const
+    {
+        return unsigned(_workers.size()) + 1;
+    }
+
+    /** Resolve a threads knob: 0 means hardware_concurrency, min 1. */
+    static unsigned resolveThreads(unsigned threads);
+
+    /**
+     * Run body(i) for every i in [begin, end); returns when all
+     * indices completed. Indices are claimed dynamically (one atomic
+     * increment each) so heterogeneous per-index costs load-balance.
+     *
+     * If any body throws, every index is still attempted and the
+     * exception raised by the smallest throwing index is rethrown in
+     * the caller — a deterministic choice regardless of schedule.
+     */
+    void parallelFor(std::size_t begin, std::size_t end,
+                     const std::function<void(std::size_t)> &body);
+
+  private:
+    void workerLoop();
+    /** Claim and run indices of the current job on this thread. */
+    void claimIndices();
+
+    std::vector<std::jthread> _workers;
+
+    std::mutex _mutex;
+    std::condition_variable _wake; //!< Workers wait for a new job.
+    std::condition_variable _done; //!< Caller waits for job completion.
+    std::uint64_t _jobGen = 0;     //!< Bumped when a job is posted.
+    unsigned _activeWorkers = 0;   //!< Workers not yet done with the job.
+    bool _stopping = false;
+
+    // Current job; written under _mutex before workers are woken.
+    std::atomic<std::size_t> _next{0}; //!< Next unclaimed index.
+    std::size_t _end = 0;
+    const std::function<void(std::size_t)> *_body = nullptr;
+    std::exception_ptr _error;
+    std::size_t _errorIndex = 0;
+};
+
+/**
+ * One-shot helper: run body(i) for i in [begin, end) on @p threads
+ * lanes (0 = hardware_concurrency). With one lane the loop runs
+ * inline on the calling thread — the legacy serial path, with no
+ * threads created and no synchronization.
+ */
+void parallelFor(unsigned threads, std::size_t begin, std::size_t end,
+                 const std::function<void(std::size_t)> &body);
+
+} // namespace oma
+
+#endif // OMA_SUPPORT_THREADPOOL_HH

@@ -24,6 +24,13 @@ namespace oma
 
 /**
  * Simulates many TLB configurations against one reference stream.
+ *
+ * Not thread-safe: each member Mmu owns page metadata and must see
+ * references and OS page invalidations in trace order. The parallel
+ * sweep engine therefore records the stream (invalidations stamped
+ * with the reference they precede) and replays it per-configuration
+ * on private Mmu instances, which is bitwise-equivalent to feeding
+ * one Tapeworm serially because member Mmus never interact.
  */
 class Tapeworm
 {

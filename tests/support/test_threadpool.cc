@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Tests for the thread pool and parallelFor.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "support/threadpool.hh"
+
+namespace oma
+{
+namespace
+{
+
+TEST(ThreadPool, ResolveThreadsNeverZero)
+{
+    EXPECT_GE(ThreadPool::resolveThreads(0), 1u);
+    EXPECT_EQ(ThreadPool::resolveThreads(1), 1u);
+    EXPECT_EQ(ThreadPool::resolveThreads(7), 7u);
+}
+
+TEST(ThreadPool, EmptyRangeNeverCallsBody)
+{
+    ThreadPool pool(4);
+    std::atomic<int> calls{0};
+    pool.parallelFor(0, 0, [&](std::size_t) { ++calls; });
+    pool.parallelFor(5, 5, [&](std::size_t) { ++calls; });
+    pool.parallelFor(7, 3, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, RangeSmallerThanThreadCount)
+{
+    ThreadPool pool(8);
+    std::vector<std::atomic<int>> hits(3);
+    pool.parallelFor(0, 3, [&](std::size_t i) { ++hits[i]; });
+    for (auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, EveryIndexRunsExactlyOnce)
+{
+    ThreadPool pool(4);
+    constexpr std::size_t n = 10000;
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallelFor(0, n, [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < n; ++i)
+        ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, NonZeroBeginRespected)
+{
+    ThreadPool pool(3);
+    std::mutex m;
+    std::set<std::size_t> seen;
+    pool.parallelFor(10, 20, [&](std::size_t i) {
+        std::lock_guard<std::mutex> lock(m);
+        seen.insert(i);
+    });
+    ASSERT_EQ(seen.size(), 10u);
+    EXPECT_EQ(*seen.begin(), 10u);
+    EXPECT_EQ(*seen.rbegin(), 19u);
+}
+
+TEST(ThreadPool, PoolIsReusableAcrossJobs)
+{
+    ThreadPool pool(4);
+    std::atomic<int> total{0};
+    for (int round = 0; round < 20; ++round)
+        pool.parallelFor(0, 17, [&](std::size_t) { ++total; });
+    EXPECT_EQ(total.load(), 20 * 17);
+}
+
+TEST(ThreadPool, ExceptionPropagatesToCaller)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(pool.parallelFor(0, 100,
+                                  [&](std::size_t i) {
+                                      if (i == 42)
+                                          throw std::runtime_error("boom");
+                                  }),
+                 std::runtime_error);
+    // The pool survives a throwing job.
+    std::atomic<int> calls{0};
+    pool.parallelFor(0, 8, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls.load(), 8);
+}
+
+TEST(ThreadPool, SmallestThrowingIndexWins)
+{
+    // Every index throws; the rethrown exception must deterministically
+    // be the one raised by the smallest index regardless of schedule.
+    ThreadPool pool(4);
+    for (int round = 0; round < 10; ++round) {
+        try {
+            pool.parallelFor(3, 64, [&](std::size_t i) {
+                throw std::runtime_error(std::to_string(i));
+            });
+            FAIL() << "expected an exception";
+        } catch (const std::runtime_error &e) {
+            EXPECT_STREQ(e.what(), "3");
+        }
+    }
+}
+
+TEST(ThreadPool, NestedSubmissionRunsInlineWithoutDeadlock)
+{
+    // A body submitting to its own pool must not deadlock waiting for
+    // workers that are busy running the outer job; nested calls run
+    // inline on the submitting lane instead.
+    ThreadPool pool(4);
+    std::atomic<int> inner{0};
+    pool.parallelFor(0, 8, [&](std::size_t) {
+        pool.parallelFor(0, 5, [&](std::size_t) { ++inner; });
+    });
+    EXPECT_EQ(inner.load(), 8 * 5);
+}
+
+TEST(ThreadPool, SingleLanePoolRunsOnCallerThread)
+{
+    ThreadPool pool(1);
+    const auto caller = std::this_thread::get_id();
+    std::vector<std::thread::id> ids(4);
+    pool.parallelFor(0, 4, [&](std::size_t i) {
+        ids[i] = std::this_thread::get_id();
+    });
+    for (const auto &id : ids)
+        EXPECT_EQ(id, caller);
+}
+
+TEST(ParallelForHelper, SerialWhenOneThread)
+{
+    const auto caller = std::this_thread::get_id();
+    std::vector<std::thread::id> ids(6);
+    parallelFor(1, 0, 6, [&](std::size_t i) {
+        ids[i] = std::this_thread::get_id();
+    });
+    for (const auto &id : ids)
+        EXPECT_EQ(id, caller);
+}
+
+TEST(ParallelForHelper, CoversRangeWithManyThreads)
+{
+    constexpr std::size_t n = 500;
+    std::vector<std::atomic<int>> hits(n);
+    parallelFor(8, 0, n, [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < n; ++i)
+        ASSERT_EQ(hits[i].load(), 1);
+}
+
+} // namespace
+} // namespace oma
