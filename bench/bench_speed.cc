@@ -236,6 +236,81 @@ BENCHMARK(BM_RankTable5Grid)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
+/**
+ * Recording a stream into the packed RecordedTrace, with counters
+ * tracking its footprint against the retired three-vector scheme
+ * (a MemRef vector plus separate fetch-paddr and filtered-data
+ * vectors) so the sweep-memory reduction stays in the perf
+ * trajectory: bytes_per_ref vs legacy_bytes_per_ref and their ratio.
+ */
+void
+BM_RecordTrace(benchmark::State &state)
+{
+    const std::uint64_t refs = 1 << 18;
+    RecordedTrace trace;
+    for (auto _ : state) {
+        System system(benchmarkParams(BenchmarkId::Mpeg),
+                      OsKind::Mach, 42);
+        trace = system.record(refs);
+        benchmark::DoNotOptimize(trace.byteSize());
+    }
+
+    std::uint64_t fetches = 0, data = 0;
+    trace.replayFetchPaddrs([&](std::uint64_t) { ++fetches; });
+    trace.replayCachedData([&](std::uint64_t, RefKind) { ++data; });
+    const double n = double(std::max<std::uint64_t>(1, trace.size()));
+    const double packed = double(trace.byteSize());
+    const double legacy = n * double(sizeof(MemRef)) +
+        double(fetches) * double(sizeof(std::uint64_t)) +
+        double(data) * 16.0 /* paddr + kind, padded */;
+    state.counters["bytes_per_ref"] = packed / n;
+    state.counters["legacy_bytes_per_ref"] = legacy / n;
+    state.counters["footprint_reduction"] = legacy / packed;
+    state.counters["events"] = double(trace.events().size());
+    state.SetItemsProcessed(state.iterations() * int64_t(refs));
+}
+BENCHMARK(BM_RecordTrace)->Unit(benchmark::kMillisecond);
+
+/**
+ * Replaying one shared recording through a Table 5 grid subset —
+ * the phase-2 half of ComponentSweep::run, as driven by a v2 trace
+ * file. The bytes_per_ref counter is the recording actually being
+ * replayed, so ≥2x reduction versus legacy_bytes_per_ref above is
+ * checkable from one JSON report.
+ */
+void
+BM_ReplaySweep(benchmark::State &state)
+{
+    static RecordedTrace trace;
+    if (trace.empty()) {
+        System system(benchmarkParams(BenchmarkId::Mpeg),
+                      OsKind::Mach, 42);
+        trace = system.record(100000);
+    }
+    const unsigned threads = unsigned(state.range(0));
+
+    ConfigSpace space;
+    space.lineWords = {1, 4, 8};
+    space.cacheWays = {1, 2};
+    ComponentSweep sweep(space.cacheGeometries(2),
+                         space.cacheGeometries(2),
+                         space.tlbGeometries());
+    for (auto _ : state) {
+        const SweepResult r = sweep.run(trace, threads);
+        benchmark::DoNotOptimize(r.icacheStats.data());
+    }
+    state.counters["threads"] = double(threads);
+    state.counters["bytes_per_ref"] = double(trace.byteSize()) /
+        double(std::max<std::uint64_t>(1, trace.size()));
+    state.SetItemsProcessed(state.iterations() *
+                            int64_t(trace.size()));
+}
+BENCHMARK(BM_ReplaySweep)
+    ->Arg(1)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
 void
 BM_FullMachineStep(benchmark::State &state)
 {

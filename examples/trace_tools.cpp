@@ -2,13 +2,19 @@
  * @file
  * Example: trace capture and replay utility.
  *
- *   trace_tools gen <file> <benchmark> <ultrix|mach> <refs> [seed]
- *       Generate a reference trace and save it (optionally sampled:
- *       append "sampled" to apply the paper's 50-window methodology).
+ *   trace_tools gen <file> <benchmark> <ultrix|mach> <refs> [sampled]
+ *       Record a reference stream (with inline page-invalidation
+ *       events) and save it as a v2 trace file. Append "sampled" to
+ *       apply the paper's 50-window methodology instead (sampled
+ *       traces carry no events).
  *   trace_tools info <file>
- *       Summarize a trace: reference mix, modes, address spaces.
+ *       Summarize a trace: reference mix, modes, address spaces,
+ *       format version, event count.
  *   trace_tools sim <file> <i_kb> <d_kb> <line_words> <ways>
  *       Replay a trace through a cache pair and report miss ratios.
+ *   trace_tools sweep <file> [threads]
+ *       Feed a recorded trace straight into a ComponentSweep over a
+ *       small cache/TLB grid and print the per-configuration table.
  */
 
 #include <cstdlib>
@@ -17,6 +23,7 @@
 #include <string>
 
 #include "cache/cache.hh"
+#include "core/sweep.hh"
 #include "support/logging.hh"
 #include "support/table.hh"
 #include "trace/sampler.hh"
@@ -52,25 +59,30 @@ cmdGen(int argc, char **argv)
     const bool sampled = argc > 6 && std::string(argv[6]) == "sampled";
 
     System system(benchmarkParams(id), os, 42);
-    TraceFileWriter writer(path);
-    MemRef ref;
     if (sampled) {
+        // Sampling drops references, so event positions would not
+        // line up; sampled traces are written without events.
         SamplerParams sp; // the paper's 50-sample methodology
         sp.sampleCount = 50;
         sp.sampleLength = refs / 50;
         sp.meanGap = 3 * sp.sampleLength;
         TraceSampler sampler(system, sp);
+        TraceFileWriter writer(path);
+        MemRef ref;
         while (sampler.next(ref))
             writer.put(ref);
-    } else {
-        for (std::uint64_t i = 0; i < refs; ++i) {
-            system.next(ref);
-            writer.put(ref);
-        }
+        writer.close();
+        std::cout << "Wrote " << writer.count()
+                  << " sampled references to " << path << "\n";
+        return 0;
     }
-    writer.close();
-    std::cout << "Wrote " << writer.count() << " references to "
-              << path << "\n";
+
+    const RecordedTrace trace = system.record(refs);
+    writeTrace(path, trace);
+    std::cout << "Wrote " << trace.size() << " references and "
+              << trace.events().size() << " invalidation events to "
+              << path << " (" << fmtKBytes(trace.byteSize())
+              << " packed)\n";
     return 0;
 }
 
@@ -83,7 +95,10 @@ cmdInfo(int argc, char **argv)
     MemRef ref;
     while (reader.next(ref))
         stats.put(ref);
-    std::cout << "Trace: " << argv[2] << "\n";
+    std::cout << "Trace: " << argv[2] << " (format v"
+              << reader.version() << ", " << reader.eventCount()
+              << " invalidation events, other CPI "
+              << fmtFixed(reader.otherCpi(), 3) << ")\n";
     stats.print(std::cout);
     return 0;
 }
@@ -93,7 +108,7 @@ cmdSim(int argc, char **argv)
 {
     fatalIf(argc < 7,
             "sim needs <file> <i_kb> <d_kb> <line_words> <ways>");
-    TraceFileReader reader(argv[2]);
+    const RecordedTrace trace = readTrace(argv[2]);
     CacheParams ip, dp;
     ip.geom = CacheGeometry::fromWords(
         std::strtoull(argv[3], nullptr, 10) * 1024,
@@ -104,13 +119,12 @@ cmdSim(int argc, char **argv)
         std::strtoull(argv[5], nullptr, 10),
         std::strtoull(argv[6], nullptr, 10));
     Cache icache(ip), dcache(dp);
-    MemRef ref;
-    while (reader.next(ref)) {
-        if (ref.isFetch())
-            icache.access(ref.paddr, ref.kind);
-        else
-            dcache.access(ref.paddr, ref.kind);
-    }
+    trace.replayFetchPaddrs([&](std::uint64_t paddr) {
+        icache.access(paddr, RefKind::IFetch);
+    });
+    trace.replayCachedData([&](std::uint64_t paddr, RefKind kind) {
+        dcache.access(paddr, kind);
+    });
     std::cout << "I-cache " << ip.geom.describe() << ": miss ratio "
               << fmtFixed(icache.stats().missRatio(), 4) << " ("
               << icache.stats().totalMisses() << " misses)\n"
@@ -120,13 +134,57 @@ cmdSim(int argc, char **argv)
     return 0;
 }
 
+int
+cmdSweep(int argc, char **argv)
+{
+    fatalIf(argc < 3, "sweep needs <file> [threads]");
+    const unsigned threads = argc > 3
+        ? unsigned(std::strtoul(argv[3], nullptr, 10))
+        : 0;
+    const RecordedTrace trace = readTrace(argv[2]);
+    fatalIf(trace.empty(), "empty trace");
+
+    std::vector<CacheGeometry> cache_geoms;
+    for (std::uint64_t kb : {2, 4, 8, 16, 32})
+        cache_geoms.push_back(
+            CacheGeometry::fromWords(kb * 1024, 4, 1));
+    std::vector<TlbGeometry> tlb_geoms = {
+        TlbGeometry::fullyAssoc(64), TlbGeometry(128, 2),
+        TlbGeometry(256, 4)};
+
+    const MachineParams mp = MachineParams::decstation3100();
+    ComponentSweep sweep(cache_geoms, cache_geoms, tlb_geoms, mp);
+    const SweepResult r = sweep.run(trace, threads);
+
+    std::cout << "Swept " << r.references << " recorded references ("
+              << r.instructions << " instructions, "
+              << trace.events().size() << " events)\n";
+    TextTable table({"component", "geometry", "miss ratio", "CPI"});
+    for (std::size_t i = 0; i < cache_geoms.size(); ++i) {
+        table.addRow({"icache", cache_geoms[i].describe(),
+                      fmtFixed(r.icacheMissRatio(i), 4),
+                      fmtFixed(r.icacheCpi(i, mp), 3)});
+    }
+    for (std::size_t i = 0; i < cache_geoms.size(); ++i) {
+        table.addRow({"dcache", cache_geoms[i].describe(),
+                      fmtFixed(r.dcacheMissRatio(i), 4),
+                      fmtFixed(r.dcacheCpi(i, mp), 3)});
+    }
+    for (std::size_t i = 0; i < tlb_geoms.size(); ++i) {
+        table.addRow({"tlb", tlb_geoms[i].describe(), "-",
+                      fmtFixed(r.tlbCpi(i), 3)});
+    }
+    table.print(std::cout);
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     if (argc < 2) {
-        std::cout << "usage: trace_tools gen|info|sim ...\n";
+        std::cout << "usage: trace_tools gen|info|sim|sweep ...\n";
         return 1;
     }
     const std::string cmd = argv[1];
@@ -136,5 +194,7 @@ main(int argc, char **argv)
         return cmdInfo(argc, argv);
     if (cmd == "sim")
         return cmdSim(argc, argv);
+    if (cmd == "sweep")
+        return cmdSweep(argc, argv);
     fatal("unknown command: " + cmd);
 }

@@ -7,7 +7,6 @@
 
 #include "support/logging.hh"
 #include "support/threadpool.hh"
-#include "tlb/mips_va.hh"
 
 namespace oma
 {
@@ -34,23 +33,6 @@ sweepCacheParams(const CacheGeometry &geom, std::uint64_t bank_salt,
 
 constexpr std::uint64_t icacheBankSalt = 1;
 constexpr std::uint64_t dcacheBankSalt = 2;
-
-/** A page invalidation pinned to its position in the trace: it takes
- * effect before reference number @c index is observed. */
-struct InvalEvent
-{
-    std::uint64_t index;
-    std::uint64_t vpn;
-    std::uint32_t asid;
-    bool global;
-};
-
-/** A D-cache access surviving the kseg1 (uncached) filter. */
-struct DataAccess
-{
-    std::uint64_t paddr;
-    RefKind kind;
-};
 
 } // namespace
 
@@ -104,168 +86,94 @@ SweepResult
 ComponentSweep::run(const WorkloadParams &workload, OsKind os,
                     const RunConfig &run) const
 {
-    const unsigned threads = ThreadPool::resolveThreads(run.threads);
-    if (threads <= 1)
-        return runSerial(workload, os, run);
-    return runParallel(workload, os, run, threads);
-}
-
-SweepResult
-ComponentSweep::runSerial(const WorkloadParams &workload, OsKind os,
-                          const RunConfig &run) const
-{
+    // Phase 1 (serial): capture the stream once. The workload RNG
+    // and the OS model advance exactly as in a legacy single-pass
+    // run; page-invalidation events land inline in the recording at
+    // the index of the reference the OS fired them while producing,
+    // which is where every replay applies them.
     System system(workload, os, run.seed);
-    Machine machine(_refMachine);
-
-    CacheBank ibank;
-    for (std::size_t i = 0; i < _icacheGeoms.size(); ++i)
-        ibank.add(sweepCacheParams(_icacheGeoms[i], icacheBankSalt, i));
-    CacheBank dbank;
-    for (std::size_t i = 0; i < _dcacheGeoms.size(); ++i)
-        dbank.add(sweepCacheParams(_dcacheGeoms[i], dcacheBankSalt, i));
-
-    std::vector<TlbParams> tlb_params;
-    tlb_params.reserve(_tlbGeoms.size());
-    for (const auto &geom : _tlbGeoms) {
-        TlbParams p;
-        p.geom = geom;
-        tlb_params.push_back(p);
-    }
-    Tapeworm tapeworm(tlb_params, _refMachine.tlbPenalties);
-
-    system.setInvalidateHook(
-        [&](std::uint64_t vpn, std::uint32_t asid, bool global) {
-            machine.mmu().invalidatePage(vpn, asid, global);
-            tapeworm.invalidatePage(vpn, asid, global);
-        });
-
-    MemRef ref;
-    std::uint64_t consumed = 0;
-    while (consumed < run.references && system.next(ref)) {
-        machine.observe(ref);
-        tapeworm.observe(ref);
-        if (ref.isFetch()) {
-            ibank.access(ref.paddr, ref.kind);
-        } else if (!(ref.vaddr >= kseg1Base && ref.vaddr < kseg2Base)) {
-            dbank.access(ref.paddr, ref.kind);
-        }
-        ++consumed;
-    }
-
-    SweepResult result;
-    result.instructions = machine.stalls().instructions;
-    result.references = consumed;
-    result.icacheGeoms = _icacheGeoms;
-    result.dcacheGeoms = _dcacheGeoms;
-    result.tlbGeoms = _tlbGeoms;
-    for (std::size_t i = 0; i < ibank.size(); ++i)
-        result.icacheStats.push_back(ibank.at(i).stats());
-    for (std::size_t i = 0; i < dbank.size(); ++i)
-        result.dcacheStats.push_back(dbank.at(i).stats());
-    for (std::size_t i = 0; i < tapeworm.size(); ++i)
-        result.tlbStats.push_back(tapeworm.at(i).stats());
-
-    const double instr =
-        double(std::max<std::uint64_t>(1, result.instructions));
-    result.wbCpi = double(machine.stalls().wbStall) / instr;
-    result.otherCpi = system.otherCpiSoFar();
-    return result;
+    const RecordedTrace trace = system.record(run.references);
+    return replayTrace(trace, ThreadPool::resolveThreads(run.threads));
 }
 
 SweepResult
-ComponentSweep::runParallel(const WorkloadParams &workload, OsKind os,
-                            const RunConfig &run,
+ComponentSweep::run(const RecordedTrace &trace, unsigned threads) const
+{
+    return replayTrace(trace, ThreadPool::resolveThreads(threads));
+}
+
+SweepResult
+ComponentSweep::replayTrace(const RecordedTrace &trace,
                             unsigned threads) const
 {
-    // Phase 1 (serial): generate the trace once. The workload RNG,
-    // the OS model and the reference machine all advance exactly as
-    // on the serial path; the stream and the page-invalidation events
-    // are recorded for replay. Events are stamped with the index of
-    // the reference about to be emitted, because the OS fires them
-    // while producing that reference — the serial path applies them
-    // to the simulators before observing it.
-    System system(workload, os, run.seed);
-    Machine machine(_refMachine);
-
-    std::vector<MemRef> refs;
-    refs.reserve(run.references);
-    std::vector<InvalEvent> events;
-    system.setInvalidateHook(
-        [&](std::uint64_t vpn, std::uint32_t asid, bool global) {
-            machine.mmu().invalidatePage(vpn, asid, global);
-            events.push_back({refs.size(), vpn, asid, global});
-        });
-
-    std::vector<std::uint64_t> fetches;
-    std::vector<DataAccess> data;
-    MemRef ref;
-    std::uint64_t consumed = 0;
-    while (consumed < run.references && system.next(ref)) {
-        machine.observe(ref);
-        if (ref.isFetch()) {
-            fetches.push_back(ref.paddr);
-        } else if (!(ref.vaddr >= kseg1Base && ref.vaddr < kseg2Base)) {
-            data.push_back({ref.paddr, ref.kind});
-        }
-        refs.push_back(ref);
-        ++consumed;
-    }
-
-    // Phase 2 (parallel): replay per configuration. One flat index
-    // space across all three component kinds keeps every lane busy;
-    // each index owns its private simulator and writes only its own
-    // result slot, so the reduction order is fixed by construction.
+    // Phase 2 (parallel): replay per consumer. One flat index space
+    // across the reference machine and all three component kinds
+    // keeps every lane busy; each index owns its private simulator
+    // and writes only its own result slot, so the reduction order is
+    // fixed by construction and the results are bitwise identical
+    // for any thread count.
     const std::size_t n_i = _icacheGeoms.size();
     const std::size_t n_d = _dcacheGeoms.size();
     const std::size_t n_t = _tlbGeoms.size();
 
     SweepResult result;
-    result.instructions = machine.stalls().instructions;
-    result.references = consumed;
+    result.references = trace.size();
     result.icacheGeoms = _icacheGeoms;
     result.dcacheGeoms = _dcacheGeoms;
     result.tlbGeoms = _tlbGeoms;
     result.icacheStats.resize(n_i);
     result.dcacheStats.resize(n_d);
     result.tlbStats.resize(n_t);
+    result.otherCpi = trace.otherCpi();
 
-    ThreadPool pool(threads);
-    pool.parallelFor(0, n_i + n_d + n_t, [&](std::size_t task) {
-        if (task < n_i) {
-            Cache cache(sweepCacheParams(_icacheGeoms[task],
-                                         icacheBankSalt, task));
-            for (std::uint64_t paddr : fetches)
+    std::uint64_t wb_stall = 0;
+    parallelFor(threads, 0, 1 + n_i + n_d + n_t, [&](std::size_t task) {
+        if (task == 0) {
+            // Reference machine replay: stall attribution for the
+            // configuration-independent CPI components.
+            Machine machine(_refMachine);
+            trace.replay(
+                [&](const MemRef &ref) { machine.observe(ref); },
+                [&](const TraceEvent &e) {
+                    machine.mmu().invalidatePage(e.vpn, e.asid,
+                                                 e.global);
+                });
+            result.instructions = machine.stalls().instructions;
+            wb_stall = machine.stalls().wbStall;
+        } else if (task <= n_i) {
+            const std::size_t i = task - 1;
+            Cache cache(sweepCacheParams(_icacheGeoms[i],
+                                         icacheBankSalt, i));
+            trace.replayFetchPaddrs([&](std::uint64_t paddr) {
                 cache.access(paddr, RefKind::IFetch);
-            result.icacheStats[task] = cache.stats();
-        } else if (task < n_i + n_d) {
-            const std::size_t d = task - n_i;
+            });
+            result.icacheStats[i] = cache.stats();
+        } else if (task <= n_i + n_d) {
+            const std::size_t d = task - 1 - n_i;
             Cache cache(sweepCacheParams(_dcacheGeoms[d],
                                          dcacheBankSalt, d));
-            for (const DataAccess &a : data)
-                cache.access(a.paddr, a.kind);
+            trace.replayCachedData(
+                [&](std::uint64_t paddr, RefKind kind) {
+                    cache.access(paddr, kind);
+                });
             result.dcacheStats[d] = cache.stats();
         } else {
-            const std::size_t t = task - n_i - n_d;
+            const std::size_t t = task - 1 - n_i - n_d;
             TlbParams p;
             p.geom = _tlbGeoms[t];
             Mmu mmu(p, _refMachine.tlbPenalties);
-            std::size_t e = 0;
-            for (std::size_t k = 0; k < refs.size(); ++k) {
-                while (e < events.size() && events[e].index == k) {
-                    mmu.invalidatePage(events[e].vpn, events[e].asid,
-                                       events[e].global);
-                    ++e;
-                }
-                mmu.translate(refs[k]);
-            }
+            trace.replay(
+                [&](const MemRef &ref) { mmu.translate(ref); },
+                [&](const TraceEvent &e) {
+                    mmu.invalidatePage(e.vpn, e.asid, e.global);
+                });
             result.tlbStats[t] = mmu.stats();
         }
     });
 
     const double instr =
         double(std::max<std::uint64_t>(1, result.instructions));
-    result.wbCpi = double(machine.stalls().wbStall) / instr;
-    result.otherCpi = system.otherCpiSoFar();
+    result.wbCpi = double(wb_stall) / instr;
     return result;
 }
 

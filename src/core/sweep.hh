@@ -20,6 +20,7 @@
 #include "core/experiment.hh"
 #include "machine/machine.hh"
 #include "tlb/tapeworm.hh"
+#include "trace/recorded.hh"
 #include "workload/system.hh"
 
 namespace oma
@@ -69,12 +70,16 @@ struct SweepResult
  * Runs one workload/OS pair against banks of I-cache, D-cache and TLB
  * configurations simultaneously.
  *
- * With RunConfig::threads != 1 the per-configuration replays run on a
- * ThreadPool: the trace is generated once (serially, so the workload
- * RNG and the reference machine see exactly the serial stream), then
- * every cache and TLB geometry replays the recorded stream on its own
- * simulator instance. Results are bitwise identical to the serial
- * single-pass path for any thread count.
+ * The engine is record-then-replay throughout: the trace is captured
+ * once into a compact RecordedTrace (serially, so the workload RNG
+ * advances exactly as in a legacy single-pass run, with OS page
+ * invalidations recorded inline at their trace position), then the
+ * reference machine and every cache and TLB geometry replay the
+ * recording on private simulator instances. RunConfig::threads picks
+ * the lane count for the replays; serial (threads = 1) runs the same
+ * per-configuration replays inline, so results are bitwise identical
+ * for any thread count. A recording loaded from a v2 trace file can
+ * be swept directly via the RecordedTrace overload.
  */
 class ComponentSweep
 {
@@ -96,11 +101,17 @@ class ComponentSweep
         return this->run(benchmarkParams(id), os, run_config);
     }
 
+    /**
+     * Sweep an existing recording (e.g. System::record output or a
+     * readTrace()d v2 file) on @p threads lanes (0 = hardware, 1 =
+     * serial). Reproduces the live-run SweepResult exactly when the
+     * recording came from the same workload/OS/seed/length.
+     */
+    SweepResult run(const RecordedTrace &trace,
+                    unsigned threads = 0) const;
+
   private:
-    SweepResult runSerial(const WorkloadParams &workload, OsKind os,
-                          const RunConfig &run) const;
-    SweepResult runParallel(const WorkloadParams &workload, OsKind os,
-                            const RunConfig &run,
+    SweepResult replayTrace(const RecordedTrace &trace,
                             unsigned threads) const;
 
     std::vector<CacheGeometry> _icacheGeoms;

@@ -62,9 +62,7 @@ Machine::observe(const MemRef &ref)
     }
 
     // Data reference. kseg1 accesses bypass the caches entirely.
-    const bool uncached = ref.vaddr >= kseg1Base &&
-        ref.vaddr < kseg2Base;
-    if (uncached) {
+    if (isUncached(ref.vaddr)) {
         if (ref.isStore()) {
             const std::uint64_t stall = _wb.store(_cycles);
             _stalls.wbStall += stall;

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Out-of-line pieces of RecordedTrace.
+ */
+
+#include "trace/recorded.hh"
+
+#include "support/logging.hh"
+
+namespace oma
+{
+
+void
+RecordedTrace::checkEncodable(const MemRef &ref)
+{
+    fatalIf(ref.vaddr > 0xffffffffULL || ref.paddr > 0xffffffffULL,
+            "reference does not fit the packed 32-bit trace encoding");
+    fatalIf(ref.asid > 0xff,
+            "ASID does not fit the packed trace encoding");
+}
+
+void
+RecordedTrace::newChunk()
+{
+    Chunk c;
+    c.vaddr.reserve(chunkRefs);
+    c.paddr.reserve(chunkRefs);
+    c.asid.reserve(chunkRefs);
+    c.flags.reserve(chunkRefs);
+    _chunks.push_back(std::move(c));
+}
+
+} // namespace oma

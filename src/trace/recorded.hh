@@ -1,0 +1,247 @@
+/**
+ * @file
+ * A compact, replayable recording of a reference stream.
+ *
+ * The paper's methodology is trace-centric: Monster captured one
+ * reference stream and every analysis (cache sweeps, Tapeworm TLB
+ * measurement, stall attribution) consumed that same stream.
+ * RecordedTrace is the in-memory equivalent — one recording, many
+ * consumers:
+ *
+ * * *Packed columnar storage.* References are stored column-wise in
+ *   fixed-size chunks: 32-bit virtual and physical addresses, an
+ *   8-bit ASID and an 8-bit kind/mode/mapped flag byte — 10 bytes per
+ *   reference instead of sizeof(MemRef). A consumer that only needs
+ *   physical addresses (a cache replay) touches only the paddr and
+ *   flag columns, which is what makes replay cache-friendly. The
+ *   32-bit fields are exact, not lossy: the modelled machine is an
+ *   R2000 (32-bit virtual addresses, 30-bit pseudo-physical frames,
+ *   6-bit ASIDs); append() fails fatally on anything wider.
+ *
+ * * *Inline invalidation events.* OS page invalidations are pinned to
+ *   their trace position (the index of the reference they precede)
+ *   and replayed at exactly that point, replacing the live
+ *   setInvalidateHook side channel for record-then-replay engines.
+ *
+ * * *Typed replay views.* replay() walks the full stream (with or
+ *   without events); replayFetchPaddrs() yields instruction-fetch
+ *   physical addresses only; replayCachedData() yields data accesses
+ *   surviving the kseg1 (uncached) filter. One recording therefore
+ *   replaces the three redundant per-consumer vectors the sweep
+ *   engine used to materialize.
+ */
+
+#ifndef OMA_TRACE_RECORDED_HH
+#define OMA_TRACE_RECORDED_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "tlb/mips_va.hh"
+#include "trace/memref.hh"
+
+namespace oma
+{
+
+/**
+ * A page invalidation pinned to its position in the stream: it takes
+ * effect immediately before the reference with number @c index is
+ * replayed (the position the OS fired it at while generating that
+ * reference).
+ */
+struct TraceEvent
+{
+    std::uint64_t index;
+    std::uint64_t vpn;
+    std::uint32_t asid;
+    bool global;
+};
+
+/** A compact recorded reference stream with inline events. */
+class RecordedTrace
+{
+  public:
+    /** References per storage chunk. */
+    static constexpr std::size_t chunkRefs = 1 << 16;
+
+    // ----- recording -----
+
+    /** Append one reference (fatal if it does not fit the packed
+     * 32-bit encoding — impossible for model-generated streams). */
+    void
+    append(const MemRef &ref)
+    {
+        checkEncodable(ref);
+        if (_chunks.empty() || _chunks.back().size() >= chunkRefs)
+            newChunk();
+        Chunk &c = _chunks.back();
+        c.vaddr.push_back(std::uint32_t(ref.vaddr));
+        c.paddr.push_back(std::uint32_t(ref.paddr));
+        c.asid.push_back(std::uint8_t(ref.asid));
+        c.flags.push_back(packFlags(ref));
+        ++_size;
+    }
+
+    /** Record a page invalidation at the current position (it will
+     * replay immediately before the next appended reference). */
+    void
+    recordInvalidation(std::uint64_t vpn, std::uint32_t asid,
+                       bool global)
+    {
+        _events.push_back({_size, vpn, asid, global});
+    }
+
+    /** Attach the stream's configuration-independent non-memory
+     * stall rate (System::otherCpiSoFar at the end of recording). */
+    void setOtherCpi(double cpi) { _otherCpi = cpi; }
+
+    // ----- inspection -----
+
+    std::uint64_t size() const { return _size; }
+    bool empty() const { return _size == 0; }
+    const std::vector<TraceEvent> &events() const { return _events; }
+    double otherCpi() const { return _otherCpi; }
+
+    /** Decode the reference at index @p i (exact round trip). */
+    MemRef
+    at(std::uint64_t i) const
+    {
+        const Chunk &c = _chunks[i / chunkRefs];
+        return decode(c, std::size_t(i % chunkRefs));
+    }
+
+    /** Packed bytes held by the recording (columns + events); the
+     * number the bytes-per-reference bench counters report. */
+    std::uint64_t
+    byteSize() const
+    {
+        std::uint64_t bytes = _events.size() * sizeof(TraceEvent);
+        for (const Chunk &c : _chunks)
+            bytes += c.size() * packedRefBytes;
+        return bytes;
+    }
+
+    /** Packed storage cost of one reference (columns only). */
+    static constexpr std::uint64_t packedRefBytes = 4 + 4 + 1 + 1;
+
+    // ----- replay views -----
+
+    /** Full-stream replay without events: fn(const MemRef &). */
+    template <typename RefFn>
+    void
+    replay(RefFn &&fn) const
+    {
+        for (const Chunk &c : _chunks)
+            for (std::size_t i = 0; i < c.size(); ++i)
+                fn(decode(c, i));
+    }
+
+    /**
+     * Full-stream replay with inline events: every event fires
+     * through @p onEvent immediately before @p onRef sees the
+     * reference it is pinned to — the order the live hook produced.
+     */
+    template <typename RefFn, typename EvFn>
+    void
+    replay(RefFn &&onRef, EvFn &&onEvent) const
+    {
+        std::size_t e = 0;
+        std::uint64_t index = 0;
+        for (const Chunk &c : _chunks) {
+            for (std::size_t i = 0; i < c.size(); ++i, ++index) {
+                while (e < _events.size() && _events[e].index == index)
+                    onEvent(_events[e++]);
+                onRef(decode(c, i));
+            }
+        }
+    }
+
+    /** Instruction-fetch view: fn(std::uint64_t paddr) per fetch. */
+    template <typename Fn>
+    void
+    replayFetchPaddrs(Fn &&fn) const
+    {
+        for (const Chunk &c : _chunks) {
+            for (std::size_t i = 0; i < c.size(); ++i) {
+                if (RefKind(c.flags[i] & kindMask) == RefKind::IFetch)
+                    fn(std::uint64_t(c.paddr[i]));
+            }
+        }
+    }
+
+    /** Cached-data view: fn(std::uint64_t paddr, RefKind kind) per
+     * data access surviving the kseg1 (uncached) filter. */
+    template <typename Fn>
+    void
+    replayCachedData(Fn &&fn) const
+    {
+        for (const Chunk &c : _chunks) {
+            for (std::size_t i = 0; i < c.size(); ++i) {
+                const RefKind kind = RefKind(c.flags[i] & kindMask);
+                if (kind != RefKind::IFetch &&
+                    !isUncached(std::uint64_t(c.vaddr[i]))) {
+                    fn(std::uint64_t(c.paddr[i]), kind);
+                }
+            }
+        }
+    }
+
+    // ----- packed encoding (shared with the v2 trace-file format) -----
+
+    // Flag byte: kind in bits 0-1, mode in bit 2, mapped in bit 3.
+    static constexpr std::uint8_t kindMask = 0x3;
+    static constexpr std::uint8_t modeBit = 0x4;
+    static constexpr std::uint8_t mappedBit = 0x8;
+
+    static std::uint8_t
+    packFlags(const MemRef &ref)
+    {
+        return std::uint8_t(std::uint8_t(ref.kind) |
+                            (ref.mode == Mode::Kernel ? modeBit : 0) |
+                            (ref.mapped ? mappedBit : 0));
+    }
+
+    static void
+    unpackFlags(std::uint8_t flags, MemRef &ref)
+    {
+        ref.kind = RefKind(flags & kindMask);
+        ref.mode = (flags & modeBit) ? Mode::Kernel : Mode::User;
+        ref.mapped = (flags & mappedBit) != 0;
+    }
+
+    /** Fatal unless @p ref fits the packed encoding. */
+    static void checkEncodable(const MemRef &ref);
+
+  private:
+    struct Chunk
+    {
+        std::vector<std::uint32_t> vaddr;
+        std::vector<std::uint32_t> paddr;
+        std::vector<std::uint8_t> asid;
+        std::vector<std::uint8_t> flags;
+
+        std::size_t size() const { return vaddr.size(); }
+    };
+
+    static MemRef
+    decode(const Chunk &c, std::size_t i)
+    {
+        MemRef ref;
+        ref.vaddr = c.vaddr[i];
+        ref.paddr = c.paddr[i];
+        ref.asid = c.asid[i];
+        unpackFlags(c.flags[i], ref);
+        return ref;
+    }
+
+    void newChunk();
+
+    std::vector<Chunk> _chunks;
+    std::vector<TraceEvent> _events;
+    std::uint64_t _size = 0;
+    double _otherCpi = 0.0;
+};
+
+} // namespace oma
+
+#endif // OMA_TRACE_RECORDED_HH

@@ -23,7 +23,7 @@ TraceStatistics::put(const MemRef &ref)
     const char *segment = "kuseg";
     if (inKseg0(ref.vaddr))
         segment = "kseg0";
-    else if (ref.vaddr >= kseg1Base && ref.vaddr < kseg2Base)
+    else if (inKseg1(ref.vaddr))
         segment = "kseg1";
     else if (inKseg2(ref.vaddr))
         segment = "kseg2";

@@ -15,8 +15,8 @@ namespace oma
 namespace
 {
 
-/** Packed on-disk record layout (24 bytes). */
-struct PackedRef
+/** Packed v1 on-disk record layout (24 bytes). */
+struct PackedRefV1
 {
     std::uint64_t vaddr;
     std::uint64_t paddr;
@@ -27,24 +27,29 @@ struct PackedRef
     std::uint8_t pad;
 };
 
-static_assert(sizeof(PackedRef) == 24, "unexpected record padding");
+static_assert(sizeof(PackedRefV1) == 24, "unexpected record padding");
 
-PackedRef
-pack(const MemRef &ref)
+/** Packed v2 on-disk event layout (24 bytes, explicit padding). */
+struct PackedEvent
 {
-    PackedRef p;
-    p.vaddr = ref.vaddr;
-    p.paddr = ref.paddr;
-    p.asid = ref.asid;
-    p.kind = static_cast<std::uint8_t>(ref.kind);
-    p.mode = static_cast<std::uint8_t>(ref.mode);
-    p.mapped = ref.mapped ? 1 : 0;
-    p.pad = 0;
-    return p;
-}
+    std::uint64_t index;
+    std::uint64_t vpn;
+    std::uint32_t asid;
+    std::uint8_t global;
+    std::uint8_t pad[3];
+};
+
+static_assert(sizeof(PackedEvent) == 24, "unexpected event padding");
+
+/** Per-chunk on-disk header (v2). */
+struct ChunkHeader
+{
+    std::uint32_t refCount;
+    std::uint32_t eventCount;
+};
 
 MemRef
-unpack(const PackedRef &p)
+unpackV1(const PackedRefV1 &p)
 {
     MemRef ref;
     ref.vaddr = p.vaddr;
@@ -56,14 +61,62 @@ unpack(const PackedRef &p)
     return ref;
 }
 
+template <typename T>
+void
+writeRaw(std::ofstream &out, const T &value)
+{
+    out.write(reinterpret_cast<const char *>(&value), sizeof(value));
+}
+
+template <typename T>
+void
+writeColumn(std::ofstream &out, const std::vector<T> &column)
+{
+    out.write(reinterpret_cast<const char *>(column.data()),
+              std::streamsize(column.size() * sizeof(T)));
+}
+
+template <typename T>
+bool
+readRaw(std::ifstream &in, T &value)
+{
+    in.read(reinterpret_cast<char *>(&value), sizeof(value));
+    return bool(in);
+}
+
+template <typename T>
+bool
+readColumn(std::ifstream &in, std::vector<T> &column, std::size_t n)
+{
+    column.resize(n);
+    in.read(reinterpret_cast<char *>(column.data()),
+            std::streamsize(n * sizeof(T)));
+    return bool(in);
+}
+
 } // namespace
 
+std::size_t
+TraceFileHeader::sizeForVersion(std::uint32_t version)
+{
+    // v1: magic, version, reserved, recordCount. v2 appends the
+    // event count and the stream's non-memory stall rate.
+    const std::size_t v1_bytes = 24;
+    return version >= 2 ? v1_bytes + 16 : v1_bytes;
+}
+
 TraceFileWriter::TraceFileWriter(const std::string &path)
-    : _out(path, std::ios::binary | std::ios::trunc)
+    : _out(path, std::ios::binary | std::ios::trunc), _path(path)
 {
     fatalIf(!_out, "cannot open trace file for writing: " + path);
     TraceFileHeader header;
-    _out.write(reinterpret_cast<const char *>(&header), sizeof(header));
+    writeRaw(_out, header.magic);
+    writeRaw(_out, header.version);
+    writeRaw(_out, header.reserved);
+    writeRaw(_out, header.recordCount);
+    writeRaw(_out, header.eventCount);
+    writeRaw(_out, header.otherCpi);
+    checkStream("header write");
     _open = true;
 }
 
@@ -74,12 +127,62 @@ TraceFileWriter::~TraceFileWriter()
 }
 
 void
+TraceFileWriter::checkStream(const char *what)
+{
+    fatalIf(!_out, std::string(what) + " failed (disk full?) on " +
+            "trace file: " + _path);
+}
+
+void
 TraceFileWriter::put(const MemRef &ref)
 {
     panicIf(!_open, "write to closed TraceFileWriter");
-    const PackedRef p = pack(ref);
-    _out.write(reinterpret_cast<const char *>(&p), sizeof(p));
+    RecordedTrace::checkEncodable(ref);
+    _vaddr.push_back(std::uint32_t(ref.vaddr));
+    _paddr.push_back(std::uint32_t(ref.paddr));
+    _asid.push_back(std::uint8_t(ref.asid));
+    _flags.push_back(RecordedTrace::packFlags(ref));
     ++_count;
+    if (_vaddr.size() >= RecordedTrace::chunkRefs)
+        flushChunk();
+}
+
+void
+TraceFileWriter::putInvalidation(std::uint64_t vpn, std::uint32_t asid,
+                                 bool global)
+{
+    panicIf(!_open, "write to closed TraceFileWriter");
+    _chunkEvents.push_back({_count, vpn, asid, global});
+    ++_eventCount;
+}
+
+void
+TraceFileWriter::flushChunk()
+{
+    if (_vaddr.empty() && _chunkEvents.empty())
+        return;
+    ChunkHeader ch;
+    ch.refCount = std::uint32_t(_vaddr.size());
+    ch.eventCount = std::uint32_t(_chunkEvents.size());
+    writeRaw(_out, ch);
+    writeColumn(_out, _vaddr);
+    writeColumn(_out, _paddr);
+    writeColumn(_out, _asid);
+    writeColumn(_out, _flags);
+    for (const TraceEvent &e : _chunkEvents) {
+        PackedEvent p = {};
+        p.index = e.index;
+        p.vpn = e.vpn;
+        p.asid = e.asid;
+        p.global = e.global ? 1 : 0;
+        writeRaw(_out, p);
+    }
+    checkStream("chunk write");
+    _vaddr.clear();
+    _paddr.clear();
+    _asid.clear();
+    _flags.clear();
+    _chunkEvents.clear();
 }
 
 void
@@ -87,23 +190,42 @@ TraceFileWriter::close()
 {
     if (!_open)
         return;
+    flushChunk();
+    _out.seekp(0);
     TraceFileHeader header;
     header.recordCount = _count;
-    _out.seekp(0);
-    _out.write(reinterpret_cast<const char *>(&header), sizeof(header));
+    header.eventCount = _eventCount;
+    header.otherCpi = _otherCpi;
+    writeRaw(_out, header.magic);
+    writeRaw(_out, header.version);
+    writeRaw(_out, header.reserved);
+    writeRaw(_out, header.recordCount);
+    writeRaw(_out, header.eventCount);
+    writeRaw(_out, header.otherCpi);
+    checkStream("header patch");
     _out.close();
+    checkStream("close");
     _open = false;
 }
 
 TraceFileReader::TraceFileReader(const std::string &path)
-    : _in(path, std::ios::binary)
+    : _in(path, std::ios::binary), _path(path)
 {
     fatalIf(!_in, "cannot open trace file for reading: " + path);
-    _in.read(reinterpret_cast<char *>(&_header), sizeof(_header));
-    fatalIf(!_in || _header.magic != TraceFileHeader::magicValue,
+    bool ok = readRaw(_in, _header.magic) &&
+        readRaw(_in, _header.version) &&
+        readRaw(_in, _header.reserved) &&
+        readRaw(_in, _header.recordCount);
+    fatalIf(!ok || _header.magic != TraceFileHeader::magicValue,
             "not a trace file: " + path);
-    fatalIf(_header.version != TraceFileHeader::currentVersion,
+    fatalIf(_header.version < 1 ||
+                _header.version > TraceFileHeader::currentVersion,
             "unsupported trace file version in " + path);
+    if (_header.version >= 2) {
+        ok = readRaw(_in, _header.eventCount) &&
+            readRaw(_in, _header.otherCpi);
+        fatalIf(!ok, "truncated trace file header: " + path);
+    }
 }
 
 bool
@@ -111,13 +233,91 @@ TraceFileReader::next(MemRef &ref)
 {
     if (_read >= _header.recordCount)
         return false;
-    PackedRef p;
-    _in.read(reinterpret_cast<char *>(&p), sizeof(p));
-    if (!_in)
+    return _header.version == 1 ? nextV1(ref) : nextV2(ref);
+}
+
+bool
+TraceFileReader::nextV1(MemRef &ref)
+{
+    PackedRefV1 p;
+    if (!readRaw(_in, p))
         return false;
-    ref = unpack(p);
+    ref = unpackV1(p);
     ++_read;
     return true;
+}
+
+bool
+TraceFileReader::loadChunk()
+{
+    ChunkHeader ch;
+    if (!readRaw(_in, ch))
+        return false;
+    bool ok = readColumn(_in, _vaddr, ch.refCount) &&
+        readColumn(_in, _paddr, ch.refCount) &&
+        readColumn(_in, _asid, ch.refCount) &&
+        readColumn(_in, _flags, ch.refCount);
+    fatalIf(!ok, "truncated trace file chunk: " + _path);
+    _chunkEvents.clear();
+    _chunkEvents.reserve(ch.eventCount);
+    for (std::uint32_t i = 0; i < ch.eventCount; ++i) {
+        PackedEvent p;
+        fatalIf(!readRaw(_in, p),
+                "truncated trace file chunk: " + _path);
+        _chunkEvents.push_back({p.index, p.vpn, p.asid, p.global != 0});
+    }
+    _chunkPos = 0;
+    _chunkEventPos = 0;
+    return true;
+}
+
+bool
+TraceFileReader::nextV2(MemRef &ref)
+{
+    if (_chunkPos >= _vaddr.size() && !loadChunk())
+        return false;
+    while (_chunkEventPos < _chunkEvents.size() &&
+           _chunkEvents[_chunkEventPos].index == _read) {
+        const TraceEvent &e = _chunkEvents[_chunkEventPos++];
+        if (_hook)
+            _hook(e.vpn, e.asid, e.global);
+    }
+    ref.vaddr = _vaddr[_chunkPos];
+    ref.paddr = _paddr[_chunkPos];
+    ref.asid = _asid[_chunkPos];
+    RecordedTrace::unpackFlags(_flags[_chunkPos], ref);
+    ++_chunkPos;
+    ++_read;
+    return true;
+}
+
+void
+writeTrace(const std::string &path, const RecordedTrace &trace)
+{
+    TraceFileWriter writer(path);
+    writer.setOtherCpi(trace.otherCpi());
+    trace.replay(
+        [&](const MemRef &ref) { writer.put(ref); },
+        [&](const TraceEvent &e) {
+            writer.putInvalidation(e.vpn, e.asid, e.global);
+        });
+    writer.close();
+}
+
+RecordedTrace
+readTrace(const std::string &path)
+{
+    TraceFileReader reader(path);
+    RecordedTrace trace;
+    reader.setInvalidateHook(
+        [&](std::uint64_t vpn, std::uint32_t asid, bool global) {
+            trace.recordInvalidation(vpn, asid, global);
+        });
+    MemRef ref;
+    while (reader.next(ref))
+        trace.append(ref);
+    trace.setOtherCpi(reader.otherCpi());
+    return trace;
 }
 
 } // namespace oma

@@ -2,9 +2,18 @@
  * @file
  * Binary trace-file format (reader and writer).
  *
- * Records are fixed-size little-endian packs so traces captured from
- * the synthetic workload generator can be stored and replayed exactly.
- * The header carries a magic, a format version and the record count.
+ * Version 2 (current) is a chunked dump of a RecordedTrace: packed
+ * little-endian columns (32-bit virtual/physical address, 8-bit ASID,
+ * 8-bit flags) plus page-invalidation events pinned to their trace
+ * position, so a file can drive everything the live generator can —
+ * including the sweep engines, whose TLB replays need the events.
+ * The header carries a magic, a format version, the record and event
+ * counts and the stream's non-memory stall rate; counts are patched
+ * on close(), so a writer must be close()d (or destroyed) for the
+ * file to be valid.
+ *
+ * Version 1 (fixed-size 24-byte MemRef records, no events) is still
+ * readable; TraceFileReader handles both transparently.
  */
 
 #ifndef OMA_TRACE_TRACEFILE_HH
@@ -12,30 +21,41 @@
 
 #include <cstdint>
 #include <fstream>
+#include <functional>
 #include <string>
+#include <vector>
 
+#include "trace/recorded.hh"
 #include "trace/source.hh"
 
 namespace oma
 {
 
-/** On-disk header of a trace file. */
+/** On-disk header of a trace file (both versions). */
 struct TraceFileHeader
 {
     static constexpr std::uint64_t magicValue = 0x454341525441
         /* "ATRACE" */;
-    static constexpr std::uint32_t currentVersion = 1;
+    static constexpr std::uint32_t currentVersion = 2;
 
     std::uint64_t magic = magicValue;
     std::uint32_t version = currentVersion;
     std::uint32_t reserved = 0;
     std::uint64_t recordCount = 0;
+    // Version >= 2 extends the v1 header with:
+    std::uint64_t eventCount = 0;
+    double otherCpi = 0.0;
+
+    /** Bytes of the on-disk header for @p version. */
+    static std::size_t sizeForVersion(std::uint32_t version);
 };
 
 /**
- * Streams MemRef records to a file. The record count in the header is
- * patched on close(), so a writer must be close()d (or destroyed) for
- * the file to be valid.
+ * Streams references (and inline invalidation events) to a v2 trace
+ * file. References are buffered into one column chunk at a time and
+ * flushed when the chunk fills; every write is checked, so a full
+ * disk or I/O error fails fatally instead of silently truncating the
+ * trace behind a valid header.
  */
 class TraceFileWriter : public TraceSink
 {
@@ -49,35 +69,108 @@ class TraceFileWriter : public TraceSink
 
     void put(const MemRef &ref) override;
 
+    /** Record a page invalidation at the current position (it will
+     * replay immediately before the next put() reference). */
+    void putInvalidation(std::uint64_t vpn, std::uint32_t asid,
+                         bool global);
+
+    /** Attach the stream's non-memory stall rate to the header. */
+    void setOtherCpi(double cpi) { _otherCpi = cpi; }
+
     /** Flush, patch the header and close the file. */
     void close();
 
     /** Records written so far. */
     std::uint64_t count() const { return _count; }
 
+    /** Events written so far. */
+    std::uint64_t eventCount() const { return _eventCount; }
+
   private:
+    void flushChunk();
+    /** Fatal if the underlying stream has failed. */
+    void checkStream(const char *what);
+
     std::ofstream _out;
+    std::string _path;
     std::uint64_t _count = 0;
+    std::uint64_t _eventCount = 0;
+    double _otherCpi = 0.0;
     bool _open = false;
+
+    // Current column chunk (absolute event indices).
+    std::vector<std::uint32_t> _vaddr;
+    std::vector<std::uint32_t> _paddr;
+    std::vector<std::uint8_t> _asid;
+    std::vector<std::uint8_t> _flags;
+    std::vector<TraceEvent> _chunkEvents;
 };
 
-/** Replays a trace file as a TraceSource. */
+/** Replays a trace file (v1 or v2) as a TraceSource. */
 class TraceFileReader : public TraceSource
 {
   public:
+    using InvalidateHook = std::function<void(
+        std::uint64_t vpn, std::uint32_t asid, bool global)>;
+
     /** Open @p path; calls fatal() on malformed files. */
     explicit TraceFileReader(const std::string &path);
 
+    /**
+     * Produce the next reference. For v2 files, any invalidation
+     * events pinned to it fire through the hook (if set) first —
+     * the same contract System's live hook provides.
+     */
     bool next(MemRef &ref) override;
+
+    /** Register a page-invalidation callback (v2 events). */
+    void setInvalidateHook(InvalidateHook hook)
+    {
+        _hook = std::move(hook);
+    }
 
     /** Total records according to the header. */
     std::uint64_t count() const { return _header.recordCount; }
 
+    /** Total events according to the header (0 for v1 files). */
+    std::uint64_t eventCount() const { return _header.eventCount; }
+
+    /** Non-memory stall rate recorded with the stream (v2). */
+    double otherCpi() const { return _header.otherCpi; }
+
+    /** On-disk format version (1 or 2). */
+    std::uint32_t version() const { return _header.version; }
+
   private:
+    bool nextV1(MemRef &ref);
+    bool nextV2(MemRef &ref);
+    /** Load the next v2 chunk; false at end of stream. */
+    bool loadChunk();
+
     std::ifstream _in;
+    std::string _path;
     TraceFileHeader _header;
     std::uint64_t _read = 0;
+    InvalidateHook _hook;
+
+    // Decoded current chunk (v2).
+    std::vector<std::uint32_t> _vaddr;
+    std::vector<std::uint32_t> _paddr;
+    std::vector<std::uint8_t> _asid;
+    std::vector<std::uint8_t> _flags;
+    std::vector<TraceEvent> _chunkEvents;
+    std::size_t _chunkPos = 0;
+    std::size_t _chunkEventPos = 0;
 };
+
+/** Write @p trace (references, events, otherCpi) to a v2 file. */
+void writeTrace(const std::string &path, const RecordedTrace &trace);
+
+/**
+ * Load an entire trace file (v1 or v2) into a RecordedTrace, ready
+ * to feed a ComponentSweep or any other replay consumer.
+ */
+RecordedTrace readTrace(const std::string &path);
 
 } // namespace oma
 

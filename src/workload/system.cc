@@ -177,6 +177,25 @@ System::next(MemRef &ref)
     return true;
 }
 
+RecordedTrace
+System::record(std::uint64_t max_refs)
+{
+    RecordedTrace trace;
+    setInvalidateHook(
+        [&trace](std::uint64_t vpn, std::uint32_t asid, bool global) {
+            trace.recordInvalidation(vpn, asid, global);
+        });
+    MemRef ref;
+    std::uint64_t consumed = 0;
+    while (consumed < max_refs && next(ref)) {
+        trace.append(ref);
+        ++consumed;
+    }
+    setInvalidateHook(nullptr);
+    trace.setOtherCpi(otherCpiSoFar());
+    return trace;
+}
+
 double
 System::userInstructionFraction() const
 {

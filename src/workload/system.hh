@@ -14,6 +14,7 @@
 
 #include <memory>
 
+#include "trace/recorded.hh"
 #include "workload/workload.hh"
 
 namespace oma
@@ -27,6 +28,18 @@ class System : public TraceSource
            std::uint64_t seed);
 
     bool next(MemRef &ref) override;
+
+    /**
+     * Capture up to @p max_refs references into a RecordedTrace,
+     * with OS page invalidations recorded inline at their trace
+     * position and the stream's non-memory stall rate attached.
+     * This is the one recording every replay consumer (sweeps,
+     * trace files, tools) shares; it replaces the ad-hoc
+     * setInvalidateHook + capture-vector pattern. Any previously
+     * installed invalidate hook is displaced for the duration of
+     * the recording and cleared afterwards.
+     */
+    RecordedTrace record(std::uint64_t max_refs);
 
     /** Forwarded to the OS model (MMU page invalidations). */
     void

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Property tests for the unified record-then-replay pipeline: a live
+ * ComponentSweep::run(workload, os, run), a replay of the in-memory
+ * RecordedTrace the same System produces, and a replay of that
+ * recording after a v2-file round trip must all yield the same
+ * SweepResult — counter-for-counter and bit-for-bit in the derived
+ * doubles — for every geometry, OS personality and thread count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/sweep.hh"
+#include "trace/tracefile.hh"
+#include "workload/system.hh"
+
+namespace oma
+{
+namespace
+{
+
+void
+expectSameCacheStats(const CacheStats &a, const CacheStats &b,
+                     const char *what, std::size_t i)
+{
+    for (unsigned k = 0; k < numRefKinds; ++k) {
+        ASSERT_EQ(a.accesses[k], b.accesses[k]) << what << " " << i;
+        ASSERT_EQ(a.misses[k], b.misses[k]) << what << " " << i;
+    }
+    ASSERT_EQ(a.lineFills, b.lineFills) << what << " " << i;
+    ASSERT_EQ(a.writebacks, b.writebacks) << what << " " << i;
+    ASSERT_EQ(a.writeThroughWords, b.writeThroughWords)
+        << what << " " << i;
+    ASSERT_EQ(a.compulsoryMisses, b.compulsoryMisses)
+        << what << " " << i;
+}
+
+void
+expectSameMmuStats(const MmuStats &a, const MmuStats &b, std::size_t i)
+{
+    ASSERT_EQ(a.translations, b.translations) << "tlb " << i;
+    for (unsigned c = 0; c < numMissClasses; ++c) {
+        ASSERT_EQ(a.counts[c], b.counts[c]) << "tlb " << i;
+        ASSERT_EQ(a.cycles[c], b.cycles[c]) << "tlb " << i;
+    }
+    ASSERT_EQ(a.asidFlushes, b.asidFlushes) << "tlb " << i;
+}
+
+/** Bitwise double equality (== would conflate -0.0 and 0.0). */
+bool
+sameBits(double a, double b)
+{
+    return std::memcmp(&a, &b, sizeof a) == 0;
+}
+
+void
+expectSameSweepResult(const SweepResult &a, const SweepResult &b)
+{
+    ASSERT_EQ(a.instructions, b.instructions);
+    ASSERT_EQ(a.references, b.references);
+    ASSERT_EQ(a.icacheStats.size(), b.icacheStats.size());
+    ASSERT_EQ(a.dcacheStats.size(), b.dcacheStats.size());
+    ASSERT_EQ(a.tlbStats.size(), b.tlbStats.size());
+    for (std::size_t i = 0; i < a.icacheStats.size(); ++i)
+        expectSameCacheStats(a.icacheStats[i], b.icacheStats[i],
+                             "icache", i);
+    for (std::size_t i = 0; i < a.dcacheStats.size(); ++i)
+        expectSameCacheStats(a.dcacheStats[i], b.dcacheStats[i],
+                             "dcache", i);
+    for (std::size_t i = 0; i < a.tlbStats.size(); ++i)
+        expectSameMmuStats(a.tlbStats[i], b.tlbStats[i], i);
+    EXPECT_TRUE(sameBits(a.wbCpi, b.wbCpi));
+    EXPECT_TRUE(sameBits(a.otherCpi, b.otherCpi));
+
+    const MachineParams mp = MachineParams::decstation3100();
+    for (std::size_t i = 0; i < a.icacheStats.size(); ++i)
+        EXPECT_TRUE(sameBits(a.icacheCpi(i, mp), b.icacheCpi(i, mp)));
+    for (std::size_t i = 0; i < a.dcacheStats.size(); ++i)
+        EXPECT_TRUE(sameBits(a.dcacheCpi(i, mp), b.dcacheCpi(i, mp)));
+    for (std::size_t i = 0; i < a.tlbStats.size(); ++i)
+        EXPECT_TRUE(sameBits(a.tlbCpi(i), b.tlbCpi(i)));
+}
+
+std::vector<CacheGeometry>
+cacheSubset()
+{
+    std::vector<CacheGeometry> geoms;
+    for (std::uint64_t kb : {2, 8})
+        for (std::uint64_t words : {1, 4})
+            geoms.push_back(
+                CacheGeometry::fromWords(kb * 1024, words, 1));
+    geoms.push_back(CacheGeometry::fromWords(16 * 1024, 4, 2));
+    return geoms;
+}
+
+std::vector<TlbGeometry>
+tlbSubset()
+{
+    return {TlbGeometry::fullyAssoc(32), TlbGeometry::fullyAssoc(64),
+            TlbGeometry(128, 2), TlbGeometry(256, 4)};
+}
+
+class RecordReplay : public testing::TestWithParam<OsKind>
+{
+};
+
+TEST_P(RecordReplay, LiveMemoryAndFileSweepsAgree)
+{
+    const OsKind os = GetParam();
+    const std::uint64_t refs = 90000, seed = 42;
+    const ComponentSweep sweep(cacheSubset(), cacheSubset(),
+                               tlbSubset());
+
+    // Path 1: the all-in-one entry point (records internally).
+    RunConfig rc;
+    rc.references = refs;
+    rc.seed = seed;
+    rc.threads = 1;
+    const SweepResult live = sweep.run(BenchmarkId::Mpeg, os, rc);
+
+    // Path 2: an explicit recording of the identical stream.
+    System system(benchmarkParams(BenchmarkId::Mpeg), os, seed);
+    const RecordedTrace trace = system.record(refs);
+    ASSERT_EQ(trace.size(), refs);
+
+    // Path 3: the recording after a v2 file round trip.
+    const std::string path = testing::TempDir() + "/rr_" +
+        std::string(os == OsKind::Mach ? "mach" : "ultrix") +
+        ".trace";
+    writeTrace(path, trace);
+    const RecordedTrace loaded = readTrace(path);
+    ASSERT_EQ(loaded.size(), trace.size());
+    ASSERT_EQ(loaded.events().size(), trace.events().size());
+
+    for (unsigned threads : {1u, 4u}) {
+        SCOPED_TRACE(testing::Message() << "threads " << threads);
+        const SweepResult mem = sweep.run(trace, threads);
+        expectSameSweepResult(live, mem);
+        const SweepResult file = sweep.run(loaded, threads);
+        expectSameSweepResult(live, file);
+    }
+    std::remove(path.c_str());
+}
+
+TEST_P(RecordReplay, RecordingCarriesInvalidationEvents)
+{
+    // Both OS personalities generate VM activity within the first
+    // 90k references; a recording with no events would mean the
+    // inline-event plumbing silently dropped them (and the TLB
+    // equivalence above would only pass vacuously).
+    System system(benchmarkParams(BenchmarkId::Mpeg), GetParam(), 42);
+    const RecordedTrace trace = system.record(90000);
+    EXPECT_FALSE(trace.events().empty());
+    EXPECT_GT(trace.otherCpi(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothOsKinds, RecordReplay,
+                         testing::Values(OsKind::Ultrix, OsKind::Mach),
+                         [](const auto &info) {
+                             return info.param == OsKind::Mach
+                                 ? "Mach"
+                                 : "Ultrix";
+                         });
+
+} // namespace
+} // namespace oma

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Unit tests for the packed in-memory RecordedTrace: exact MemRef
+ * round trips through the columnar encoding, inline-event pinning
+ * and replay ordering, the typed replay views, chunk-boundary
+ * behavior and the packed-footprint guarantee.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "support/rng.hh"
+#include "tlb/mips_va.hh"
+#include "trace/recorded.hh"
+
+namespace oma
+{
+namespace
+{
+
+MemRef
+randomRef(Rng &rng)
+{
+    MemRef r;
+    r.vaddr = rng.next() & 0xffffffff;
+    r.paddr = rng.next() & 0x3fffffff;
+    r.asid = std::uint32_t(rng.below(64));
+    r.kind = static_cast<RefKind>(rng.below(3));
+    r.mode = static_cast<Mode>(rng.below(2));
+    r.mapped = rng.chance(0.8);
+    return r;
+}
+
+void
+expectSameRef(const MemRef &got, const MemRef &want, std::uint64_t i)
+{
+    ASSERT_EQ(got.vaddr, want.vaddr) << "ref " << i;
+    ASSERT_EQ(got.paddr, want.paddr) << "ref " << i;
+    ASSERT_EQ(got.asid, want.asid) << "ref " << i;
+    ASSERT_EQ(got.kind, want.kind) << "ref " << i;
+    ASSERT_EQ(got.mode, want.mode) << "ref " << i;
+    ASSERT_EQ(got.mapped, want.mapped) << "ref " << i;
+}
+
+TEST(RecordedTrace, AppendAtRoundTripIsExact)
+{
+    Rng rng(7);
+    RecordedTrace trace;
+    std::vector<MemRef> original;
+    for (int i = 0; i < 10000; ++i) {
+        const MemRef r = randomRef(rng);
+        original.push_back(r);
+        trace.append(r);
+    }
+    ASSERT_EQ(trace.size(), original.size());
+    for (std::uint64_t i = 0; i < trace.size(); ++i)
+        expectSameRef(trace.at(i), original[i], i);
+}
+
+TEST(RecordedTrace, ReplayVisitsEveryRefInOrder)
+{
+    Rng rng(11);
+    RecordedTrace trace;
+    std::vector<MemRef> original;
+    for (int i = 0; i < 5000; ++i) {
+        const MemRef r = randomRef(rng);
+        original.push_back(r);
+        trace.append(r);
+    }
+    std::uint64_t i = 0;
+    trace.replay([&](const MemRef &ref) {
+        expectSameRef(ref, original[i], i);
+        ++i;
+    });
+    EXPECT_EQ(i, original.size());
+}
+
+TEST(RecordedTrace, CrossesChunkBoundaries)
+{
+    // More than one full chunk, with an uneven tail.
+    const std::uint64_t n = RecordedTrace::chunkRefs * 2 + 137;
+    Rng rng(13);
+    RecordedTrace trace;
+    std::vector<MemRef> original;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const MemRef r = randomRef(rng);
+        original.push_back(r);
+        trace.append(r);
+    }
+    ASSERT_EQ(trace.size(), n);
+    // Spot-check around every chunk seam plus the ends.
+    for (std::uint64_t base :
+         {std::uint64_t(0), std::uint64_t(RecordedTrace::chunkRefs),
+          std::uint64_t(2 * RecordedTrace::chunkRefs), n - 3}) {
+        for (std::uint64_t i = base > 2 ? base - 2 : 0;
+             i < base + 3 && i < n; ++i)
+            expectSameRef(trace.at(i), original[i], i);
+    }
+    std::uint64_t count = 0;
+    trace.replay([&](const MemRef &) { ++count; });
+    EXPECT_EQ(count, n);
+}
+
+TEST(RecordedTrace, EventsPinToTheNextRefAndFireBeforeIt)
+{
+    RecordedTrace trace;
+    MemRef r;
+    r.kind = RefKind::IFetch;
+
+    trace.recordInvalidation(100, 1, false); // index 0, before any ref
+    r.vaddr = 0x1000;
+    trace.append(r);
+    r.vaddr = 0x2000;
+    trace.append(r);
+    trace.recordInvalidation(200, 2, true); // index 2
+    trace.recordInvalidation(300, 3, false); // also index 2
+    r.vaddr = 0x3000;
+    trace.append(r);
+
+    ASSERT_EQ(trace.events().size(), 3u);
+    EXPECT_EQ(trace.events()[0].index, 0u);
+    EXPECT_EQ(trace.events()[1].index, 2u);
+    EXPECT_EQ(trace.events()[2].index, 2u);
+    EXPECT_EQ(trace.events()[1].vpn, 200u);
+    EXPECT_EQ(trace.events()[1].asid, 2u);
+    EXPECT_TRUE(trace.events()[1].global);
+
+    // Interleaved replay order: E(100) R(0x1000) R(0x2000) E(200)
+    // E(300) R(0x3000).
+    std::vector<std::uint64_t> log;
+    trace.replay(
+        [&](const MemRef &ref) { log.push_back(ref.vaddr); },
+        [&](const TraceEvent &e) { log.push_back(e.vpn); });
+    const std::vector<std::uint64_t> want = {100,   0x1000, 0x2000,
+                                             200,   300,    0x3000};
+    EXPECT_EQ(log, want);
+}
+
+TEST(RecordedTrace, TrailingEventsNeverFire)
+{
+    // An event pinned past the last reference (possible only if the
+    // producer stopped mid-stream) matches the legacy hook semantics:
+    // it was fired while producing a reference the consumer never
+    // saw, so replay must not deliver it.
+    RecordedTrace trace;
+    MemRef r;
+    trace.append(r);
+    trace.recordInvalidation(55, 1, false); // index 1 == size()
+    std::vector<std::uint64_t> fired;
+    trace.replay([](const MemRef &) {},
+                 [&](const TraceEvent &e) { fired.push_back(e.vpn); });
+    EXPECT_TRUE(fired.empty());
+}
+
+TEST(RecordedTrace, FetchViewSelectsIFetchPaddrs)
+{
+    Rng rng(17);
+    RecordedTrace trace;
+    std::vector<std::uint64_t> want;
+    for (int i = 0; i < 3000; ++i) {
+        const MemRef r = randomRef(rng);
+        trace.append(r);
+        if (r.kind == RefKind::IFetch)
+            want.push_back(r.paddr);
+    }
+    std::vector<std::uint64_t> got;
+    trace.replayFetchPaddrs(
+        [&](std::uint64_t paddr) { got.push_back(paddr); });
+    EXPECT_EQ(got, want);
+}
+
+TEST(RecordedTrace, CachedDataViewFiltersKseg1)
+{
+    Rng rng(19);
+    RecordedTrace trace;
+    std::vector<std::pair<std::uint64_t, RefKind>> want;
+    for (int i = 0; i < 3000; ++i) {
+        MemRef r = randomRef(rng);
+        if (rng.chance(0.25))
+            r.vaddr = kseg1Base + (r.vaddr & 0x0fffffff); // uncached
+        trace.append(r);
+        if (r.kind != RefKind::IFetch && !isUncached(r.vaddr))
+            want.emplace_back(r.paddr, r.kind);
+    }
+    ASSERT_FALSE(want.empty());
+    std::vector<std::pair<std::uint64_t, RefKind>> got;
+    trace.replayCachedData([&](std::uint64_t paddr, RefKind kind) {
+        got.emplace_back(paddr, kind);
+    });
+    EXPECT_EQ(got, want);
+}
+
+TEST(RecordedTrace, PackedFootprintIsAtMostHalfOfMemRefs)
+{
+    Rng rng(23);
+    RecordedTrace trace;
+    const std::uint64_t n = 100000;
+    for (std::uint64_t i = 0; i < n; ++i)
+        trace.append(randomRef(rng));
+    EXPECT_LE(trace.byteSize(), n * sizeof(MemRef) / 2);
+    EXPECT_GE(trace.byteSize(), n * RecordedTrace::packedRefBytes);
+}
+
+TEST(RecordedTrace, OtherCpiMetadataSticks)
+{
+    RecordedTrace trace;
+    EXPECT_EQ(trace.otherCpi(), 0.0);
+    trace.setOtherCpi(0.375);
+    EXPECT_EQ(trace.otherCpi(), 0.375);
+}
+
+TEST(RecordedTraceDeath, UnencodableRefIsFatal)
+{
+    RecordedTrace trace;
+    MemRef r;
+    r.vaddr = 0x1'0000'0000ULL; // 33 bits: outside the R2000 model
+    EXPECT_EXIT(trace.append(r), testing::ExitedWithCode(1),
+                "packed 32-bit trace encoding");
+}
+
+} // namespace
+} // namespace oma

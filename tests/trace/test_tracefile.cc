@@ -96,6 +96,147 @@ TEST(TraceFile, EmptyTrace)
     std::remove(path.c_str());
 }
 
+TEST(TraceFile, V2RoundTripPreservesEventsAndMetadata)
+{
+    // Build a recording larger than one chunk with invalidation
+    // events scattered through it (including at the chunk seam and
+    // before the first reference), dump it to a v2 file, load it
+    // back and require an exact match.
+    const std::string path = tempPath("v2events.trace");
+    Rng rng(123);
+    RecordedTrace original;
+    original.recordInvalidation(7, 1, true); // before any ref
+    const std::uint64_t n = RecordedTrace::chunkRefs + 4321;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        if (rng.chance(0.001) || i == RecordedTrace::chunkRefs)
+            original.recordInvalidation(rng.below(1 << 19),
+                                        std::uint32_t(rng.below(64)),
+                                        rng.chance(0.3));
+        original.append(randomRef(rng));
+    }
+    original.setOtherCpi(0.625);
+    writeTrace(path, original);
+
+    const RecordedTrace loaded = readTrace(path);
+    ASSERT_EQ(loaded.size(), original.size());
+    ASSERT_EQ(loaded.events().size(), original.events().size());
+    for (std::size_t i = 0; i < original.events().size(); ++i) {
+        const TraceEvent &a = original.events()[i];
+        const TraceEvent &b = loaded.events()[i];
+        ASSERT_EQ(a.index, b.index) << "event " << i;
+        ASSERT_EQ(a.vpn, b.vpn) << "event " << i;
+        ASSERT_EQ(a.asid, b.asid) << "event " << i;
+        ASSERT_EQ(a.global, b.global) << "event " << i;
+    }
+    EXPECT_EQ(loaded.otherCpi(), 0.625);
+    for (std::uint64_t i : {std::uint64_t(0),
+                            std::uint64_t(RecordedTrace::chunkRefs - 1),
+                            std::uint64_t(RecordedTrace::chunkRefs),
+                            n - 1}) {
+        const MemRef a = original.at(i), b = loaded.at(i);
+        ASSERT_EQ(a.vaddr, b.vaddr) << "ref " << i;
+        ASSERT_EQ(a.paddr, b.paddr) << "ref " << i;
+        ASSERT_EQ(a.asid, b.asid) << "ref " << i;
+        ASSERT_EQ(a.kind, b.kind) << "ref " << i;
+        ASSERT_EQ(a.mode, b.mode) << "ref " << i;
+        ASSERT_EQ(a.mapped, b.mapped) << "ref " << i;
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, ReaderFiresInvalidateHookAtPinnedPositions)
+{
+    const std::string path = tempPath("v2hook.trace");
+    {
+        TraceFileWriter writer(path);
+        MemRef r;
+        writer.putInvalidation(10, 1, false); // before ref 0
+        writer.put(r);
+        writer.put(r);
+        writer.putInvalidation(20, 2, true); // before ref 2
+        writer.put(r);
+        writer.close();
+    }
+    TraceFileReader reader(path);
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> fired;
+    reader.setInvalidateHook(
+        [&](std::uint64_t vpn, std::uint32_t, bool) {
+            fired.emplace_back(vpn, 0);
+        });
+    MemRef ref;
+    std::uint64_t pos = 0;
+    while (reader.next(ref)) {
+        for (auto &f : fired)
+            if (f.second == 0)
+                f.second = pos + 1; // fired before ref at index pos
+        ++pos;
+    }
+    ASSERT_EQ(fired.size(), 2u);
+    EXPECT_EQ(fired[0], std::make_pair(std::uint64_t(10),
+                                       std::uint64_t(1)));
+    EXPECT_EQ(fired[1], std::make_pair(std::uint64_t(20),
+                                       std::uint64_t(3)));
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, ReadsVersion1Files)
+{
+    // Hand-write a v1 file (24-byte header, 24-byte fixed records,
+    // no events) and check the reader still understands it.
+    const std::string path = tempPath("legacy_v1.trace");
+    Rng rng(321);
+    std::vector<MemRef> original;
+    {
+        std::ofstream out(path, std::ios::binary);
+        const std::uint64_t magic = TraceFileHeader::magicValue;
+        const std::uint32_t version = 1, reserved = 0;
+        const std::uint64_t count = 400;
+        out.write(reinterpret_cast<const char *>(&magic), 8);
+        out.write(reinterpret_cast<const char *>(&version), 4);
+        out.write(reinterpret_cast<const char *>(&reserved), 4);
+        out.write(reinterpret_cast<const char *>(&count), 8);
+        for (std::uint64_t i = 0; i < count; ++i) {
+            const MemRef r = randomRef(rng);
+            original.push_back(r);
+            const std::uint64_t vaddr = r.vaddr, paddr = r.paddr;
+            const std::uint32_t asid = r.asid;
+            const std::uint8_t kind = std::uint8_t(r.kind);
+            const std::uint8_t mode = std::uint8_t(r.mode);
+            const std::uint8_t mapped = r.mapped ? 1 : 0, pad = 0;
+            out.write(reinterpret_cast<const char *>(&vaddr), 8);
+            out.write(reinterpret_cast<const char *>(&paddr), 8);
+            out.write(reinterpret_cast<const char *>(&asid), 4);
+            out.write(reinterpret_cast<const char *>(&kind), 1);
+            out.write(reinterpret_cast<const char *>(&mode), 1);
+            out.write(reinterpret_cast<const char *>(&mapped), 1);
+            out.write(reinterpret_cast<const char *>(&pad), 1);
+        }
+    }
+
+    TraceFileReader reader(path);
+    EXPECT_EQ(reader.version(), 1u);
+    EXPECT_EQ(reader.count(), 400u);
+    EXPECT_EQ(reader.eventCount(), 0u);
+    EXPECT_EQ(reader.otherCpi(), 0.0);
+    MemRef r;
+    for (const MemRef &want : original) {
+        ASSERT_TRUE(reader.next(r));
+        ASSERT_EQ(r.vaddr, want.vaddr);
+        ASSERT_EQ(r.paddr, want.paddr);
+        ASSERT_EQ(r.asid, want.asid);
+        ASSERT_EQ(r.kind, want.kind);
+        ASSERT_EQ(r.mode, want.mode);
+        ASSERT_EQ(r.mapped, want.mapped);
+    }
+    EXPECT_FALSE(reader.next(r));
+
+    // And the whole-file loader handles v1 too.
+    const RecordedTrace loaded = readTrace(path);
+    EXPECT_EQ(loaded.size(), 400u);
+    EXPECT_TRUE(loaded.events().empty());
+    std::remove(path.c_str());
+}
+
 TEST(TraceFileDeath, MissingFileIsFatal)
 {
     EXPECT_EXIT(TraceFileReader("/nonexistent/zzz.trace"),
@@ -112,6 +253,24 @@ TEST(TraceFileDeath, BadMagicIsFatal)
     EXPECT_EXIT(TraceFileReader reader(path),
                 testing::ExitedWithCode(1), "not a trace file");
     std::remove(path.c_str());
+}
+
+TEST(TraceFileDeath, FullDiskIsFatalNotSilent)
+{
+    // /dev/full accepts the open but fails every flush with ENOSPC —
+    // the exact failure mode that used to truncate traces silently.
+    if (!std::ofstream("/dev/full", std::ios::binary).is_open())
+        GTEST_SKIP() << "/dev/full not available";
+    EXPECT_EXIT(
+        {
+            TraceFileWriter writer("/dev/full");
+            MemRef r;
+            for (std::uint64_t i = 0; i <= RecordedTrace::chunkRefs;
+                 ++i)
+                writer.put(r);
+            writer.close();
+        },
+        testing::ExitedWithCode(1), "disk full");
 }
 
 } // namespace

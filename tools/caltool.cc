@@ -38,16 +38,17 @@ int main(int argc, char **argv) {
         std::cout << missClassName(MissClass(c)) << "=" << m.counts[c]
                   << "/" << double(m.cycles[c])/double(r.instructions) << " ";
     std::cout << "\n";
+    // One recording drives both attribution passes below (the same
+    // stream the sweep above consumed, since the seed matches).
+    System sys(benchmarkParams(id), os, 42);
+    const RecordedTrace t = sys.record(refs);
     // Attribute baseline (64K/1w DM) I-cache misses by code region.
     {
-        System sys(benchmarkParams(id), os, 42);
         CacheParams cp; cp.geom = CacheGeometry::fromWords(64*1024, 1, 1);
         Cache ic(cp);
         std::map<std::string, std::pair<uint64_t,uint64_t>> by;
-        MemRef ref; uint64_t n = 0;
-        while (n < refs && sys.next(ref)) {
-            ++n;
-            if (!ref.isFetch()) continue;
+        t.replay([&](const MemRef &ref) {
+            if (!ref.isFetch()) return;
             std::string key;
             if (ref.vaddr >= 0x80000000ULL) {
                 uint64_t off = ref.vaddr - 0x80000000ULL;
@@ -59,7 +60,7 @@ int main(int argc, char **argv) {
             else key = "other-user";
             auto &e = by[key]; e.first++;
             if (!ic.access(ref.paddr, ref.kind)) e.second++;
-        }
+        });
         std::cout << "I-miss by region (fetches/missratio%/missesPerKinstr):\n";
         uint64_t instr = 0; for (auto &kv : by) instr += kv.second.first;
         for (auto &kv : by)
@@ -69,16 +70,14 @@ int main(int argc, char **argv) {
     }
     // Attribute D-cache misses by data region at 8K and 32K (4w DM).
     {
-        System sys(benchmarkParams(id), os, 42);
         CacheParams c8; c8.geom = CacheGeometry::fromWords(8*1024, 4, 1);
         CacheParams c32; c32.geom = CacheGeometry::fromWords(32*1024, 4, 1);
         Cache d8(c8), d32(c32);
         std::map<std::string, std::array<uint64_t,3>> by; // refs, m8, m32
-        MemRef ref; uint64_t n = 0, instr = 0;
-        while (n < refs && sys.next(ref)) {
-            ++n;
-            if (ref.isFetch()) { ++instr; continue; }
-            if (ref.vaddr >= 0xa0000000ULL && ref.vaddr < 0xc0000000ULL) continue;
+        uint64_t instr = 0;
+        t.replay([&](const MemRef &ref) {
+            if (ref.isFetch()) { ++instr; return; }
+            if (isUncached(ref.vaddr)) return;
             std::string key;
             uint64_t va = ref.vaddr;
             if (va >= 0xc0000000ULL) key = "kseg2";
@@ -95,7 +94,7 @@ int main(int argc, char **argv) {
             auto &e = by[key]; e[0]++;
             if (!d8.access(ref.paddr, ref.kind)) e[1]++;
             if (!d32.access(ref.paddr, ref.kind)) e[2]++;
-        }
+        });
         std::cout << "D-miss by region (refs, missPerKinstr@8K, @32K):\n";
         for (auto &kv : by)
             std::cout << "  " << kv.first << " " << kv.second[0]
