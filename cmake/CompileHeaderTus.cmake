@@ -1,0 +1,28 @@
+# Compile every generated header TU with -fsyntax-only, failing on
+# the first header that is not self-contained. Driven by the
+# `header_tu` target; inputs:
+#   MANIFEST    - manifest.txt written by `oma_lint --emit-header-tus`
+#   COMPILER    - C++ compiler driver
+#   INCLUDE_DIR - project include root (the src/ directory)
+
+if(NOT EXISTS ${MANIFEST})
+    message(FATAL_ERROR "header_tu: manifest not found: ${MANIFEST}")
+endif()
+
+file(STRINGS ${MANIFEST} tus)
+list(LENGTH tus count)
+message(STATUS "header_tu: compiling ${count} standalone header TU(s)")
+
+foreach(tu IN LISTS tus)
+    execute_process(
+        COMMAND ${COMPILER} -std=c++20 -fsyntax-only -Wall -Wextra
+                -I ${INCLUDE_DIR} ${tu}
+        RESULT_VARIABLE status
+        ERROR_VARIABLE errors)
+    if(NOT status EQUAL 0)
+        message(FATAL_ERROR
+            "header_tu: header is not self-contained: ${tu}\n${errors}")
+    endif()
+endforeach()
+
+message(STATUS "header_tu: all ${count} header(s) are self-contained")

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Check formatting of *changed* C++ files against .clang-format.
+#
+#   scripts/format-check.sh [BASE_REF]
+#
+# Compares the working tree plus commits since BASE_REF (default: the
+# merge base with origin/main, falling back to HEAD~1, falling back to
+# everything tracked). Only changed files are checked — the repo is
+# deliberately not bulk-reformatted, so a tree-wide run would report
+# pre-existing drift that is not this change's fault.
+#
+# Exits 0 when every changed file is clean (or clang-format is not
+# installed — the CI lint job provides the authoritative run), 1 when
+# a changed file needs formatting.
+set -u
+
+cd "$(dirname "$0")/.."
+
+if ! command -v clang-format > /dev/null 2>&1; then
+    echo "format-check: clang-format not found; skipping (CI runs it)"
+    exit 0
+fi
+
+base="${1:-}"
+if [ -z "$base" ]; then
+    base="$(git merge-base origin/main HEAD 2> /dev/null)" ||
+        base="$(git rev-parse HEAD~1 2> /dev/null)" || base=""
+fi
+
+if [ -n "$base" ]; then
+    files="$( (git diff --name-only "$base" -- '*.cc' '*.hh' '*.cpp';
+               git diff --name-only -- '*.cc' '*.hh' '*.cpp') | sort -u)"
+else
+    files="$(git ls-files '*.cc' '*.hh' '*.cpp')"
+fi
+
+status=0
+checked=0
+for f in $files; do
+    [ -f "$f" ] || continue
+    checked=$((checked + 1))
+    if ! clang-format --dry-run --Werror "$f" > /dev/null 2>&1; then
+        echo "format-check: needs formatting: $f"
+        echo "    fix with: clang-format -i $f"
+        status=1
+    fi
+done
+
+if [ "$status" -eq 0 ]; then
+    echo "format-check: $checked changed file(s) clean"
+fi
+exit $status

@@ -75,20 +75,20 @@ struct CacheStats
     /** Misses to lines never previously resident (compulsory). */
     std::uint64_t compulsoryMisses = 0;
 
-    std::uint64_t
+    [[nodiscard]] std::uint64_t
     totalAccesses() const
     {
         return accesses[0] + accesses[1] + accesses[2];
     }
 
-    std::uint64_t
+    [[nodiscard]] std::uint64_t
     totalMisses() const
     {
         return misses[0] + misses[1] + misses[2];
     }
 
     /** Overall miss ratio. */
-    double
+    [[nodiscard]] double
     missRatio() const
     {
         const std::uint64_t a = totalAccesses();
@@ -96,7 +96,7 @@ struct CacheStats
     }
 
     /** Miss ratio for one reference kind. */
-    double
+    [[nodiscard]] double
     missRatio(RefKind kind) const
     {
         const std::uint64_t a = accesses[unsigned(kind)];
@@ -114,7 +114,7 @@ class Cache
     explicit Cache(const CacheParams &params);
 
     /** Configuration this cache was built with. */
-    const CacheParams &params() const { return _params; }
+    [[nodiscard]] const CacheParams &params() const { return _params; }
 
     /**
      * Simulate one access.
@@ -126,7 +126,7 @@ class Cache
     bool access(std::uint64_t paddr, RefKind kind);
 
     /** Hit test without updating replacement or statistics. */
-    bool probe(std::uint64_t paddr) const;
+    [[nodiscard]] bool probe(std::uint64_t paddr) const;
 
     /**
      * Fill a line without touching the statistics (hardware
@@ -139,7 +139,7 @@ class Cache
     void invalidateAll();
 
     /** Accumulated counters. */
-    const CacheStats &stats() const { return _stats; }
+    [[nodiscard]] const CacheStats &stats() const { return _stats; }
 
     /** Zero the counters (cache contents are kept). */
     void resetStats() { _stats = CacheStats(); }
@@ -168,6 +168,8 @@ class Cache
     Rng _rng;
     CacheStats _stats;
     /** Line numbers ever resident, for compulsory-miss classification. */
+    // oma-lint: allow(ordered-results): membership test via insert()
+    // only; never iterated, so traversal order cannot reach results.
     std::unordered_set<std::uint64_t> _touched;
 };
 

@@ -39,13 +39,13 @@ class Cheetah
     void access(std::uint64_t addr);
 
     /** Total observed accesses. */
-    std::uint64_t accesses() const { return _accesses; }
+    [[nodiscard]] std::uint64_t accesses() const { return _accesses; }
 
     /** Misses a cache with @p ways ways would have had. */
-    std::uint64_t misses(std::uint64_t ways) const;
+    [[nodiscard]] std::uint64_t misses(std::uint64_t ways) const;
 
     /** Miss ratio at associativity @p ways. */
-    double
+    [[nodiscard]] double
     missRatio(std::uint64_t ways) const
     {
         return _accesses == 0
@@ -54,9 +54,9 @@ class Cheetah
     }
 
     /** First-touch (compulsory) misses, identical for every ways. */
-    std::uint64_t compulsoryMisses() const { return _compulsory; }
+    [[nodiscard]] std::uint64_t compulsoryMisses() const { return _compulsory; }
 
-    std::uint64_t maxWays() const { return _maxWays; }
+    [[nodiscard]] std::uint64_t maxWays() const { return _maxWays; }
 
   private:
     std::uint64_t _sets;
@@ -70,6 +70,9 @@ class Cheetah
     std::uint64_t _deepMisses = 0; //!< Distance > _maxWays or cold.
     std::uint64_t _accesses = 0;
     std::uint64_t _compulsory = 0;
+    /** Lines ever seen, for compulsory-miss classification. */
+    // oma-lint: allow(ordered-results): membership test via insert()
+    // only; never iterated, so traversal order cannot reach results.
     std::unordered_set<std::uint64_t> _touched;
 };
 

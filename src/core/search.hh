@@ -36,13 +36,13 @@ struct ConfigSpace
     std::vector<std::uint64_t> cacheWays = {1, 2, 4, 8};
 
     /** All TLB geometries in the grid. */
-    std::vector<TlbGeometry> tlbGeometries() const;
+    [[nodiscard]] std::vector<TlbGeometry> tlbGeometries() const;
 
     /**
      * All realizable cache geometries with associativity at most
      * @p max_ways (Table 7 restricts to 2).
      */
-    std::vector<CacheGeometry>
+    [[nodiscard]] std::vector<CacheGeometry>
     cacheGeometries(std::uint64_t max_ways = 8) const;
 };
 
@@ -82,12 +82,13 @@ class AllocationSearch
      *        every thread count.
      * @return all in-budget allocations, best (lowest CPI) first.
      */
-    std::vector<Allocation> rank(const ComponentCpiTables &tables,
-                                 std::uint64_t max_cache_ways = 8,
-                                 unsigned threads = 0) const;
+    [[nodiscard]] std::vector<Allocation>
+    rank(const ComponentCpiTables &tables,
+         std::uint64_t max_cache_ways = 8,
+         unsigned threads = 0) const;
 
-    double budget() const { return _budget; }
-    const AreaModel &areaModel() const { return _area; }
+    [[nodiscard]] double budget() const { return _budget; }
+    [[nodiscard]] const AreaModel &areaModel() const { return _area; }
 
   private:
     AreaModel _area;

@@ -46,20 +46,22 @@ struct SweepResult
     double otherCpi = 0.0;
 
     /** I-cache CPI contribution of config @p i (paper's penalty). */
-    double icacheCpi(std::size_t i, const MachineParams &mp) const;
+    [[nodiscard]] double icacheCpi(std::size_t i,
+                                   const MachineParams &mp) const;
     /** D-cache CPI contribution of config @p i. */
-    double dcacheCpi(std::size_t i, const MachineParams &mp) const;
+    [[nodiscard]] double dcacheCpi(std::size_t i,
+                                   const MachineParams &mp) const;
     /** TLB CPI contribution of config @p i. */
-    double tlbCpi(std::size_t i) const;
+    [[nodiscard]] double tlbCpi(std::size_t i) const;
 
     /** I-cache miss ratio of config @p i. */
-    double
+    [[nodiscard]] double
     icacheMissRatio(std::size_t i) const
     {
         return icacheStats[i].missRatio();
     }
 
-    double
+    [[nodiscard]] double
     dcacheMissRatio(std::size_t i) const
     {
         return dcacheStats[i].missRatio();
@@ -91,10 +93,11 @@ class ComponentSweep
                        MachineParams::decstation3100());
 
     /** Run the sweep. */
-    SweepResult run(const WorkloadParams &workload, OsKind os,
-                    const RunConfig &run = RunConfig()) const;
+    [[nodiscard]] SweepResult
+    run(const WorkloadParams &workload, OsKind os,
+        const RunConfig &run = RunConfig()) const;
 
-    SweepResult
+    [[nodiscard]] SweepResult
     run(BenchmarkId id, OsKind os,
         const RunConfig &run_config = RunConfig()) const
     {
@@ -107,8 +110,8 @@ class ComponentSweep
      * serial). Reproduces the live-run SweepResult exactly when the
      * recording came from the same workload/OS/seed/length.
      */
-    SweepResult run(const RecordedTrace &trace,
-                    unsigned threads = 0) const;
+    [[nodiscard]] SweepResult run(const RecordedTrace &trace,
+                                  unsigned threads = 0) const;
 
   private:
     SweepResult replayTrace(const RecordedTrace &trace,
@@ -140,7 +143,7 @@ struct ComponentCpiTables
     /** Config-independent non-memory stall CPI (informational). */
     double otherCpi = 0.0;
 
-    static ComponentCpiTables average(
+    [[nodiscard]] static ComponentCpiTables average(
         const std::vector<SweepResult> &results,
         const MachineParams &mp);
 };

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * oma_lint: determinism-contract static analysis for the repo's own
+ * sources.
+ *
+ * The sweep and search engines guarantee bitwise serial/parallel
+ * equivalence and record/replay identity (docs/MODEL.md); the runtime
+ * suites verify those properties for the configurations they happen
+ * to run. This pass is the static layer: a file/token scanner with
+ * rule objects that rejects the nondeterminism hazards the runtime
+ * suites cannot see coming — wall-clock reads, unseeded entropy,
+ * result streams ordered by unordered-container iteration — plus the
+ * hygiene rules (header guards, include discipline, audited casts)
+ * that keep the tree analyzable at all.
+ *
+ * Findings can be suppressed per line with
+ *
+ *     // oma-lint: allow(<rule>[, <rule>...]): <reason>
+ *
+ * on the flagged line or the line directly above it, or per file with
+ * `oma-lint: allow-file(<rule>): <reason>`. Rules that audit an
+ * invariant (cast-audit, ordered-results) reject suppressions whose
+ * reason is empty: the comment must state why the site is safe.
+ */
+
+#ifndef OMA_LINT_LINT_HH
+#define OMA_LINT_LINT_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace oma::lint
+{
+
+/** One diagnostic produced by a rule. */
+struct Finding
+{
+    std::string file;
+    std::size_t line = 0; //!< 1-based.
+    std::string rule;
+    std::string message;
+    /** Suggested remediation, shown under --fixit. */
+    std::string fixit;
+    /** Suppressions must state a reason to silence this finding. */
+    bool requiresReason = false;
+};
+
+/** One parsed `oma-lint: allow(...)` directive. */
+struct Allowance
+{
+    std::set<std::string> rules;
+    std::string reason;
+};
+
+/**
+ * A source file prepared for rule checks: raw lines, code lines with
+ * comments and string/char literals blanked (so banned tokens inside
+ * literals or prose never fire), and the parsed suppressions.
+ */
+class SourceFile
+{
+  public:
+    /**
+     * @param include_root Directory project-relative includes resolve
+     *        against (usually `<repo>/src`); empty disables
+     *        cross-header unordered-name resolution.
+     */
+    SourceFile(std::string path, std::string_view content,
+               std::string include_root = "");
+
+    const std::string &path() const { return _path; }
+    bool isHeader() const;
+
+    /** Raw line @p line (1-based). */
+    const std::string &rawLine(std::size_t line) const;
+    /** Comment/literal-stripped line @p line (1-based). */
+    const std::string &codeLine(std::size_t line) const;
+    std::size_t lineCount() const { return _raw.size(); }
+
+    /**
+     * True when an allow() on @p line or in the contiguous //-comment
+     * block directly above it — or an allow-file() anywhere — covers
+     * @p rule. When @p need_reason is set, only a directive with a
+     * non-empty reason counts.
+     */
+    bool allowed(const std::string &rule, std::size_t line,
+                 bool need_reason) const;
+
+    /**
+     * Names of variables (locals or members) declared in this file
+     * with an unordered associative container type, plus any declared
+     * in the project headers it directly includes (resolved against
+     * the include root when one was given).
+     */
+    std::vector<std::string> unorderedNames() const;
+
+  private:
+    std::string _path;
+    std::string _includeRoot;
+    std::vector<std::string> _raw;
+    std::vector<std::string> _code;
+    std::map<std::size_t, std::vector<Allowance>> _lineAllows;
+    std::vector<Allowance> _fileAllows;
+};
+
+/** Interface every lint rule implements. */
+class Rule
+{
+  public:
+    virtual ~Rule() = default;
+
+    /** Rule name as used in allow() directives. */
+    virtual std::string_view name() const = 0;
+
+    /** One-line rationale, shown by --list-rules. */
+    virtual std::string_view rationale() const = 0;
+
+    /** Append findings for @p file to @p out (pre-suppression). */
+    virtual void check(const SourceFile &file,
+                       std::vector<Finding> &out) const = 0;
+};
+
+/** The determinism-contract rule set, in reporting order. */
+std::vector<std::unique_ptr<Rule>> makeDefaultRules();
+
+/** Aggregate result of a lint run. */
+struct LintReport
+{
+    std::vector<Finding> findings;
+    std::size_t filesScanned = 0;
+
+    bool clean() const { return findings.empty(); }
+};
+
+/**
+ * Lint one in-memory buffer as if it were a file named @p path
+ * (fixture entry point for the rule tests).
+ */
+LintReport lintBuffer(const std::string &path, std::string_view content,
+                      const std::string &include_root = "");
+
+/**
+ * Lint every C++ source under @p paths (files or directories;
+ * directories recurse, skipping build trees and VCS internals).
+ * @p include_root is the directory project-relative includes resolve
+ * against (usually `<repo>/src`); empty disables cross-header
+ * unordered-name resolution.
+ */
+LintReport lintPaths(const std::vector<std::string> &paths,
+                     const std::string &include_root = "");
+
+/** Render @p report; one `file:line: [rule] message` per finding. */
+void printReport(const LintReport &report, bool fixits,
+                 std::ostream &os);
+
+/**
+ * Write one single-include translation unit per header under
+ * @p src_root into @p out_dir, plus a `manifest.txt` naming every
+ * generated TU — the list the `header_tu` CMake target compiles with
+ * -fsyntax-only to prove each public header is self-contained.
+ *
+ * @return the generated TU paths, in manifest order.
+ */
+std::vector<std::string> emitHeaderTus(const std::string &src_root,
+                                       const std::string &out_dir);
+
+} // namespace oma::lint
+
+#endif // OMA_LINT_LINT_HH

@@ -1,0 +1,470 @@
+/**
+ * @file
+ * The determinism-contract rule set.
+ *
+ * Each rule is a token-level check over comment/literal-stripped
+ * source lines. The rules are deliberately heuristic — this is a
+ * contract enforcer, not a compiler front end — but every heuristic
+ * errs toward flagging, and a flagged site that is genuinely safe is
+ * silenced with a reason-bearing suppression that documents why.
+ */
+
+#include "lint/lint.hh"
+
+#include <array>
+#include <cctype>
+#include <string>
+
+namespace oma::lint
+{
+
+namespace
+{
+
+bool
+identChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** Position of whole-identifier @p token in @p line, or npos. */
+std::size_t
+findToken(const std::string &line, const std::string &token,
+          std::size_t from = 0)
+{
+    std::size_t pos = from;
+    while ((pos = line.find(token, pos)) != std::string::npos) {
+        const bool left_ok = pos == 0 || !identChar(line[pos - 1]);
+        const std::size_t end = pos + token.size();
+        const bool right_ok =
+            end >= line.size() || !identChar(line[end]);
+        if (left_ok && right_ok)
+            return pos;
+        pos = end;
+    }
+    return std::string::npos;
+}
+
+/** True when the next non-space character after @p pos is @p want. */
+bool
+nextNonSpaceIs(const std::string &line, std::size_t pos, char want)
+{
+    while (pos < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[pos])))
+        ++pos;
+    return pos < line.size() && line[pos] == want;
+}
+
+bool
+pathEndsWith(const std::string &path, const std::string &suffix)
+{
+    return path.size() >= suffix.size() &&
+        path.compare(path.size() - suffix.size(), suffix.size(),
+                     suffix) == 0;
+}
+
+bool
+pathContainsDir(const std::string &path, const std::string &dir)
+{
+    const std::string withSlashes = "/" + dir + "/";
+    return path.find(withSlashes) != std::string::npos ||
+        path.rfind(dir + "/", 0) == 0;
+}
+
+/**
+ * no-wallclock: every run must be a pure function of its seed, so
+ * wall-clock time and OS entropy are banned outside the one sanctioned
+ * RNG (support/rng.hh) and bench code (which may time itself).
+ */
+class RuleNoWallclock : public Rule
+{
+  public:
+    std::string_view name() const override { return "no-wallclock"; }
+
+    std::string_view
+    rationale() const override
+    {
+        return "wall-clock time and OS entropy make runs "
+               "irreproducible; all randomness flows through "
+               "support/rng.hh (seeded xoshiro256**)";
+    }
+
+    void
+    check(const SourceFile &file, std::vector<Finding> &out) const override
+    {
+        if (pathEndsWith(file.path(), "support/rng.hh") ||
+            pathContainsDir(file.path(), "bench"))
+            return;
+        // Function-like: only a call site (`token(`) counts.
+        static const std::array<const char *, 8> calls = {
+            "time",   "clock",   "gettimeofday", "clock_gettime",
+            "rand",   "srand",   "rand_r",       "drand48",
+        };
+        // Type-like: any mention is a hazard.
+        static const std::array<const char *, 3> types = {
+            "system_clock",
+            "high_resolution_clock",
+            "random_device",
+        };
+        for (std::size_t l = 1; l <= file.lineCount(); ++l) {
+            const std::string &code = file.codeLine(l);
+            for (const char *token : calls) {
+                const std::size_t pos = findToken(code, token);
+                if (pos != std::string::npos &&
+                    nextNonSpaceIs(code, pos + std::string(token).size(),
+                                   '(')) {
+                    out.push_back(
+                        {file.path(), l, std::string(name()),
+                         std::string("call to '") + token +
+                             "' reads wall-clock time or unseeded "
+                             "entropy",
+                         "derive the value from the experiment seed "
+                         "via oma::Rng (support/rng.hh) or take it as "
+                         "a caller-supplied parameter",
+                         false});
+                    break;
+                }
+            }
+            for (const char *token : types) {
+                if (findToken(code, token) != std::string::npos) {
+                    out.push_back(
+                        {file.path(), l, std::string(name()),
+                         std::string("use of '") + token +
+                             "' is nondeterministic across runs",
+                         "use std::chrono::steady_clock for intervals "
+                         "or oma::Rng for entropy",
+                         false});
+                    break;
+                }
+            }
+        }
+    }
+};
+
+/**
+ * ordered-results: iteration order of std::unordered_map/set depends
+ * on hash seeding, bucket counts and insertion history, so anything
+ * iterated out of one can silently reorder results between runs or
+ * lanes. Declarations in headers must carry a reason-bearing
+ * suppression stating why order never escapes (e.g. only size() and
+ * membership are used); iteration anywhere is flagged outright — fix
+ * with sorted extraction (copy keys to a vector and sort, or use
+ * std::map).
+ */
+class RuleOrderedResults : public Rule
+{
+  public:
+    std::string_view name() const override { return "ordered-results"; }
+
+    std::string_view
+    rationale() const override
+    {
+        return "unordered-container iteration order is not "
+               "deterministic; results built from it break the "
+               "bitwise serial/parallel equivalence guarantee";
+    }
+
+    void
+    check(const SourceFile &file, std::vector<Finding> &out) const override
+    {
+        const std::vector<std::string> names = file.unorderedNames();
+        for (std::size_t l = 1; l <= file.lineCount(); ++l) {
+            const std::string &code = file.codeLine(l);
+
+            // Declarations in headers need a stated invariant
+            // (#include <unordered_map> itself is not a declaration).
+            if (file.isHeader() &&
+                code.find("#include") == std::string::npos &&
+                (findToken(code, "unordered_map") != std::string::npos ||
+                 findToken(code, "unordered_set") != std::string::npos) &&
+                code.find('<') != std::string::npos) {
+                out.push_back(
+                    {file.path(), l, std::string(name()),
+                     "unordered container declared in a header: state "
+                     "the order-insensitivity invariant in a "
+                     "suppression or use an ordered container",
+                     "add `// oma-lint: allow(ordered-results): "
+                     "<why order never escapes>` or switch to "
+                     "std::map / sorted vector",
+                     true});
+            }
+
+            for (const std::string &n : names) {
+                // Range-for over an unordered variable.
+                std::size_t pos = findToken(code, n);
+                bool flagged = false;
+                while (pos != std::string::npos && !flagged) {
+                    std::size_t before = pos;
+                    while (before > 0 &&
+                           std::isspace(static_cast<unsigned char>(
+                               code[before - 1])))
+                        --before;
+                    if (before > 0 && code[before - 1] == ':' &&
+                        (before < 2 || code[before - 2] != ':') &&
+                        findToken(code, "for") != std::string::npos) {
+                        flagged = true;
+                        break;
+                    }
+                    pos = findToken(code, n, pos + n.size());
+                }
+                // Explicit iterator walks. `.end()` alone is not
+                // flagged: `find(k) != c.end()` is membership, not
+                // traversal, and traversal always needs a begin().
+                for (const char *it :
+                     {".begin(", ".cbegin(", ".rbegin("}) {
+                    if (code.find(n + it) != std::string::npos) {
+                        flagged = true;
+                        break;
+                    }
+                }
+                if (flagged) {
+                    out.push_back(
+                        {file.path(), l, std::string(name()),
+                         "iteration over unordered container '" + n +
+                             "': traversal order is nondeterministic",
+                         "extract to a vector and sort before "
+                         "iterating, or store in std::map",
+                         true});
+                    break;
+                }
+            }
+        }
+    }
+};
+
+/**
+ * header-guard: the static half of header self-containment. Every
+ * header must carry a classic include guard (or #pragma once); the
+ * compile half — each header building standalone — is enforced by the
+ * header_tu CMake target over the TU list emitHeaderTus() generates.
+ */
+class RuleHeaderGuard : public Rule
+{
+  public:
+    std::string_view name() const override { return "header-guard"; }
+
+    std::string_view
+    rationale() const override
+    {
+        return "unguarded headers break the one-TU-per-header "
+               "self-containment build (header_tu target)";
+    }
+
+    void
+    check(const SourceFile &file, std::vector<Finding> &out) const override
+    {
+        if (!file.isHeader())
+            return;
+        bool guarded = false;
+        for (std::size_t l = 1; l <= file.lineCount(); ++l) {
+            const std::string &code = file.codeLine(l);
+            if (code.find("#ifndef") != std::string::npos ||
+                code.find("#pragma once") != std::string::npos) {
+                guarded = true;
+                break;
+            }
+            // Allow leading comments/blanks only before the guard.
+            std::string stripped;
+            for (char c : code)
+                if (!std::isspace(static_cast<unsigned char>(c)))
+                    stripped += c;
+            if (!stripped.empty())
+                break;
+        }
+        if (!guarded) {
+            out.push_back(
+                {file.path(), 1, std::string(name()),
+                 "header has no include guard before its first "
+                 "declaration",
+                 "open with `#ifndef OMA_<PATH>_HH` / `#define "
+                 "OMA_<PATH>_HH` and close with `#endif`",
+                 false});
+        }
+    }
+};
+
+/**
+ * include-hygiene: includes must be project-relative from src/ (no
+ * parent traversal, no libstdc++ internals), and headers must not
+ * inject names into every includer with namespace-scope
+ * using-directives (function-local ones affect only their body and
+ * are fine).
+ */
+class RuleIncludeHygiene : public Rule
+{
+  public:
+    std::string_view name() const override { return "include-hygiene"; }
+
+    std::string_view
+    rationale() const override
+    {
+        return "relative-parent includes and using-directives in "
+               "headers make TUs depend on include order, defeating "
+               "standalone header builds";
+    }
+
+    /**
+     * Per-line brace depth *excluding* namespace braces: 0 means the
+     * line starts at namespace/file scope, where a using-directive
+     * leaks into every includer.
+     */
+    static std::vector<int>
+    scopeDepths(const SourceFile &file)
+    {
+        std::vector<int> depths(file.lineCount() + 1, 0);
+        std::vector<bool> nsBrace; //!< Stack: brace opened a namespace?
+        int depth = 0;
+        std::string prev, prev2; //!< Last two identifiers seen.
+        for (std::size_t l = 1; l <= file.lineCount(); ++l) {
+            depths[l] = depth;
+            const std::string &code = file.codeLine(l);
+            std::size_t i = 0;
+            while (i < code.size()) {
+                const char c = code[i];
+                if (identChar(c)) {
+                    std::size_t end = i;
+                    while (end < code.size() && identChar(code[end]))
+                        ++end;
+                    prev2 = prev;
+                    prev = code.substr(i, end - i);
+                    i = end;
+                    continue;
+                }
+                if (c == '{') {
+                    const bool ns =
+                        prev == "namespace" || prev2 == "namespace";
+                    nsBrace.push_back(ns);
+                    if (!ns)
+                        ++depth;
+                    prev.clear();
+                    prev2.clear();
+                } else if (c == '}') {
+                    if (!nsBrace.empty()) {
+                        if (!nsBrace.back())
+                            --depth;
+                        nsBrace.pop_back();
+                    }
+                    prev.clear();
+                    prev2.clear();
+                } else if (c == ';') {
+                    prev.clear();
+                    prev2.clear();
+                }
+                ++i;
+            }
+        }
+        return depths;
+    }
+
+    void
+    check(const SourceFile &file, std::vector<Finding> &out) const override
+    {
+        const std::vector<int> depths =
+            file.isHeader() ? scopeDepths(file) : std::vector<int>();
+        for (std::size_t l = 1; l <= file.lineCount(); ++l) {
+            // Includes live on raw lines; strings are blanked in code
+            // lines, so inspect the raw text for the path.
+            const std::string &raw = file.rawLine(l);
+            const std::string &code = file.codeLine(l);
+            const bool isInclude =
+                code.find("#include") != std::string::npos ||
+                (raw.find("#include") != std::string::npos &&
+                 raw.find_first_not_of(" \t") == raw.find('#'));
+            if (isInclude) {
+                if (raw.find("\"../") != std::string::npos ||
+                    raw.find("<../") != std::string::npos ||
+                    raw.find("/../") != std::string::npos) {
+                    out.push_back(
+                        {file.path(), l, std::string(name()),
+                         "parent-relative #include: include paths "
+                         "must be project-relative from src/",
+                         "include \"<subsystem>/<header>.hh\" and add "
+                         "src/ to the include path",
+                         false});
+                }
+                if (raw.find("<bits/") != std::string::npos) {
+                    out.push_back(
+                        {file.path(), l, std::string(name()),
+                         "#include of a libstdc++ internal header",
+                         "include the standard <...> header that "
+                         "documents the symbol instead",
+                         false});
+                }
+            }
+            if (file.isHeader() && depths[l] == 0 &&
+                findToken(code, "using") != std::string::npos) {
+                const std::size_t u = findToken(code, "using");
+                const std::size_t n =
+                    findToken(code, "namespace", u + 5);
+                if (n != std::string::npos) {
+                    out.push_back(
+                        {file.path(), l, std::string(name()),
+                         "namespace-scope using-directive in a header "
+                         "leaks into every includer",
+                         "qualify names explicitly or move the "
+                         "using-directive into a .cc file or function "
+                         "body",
+                         false});
+                }
+            }
+        }
+    }
+};
+
+/**
+ * cast-audit: reinterpret_cast and const_cast are where the type
+ * system stops checking and an invariant takes over; each site must
+ * state that invariant in a suppression so reviewers (and this pass)
+ * can audit it.
+ */
+class RuleCastAudit : public Rule
+{
+  public:
+    std::string_view name() const override { return "cast-audit"; }
+
+    std::string_view
+    rationale() const override
+    {
+        return "reinterpret_cast/const_cast sites carry unchecked "
+               "invariants; each must document the invariant that "
+               "makes it sound";
+    }
+
+    void
+    check(const SourceFile &file, std::vector<Finding> &out) const override
+    {
+        for (std::size_t l = 1; l <= file.lineCount(); ++l) {
+            const std::string &code = file.codeLine(l);
+            for (const char *token :
+                 {"reinterpret_cast", "const_cast"}) {
+                if (findToken(code, token) != std::string::npos) {
+                    out.push_back(
+                        {file.path(), l, std::string(name()),
+                         std::string("'") + token +
+                             "' without a documented invariant",
+                         std::string("add `// oma-lint: allow("
+                                     "cast-audit): <invariant>` "
+                                     "stating why this ") +
+                             token + " is sound",
+                         true});
+                }
+            }
+        }
+    }
+};
+
+} // namespace
+
+std::vector<std::unique_ptr<Rule>>
+makeDefaultRules()
+{
+    std::vector<std::unique_ptr<Rule>> rules;
+    rules.push_back(std::make_unique<RuleNoWallclock>());
+    rules.push_back(std::make_unique<RuleOrderedResults>());
+    rules.push_back(std::make_unique<RuleHeaderGuard>());
+    rules.push_back(std::make_unique<RuleIncludeHygiene>());
+    rules.push_back(std::make_unique<RuleCastAudit>());
+    return rules;
+}
+
+} // namespace oma::lint

@@ -41,7 +41,7 @@ class TextTable
     void printCsv(std::ostream &os) const;
 
     /** Number of data rows added so far. */
-    std::size_t rowCount() const { return _rows.size(); }
+    [[nodiscard]] std::size_t rowCount() const { return _rows.size(); }
 
   private:
     std::vector<std::string> _headers;
@@ -50,16 +50,16 @@ class TextTable
 };
 
 /** Format a double with @p digits digits after the decimal point. */
-std::string fmtFixed(double value, int digits);
+[[nodiscard]] std::string fmtFixed(double value, int digits);
 
 /** Format an integer with thousands separators ("163,438"). */
-std::string fmtGrouped(std::uint64_t value);
+[[nodiscard]] std::string fmtGrouped(std::uint64_t value);
 
 /** Format a ratio as a percentage string with @p digits decimals. */
-std::string fmtPercent(double value, int digits = 0);
+[[nodiscard]] std::string fmtPercent(double value, int digits = 0);
 
 /** Format a byte count as "2-KB", "32-KB", ... (power-of-two sizes). */
-std::string fmtKBytes(std::uint64_t bytes);
+[[nodiscard]] std::string fmtKBytes(std::uint64_t bytes);
 
 } // namespace oma
 

@@ -53,7 +53,7 @@ struct TlbPenalties
     /** DECstation 3100 clock, for service-time-in-seconds plots. */
     double clockHz = 16.67e6;
 
-    std::uint64_t
+    [[nodiscard]] std::uint64_t
     cyclesFor(MissClass c) const
     {
         switch (c) {
@@ -81,7 +81,7 @@ struct MmuStats
     /** Whole-TLB flushes taken on ASID switches (ASID-less mode). */
     std::uint64_t asidFlushes = 0;
 
-    std::uint64_t
+    [[nodiscard]] std::uint64_t
     totalServiceCycles() const
     {
         std::uint64_t sum = 0;
@@ -91,7 +91,7 @@ struct MmuStats
     }
 
     /** Cycles that shrink with a better TLB (excludes page faults). */
-    std::uint64_t
+    [[nodiscard]] std::uint64_t
     geometryDependentCycles() const
     {
         return totalServiceCycles() -
@@ -104,14 +104,14 @@ struct MmuStats
      * modify/invalid/page-fault classes are configuration-independent
      * constants and are excluded.
      */
-    std::uint64_t
+    [[nodiscard]] std::uint64_t
     refillCycles() const
     {
         return cycles[unsigned(MissClass::UserMiss)] +
             cycles[unsigned(MissClass::KernelMiss)];
     }
 
-    std::uint64_t
+    [[nodiscard]] std::uint64_t
     totalMisses() const
     {
         std::uint64_t sum = 0;
@@ -149,12 +149,15 @@ class Mmu
     void invalidatePage(std::uint64_t vpn, std::uint32_t asid,
                         bool global);
 
-    const MmuStats &stats() const { return _stats; }
+    [[nodiscard]] const MmuStats &stats() const { return _stats; }
     void resetStats() { _stats = MmuStats(); }
 
     Tlb &tlb() { return _tlb; }
-    const Tlb &tlb() const { return _tlb; }
-    const TlbPenalties &penalties() const { return _penalties; }
+    [[nodiscard]] const Tlb &tlb() const { return _tlb; }
+    [[nodiscard]] const TlbPenalties &penalties() const
+    {
+        return _penalties;
+    }
 
     /** Service time in seconds at the configured clock. */
     double
@@ -191,6 +194,8 @@ class Mmu
     Tlb _tlb;
     TlbPenalties _penalties;
     MmuStats _stats;
+    // oma-lint: allow(ordered-results): point lookups by page key
+    // only; never iterated, so traversal order cannot reach results.
     std::unordered_map<std::uint64_t, PageFlags> _pages;
     std::uint32_t _currentAsid = 0;
     bool _asidSeen = false;

@@ -45,9 +45,9 @@ class Tapeworm
     void invalidatePage(std::uint64_t vpn, std::uint32_t asid,
                         bool global);
 
-    std::size_t size() const { return _mmus.size(); }
-    Mmu &at(std::size_t i) { return _mmus[i]; }
-    const Mmu &at(std::size_t i) const { return _mmus[i]; }
+    [[nodiscard]] std::size_t size() const { return _mmus.size(); }
+    [[nodiscard]] Mmu &at(std::size_t i) { return _mmus[i]; }
+    [[nodiscard]] const Mmu &at(std::size_t i) const { return _mmus[i]; }
 
   private:
     std::vector<Mmu> _mmus;
@@ -73,14 +73,17 @@ class FaTlbSweep
     void observe(const MemRef &ref);
 
     /** Raw misses a FA LRU TLB of @p entries entries would take. */
-    std::uint64_t misses(std::uint64_t entries) const;
+    [[nodiscard]] std::uint64_t misses(std::uint64_t entries) const;
 
     /** Misses of class @p c at @p entries entries. */
-    std::uint64_t missesOfClass(std::uint64_t entries,
-                                MissClass c) const;
+    [[nodiscard]] std::uint64_t missesOfClass(std::uint64_t entries,
+                                              MissClass c) const;
 
     /** Translated (mapped) references observed. */
-    std::uint64_t translations() const { return _translations; }
+    [[nodiscard]] std::uint64_t translations() const
+    {
+        return _translations;
+    }
 
   private:
     /**
@@ -94,6 +97,9 @@ class FaTlbSweep
     std::uint64_t _coldUser = 0;
     std::uint64_t _coldKernel = 0;
     std::uint64_t _translations = 0;
+    /** (vpn, asid) keys ever seen, for cold-miss classification. */
+    // oma-lint: allow(ordered-results): membership test via insert()
+    // only; never iterated, so traversal order cannot reach results.
     std::unordered_set<std::uint64_t> _touched;
 };
 

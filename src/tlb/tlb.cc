@@ -47,6 +47,8 @@ Tlb::find(std::uint64_t vpn, std::uint32_t asid)
 const Tlb::Entry *
 Tlb::find(std::uint64_t vpn, std::uint32_t asid) const
 {
+    // oma-lint: allow(cast-audit): *this is genuinely non-const here
+    // (const overload forwarding); the mutable find() does not write.
     return const_cast<Tlb *>(this)->find(vpn, asid);
 }
 

@@ -44,7 +44,7 @@ struct TlbStats
     std::uint64_t accesses = 0;
     std::uint64_t misses = 0;
 
-    double
+    [[nodiscard]] double
     missRatio() const
     {
         return accesses == 0 ? 0.0 : double(misses) / double(accesses);
@@ -57,7 +57,7 @@ class Tlb
   public:
     explicit Tlb(const TlbParams &params);
 
-    const TlbParams &params() const { return _params; }
+    [[nodiscard]] const TlbParams &params() const { return _params; }
 
     /**
      * Look up a translation, updating replacement state and counters.
@@ -69,7 +69,7 @@ class Tlb
     bool lookup(std::uint64_t vpn, std::uint32_t asid);
 
     /** Hit test with no side effects. */
-    bool probe(std::uint64_t vpn, std::uint32_t asid) const;
+    [[nodiscard]] bool probe(std::uint64_t vpn, std::uint32_t asid) const;
 
     /**
      * Install a translation (the tail of a software miss handler).
@@ -87,7 +87,7 @@ class Tlb
     bool setDirty(std::uint64_t vpn, std::uint32_t asid);
 
     /** True when the entry is resident and marked dirty. */
-    bool isDirty(std::uint64_t vpn, std::uint32_t asid) const;
+    [[nodiscard]] bool isDirty(std::uint64_t vpn, std::uint32_t asid) const;
 
     /** Drop one translation if present (OS unmap / invalidation). */
     void invalidate(std::uint64_t vpn, std::uint32_t asid);
@@ -95,7 +95,7 @@ class Tlb
     /** Drop everything (e.g. an ASID rollover flush). */
     void invalidateAll();
 
-    const TlbStats &stats() const { return _stats; }
+    [[nodiscard]] const TlbStats &stats() const { return _stats; }
     void resetStats() { _stats = TlbStats(); }
 
   private:

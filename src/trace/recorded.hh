@@ -97,13 +97,16 @@ class RecordedTrace
 
     // ----- inspection -----
 
-    std::uint64_t size() const { return _size; }
-    bool empty() const { return _size == 0; }
-    const std::vector<TraceEvent> &events() const { return _events; }
-    double otherCpi() const { return _otherCpi; }
+    [[nodiscard]] std::uint64_t size() const { return _size; }
+    [[nodiscard]] bool empty() const { return _size == 0; }
+    [[nodiscard]] const std::vector<TraceEvent> &events() const
+    {
+        return _events;
+    }
+    [[nodiscard]] double otherCpi() const { return _otherCpi; }
 
     /** Decode the reference at index @p i (exact round trip). */
-    MemRef
+    [[nodiscard]] MemRef
     at(std::uint64_t i) const
     {
         const Chunk &c = _chunks[i / chunkRefs];
@@ -112,7 +115,7 @@ class RecordedTrace
 
     /** Packed bytes held by the recording (columns + events); the
      * number the bytes-per-reference bench counters report. */
-    std::uint64_t
+    [[nodiscard]] std::uint64_t
     byteSize() const
     {
         std::uint64_t bytes = _events.size() * sizeof(TraceEvent);

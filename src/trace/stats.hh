@@ -96,7 +96,11 @@ class TraceStatistics : public TraceSink
     std::uint64_t _mapped = 0;
     std::map<std::uint32_t, std::uint64_t> _byAsid;
     std::map<std::string, std::uint64_t> _bySegment;
+    // oma-lint: allow(ordered-results): footprint counters read only
+    // size(); never iterated, so traversal order cannot reach results.
     std::unordered_set<std::uint64_t> _pages;
+    // oma-lint: allow(ordered-results): footprint counters read only
+    // size(); never iterated, so traversal order cannot reach results.
     std::unordered_set<std::uint64_t> _lines;
 };
 

@@ -65,6 +65,8 @@ template <typename T>
 void
 writeRaw(std::ofstream &out, const T &value)
 {
+    // oma-lint: allow(cast-audit): T is trivially copyable; viewing
+    // its object representation as chars is defined byte I/O.
     out.write(reinterpret_cast<const char *>(&value), sizeof(value));
 }
 
@@ -72,6 +74,8 @@ template <typename T>
 void
 writeColumn(std::ofstream &out, const std::vector<T> &column)
 {
+    // oma-lint: allow(cast-audit): contiguous trivially-copyable
+    // elements; the char view covers exactly size()*sizeof(T) bytes.
     out.write(reinterpret_cast<const char *>(column.data()),
               std::streamsize(column.size() * sizeof(T)));
 }
@@ -80,6 +84,8 @@ template <typename T>
 bool
 readRaw(std::ifstream &in, T &value)
 {
+    // oma-lint: allow(cast-audit): fills the object representation of
+    // a trivially-copyable T; any bit pattern is a valid value.
     in.read(reinterpret_cast<char *>(&value), sizeof(value));
     return bool(in);
 }
@@ -89,6 +95,8 @@ bool
 readColumn(std::ifstream &in, std::vector<T> &column, std::size_t n)
 {
     column.resize(n);
+    // oma-lint: allow(cast-audit): resize() created n live elements;
+    // the char view fills exactly their object representations.
     in.read(reinterpret_cast<char *>(column.data()),
             std::streamsize(n * sizeof(T)));
     return bool(in);

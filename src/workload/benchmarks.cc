@@ -194,9 +194,15 @@ videoPlay()
 const WorkloadParams &
 benchmarkParams(BenchmarkId id)
 {
+    // GCC 12 false-positives -Wmaybe-uninitialized on the inlined
+    // std::vector copies feeding this static aggregate; every factory
+    // returns a fully initialized value.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
     static const WorkloadParams params[numBenchmarks] = {
         mpegPlay(), mab(), jpegPlay(), ousterhout(), iozone(),
         videoPlay()};
+#pragma GCC diagnostic pop
     const unsigned i = unsigned(id);
     panicIf(i >= numBenchmarks, "bad benchmark id");
     return params[i];

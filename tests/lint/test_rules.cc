@@ -1,0 +1,390 @@
+/**
+ * @file
+ * Unit tests for the oma_lint determinism-contract rules.
+ *
+ * Each rule is driven against inline fixture snippets: a positive
+ * case that must fire, a suppressed case that must stay silent, and a
+ * clean case that must not fire. An integration test asserts the live
+ * tree lints clean, so a hazard introduced anywhere in src/, tests/
+ * or tools/ fails this suite as well as the CI lint job.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "lint/lint.hh"
+
+namespace oma::lint
+{
+namespace
+{
+
+/** Count findings for @p rule in @p report. */
+std::size_t
+countRule(const LintReport &report, const std::string &rule)
+{
+    return std::size_t(std::count_if(
+        report.findings.begin(), report.findings.end(),
+        [&](const Finding &f) { return f.rule == rule; }));
+}
+
+// ---------------------------------------------------------------- //
+// no-wallclock
+// ---------------------------------------------------------------- //
+
+TEST(LintNoWallclock, FlagsWallclockCalls)
+{
+    const auto report = lintBuffer("src/core/foo.cc", R"(
+void f() {
+    auto t = time(nullptr);
+}
+)");
+    EXPECT_EQ(countRule(report, "no-wallclock"), 1u);
+}
+
+TEST(LintNoWallclock, FlagsSystemClockAndRandomDevice)
+{
+    const auto report = lintBuffer("src/core/foo.cc", R"(
+#include <chrono>
+#include <random>
+auto now() { return std::chrono::system_clock::now(); }
+unsigned seed() { return std::random_device{}(); }
+)");
+    EXPECT_EQ(countRule(report, "no-wallclock"), 2u);
+}
+
+TEST(LintNoWallclock, SuppressionSilences)
+{
+    const auto report = lintBuffer("src/core/foo.cc", R"(
+void f() {
+    // oma-lint: allow(no-wallclock): boot banner only, not results
+    auto t = time(nullptr);
+}
+)");
+    EXPECT_EQ(countRule(report, "no-wallclock"), 0u);
+}
+
+TEST(LintNoWallclock, CleanCodePasses)
+{
+    const auto report = lintBuffer("src/core/foo.cc", R"(
+#include <chrono>
+void f() {
+    auto t0 = std::chrono::steady_clock::now();
+    auto elapsed_time = interval();  // 'time' inside an identifier
+    auto d = wait_time(3);
+}
+)");
+    EXPECT_EQ(countRule(report, "no-wallclock"), 0u);
+}
+
+TEST(LintNoWallclock, BenchAndRngAreExempt)
+{
+    const char *snippet = R"(
+void f() { auto t = time(nullptr); }
+)";
+    EXPECT_EQ(countRule(lintBuffer("bench/bench_speed.cc", snippet),
+                        "no-wallclock"),
+              0u);
+    EXPECT_EQ(countRule(lintBuffer("src/support/rng.hh", snippet),
+                        "no-wallclock"),
+              0u);
+    EXPECT_EQ(countRule(lintBuffer("src/core/foo.cc", snippet),
+                        "no-wallclock"),
+              1u);
+}
+
+// ---------------------------------------------------------------- //
+// ordered-results
+// ---------------------------------------------------------------- //
+
+TEST(LintOrderedResults, FlagsRangeForOverUnordered)
+{
+    const auto report = lintBuffer("src/core/foo.cc", R"(
+#include <unordered_map>
+#include <cstdint>
+void f() {
+    std::unordered_map<std::uint64_t, int> counts;
+    for (const auto &kv : counts)
+        emit(kv);
+}
+)");
+    // One for the iteration; the declaration check is header-only.
+    EXPECT_EQ(countRule(report, "ordered-results"), 1u);
+}
+
+TEST(LintOrderedResults, FlagsExplicitIteratorWalk)
+{
+    const auto report = lintBuffer("src/core/foo.cc", R"(
+#include <unordered_set>
+void f() {
+    std::unordered_set<int> seen;
+    auto it = seen.begin();
+}
+)");
+    EXPECT_EQ(countRule(report, "ordered-results"), 1u);
+}
+
+TEST(LintOrderedResults, HeaderDeclarationNeedsInvariant)
+{
+    const auto report = lintBuffer("src/core/foo.hh", R"(
+#ifndef X
+#define X
+#include <unordered_set>
+struct S {
+    std::unordered_set<int> _touched;
+};
+#endif
+)");
+    EXPECT_EQ(countRule(report, "ordered-results"), 1u);
+}
+
+TEST(LintOrderedResults, ReasonedSuppressionSilencesDeclaration)
+{
+    const auto report = lintBuffer("src/core/foo.hh", R"(
+#ifndef X
+#define X
+#include <unordered_set>
+struct S {
+    // oma-lint: allow(ordered-results): membership only, no iteration
+    std::unordered_set<int> _touched;
+};
+#endif
+)");
+    EXPECT_EQ(countRule(report, "ordered-results"), 0u);
+}
+
+TEST(LintOrderedResults, ReasonlessSuppressionDoesNotCount)
+{
+    const auto report = lintBuffer("src/core/foo.hh", R"(
+#ifndef X
+#define X
+#include <unordered_set>
+struct S {
+    // oma-lint: allow(ordered-results)
+    std::unordered_set<int> _touched;
+};
+#endif
+)");
+    EXPECT_EQ(countRule(report, "ordered-results"), 1u);
+}
+
+TEST(LintOrderedResults, MembershipTestIsClean)
+{
+    const auto report = lintBuffer("src/core/foo.cc", R"(
+#include <unordered_set>
+bool f() {
+    std::unordered_set<int> seen;
+    return seen.find(3) != seen.end();
+}
+)");
+    EXPECT_EQ(countRule(report, "ordered-results"), 0u);
+}
+
+TEST(LintOrderedResults, OrderedContainersAreClean)
+{
+    const auto report = lintBuffer("src/core/foo.cc", R"(
+#include <map>
+void f() {
+    std::map<int, int> counts;
+    for (const auto &kv : counts)
+        emit(kv);
+}
+)");
+    EXPECT_EQ(countRule(report, "ordered-results"), 0u);
+}
+
+// ---------------------------------------------------------------- //
+// header-guard
+// ---------------------------------------------------------------- //
+
+TEST(LintHeaderGuard, FlagsUnguardedHeader)
+{
+    const auto report = lintBuffer("src/core/foo.hh", R"(
+#include <cstdint>
+inline int f() { return 1; }
+)");
+    EXPECT_EQ(countRule(report, "header-guard"), 1u);
+}
+
+TEST(LintHeaderGuard, SuppressionSilences)
+{
+    const auto report = lintBuffer("src/core/foo.hh", R"(
+// oma-lint: allow-file(header-guard): generated single-include TU
+#include <cstdint>
+inline int f() { return 1; }
+)");
+    EXPECT_EQ(countRule(report, "header-guard"), 0u);
+}
+
+TEST(LintHeaderGuard, GuardedAndPragmaOnceAreClean)
+{
+    EXPECT_EQ(countRule(lintBuffer("src/core/foo.hh", R"(
+#ifndef OMA_CORE_FOO_HH
+#define OMA_CORE_FOO_HH
+inline int f() { return 1; }
+#endif
+)"),
+                        "header-guard"),
+              0u);
+    EXPECT_EQ(countRule(lintBuffer("src/core/foo.hh", R"(
+#pragma once
+inline int f() { return 1; }
+)"),
+                        "header-guard"),
+              0u);
+    // Sources need no guard.
+    EXPECT_EQ(countRule(lintBuffer("src/core/foo.cc", "int x;\n"),
+                        "header-guard"),
+              0u);
+}
+
+// ---------------------------------------------------------------- //
+// include-hygiene
+// ---------------------------------------------------------------- //
+
+TEST(LintIncludeHygiene, FlagsParentRelativeInclude)
+{
+    const auto report = lintBuffer("src/core/foo.cc",
+                                   "#include \"../cache/cache.hh\"\n");
+    EXPECT_EQ(countRule(report, "include-hygiene"), 1u);
+}
+
+TEST(LintIncludeHygiene, FlagsNamespaceScopeUsingInHeader)
+{
+    const auto report = lintBuffer("src/core/foo.hh", R"(
+#ifndef X
+#define X
+using namespace std;
+namespace oma {
+using namespace std;
+}
+#endif
+)");
+    EXPECT_EQ(countRule(report, "include-hygiene"), 2u);
+}
+
+TEST(LintIncludeHygiene, SuppressionSilences)
+{
+    const auto report = lintBuffer("src/core/foo.cc", R"(
+// oma-lint: allow(include-hygiene)
+#include "../cache/cache.hh"
+)");
+    EXPECT_EQ(countRule(report, "include-hygiene"), 0u);
+}
+
+TEST(LintIncludeHygiene, FunctionLocalUsingAndCleanIncludesPass)
+{
+    const auto report = lintBuffer("src/core/foo.hh", R"(
+#ifndef X
+#define X
+#include "cache/cache.hh"
+#include <vector>
+inline void f()
+{
+    using namespace std;
+}
+#endif
+)");
+    EXPECT_EQ(countRule(report, "include-hygiene"), 0u);
+}
+
+// ---------------------------------------------------------------- //
+// cast-audit
+// ---------------------------------------------------------------- //
+
+TEST(LintCastAudit, FlagsUndocumentedCasts)
+{
+    const auto report = lintBuffer("src/core/foo.cc", R"(
+void f(const char *p, int *q) {
+    auto a = reinterpret_cast<const int *>(p);
+    auto b = const_cast<int *>(q);
+}
+)");
+    EXPECT_EQ(countRule(report, "cast-audit"), 2u);
+}
+
+TEST(LintCastAudit, InvariantStatingSuppressionSilences)
+{
+    const auto report = lintBuffer("src/core/foo.cc", R"(
+void f(const unsigned char *p) {
+    // oma-lint: allow(cast-audit): p points at a live int per ABI
+    auto a = reinterpret_cast<const int *>(p);
+}
+)");
+    EXPECT_EQ(countRule(report, "cast-audit"), 0u);
+}
+
+TEST(LintCastAudit, ReasonlessSuppressionDoesNotCount)
+{
+    const auto report = lintBuffer("src/core/foo.cc", R"(
+void f(const unsigned char *p) {
+    // oma-lint: allow(cast-audit)
+    auto a = reinterpret_cast<const int *>(p);
+}
+)");
+    EXPECT_EQ(countRule(report, "cast-audit"), 1u);
+}
+
+TEST(LintCastAudit, StaticCastIsClean)
+{
+    const auto report = lintBuffer("src/core/foo.cc", R"(
+int f(double d) { return static_cast<int>(d); }
+)");
+    EXPECT_EQ(countRule(report, "cast-audit"), 0u);
+}
+
+// ---------------------------------------------------------------- //
+// scanner behaviour shared by all rules
+// ---------------------------------------------------------------- //
+
+TEST(LintScanner, CommentsAndLiteralsNeverFire)
+{
+    const auto report = lintBuffer("src/core/foo.cc", R"(
+// reinterpret_cast in a comment, and time(nullptr) too
+/* const_cast<int *>(p) inside a block comment */
+const char *s = "reinterpret_cast<const int *>(p); time(nullptr);";
+const char *r = R"x(const_cast<int *>(q))x";
+)");
+    EXPECT_TRUE(report.clean());
+}
+
+TEST(LintScanner, FixitHintsArePopulated)
+{
+    const auto report = lintBuffer(
+        "src/core/foo.cc", "void f(int *q) { const_cast<int *>(q); }\n");
+    ASSERT_EQ(report.findings.size(), 1u);
+    EXPECT_FALSE(report.findings[0].fixit.empty());
+}
+
+TEST(LintScanner, RuleRegistryIsComplete)
+{
+    std::vector<std::string> names;
+    for (const auto &rule : makeDefaultRules())
+        names.emplace_back(rule->name());
+    const std::vector<std::string> expected = {
+        "no-wallclock", "ordered-results", "header-guard",
+        "include-hygiene", "cast-audit"};
+    EXPECT_EQ(names, expected);
+}
+
+// ---------------------------------------------------------------- //
+// the live tree must lint clean
+// ---------------------------------------------------------------- //
+
+TEST(LintIntegration, LiveTreeIsClean)
+{
+    const std::string root = OMA_SOURCE_DIR;
+    const LintReport report = lintPaths(
+        {root + "/src", root + "/tests", root + "/tools",
+         root + "/examples", root + "/bench"},
+        root + "/src");
+    for (const Finding &f : report.findings)
+        ADD_FAILURE() << f.file << ":" << f.line << ": [" << f.rule
+                      << "] " << f.message;
+    EXPECT_GT(report.filesScanned, 100u);
+}
+
+} // namespace
+} // namespace oma::lint

@@ -3,6 +3,11 @@
  * Unit tests for binary trace-file round trips.
  */
 
+// oma-lint: allow-file(cast-audit): the v1-compatibility test
+// hand-writes legacy records by streaming the object representations
+// of local trivially-copyable integers; every cast is a char view of
+// a live fixed-width scalar.
+
 #include <gtest/gtest.h>
 
 #include <cstdio>

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * CLI driver for the determinism-contract lint pass.
+ *
+ *     oma_lint [--fixit] [--include-root DIR] PATH...
+ *     oma_lint --emit-header-tus OUTDIR SRCROOT
+ *     oma_lint --list-rules
+ *
+ * Exits 0 when every scanned file is clean, 1 when findings remain
+ * after suppressions, 2 on usage errors. The canonical repo-root
+ * invocation is `oma_lint src tests tools examples` (bench is scanned
+ * too but exempt from no-wallclock). See docs/STATIC_ANALYSIS.md.
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hh"
+
+namespace
+{
+
+int
+usage()
+{
+    std::cerr
+        << "usage: oma_lint [--fixit] [--include-root DIR] PATH...\n"
+        << "       oma_lint --emit-header-tus OUTDIR SRCROOT\n"
+        << "       oma_lint --list-rules\n";
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool fixits = false;
+    std::string includeRoot = "src";
+    std::vector<std::string> paths;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--fixit") {
+            fixits = true;
+        } else if (arg == "--include-root") {
+            if (++i >= argc)
+                return usage();
+            includeRoot = argv[i];
+        } else if (arg == "--list-rules") {
+            for (const auto &rule : oma::lint::makeDefaultRules())
+                std::cout << rule->name() << ": " << rule->rationale()
+                          << "\n";
+            return 0;
+        } else if (arg == "--emit-header-tus") {
+            if (i + 2 >= argc)
+                return usage();
+            const auto tus =
+                oma::lint::emitHeaderTus(argv[i + 2], argv[i + 1]);
+            std::cout << "oma_lint: emitted " << tus.size()
+                      << " header TU(s) into " << argv[i + 1] << "\n";
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            return usage();
+        } else {
+            paths.push_back(arg);
+        }
+    }
+    if (paths.empty())
+        return usage();
+
+    const oma::lint::LintReport report =
+        oma::lint::lintPaths(paths, includeRoot);
+    oma::lint::printReport(report, fixits, std::cout);
+    return report.clean() ? 0 : 1;
+}
