@@ -21,9 +21,13 @@ namespace omabench
 /** Paper's on-chip memory budget (Section 5.4). */
 constexpr double paperBudgetRbe = 250000.0;
 
-/** Measure the suite-averaged component CPI tables under Mach. */
+/** Measure the suite-averaged component CPI tables under Mach.
+ * With a @p report, every sweep feeds the bench's observation
+ * (counters, phase timings, optional progress) and the simulated
+ * reference volume is credited toward its refs/sec. */
 inline oma::ComponentCpiTables
-measureMachTables(const oma::ConfigSpace &space)
+measureMachTables(const oma::ConfigSpace &space,
+                  BenchReport *report = nullptr)
 {
     using namespace oma;
     const auto caches = space.cacheGeometries();
@@ -31,6 +35,11 @@ measureMachTables(const oma::ConfigSpace &space)
     ComponentSweep sweep(caches, caches, tlbs);
 
     const RunConfig rc = benchRun();
+    const std::size_t suite = allBenchmarks().size();
+    if (report != nullptr)
+        report->armProgress(
+            suite * (1 + 2 * caches.size() + tlbs.size()),
+            "grid sweep");
     std::vector<SweepResult> results;
     for (BenchmarkId id : allBenchmarks()) {
         std::cout << "  [sweeping " << benchmarkName(id) << " under "
@@ -38,7 +47,11 @@ measureMachTables(const oma::ConfigSpace &space)
                   << caches.size() << " I-cache, " << caches.size()
                   << " D-cache, " << tlbs.size()
                   << " TLB configurations]\n";
-        results.push_back(sweep.run(id, OsKind::Mach, rc));
+        results.push_back(
+            sweep.run(id, OsKind::Mach, rc,
+                      report ? report->observation() : nullptr));
+        if (report != nullptr)
+            report->addReferences(results.back().references);
     }
     std::cout << "\n";
     return ComponentCpiTables::average(

@@ -104,12 +104,18 @@ runVariant(const MachParams &params, std::uint64_t refs)
 }
 
 void
-addRow(TextTable &table, const std::string &name,
+addRow(TextTable &table, omabench::BenchReport &report,
+       const std::string &slug, const std::string &name,
        const CpiBreakdown &b)
 {
     table.addRow({name, fmtFixed(b.cpi, 2), fmtFixed(b.tlb, 3),
                   fmtFixed(b.icache, 3), fmtFixed(b.dcache, 3),
                   fmtFixed(b.writeBuffer, 3)});
+    report.metrics().add("ablation/variants");
+    report.metrics().set("ablation/" + slug + "/cpi", b.cpi);
+    report.metrics().set("ablation/" + slug + "/tlb_cpi", b.tlb);
+    report.metrics().set("ablation/" + slug + "/icache_cpi", b.icache);
+    report.metrics().set("ablation/" + slug + "/dcache_cpi", b.dcache);
 }
 
 } // namespace
@@ -121,13 +127,16 @@ main()
                      "(mpeg_play-like load, DECstation 3100)",
                      "Section 4's causal claims");
 
+    omabench::BenchReport report("ablation");
     const std::uint64_t refs = omabench::benchReferences() / 2;
 
     TextTable table({"Variant", "CPI", "TLB", "I-cache", "D-cache",
                      "Write Buffer"});
 
     MachParams base;
-    addRow(table, "Mach (as measured)", runVariant(base, refs));
+    addRow(table, report, "base", "Mach (as measured)",
+           runVariant(base, refs));
+    report.addReferences(refs);
 
     MachParams short_paths = base;
     short_paths.emulCallInstr = 20;
@@ -136,36 +145,48 @@ main()
     short_paths.kernelReplyInstr = 50;
     short_paths.serverStubInInstr = 15;
     short_paths.serverStubOutInstr = 20;
-    addRow(table, "RPC paths cut ~10x (Ultrix-like invocation)",
+    addRow(table, report, "short_rpc",
+           "RPC paths cut ~10x (Ultrix-like invocation)",
            runVariant(short_paths, refs));
+    report.addReferences(refs);
 
     MachParams vm_share = base;
     vm_share.xViaBsdServer = false;
-    addRow(table, "Frames by VM sharing (no socket copies)",
+    addRow(table, report, "vm_share",
+           "Frames by VM sharing (no socket copies)",
            runVariant(vm_share, refs));
+    report.addReferences(refs);
 
     MachParams big_kseg2 = base;
     big_kseg2.kseg2WsBytes = 256 * 1024;
     big_kseg2.kseg2Frac = 0.30;
-    addRow(table, "Kernel mapped-data footprint x8",
+    addRow(table, report, "big_kseg2",
+           "Kernel mapped-data footprint x8",
            runVariant(big_kseg2, refs));
+    report.addReferences(refs);
 
     MachParams small_kseg2 = base;
     small_kseg2.kseg2WsBytes = 4 * 1024;
     small_kseg2.kseg2Frac = 0.02;
-    addRow(table, "Kernel mapped data pinned unmapped (kseg0-like)",
+    addRow(table, report, "small_kseg2",
+           "Kernel mapped data pinned unmapped (kseg0-like)",
            runVariant(small_kseg2, refs));
+    report.addReferences(refs);
 
     MachParams split2 = base;
     split2.extraApiServers = 2;
-    addRow(table, "BSD service split across 2 extra API servers",
+    addRow(table, report, "split2",
+           "BSD service split across 2 extra API servers",
            runVariant(split2, refs));
+    report.addReferences(refs);
 
     MachParams split6 = base;
     split6.extraApiServers = 6;
     split6.extraServerProb = 0.8;
-    addRow(table, "BSD service split across 6 extra API servers",
+    addRow(table, report, "split6",
+           "BSD service split across 6 extra API servers",
            runVariant(split6, refs));
+    report.addReferences(refs);
 
     table.print(std::cout);
 

@@ -43,12 +43,15 @@ main()
     const MachineParams mp = MachineParams::decstation3100();
     ComponentSweep sweep(icache_stub, geoms, tlb_stub);
 
+    omabench::BenchReport report("dcache");
     const RunConfig rc = omabench::benchRun();
     for (OsKind os : {OsKind::Ultrix, OsKind::Mach}) {
         std::vector<double> miss(geoms.size(), 0.0);
         std::vector<double> cpi(geoms.size(), 0.0);
         for (BenchmarkId id : allBenchmarks()) {
-            const SweepResult r = sweep.run(id, os, rc);
+            const SweepResult r =
+                sweep.run(id, os, rc, report.observation());
+            report.addReferences(r.references);
             for (std::size_t i = 0; i < geoms.size(); ++i) {
                 miss[i] += r.dcacheMissRatio(i);
                 cpi[i] += r.dcacheCpi(i, mp);

@@ -65,9 +65,10 @@ main()
                      "access-time limits",
                      "Section 6 (future work)");
 
+    omabench::BenchReport report("ext_accesstime");
     ConfigSpace space;
     const ComponentCpiTables tables =
-        omabench::measureMachTables(space);
+        omabench::measureMachTables(space, &report);
     const AccessTimeModel access;
     AllocationSearch search(AreaModel(), omabench::paperBudgetRbe);
 
@@ -111,7 +112,8 @@ main()
                           "-", "-"});
             continue;
         }
-        const auto ranked = search.rank(filtered, 8);
+        const auto ranked =
+            search.rank(filtered, 8, 0, report.observation());
         if (ranked.empty()) {
             table.addRow({c.name, "", "(budget infeasible)", "-",
                           "-"});

@@ -104,14 +104,24 @@ main()
          cache(4, 4, 2), cache(2, 4, 2), cache(32, 8, 4), true},
     };
 
+    omabench::BenchReport report("ext_hierarchy");
     const std::uint64_t refs = omabench::benchReferences() / 2;
     TextTable table({"Organization", "MQF area (rbes)",
                      "Ultrix cache CPI", "Mach cache CPI"});
+    std::size_t org_index = 0;
     for (const Organization &org : orgs) {
+        const double ultrix = measure(org, OsKind::Ultrix, refs);
+        const double mach = measure(org, OsKind::Mach, refs);
+        const std::string slug =
+            "hierarchy/org" + std::to_string(org_index++);
+        report.metrics().add("hierarchy/organizations");
+        report.metrics().set(slug + "/area_rbe", areaOf(org));
+        report.metrics().set(slug + "/ultrix_cache_cpi", ultrix);
+        report.metrics().set(slug + "/mach_cache_cpi", mach);
+        report.addReferences(2 * refs * numBenchmarks);
         table.addRow({org.name,
                       fmtGrouped(std::uint64_t(areaOf(org))),
-                      fmtFixed(measure(org, OsKind::Ultrix, refs), 3),
-                      fmtFixed(measure(org, OsKind::Mach, refs), 3)});
+                      fmtFixed(ultrix, 3), fmtFixed(mach, 3)});
     }
     table.print(std::cout);
 

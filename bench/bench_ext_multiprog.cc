@@ -72,12 +72,20 @@ main()
                      "(mpeg_play alone vs time-shared with mab)",
                      "the multiprogramming the paper's traces include");
 
+    omabench::BenchReport report("ext_multiprog");
     const std::uint64_t refs = omabench::benchReferences();
     TextTable table({"Configuration", "CPI", "TLB", "I-cache",
                      "D-cache", "Write Buffer"});
     for (OsKind os : {OsKind::Ultrix, OsKind::Mach}) {
         const CpiBreakdown alone = run(os, false, refs);
         const CpiBreakdown shared = run(os, true, refs);
+        report.addReferences(2 * refs);
+        const std::string slug =
+            std::string("multiprog/") + osKindName(os);
+        report.metrics().set(slug + "/alone_cpi", alone.cpi);
+        report.metrics().set(slug + "/shared_cpi", shared.cpi);
+        report.metrics().set(slug + "/interference_cpi",
+                             shared.cpi - alone.cpi);
         addRow(table, std::string(osKindName(os)) + ": mpeg alone",
                alone);
         addRow(table,

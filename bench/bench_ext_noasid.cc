@@ -58,6 +58,7 @@ main()
                      "Table 1 (i486-style flushing TLBs) applied to "
                      "Section 4.2");
 
+    omabench::BenchReport report("ext_noasid");
     const std::uint64_t refs = omabench::benchReferences() / 3;
     TextTable table({"TLB (FA)", "Ultrix ASIDs", "Ultrix flush",
                      "Mach ASIDs", "Mach flush"});
@@ -70,6 +71,13 @@ main()
                                          refs);
         const double mn = suiteRefillCpi(OsKind::Mach, entries, true,
                                          refs);
+        report.addReferences(4 * refs * numBenchmarks);
+        const std::string slug =
+            "noasid/" + std::to_string(entries) + "e";
+        report.metrics().set(slug + "/ultrix_asid_cpi", uy);
+        report.metrics().set(slug + "/ultrix_flush_cpi", un);
+        report.metrics().set(slug + "/mach_asid_cpi", my);
+        report.metrics().set(slug + "/mach_flush_cpi", mn);
         table.addRow({std::to_string(entries), fmtFixed(uy, 3),
                       fmtFixed(un, 3), fmtFixed(my, 3),
                       fmtFixed(mn, 3)});

@@ -77,6 +77,7 @@ main()
                      "average, 4-word lines)",
                      "Table 7's associativity restriction");
 
+    omabench::BenchReport report("ext_victim");
     AreaModel area;
     const std::uint64_t refs = omabench::benchReferences() / 2;
 
@@ -84,6 +85,13 @@ main()
                      "2-way"});
     for (std::uint64_t kb : {4, 8, 16, 32}) {
         const Row row = measure(kb, refs);
+        report.addReferences(refs * numBenchmarks);
+        const std::string slug =
+            "victim/" + std::to_string(kb) + "kb";
+        report.metrics().add(slug + "/fetches", row.fetches);
+        report.metrics().add(slug + "/misses_dm", row.missesDm);
+        report.metrics().add(slug + "/misses_v8", row.missesV8);
+        report.metrics().add(slug + "/misses_2w", row.misses2w);
         table.addRow({fmtKBytes(kb * 1024),
                       ratio(row.missesDm, row.fetches),
                       ratio(row.missesV2, row.fetches),

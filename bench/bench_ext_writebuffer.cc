@@ -28,6 +28,7 @@ main()
                      "I-prefetch under the area lens",
                      "Section 6 (future work)");
 
+    omabench::BenchReport report("ext_writebuffer");
     const RunConfig rc = omabench::benchRun(800000);
     AreaModel area;
 
@@ -46,6 +47,15 @@ main()
                 wb[os == OsKind::Mach] += r.cpi.writeBuffer;
             }
         }
+        report.addReferences(2 * rc.references * numBenchmarks);
+        const std::string slug =
+            "wb_depth/" + std::to_string(entries) + "e";
+        report.metrics().set(slug + "/area_rbe",
+                             area.writeBufferArea(entries));
+        report.metrics().set(slug + "/ultrix_wb_cpi",
+                             wb[0] / numBenchmarks);
+        report.metrics().set(slug + "/mach_wb_cpi",
+                             wb[1] / numBenchmarks);
         wb_table.addRow(
             {std::to_string(entries),
              fmtGrouped(std::uint64_t(area.writeBufferArea(entries))),
@@ -75,6 +85,11 @@ main()
             }
             without /= numBenchmarks;
             with /= numBenchmarks;
+            report.addReferences(2 * rc.references * numBenchmarks);
+            report.metrics().set(
+                "prefetch/" + std::to_string(kb) + "kb_" +
+                    osKindName(os) + "/recovered_frac",
+                without > 0 ? (without - with) / without : 0.0);
             pf_table.addRow(
                 {fmtKBytes(kb * 1024) + " 4-word DM", osKindName(os),
                  fmtFixed(without, 3), fmtFixed(with, 3),

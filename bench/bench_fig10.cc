@@ -65,12 +65,15 @@ main()
     const MachineParams mp = MachineParams::decstation3100();
     ComponentSweep sweep(geoms, dcache_stub, tlb_stub);
 
+    omabench::BenchReport report("fig10");
     RunConfig rc = omabench::benchRun();
     for (OsKind os : {OsKind::Ultrix, OsKind::Mach}) {
         std::vector<double> miss(geoms.size(), 0.0);
         std::vector<double> cpi(geoms.size(), 0.0);
         for (BenchmarkId id : allBenchmarks()) {
-            const SweepResult r = sweep.run(id, os, rc);
+            const SweepResult r =
+                sweep.run(id, os, rc, report.observation());
+            report.addReferences(r.references);
             for (std::size_t i = 0; i < geoms.size(); ++i) {
                 miss[i] += r.icacheMissRatio(i);
                 cpi[i] += r.icacheCpi(i, mp);

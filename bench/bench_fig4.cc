@@ -19,23 +19,33 @@ main()
                      "associativities",
                      "Figure 4");
 
+    omabench::BenchReport report("fig4");
     AreaModel model;
     TextTable table({"Entries", "1-way", "2-way", "4-way", "8-way",
                      "full"});
     for (std::uint64_t entries : {16, 32, 64, 128, 256, 512}) {
         std::vector<std::string> row = {std::to_string(entries)};
         for (std::uint64_t ways : {1, 2, 4, 8}) {
-            row.push_back(fmtGrouped(std::uint64_t(
-                model.tlbArea(TlbGeometry(entries, ways)))));
+            const double rbe =
+                model.tlbArea(TlbGeometry(entries, ways));
+            report.metrics().add("area/tlb_configs");
+            report.metrics().observe("area/tlb_rbe",
+                                     std::uint64_t(rbe));
+            row.push_back(fmtGrouped(std::uint64_t(rbe)));
         }
-        row.push_back(fmtGrouped(std::uint64_t(
-            model.tlbArea(TlbGeometry::fullyAssoc(entries)))));
+        const double fa_rbe =
+            model.tlbArea(TlbGeometry::fullyAssoc(entries));
+        report.metrics().add("area/tlb_configs");
+        report.metrics().observe("area/tlb_rbe",
+                                 std::uint64_t(fa_rbe));
+        row.push_back(fmtGrouped(std::uint64_t(fa_rbe)));
         table.addRow(row);
     }
     table.print(std::cout);
 
     const double dm16 = model.tlbArea(TlbGeometry(16, 1));
     const double w8_16 = model.tlbArea(TlbGeometry(16, 8));
+    report.metrics().set("area/ratio_16e_8way_over_dm", w8_16 / dm16);
     std::cout << "\nShape checks (paper's reading of the figure):\n"
               << "  16-entry 8-way / 16-entry direct-mapped = "
               << fmtFixed(w8_16 / dm16, 2)

@@ -19,6 +19,7 @@ main()
                      "associative TLBs",
                      "Figure 5");
 
+    omabench::BenchReport report("fig5");
     AreaModel model;
     TextTable table({"Entries", "1-way / full", "4-way / full",
                      "8-way / full"});
@@ -27,8 +28,14 @@ main()
             model.tlbArea(TlbGeometry::fullyAssoc(entries));
         std::vector<std::string> row = {std::to_string(entries)};
         for (std::uint64_t ways : {1, 4, 8}) {
-            row.push_back(fmtFixed(
-                model.tlbArea(TlbGeometry(entries, ways)) / fa, 2));
+            const double ratio =
+                model.tlbArea(TlbGeometry(entries, ways)) / fa;
+            report.metrics().add("area/ratio_points");
+            report.metrics().set("area/ratio_" +
+                                     std::to_string(entries) + "e_" +
+                                     std::to_string(ways) + "w",
+                                 ratio);
+            row.push_back(fmtFixed(ratio, 2));
         }
         table.addRow(row);
     }

@@ -19,6 +19,7 @@ main()
                      "line size",
                      "Figure 6");
 
+    omabench::BenchReport report("fig6");
     AreaModel model;
     TextTable table({"Capacity", "1-word", "2-word", "4-word",
                      "8-word", "8w saving vs 1w"});
@@ -32,8 +33,14 @@ main()
                 w1 = area;
             if (words == 8)
                 w8 = area;
+            report.metrics().add("area/cache_configs");
+            report.metrics().observe("area/cache_rbe",
+                                     std::uint64_t(area));
             row.push_back(fmtGrouped(std::uint64_t(area)));
         }
+        report.metrics().set("area/saving_8w_vs_1w_" +
+                                 std::to_string(kb) + "kb",
+                             1.0 - w8 / w1);
         row.push_back(fmtPercent(1.0 - w8 / w1, 1));
         table.addRow(row);
     }

@@ -8,8 +8,10 @@
  */
 
 #include <iostream>
+#include <string>
 
 #include "bench/common.hh"
+#include "obs/export.hh"
 #include "support/table.hh"
 #include "tlb/tapeworm.hh"
 #include "workload/system.hh"
@@ -23,6 +25,7 @@ main()
                      "(fully-associative, Mach, Tapeworm)",
                      "Figure 7");
 
+    omabench::BenchReport report("fig7");
     const std::vector<std::uint64_t> sizes = {32, 64, 128, 256, 512};
     const TlbPenalties penalties;
     const std::uint64_t refs = omabench::benchReferences();
@@ -66,6 +69,10 @@ main()
                     penalties.clockHz;
             }
         }
+        obs::exportTapeworm(report.metrics(),
+                            "tapeworm/" + std::string(wl.name),
+                            tapeworm);
+        report.addReferences(refs);
         std::cout << "  [swept " << wl.name << ": " << instructions
                   << " instructions, scale x"
                   << fmtFixed(scale, 0) << "]\n";

@@ -8,6 +8,7 @@
 #include <iostream>
 
 #include "bench/common.hh"
+#include "obs/export.hh"
 #include "support/table.hh"
 #include "tlb/tapeworm.hh"
 #include "workload/system.hh"
@@ -22,6 +23,7 @@ main()
                      "Mach)",
                      "Figure 8");
 
+    omabench::BenchReport report("fig8");
     const std::vector<std::uint64_t> sizes = {64, 128, 256, 512};
     const std::vector<std::uint64_t> ways = {1, 2, 4, 8};
 
@@ -53,6 +55,9 @@ main()
         system.next(ref);
         tapeworm.observe(ref);
     }
+
+    obs::exportTapeworm(report.metrics(), "tapeworm", tapeworm);
+    report.addReferences(refs);
 
     const double reference_cycles =
         double(tapeworm.at(0).stats().totalServiceCycles());

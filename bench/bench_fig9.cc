@@ -61,6 +61,7 @@ main()
                      "line size (suite average)",
                      "Figure 9");
 
+    omabench::BenchReport report("fig9");
     const auto geoms = grid();
     const std::vector<CacheGeometry> dcache_stub = {
         CacheGeometry::fromWords(8 * 1024, 4, 1)};
@@ -70,11 +71,17 @@ main()
     ComponentSweep sweep(geoms, dcache_stub, tlb_stub);
 
     RunConfig rc = omabench::benchRun();
+    report.armProgress(2 * std::uint64_t(numBenchmarks) *
+                           (1 + geoms.size() + dcache_stub.size() +
+                            tlb_stub.size()),
+                       "I-cache grid sweep");
     for (OsKind os : {OsKind::Ultrix, OsKind::Mach}) {
         std::vector<double> miss(geoms.size(), 0.0);
         std::vector<double> cpi(geoms.size(), 0.0);
         for (BenchmarkId id : allBenchmarks()) {
-            const SweepResult r = sweep.run(id, os, rc);
+            const SweepResult r =
+                sweep.run(id, os, rc, report.observation());
+            report.addReferences(r.references);
             for (std::size_t i = 0; i < geoms.size(); ++i) {
                 miss[i] += r.icacheMissRatio(i);
                 cpi[i] += r.icacheCpi(i, mp);

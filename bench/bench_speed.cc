@@ -12,6 +12,7 @@
 
 #include <chrono>
 
+#include "bench/common.hh"
 #include "cache/bank.hh"
 #include "cache/cheetah.hh"
 #include "core/search.hh"
@@ -328,4 +329,17 @@ BENCHMARK(BM_FullMachineStep);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN() so the run also emits a BENCH_speed.json
+// report alongside google-benchmark's own console/JSON output.
+int
+main(int argc, char **argv)
+{
+    omabench::BenchReport report("speed");
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    const std::size_t ran = benchmark::RunSpecifiedBenchmarks();
+    report.metrics().add("speed/benchmarks_run", ran);
+    benchmark::Shutdown();
+    return 0;
+}

@@ -78,6 +78,7 @@ main()
                      "microprocessors + MQF area estimates",
                      "Table 1");
 
+    omabench::BenchReport report("table1");
     AreaModel model;
     TextTable table({"Processor", "Die (mm^2)", "I-cache", "D-cache",
                      "TLB", "MQF est. (rbe)"});
@@ -98,6 +99,9 @@ main()
             rbe += model.tlbArea(*p.tlb);
             tlb = p.tlbNote;
         }
+        report.metrics().add("area/processors");
+        report.metrics().observe("area/processor_rbe",
+                                 std::uint64_t(rbe));
         table.addRow({p.name,
                       p.dieMm2 ? std::to_string(p.dieMm2) : "-",
                       icache, dcache, tlb,

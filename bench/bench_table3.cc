@@ -8,6 +8,7 @@
 #include <iostream>
 
 #include "bench/common.hh"
+#include "obs/export.hh"
 #include "support/table.hh"
 
 using namespace oma;
@@ -44,18 +45,28 @@ main()
         "(mpeg_play, DECstation 3100)",
         "Table 3");
 
+    omabench::BenchReport report("table3");
     const RunConfig rc = omabench::benchRun();
     RunConfig user_rc = rc;
     user_rc.userOnly = true;
 
+    const BaselineResult user_only =
+        runBaseline(BenchmarkId::Mpeg, OsKind::Ultrix, user_rc);
+    const BaselineResult ultrix =
+        runBaseline(BenchmarkId::Mpeg, OsKind::Ultrix, rc);
+    const BaselineResult mach =
+        runBaseline(BenchmarkId::Mpeg, OsKind::Mach, rc);
+    obs::exportBaseline(report.metrics(), "user_only", user_only);
+    obs::exportBaseline(report.metrics(), "ultrix", ultrix);
+    obs::exportBaseline(report.metrics(), "mach", mach);
+    report.addReferences(user_only.references + ultrix.references +
+                         mach.references);
+
     TextTable table({"OS", "Method", "CPI", "TLB", "I-cache",
                      "D-cache", "Write Buffer", "Other"});
-    addRow(table, "None", "pixie-style sim",
-           runBaseline(BenchmarkId::Mpeg, OsKind::Ultrix, user_rc));
-    addRow(table, "Ultrix", "Monster-style monitor",
-           runBaseline(BenchmarkId::Mpeg, OsKind::Ultrix, rc));
-    addRow(table, "Mach", "Monster-style monitor",
-           runBaseline(BenchmarkId::Mpeg, OsKind::Mach, rc));
+    addRow(table, "None", "pixie-style sim", user_only);
+    addRow(table, "Ultrix", "Monster-style monitor", ultrix);
+    addRow(table, "Mach", "Monster-style monitor", mach);
     table.print(std::cout);
 
     std::cout

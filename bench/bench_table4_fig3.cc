@@ -5,8 +5,10 @@
  */
 
 #include <iostream>
+#include <string>
 
 #include "bench/common.hh"
+#include "obs/export.hh"
 #include "support/table.hh"
 
 using namespace oma;
@@ -56,6 +58,7 @@ main()
                      "(measured vs paper)",
                      "Table 4 and Figure 3");
 
+    omabench::BenchReport report("table4_fig3");
     const RunConfig rc = omabench::benchRun();
 
     TextTable table({"Workload", "OS", "", "CPI", "TLB", "I-cache",
@@ -68,6 +71,11 @@ main()
         for (OsKind os : {OsKind::Ultrix, OsKind::Mach}) {
             const unsigned oi = os == OsKind::Mach;
             const BaselineResult r = runBaseline(id, os, rc);
+            obs::exportBaseline(report.metrics(),
+                                std::string(benchmarkName(id)) + "/" +
+                                    osKindName(os),
+                                r);
+            report.addReferences(r.references);
             const PaperRow p = paperRow(id, os);
             table.addRow({benchmarkName(id), osKindName(os),
                           "measured", fmtFixed(r.cpi.cpi, 2),

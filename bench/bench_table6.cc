@@ -19,14 +19,16 @@ main()
                      "250,000-rbe budget (Mach)",
                      "Tables 5 and 6");
 
+    omabench::BenchReport report("table6");
     ConfigSpace space;
     omabench::printTable5(space);
 
     const ComponentCpiTables tables =
-        omabench::measureMachTables(space);
+        omabench::measureMachTables(space, &report);
 
     AllocationSearch search(AreaModel(), omabench::paperBudgetRbe);
-    const auto ranked = search.rank(tables, 8);
+    const auto ranked =
+        search.rank(tables, 8, 0, report.observation());
     std::cout << "In-budget allocations ranked: " << ranked.size()
               << "\n\n";
 

@@ -18,12 +18,14 @@ main()
                      "to 1-/2-way set associativity",
                      "Table 7");
 
+    omabench::BenchReport report("table7");
     ConfigSpace space;
     const ComponentCpiTables tables =
-        omabench::measureMachTables(space);
+        omabench::measureMachTables(space, &report);
 
     AllocationSearch search(AreaModel(), omabench::paperBudgetRbe);
-    const auto ranked = search.rank(tables, 2);
+    const auto ranked =
+        search.rank(tables, 2, 0, report.observation());
     std::cout << "In-budget allocations ranked: " << ranked.size()
               << "\n\n";
 

@@ -14,9 +14,14 @@
 #include <cstdint>
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <utility>
 
 #include "core/experiment.hh"
+#include "obs/metrics.hh"
+#include "obs/report.hh"
+#include "support/clock.hh"
 
 namespace omabench
 {
@@ -55,6 +60,110 @@ banner(const std::string &what, const std::string &paper_ref)
               << "==================================================="
                  "=========\n\n";
 }
+
+/**
+ * One bench run's observability: a RunReport plus the Observation
+ * the engines fill, finished and saved on destruction.
+ *
+ * Every bench binary constructs one of these after its banner and
+ * lets it go out of scope at the end of main(); the destructor stamps
+ * `time_ms/total`, derives `rate/refs_per_sec` from the references
+ * recorded via addReferences(), merges the engine observation and
+ * writes `BENCH_<name>.json` (see docs/OBSERVABILITY.md; disable with
+ * OMA_RUN_REPORT=0). Progress callbacks are off by default; setting
+ * OMA_BENCH_PROGRESS=1 routes throttled progress lines through
+ * inform() for benches that arm them.
+ */
+class BenchReport
+{
+  public:
+    explicit BenchReport(const std::string &name)
+        : _report(name), _startNs(oma::Clock::nowNs())
+    {
+        _report.meta["bench"] = name;
+        _report.meta["refs_per_pair"] =
+            std::to_string(benchReferences());
+    }
+
+    BenchReport(const BenchReport &) = delete;
+    BenchReport &operator=(const BenchReport &) = delete;
+
+    ~BenchReport() { finish(); }
+
+    /** The sink to pass into ComponentSweep::run / rank(). */
+    [[nodiscard]] oma::obs::Observation *
+    observation()
+    {
+        return &_obs;
+    }
+
+    [[nodiscard]] oma::obs::MetricRegistry &
+    metrics()
+    {
+        return _report.metrics;
+    }
+
+    void
+    setMeta(const std::string &key, std::string value)
+    {
+        _report.meta[key] = std::move(value);
+    }
+
+    /** Record @p refs simulated references toward the run's rate. */
+    void
+    addReferences(std::uint64_t refs)
+    {
+        _refs += refs;
+    }
+
+    /**
+     * Attach a progress sink expecting @p total ticks, labelled
+     * @p what, when OMA_BENCH_PROGRESS=1; otherwise a no-op. Safe to
+     * call once per phase — ticks keep accumulating into one sink
+     * only if armed once, so prefer one arm per run.
+     */
+    void
+    armProgress(std::uint64_t total, const std::string &what)
+    {
+        const char *env = std::getenv("OMA_BENCH_PROGRESS");
+        if (env == nullptr || std::string(env) != "1")
+            return;
+        _progress = std::make_unique<oma::obs::Progress>(
+            total, oma::obs::Progress::informSink(what));
+        _obs.progress = _progress.get();
+    }
+
+    /** Stamp totals, save the report, print its path; idempotent. */
+    void
+    finish()
+    {
+        if (_finished)
+            return;
+        _finished = true;
+        _report.metrics.merge(_obs.metrics);
+        const double elapsed_ms =
+            oma::Clock::toMs(oma::Clock::nowNs() - _startNs);
+        _report.metrics.set("time_ms/total", elapsed_ms);
+        if (_refs > 0) {
+            _report.metrics.add("bench/references", _refs);
+            if (elapsed_ms > 0.0)
+                _report.metrics.set("rate/refs_per_sec",
+                                    double(_refs) /
+                                        (elapsed_ms / 1000.0));
+        }
+        const std::string path = _report.save();
+        if (!path.empty())
+            std::cout << "[run report: " << path << "]\n";
+    }
+
+  private:
+    oma::obs::RunReport _report;
+    oma::obs::Observation _obs;
+    std::unique_ptr<oma::obs::Progress> _progress;
+    std::int64_t _startNs;
+    std::uint64_t _refs = 0;
+    bool _finished = false;
+};
 
 } // namespace omabench
 

@@ -24,6 +24,8 @@
 
 #include "cache/cache.hh"
 #include "core/sweep.hh"
+#include "obs/export.hh"
+#include "obs/report.hh"
 #include "support/logging.hh"
 #include "support/table.hh"
 #include "trace/sampler.hh"
@@ -154,7 +156,17 @@ cmdSweep(int argc, char **argv)
 
     const MachineParams mp = MachineParams::decstation3100();
     ComponentSweep sweep(cache_geoms, cache_geoms, tlb_geoms, mp);
-    const SweepResult r = sweep.run(trace, threads);
+    obs::Observation observation;
+    const SweepResult r = sweep.run(trace, threads, &observation);
+
+    obs::RunReport report("trace_tools_sweep");
+    report.meta["trace_file"] = argv[2];
+    report.meta["threads"] = std::to_string(threads);
+    report.metrics.merge(observation.metrics);
+    obs::exportSweepResult(report.metrics, r);
+    const std::string saved = report.save();
+    if (!saved.empty())
+        std::cout << "[run report: " << saved << "]\n";
 
     std::cout << "Swept " << r.references << " recorded references ("
               << r.instructions << " instructions, "

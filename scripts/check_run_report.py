@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Validate BENCH_*.json run reports against oma-run-report-v1.
+
+Usage: check_run_report.py FILE [FILE...]
+
+Checks, per file (see docs/OBSERVABILITY.md for the schema):
+  - parses as JSON with the five fixed top-level keys;
+  - schema tag is "oma-run-report-v1";
+  - name matches [A-Za-z0-9_-]+ and the file is named BENCH_<name>.json;
+  - meta values are strings;
+  - counters are non-negative integers;
+  - gauges are numbers, or the strings "inf"/"-inf"/"nan";
+  - histograms carry integer count/sum/min/max, a numeric (or
+    non-finite-string) mean, and power-of-two bucket bounds whose
+    occupancy sums to count.
+
+Exits non-zero listing every violation; prints one OK line per valid
+file so CI logs show what was actually checked.
+"""
+
+import json
+import os
+import re
+import sys
+
+SCHEMA = "oma-run-report-v1"
+NAME_RE = re.compile(r"^[A-Za-z0-9_-]+$")
+TOP_KEYS = ["schema", "name", "meta", "counters", "gauges", "histograms"]
+NONFINITE = {"inf", "-inf", "nan"}
+
+
+def is_gauge_value(v):
+    if isinstance(v, bool):
+        return False
+    if isinstance(v, (int, float)):
+        return True
+    return isinstance(v, str) and v in NONFINITE
+
+
+def is_count(v):
+    return isinstance(v, int) and not isinstance(v, bool) and v >= 0
+
+
+def check_histogram(name, h, errors):
+    if not isinstance(h, dict):
+        errors.append(f"histogram {name}: not an object")
+        return
+    for key in ("count", "sum", "min", "max"):
+        if not is_count(h.get(key)):
+            errors.append(
+                f"histogram {name}: '{key}' must be a non-negative "
+                f"integer, got {h.get(key)!r}")
+    if not is_gauge_value(h.get("mean")):
+        errors.append(f"histogram {name}: bad mean {h.get('mean')!r}")
+    buckets = h.get("buckets")
+    if not isinstance(buckets, dict):
+        errors.append(f"histogram {name}: 'buckets' must be an object")
+        return
+    occupancy = 0
+    for bound, n in buckets.items():
+        if not bound.isdigit() or (
+                int(bound) != 0 and int(bound) & (int(bound) - 1)):
+            errors.append(
+                f"histogram {name}: bucket bound {bound!r} is not a "
+                "power of two")
+        if not is_count(n) or n == 0:
+            errors.append(
+                f"histogram {name}: bucket {bound} occupancy {n!r} "
+                "must be a positive integer (empty buckets are "
+                "omitted)")
+        else:
+            occupancy += n
+    if is_count(h.get("count")) and occupancy != h["count"]:
+        errors.append(
+            f"histogram {name}: bucket occupancy {occupancy} != "
+            f"count {h['count']}")
+
+
+def check_report(path):
+    errors = []
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        return [f"unreadable or invalid JSON: {e}"]
+
+    if not isinstance(doc, dict):
+        return ["top level is not an object"]
+    if sorted(doc.keys()) != sorted(TOP_KEYS):
+        errors.append(
+            f"top-level keys {sorted(doc.keys())} != {sorted(TOP_KEYS)}")
+        return errors
+
+    if doc["schema"] != SCHEMA:
+        errors.append(f"schema {doc['schema']!r} != {SCHEMA!r}")
+    name = doc["name"]
+    if not (isinstance(name, str) and NAME_RE.match(name)):
+        errors.append(f"name {name!r} does not match [A-Za-z0-9_-]+")
+    elif os.path.basename(path) != f"BENCH_{name}.json":
+        errors.append(
+            f"file name {os.path.basename(path)!r} != BENCH_{name}.json")
+
+    for key, value in doc["meta"].items():
+        if not isinstance(value, str):
+            errors.append(f"meta {key}: value {value!r} is not a string")
+    for key, value in doc["counters"].items():
+        if not is_count(value):
+            errors.append(
+                f"counter {key}: {value!r} is not a non-negative integer")
+    for key, value in doc["gauges"].items():
+        if not is_gauge_value(value):
+            errors.append(f"gauge {key}: bad value {value!r}")
+    for key, value in doc["histograms"].items():
+        check_histogram(key, value, errors)
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip().splitlines()[2], file=sys.stderr)
+        return 2
+    failed = False
+    for path in argv[1:]:
+        errors = check_report(path)
+        if errors:
+            failed = True
+            for e in errors:
+                print(f"{path}: {e}", file=sys.stderr)
+        else:
+            with open(path, encoding="utf-8") as f:
+                doc = json.load(f)
+            print(f"OK {path}: {len(doc['counters'])} counters, "
+                  f"{len(doc['gauges'])} gauges, "
+                  f"{len(doc['histograms'])} histograms")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

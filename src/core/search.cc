@@ -6,7 +6,9 @@
 #include "core/search.hh"
 
 #include <algorithm>
+#include <memory>
 
+#include "obs/export.hh"
 #include "support/logging.hh"
 #include "support/threadpool.hh"
 
@@ -57,9 +59,14 @@ AllocationSearch::AllocationSearch(const AreaModel &area,
 
 std::vector<Allocation>
 AllocationSearch::rank(const ComponentCpiTables &tables,
-                       std::uint64_t max_cache_ways,
-                       unsigned threads) const
+                       std::uint64_t max_cache_ways, unsigned threads,
+                       obs::Observation *observation) const
 {
+    std::unique_ptr<obs::Span> span;
+    if (observation != nullptr)
+        span = std::make_unique<obs::Span>(observation->metrics,
+                                           "search/rank");
+
     // Precompute areas once per distinct geometry.
     std::vector<double> tlb_area(tables.tlbGeoms.size());
     for (std::size_t i = 0; i < tables.tlbGeoms.size(); ++i)
@@ -107,8 +114,12 @@ AllocationSearch::rank(const ComponentCpiTables &tables,
     // same sequence — and breaks CPI ties identically — no matter
     // how many lanes scored the shards.
     std::vector<std::vector<Allocation>> shards(tables.tlbGeoms.size());
-    parallelFor(threads, 0, shards.size(),
-                [&](std::size_t t) { score_shard(t, shards[t]); });
+    parallelFor(threads, 0, shards.size(), [&](std::size_t t) {
+        score_shard(t, shards[t]);
+        if (observation != nullptr &&
+            observation->progress != nullptr)
+            observation->progress->tick();
+    });
 
     std::vector<Allocation> out;
     std::size_t total = 0;
@@ -124,6 +135,20 @@ AllocationSearch::rank(const ComponentCpiTables &tables,
                      });
     for (std::size_t r = 0; r < out.size(); ++r)
         out[r].rank = r + 1;
+
+    if (observation != nullptr) {
+        obs::MetricRegistry &m = observation->metrics;
+        std::uint64_t eligible_i = 0, eligible_d = 0;
+        for (const CacheGeometry &g : tables.icacheGeoms)
+            eligible_i += g.assoc <= max_cache_ways;
+        for (const CacheGeometry &g : tables.dcacheGeoms)
+            eligible_d += g.assoc <= max_cache_ways;
+        m.add("search/shards", shards.size());
+        m.add("search/candidates",
+              tables.tlbGeoms.size() * eligible_i * eligible_d);
+        m.add("search/in_budget", out.size());
+        obs::exportRanking(m, out);
+    }
     return out;
 }
 

@@ -80,12 +80,15 @@ class AllocationSearch
      *        sharded by TLB geometry and stitched back in TLB order,
      *        so the ranking (ties included) is bitwise identical for
      *        every thread count.
+     * @param observation Optional metrics/progress sink (candidate
+     *        and in-budget counts, phase timing); attaching one never
+     *        changes the ranking.
      * @return all in-budget allocations, best (lowest CPI) first.
      */
     [[nodiscard]] std::vector<Allocation>
     rank(const ComponentCpiTables &tables,
-         std::uint64_t max_cache_ways = 8,
-         unsigned threads = 0) const;
+         std::uint64_t max_cache_ways = 8, unsigned threads = 0,
+         obs::Observation *observation = nullptr) const;
 
     [[nodiscard]] double budget() const { return _budget; }
     [[nodiscard]] const AreaModel &areaModel() const { return _area; }

@@ -5,6 +5,7 @@
 
 #include "core/sweep.hh"
 
+#include "obs/export.hh"
 #include "support/logging.hh"
 #include "support/threadpool.hh"
 
@@ -84,7 +85,8 @@ ComponentSweep::ComponentSweep(std::vector<CacheGeometry> icache_geoms,
 
 SweepResult
 ComponentSweep::run(const WorkloadParams &workload, OsKind os,
-                    const RunConfig &run) const
+                    const RunConfig &run,
+                    obs::Observation *observation) const
 {
     // Phase 1 (serial): capture the stream once. The workload RNG
     // and the OS model advance exactly as in a legacy single-pass
@@ -92,19 +94,29 @@ ComponentSweep::run(const WorkloadParams &workload, OsKind os,
     // the index of the reference the OS fired them while producing,
     // which is where every replay applies them.
     System system(workload, os, run.seed);
-    const RecordedTrace trace = system.record(run.references);
-    return replayTrace(trace, ThreadPool::resolveThreads(run.threads));
+    RecordedTrace trace;
+    if (observation != nullptr) {
+        obs::Span span(observation->metrics, "sweep/record");
+        trace = system.record(run.references);
+    } else {
+        trace = system.record(run.references);
+    }
+    return replayTrace(trace, ThreadPool::resolveThreads(run.threads),
+                       observation);
 }
 
 SweepResult
-ComponentSweep::run(const RecordedTrace &trace, unsigned threads) const
+ComponentSweep::run(const RecordedTrace &trace, unsigned threads,
+                    obs::Observation *observation) const
 {
-    return replayTrace(trace, ThreadPool::resolveThreads(threads));
+    return replayTrace(trace, ThreadPool::resolveThreads(threads),
+                       observation);
 }
 
 SweepResult
 ComponentSweep::replayTrace(const RecordedTrace &trace,
-                            unsigned threads) const
+                            unsigned threads,
+                            obs::Observation *observation) const
 {
     // Phase 2 (parallel): replay per consumer. One flat index space
     // across the reference machine and all three component kinds
@@ -126,8 +138,14 @@ ComponentSweep::replayTrace(const RecordedTrace &trace,
     result.tlbStats.resize(n_t);
     result.otherCpi = trace.otherCpi();
 
+    // Per-task metric shards: each task writes only its own slot, so
+    // the post-loop merge (in task order) is a pure function of the
+    // work — never of the schedule or lane count.
+    std::vector<obs::MetricRegistry> shards(
+        observation != nullptr ? 1 + n_i + n_d + n_t : 0);
+
     std::uint64_t wb_stall = 0;
-    parallelFor(threads, 0, 1 + n_i + n_d + n_t, [&](std::size_t task) {
+    const auto body = [&](std::size_t task) {
         if (task == 0) {
             // Reference machine replay: stall attribution for the
             // configuration-independent CPI components.
@@ -140,6 +158,12 @@ ComponentSweep::replayTrace(const RecordedTrace &trace,
                 });
             result.instructions = machine.stalls().instructions;
             wb_stall = machine.stalls().wbStall;
+            if (observation != nullptr) {
+                obs::exportStallCounters(shards[task], "machine",
+                                         machine.stalls());
+                obs::exportWriteBuffer(shards[task], "wb",
+                                       machine.writeBuffer());
+            }
         } else if (task <= n_i) {
             const std::size_t i = task - 1;
             Cache cache(sweepCacheParams(_icacheGeoms[i],
@@ -148,6 +172,9 @@ ComponentSweep::replayTrace(const RecordedTrace &trace,
                 cache.access(paddr, RefKind::IFetch);
             });
             result.icacheStats[i] = cache.stats();
+            if (observation != nullptr)
+                obs::exportCacheStats(shards[task], "icache",
+                                      cache.stats());
         } else if (task <= n_i + n_d) {
             const std::size_t d = task - 1 - n_i;
             Cache cache(sweepCacheParams(_dcacheGeoms[d],
@@ -157,6 +184,9 @@ ComponentSweep::replayTrace(const RecordedTrace &trace,
                     cache.access(paddr, kind);
                 });
             result.dcacheStats[d] = cache.stats();
+            if (observation != nullptr)
+                obs::exportCacheStats(shards[task], "dcache",
+                                      cache.stats());
         } else {
             const std::size_t t = task - 1 - n_i - n_d;
             TlbParams p;
@@ -168,8 +198,31 @@ ComponentSweep::replayTrace(const RecordedTrace &trace,
                     mmu.invalidatePage(e.vpn, e.asid, e.global);
                 });
             result.tlbStats[t] = mmu.stats();
+            if (observation != nullptr)
+                obs::exportMmuStats(shards[task], "tlb", mmu.stats());
         }
-    });
+        if (observation != nullptr && observation->progress != nullptr)
+            observation->progress->tick();
+    };
+
+    const std::size_t n_tasks = 1 + n_i + n_d + n_t;
+    if (observation != nullptr) {
+        // Run on an explicit pool so its work counters can be
+        // exported alongside the component metrics.
+        obs::MetricRegistry &m = observation->metrics;
+        {
+            obs::Span span(m, "sweep/replay");
+            ThreadPool pool(threads);
+            pool.parallelFor(0, n_tasks, body);
+            obs::exportThreadPool(m, "threadpool", pool);
+        }
+        for (const obs::MetricRegistry &shard : shards)
+            m.merge(shard);
+        obs::exportRecordedTrace(m, "trace", trace);
+        m.add("sweep/replays");
+    } else {
+        parallelFor(threads, 0, n_tasks, body);
+    }
 
     const double instr =
         double(std::max<std::uint64_t>(1, result.instructions));

@@ -19,6 +19,7 @@
 #include "cache/bank.hh"
 #include "core/experiment.hh"
 #include "machine/machine.hh"
+#include "obs/metrics.hh"
 #include "tlb/tapeworm.hh"
 #include "trace/recorded.hh"
 #include "workload/system.hh"
@@ -92,16 +93,25 @@ class ComponentSweep
                    const MachineParams &reference_machine =
                        MachineParams::decstation3100());
 
-    /** Run the sweep. */
+    /**
+     * Run the sweep. An optional obs::Observation collects component
+     * counters (merged over per-task shards in task order), phase
+     * timings and progress ticks; attaching one never changes the
+     * SweepResult (tests/core/test_observed_sweep.cc holds bitwise
+     * identity at 1 and 4 threads).
+     */
     [[nodiscard]] SweepResult
     run(const WorkloadParams &workload, OsKind os,
-        const RunConfig &run = RunConfig()) const;
+        const RunConfig &run = RunConfig(),
+        obs::Observation *observation = nullptr) const;
 
     [[nodiscard]] SweepResult
     run(BenchmarkId id, OsKind os,
-        const RunConfig &run_config = RunConfig()) const
+        const RunConfig &run_config = RunConfig(),
+        obs::Observation *observation = nullptr) const
     {
-        return this->run(benchmarkParams(id), os, run_config);
+        return this->run(benchmarkParams(id), os, run_config,
+                         observation);
     }
 
     /**
@@ -110,12 +120,14 @@ class ComponentSweep
      * serial). Reproduces the live-run SweepResult exactly when the
      * recording came from the same workload/OS/seed/length.
      */
-    [[nodiscard]] SweepResult run(const RecordedTrace &trace,
-                                  unsigned threads = 0) const;
+    [[nodiscard]] SweepResult
+    run(const RecordedTrace &trace, unsigned threads = 0,
+        obs::Observation *observation = nullptr) const;
 
   private:
     SweepResult replayTrace(const RecordedTrace &trace,
-                            unsigned threads) const;
+                            unsigned threads,
+                            obs::Observation *observation) const;
 
     std::vector<CacheGeometry> _icacheGeoms;
     std::vector<CacheGeometry> _dcacheGeoms;

@@ -73,8 +73,12 @@ pathContainsDir(const std::string &path, const std::string &dir)
 
 /**
  * no-wallclock: every run must be a pure function of its seed, so
- * wall-clock time and OS entropy are banned outside the one sanctioned
- * RNG (support/rng.hh) and bench code (which may time itself).
+ * wall-clock time and OS entropy are banned outside the sanctioned
+ * shims — support/rng.hh (seeded entropy), support/clock.hh
+ * (observability timing) — and bench code (which may time itself).
+ * steady_clock is banned with the wall clocks: interval timing is
+ * legitimate only through oma::Clock, so that every timing site is
+ * auditable as observability-only.
  */
 class RuleNoWallclock : public Rule
 {
@@ -85,14 +89,16 @@ class RuleNoWallclock : public Rule
     rationale() const override
     {
         return "wall-clock time and OS entropy make runs "
-               "irreproducible; all randomness flows through "
-               "support/rng.hh (seeded xoshiro256**)";
+               "irreproducible; randomness flows through "
+               "support/rng.hh and timing through support/clock.hh "
+               "(observability only)";
     }
 
     void
     check(const SourceFile &file, std::vector<Finding> &out) const override
     {
         if (pathEndsWith(file.path(), "support/rng.hh") ||
+            pathEndsWith(file.path(), "support/clock.hh") ||
             pathContainsDir(file.path(), "bench"))
             return;
         // Function-like: only a call site (`token(`) counts.
@@ -101,9 +107,10 @@ class RuleNoWallclock : public Rule
             "rand",   "srand",   "rand_r",       "drand48",
         };
         // Type-like: any mention is a hazard.
-        static const std::array<const char *, 3> types = {
+        static const std::array<const char *, 4> types = {
             "system_clock",
             "high_resolution_clock",
+            "steady_clock",
             "random_device",
         };
         for (std::size_t l = 1; l <= file.lineCount(); ++l) {
@@ -131,8 +138,9 @@ class RuleNoWallclock : public Rule
                         {file.path(), l, std::string(name()),
                          std::string("use of '") + token +
                              "' is nondeterministic across runs",
-                         "use std::chrono::steady_clock for intervals "
-                         "or oma::Rng for entropy",
+                         "time observability through oma::Clock "
+                         "(support/clock.hh) or draw entropy from "
+                         "oma::Rng (support/rng.hh)",
                          false});
                     break;
                 }

@@ -16,6 +16,8 @@
 #include <cstdint>
 #include <deque>
 
+#include "support/logging.hh"
+
 namespace oma
 {
 
@@ -24,12 +26,18 @@ class WriteBuffer
 {
   public:
     /**
-     * @param entries Buffer depth in words.
-     * @param drain_cycles Memory cycles to retire one word.
+     * @param entries Buffer depth in words; must be at least 1 (a
+     *        zero-entry buffer would pop an empty retire queue in
+     *        store()).
+     * @param drain_cycles Memory cycles to retire one word; must be
+     *        at least 1 (instant retirement is not a write buffer).
      */
     WriteBuffer(std::uint64_t entries, std::uint64_t drain_cycles)
         : _entries(entries), _drain(drain_cycles)
-    {}
+    {
+        fatalIf(entries == 0 || drain_cycles == 0,
+                "WriteBuffer needs entries >= 1 and drain_cycles >= 1");
+    }
 
     /**
      * Push one word at machine time @p now (cycles).

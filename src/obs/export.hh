@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Exporters: component statistics -> named registry metrics.
+ *
+ * Each simulation component keeps its own counters (CacheStats,
+ * MmuStats, StallCounters...); these helpers copy them into a
+ * MetricRegistry under the naming scheme of docs/OBSERVABILITY.md.
+ * Exporting is a read-only snapshot — components never observe the
+ * registry — which is what keeps metrics-on and metrics-off runs
+ * bitwise identical.
+ *
+ * Header-only by design: the obs library proper depends only on
+ * support, while these inline adapters may name any component type;
+ * the dependency belongs to whoever includes them (engines, benches,
+ * tools).
+ */
+
+#ifndef OMA_OBS_EXPORT_HH
+#define OMA_OBS_EXPORT_HH
+
+#include <string>
+
+#include "core/experiment.hh"
+#include "core/search.hh"
+#include "core/sweep.hh"
+#include "machine/machine.hh"
+#include "obs/metrics.hh"
+#include "support/threadpool.hh"
+#include "tlb/tapeworm.hh"
+#include "trace/recorded.hh"
+
+namespace oma::obs
+{
+
+/** Cache event counters under `<prefix>/...`. */
+inline void
+exportCacheStats(MetricRegistry &m, const std::string &prefix,
+                 const CacheStats &s)
+{
+    m.add(prefix + "/accesses", s.totalAccesses());
+    m.add(prefix + "/misses", s.totalMisses());
+    m.add(prefix + "/line_fills", s.lineFills);
+    m.add(prefix + "/writebacks", s.writebacks);
+    m.add(prefix + "/write_through_words", s.writeThroughWords);
+    m.add(prefix + "/compulsory_misses", s.compulsoryMisses);
+}
+
+/** MMU/TLB event and cycle counters under `<prefix>/...`. */
+inline void
+exportMmuStats(MetricRegistry &m, const std::string &prefix,
+               const MmuStats &s)
+{
+    m.add(prefix + "/translations", s.translations);
+    m.add(prefix + "/misses", s.totalMisses());
+    m.add(prefix + "/service_cycles", s.totalServiceCycles());
+    m.add(prefix + "/refill_cycles", s.refillCycles());
+    m.add(prefix + "/asid_flushes", s.asidFlushes);
+}
+
+/** Summed counters of every configuration in a Tapeworm bank. */
+inline void
+exportTapeworm(MetricRegistry &m, const std::string &prefix,
+               const Tapeworm &tapeworm)
+{
+    for (std::size_t i = 0; i < tapeworm.size(); ++i)
+        exportMmuStats(m, prefix, tapeworm.at(i).stats());
+    m.add(prefix + "/configs", tapeworm.size());
+}
+
+/** Monster-style stall attribution counters under `<prefix>/...`. */
+inline void
+exportStallCounters(MetricRegistry &m, const std::string &prefix,
+                    const StallCounters &s)
+{
+    m.add(prefix + "/instructions", s.instructions);
+    m.add(prefix + "/icache_stall", s.icacheStall);
+    m.add(prefix + "/dcache_stall", s.dcacheStall);
+    m.add(prefix + "/wb_stall", s.wbStall);
+    m.add(prefix + "/tlb_stall", s.tlbStall);
+}
+
+/** Write-buffer counters under `<prefix>/...`. */
+inline void
+exportWriteBuffer(MetricRegistry &m, const std::string &prefix,
+                  const WriteBuffer &wb)
+{
+    m.add(prefix + "/stores", wb.stores());
+    m.add(prefix + "/stall_cycles", wb.stallCycles());
+}
+
+/** Recording shape: reference/event counts and packed size. */
+inline void
+exportRecordedTrace(MetricRegistry &m, const std::string &prefix,
+                    const RecordedTrace &trace)
+{
+    m.add(prefix + "/references", trace.size());
+    m.add(prefix + "/events", trace.events().size());
+    m.add(prefix + "/bytes", trace.byteSize());
+    if (!trace.empty())
+        m.set(prefix + "/bytes_per_ref",
+              double(trace.byteSize()) / double(trace.size()));
+}
+
+/** Baseline (fixed-machine) run: per-component miss data. */
+inline void
+exportBaseline(MetricRegistry &m, const std::string &prefix,
+               const BaselineResult &r)
+{
+    m.add(prefix + "/instructions", r.instructions);
+    m.add(prefix + "/references", r.references);
+    exportMmuStats(m, prefix + "/tlb", r.mmu);
+    m.set(prefix + "/icache_miss_ratio", r.icacheMissRatio);
+    m.set(prefix + "/dcache_miss_ratio", r.dcacheMissRatio);
+    m.set(prefix + "/cpi", r.cpi.cpi);
+}
+
+/**
+ * Sweep totals: per-component event sums over every configuration
+ * in the sweep, plus per-configuration miss-count histograms (the
+ * distribution across the design grid — deterministic, since the
+ * samples are counters, not timings). The per-configuration event
+ * counters themselves are exported by the engine into its
+ * Observation during the run; this helper adds only what the result
+ * object carries on top, so merging both never double-counts.
+ */
+inline void
+exportSweepResult(MetricRegistry &m, const SweepResult &r)
+{
+    m.add("sweep/references", r.references);
+    m.add("sweep/instructions", r.instructions);
+    m.add("sweep/icache_configs", r.icacheStats.size());
+    m.add("sweep/dcache_configs", r.dcacheStats.size());
+    m.add("sweep/tlb_configs", r.tlbStats.size());
+    for (const CacheStats &s : r.icacheStats)
+        m.observe("icache/misses_per_config", s.totalMisses());
+    for (const CacheStats &s : r.dcacheStats)
+        m.observe("dcache/misses_per_config", s.totalMisses());
+    for (const MmuStats &s : r.tlbStats)
+        m.observe("tlb/refill_cycles_per_config", s.refillCycles());
+}
+
+/** Ranked-allocation summary (count, best CPI/area). */
+inline void
+exportRanking(MetricRegistry &m,
+              const std::vector<Allocation> &ranked)
+{
+    m.add("search/ranked", ranked.size());
+    if (!ranked.empty()) {
+        m.set("search/best_cpi", ranked.front().cpi);
+        m.set("search/best_area_rbe", ranked.front().areaRbe);
+    }
+}
+
+/** Pool shape and work volume under `<prefix>/...`. */
+inline void
+exportThreadPool(MetricRegistry &m, const std::string &prefix,
+                 const ThreadPool &pool)
+{
+    m.add(prefix + "/lanes", pool.threadCount());
+    m.add(prefix + "/jobs", pool.stats().jobs);
+    m.add(prefix + "/indices", pool.stats().indices);
+}
+
+} // namespace oma::obs
+
+#endif // OMA_OBS_EXPORT_HH

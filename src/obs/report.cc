@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Run-report serialization (JSON/CSV).
+ */
+
+#include "obs/report.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+
+#include "support/logging.hh"
+
+namespace oma::obs
+{
+
+namespace
+{
+
+/** JSON-escape @p s (quotes, backslashes, control characters). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              unsigned(static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/**
+ * Shortest-round-trip decimal for @p v. JSON has no literal for
+ * non-finite values, so those serialize as strings ("inf"/"nan") —
+ * reports must stay parseable whatever a gauge held.
+ */
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return v > 0 ? "\"inf\"" : (v < 0 ? "\"-inf\"" : "\"nan\"");
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+void
+writeHistogram(std::ostream &os, const Histogram &h,
+               const char *indent)
+{
+    os << "{\n"
+       << indent << "  \"count\": " << h.count << ",\n"
+       << indent << "  \"sum\": " << h.sum << ",\n"
+       << indent << "  \"min\": " << (h.count ? h.min : 0) << ",\n"
+       << indent << "  \"max\": " << (h.count ? h.max : 0) << ",\n"
+       << indent << "  \"mean\": " << jsonNumber(h.mean()) << ",\n"
+       << indent << "  \"buckets\": {";
+    bool first = true;
+    for (unsigned b = 0; b < Histogram::numBuckets; ++b) {
+        if (h.buckets[b] == 0)
+            continue;
+        if (!first)
+            os << ", ";
+        first = false;
+        os << "\"" << Histogram::bucketBound(b)
+           << "\": " << h.buckets[b];
+    }
+    os << "}\n" << indent << "}";
+}
+
+} // namespace
+
+RunReport::RunReport(std::string report_name)
+    : name(std::move(report_name))
+{
+    for (const char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+            (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+            c == '_' || c == '-';
+        fatalIf(!ok, "run-report name must match [A-Za-z0-9_-]: " +
+                    name);
+    }
+    fatalIf(name.empty(), "run-report name must not be empty");
+}
+
+void
+RunReport::writeJson(std::ostream &os) const
+{
+    os << "{\n  \"schema\": \"oma-run-report-v1\",\n  \"name\": \""
+       << jsonEscape(name) << "\",\n  \"meta\": {";
+    bool first = true;
+    for (const auto &[key, value] : meta) {
+        os << (first ? "" : ",") << "\n    \"" << jsonEscape(key)
+           << "\": \"" << jsonEscape(value) << "\"";
+        first = false;
+    }
+    os << (first ? "" : "\n  ") << "},\n  \"counters\": {";
+    first = true;
+    for (const auto &[key, value] : metrics.counters()) {
+        os << (first ? "" : ",") << "\n    \"" << jsonEscape(key)
+           << "\": " << value;
+        first = false;
+    }
+    os << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+    first = true;
+    for (const auto &[key, value] : metrics.gauges()) {
+        os << (first ? "" : ",") << "\n    \"" << jsonEscape(key)
+           << "\": " << jsonNumber(value);
+        first = false;
+    }
+    os << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+    first = true;
+    for (const auto &[key, hist] : metrics.histograms()) {
+        os << (first ? "" : ",") << "\n    \"" << jsonEscape(key)
+           << "\": ";
+        writeHistogram(os, hist, "    ");
+        first = false;
+    }
+    os << (first ? "" : "\n  ") << "}\n}\n";
+}
+
+void
+RunReport::writeCsv(std::ostream &os) const
+{
+    // CSV values never need quoting: names are [A-Za-z0-9_/-] paths
+    // and values are numbers; meta strings are the one exception and
+    // are quoted unconditionally.
+    os << "kind,name,value\n";
+    for (const auto &[key, value] : meta)
+        os << "meta," << key << ",\"" << value << "\"\n";
+    for (const auto &[key, value] : metrics.counters())
+        os << "counter," << key << "," << value << "\n";
+    for (const auto &[key, value] : metrics.gauges()) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.17g", value);
+        os << "gauge," << key << "," << buf << "\n";
+    }
+    for (const auto &[key, hist] : metrics.histograms()) {
+        os << "histogram," << key << "/count," << hist.count << "\n"
+           << "histogram," << key << "/sum," << hist.sum << "\n";
+    }
+}
+
+std::string
+RunReport::fileName() const
+{
+    return "BENCH_" + name + ".json";
+}
+
+std::string
+RunReport::save(const std::string &dir) const
+{
+    if (const char *env = std::getenv("OMA_RUN_REPORT")) {
+        if (std::string(env) == "0")
+            return "";
+    }
+    std::string out_dir = dir;
+    if (out_dir.empty()) {
+        const char *env = std::getenv("OMA_RUN_REPORT_DIR");
+        out_dir = (env != nullptr && *env != '\0') ? env : ".";
+    }
+    const std::string path = out_dir + "/" + fileName();
+    std::ofstream os(path);
+    if (!os) {
+        // A read-only working directory must not kill the run the
+        // report merely describes.
+        warn("cannot write run report: " + path);
+        return "";
+    }
+    writeJson(os);
+    os.flush();
+    if (!os) {
+        warn("short write on run report: " + path);
+        return "";
+    }
+    return path;
+}
+
+} // namespace oma::obs

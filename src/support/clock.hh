@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The sanctioned monotonic wall-clock shim.
+ *
+ * Simulation results must be a pure function of the experiment seed,
+ * so wall-clock reads are banned tree-wide by the oma_lint
+ * no-wallclock rule. Observability is the one legitimate consumer of
+ * real time — phase timings and refs/sec rates in run reports — and
+ * this header is the single allowlisted site (besides support/rng.hh
+ * and bench code) where the clock may be read. Everything else takes
+ * timestamps from here, which keeps the contract auditable: a
+ * wall-clock value can reach simulation code only by flowing through
+ * oma::Clock, and no simulation code includes this header.
+ *
+ * Timings taken through Clock are reported, never fed back into
+ * results; see docs/OBSERVABILITY.md ("Determinism rules").
+ */
+
+#ifndef OMA_SUPPORT_CLOCK_HH
+#define OMA_SUPPORT_CLOCK_HH
+
+#include <chrono>
+#include <cstdint>
+
+namespace oma
+{
+
+/** Monotonic clock reads for observability (never for results). */
+struct Clock
+{
+    /** Nanoseconds on a monotonic timeline with an arbitrary epoch;
+     * only differences are meaningful. */
+    static std::int64_t
+    nowNs()
+    {
+        return std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   std::chrono::steady_clock::now().time_since_epoch())
+            .count();
+    }
+
+    /** Convert a nanosecond interval to milliseconds. */
+    static double
+    toMs(std::int64_t ns)
+    {
+        return double(ns) / 1e6;
+    }
+
+    /** Convert a nanosecond interval to seconds. */
+    static double
+    toSeconds(std::int64_t ns)
+    {
+        return double(ns) / 1e9;
+    }
+};
+
+} // namespace oma
+
+#endif // OMA_SUPPORT_CLOCK_HH

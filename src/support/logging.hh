@@ -40,8 +40,9 @@ void warn(const std::string &msg);
 void inform(const std::string &msg);
 
 /**
- * Check a user-facing precondition; calls fatal() with @p msg when
- * @p cond is false.
+ * Guard against a user-facing error: calls fatal() with @p msg when
+ * @p cond is true (@p cond states the *failure* condition, as in
+ * `fatalIf(entries == 0, ...)`); a false condition is a no-op.
  */
 inline void
 fatalIf(bool cond, const std::string &msg)
@@ -51,8 +52,9 @@ fatalIf(bool cond, const std::string &msg)
 }
 
 /**
- * Check an internal invariant; calls panic() with @p msg when
- * @p cond is false.
+ * Guard against an internal invariant violation: calls panic() with
+ * @p msg when @p cond is true (@p cond states the *violation*, as in
+ * `panicIf(results.empty(), ...)`); a false condition is a no-op.
  */
 inline void
 panicIf(bool cond, const std::string &msg)

@@ -101,6 +101,12 @@ ThreadPool::parallelFor(std::size_t begin, std::size_t end,
 {
     if (begin >= end)
         return;
+    // Nested calls run on worker lanes; counting only top-level
+    // submissions keeps _stats single-writer (the submitting thread).
+    if (!t_inParallelFor) {
+        _stats.jobs += 1;
+        _stats.indices += end - begin;
+    }
     // Serial pool, or a nested call from inside one of our own
     // bodies: run inline on this lane (see class comment).
     if (_workers.empty() || t_inParallelFor) {

@@ -26,6 +26,13 @@
 namespace oma
 {
 
+/** Lifetime work counters of one ThreadPool (observability only). */
+struct ThreadPoolStats
+{
+    std::uint64_t jobs = 0;    //!< parallelFor() calls completed.
+    std::uint64_t indices = 0; //!< Total indices across all jobs.
+};
+
 /**
  * Fixed-size pool executing parallel-for jobs.
  *
@@ -74,6 +81,11 @@ class ThreadPool
     void parallelFor(std::size_t begin, std::size_t end,
                      const std::function<void(std::size_t)> &body);
 
+    /** Work submitted so far. Deterministic (a function of the jobs
+     * run, not of the schedule); only the submitting thread may call
+     * this concurrently with parallelFor(). */
+    ThreadPoolStats stats() const { return _stats; }
+
   private:
     void workerLoop();
     /** Claim and run indices of the current job on this thread. */
@@ -94,6 +106,8 @@ class ThreadPool
     const std::function<void(std::size_t)> *_body = nullptr;
     std::exception_ptr _error;
     std::size_t _errorIndex = 0;
+
+    ThreadPoolStats _stats; //!< Written only by the submitting thread.
 };
 
 /**

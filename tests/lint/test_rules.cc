@@ -69,14 +69,44 @@ void f() {
 TEST(LintNoWallclock, CleanCodePasses)
 {
     const auto report = lintBuffer("src/core/foo.cc", R"(
-#include <chrono>
+#include "support/clock.hh"
 void f() {
-    auto t0 = std::chrono::steady_clock::now();
+    auto t0 = oma::Clock::nowNs();   // the sanctioned shim
     auto elapsed_time = interval();  // 'time' inside an identifier
     auto d = wait_time(3);
 }
 )");
     EXPECT_EQ(countRule(report, "no-wallclock"), 0u);
+}
+
+TEST(LintNoWallclock, FlagsSteadyClockOutsideTheShim)
+{
+    const auto report = lintBuffer("src/core/foo.cc", R"(
+#include <chrono>
+auto f() { return std::chrono::steady_clock::now(); }
+)");
+    EXPECT_EQ(countRule(report, "no-wallclock"), 1u);
+}
+
+TEST(LintNoWallclock, ClockShimIsTheOnlyNewExemptFile)
+{
+    // support/clock.hh is the single sanctioned wall-clock site
+    // added alongside support/rng.hh; any sibling or copycat path
+    // must still be flagged.
+    const char *snippet = R"(
+#include <chrono>
+auto f() { return std::chrono::steady_clock::now(); }
+std::uint64_t g() { return clock_gettime(0, nullptr); }
+)";
+    EXPECT_EQ(countRule(lintBuffer("src/support/clock.hh", snippet),
+                        "no-wallclock"),
+              0u);
+    EXPECT_EQ(countRule(lintBuffer("src/support/clock2.hh", snippet),
+                        "no-wallclock"),
+              2u);
+    EXPECT_EQ(countRule(lintBuffer("src/obs/metrics.cc", snippet),
+                        "no-wallclock"),
+              2u);
 }
 
 TEST(LintNoWallclock, BenchAndRngAreExempt)

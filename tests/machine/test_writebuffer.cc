@@ -12,6 +12,22 @@ namespace oma
 namespace
 {
 
+TEST(WriteBufferDeath, ZeroEntriesIsRejected)
+{
+    // Regression: entries == 0 used to pass construction and then
+    // pop an empty retire deque in store() (the `_done.size() >=
+    // _entries` full check is vacuously true when empty) — UB on the
+    // first store. The constructor must refuse instead.
+    EXPECT_EXIT(WriteBuffer(0, 6), testing::ExitedWithCode(1),
+                "entries >= 1");
+}
+
+TEST(WriteBufferDeath, ZeroDrainIsRejected)
+{
+    EXPECT_EXIT(WriteBuffer(4, 0), testing::ExitedWithCode(1),
+                "drain_cycles >= 1");
+}
+
 TEST(WriteBuffer, SlowStoresNeverStall)
 {
     WriteBuffer wb(4, 6);

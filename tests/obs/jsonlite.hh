@@ -1,0 +1,237 @@
+/**
+ * @file
+ * A minimal JSON structural validator for the run-report tests.
+ *
+ * Deliberately tiny (no external dependency, no DOM): parse() walks
+ * the document with a recursive-descent grammar covering the full
+ * JSON value syntax and records every object member as a
+ * dot-joined path ("counters.icache/misses"), string values and
+ * numeric values. Enough to prove a report is well-formed JSON and
+ * to assert on its schema — not a general-purpose parser.
+ */
+
+#ifndef OMA_TESTS_OBS_JSONLITE_HH
+#define OMA_TESTS_OBS_JSONLITE_HH
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <string>
+
+namespace omatest
+{
+
+class JsonLite
+{
+  public:
+    /** Parse @p text; false on any syntax error or trailing junk. */
+    bool
+    parse(const std::string &text)
+    {
+        _text = text;
+        _pos = 0;
+        _keys.clear();
+        _strings.clear();
+        _numbers.clear();
+        if (!value(""))
+            return false;
+        skipWs();
+        return _pos == _text.size();
+    }
+
+    /** True when an object member with this dot-path exists. */
+    bool
+    has(const std::string &path) const
+    {
+        return _keys.count(path) != 0;
+    }
+
+    /** String value at @p path ("" when absent or not a string). */
+    std::string
+    str(const std::string &path) const
+    {
+        const auto it = _strings.find(path);
+        return it == _strings.end() ? "" : it->second;
+    }
+
+    /** Numeric value at @p path (0.0 when absent or not a number). */
+    double
+    num(const std::string &path) const
+    {
+        const auto it = _numbers.find(path);
+        return it == _numbers.end() ? 0.0 : it->second;
+    }
+
+    const std::set<std::string> &keys() const { return _keys; }
+
+  private:
+    void
+    skipWs()
+    {
+        while (_pos < _text.size() &&
+               std::isspace(static_cast<unsigned char>(_text[_pos])))
+            ++_pos;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        const std::size_t n = std::string(word).size();
+        if (_text.compare(_pos, n, word) != 0)
+            return false;
+        _pos += n;
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        out.clear();
+        if (_pos >= _text.size() || _text[_pos] != '"')
+            return false;
+        ++_pos;
+        while (_pos < _text.size() && _text[_pos] != '"') {
+            if (_text[_pos] == '\\') {
+                if (_pos + 1 >= _text.size())
+                    return false;
+                const char esc = _text[_pos + 1];
+                _pos += 2;
+                switch (esc) {
+                case '"': out += '"'; break;
+                case '\\': out += '\\'; break;
+                case '/': out += '/'; break;
+                case 'n': out += '\n'; break;
+                case 't': out += '\t'; break;
+                case 'r': out += '\r'; break;
+                case 'b': case 'f': break;
+                case 'u':
+                    if (_pos + 4 > _text.size())
+                        return false;
+                    _pos += 4; // accept, do not decode
+                    break;
+                default: return false;
+                }
+            } else {
+                out += _text[_pos++];
+            }
+        }
+        if (_pos >= _text.size())
+            return false;
+        ++_pos; // closing quote
+        return true;
+    }
+
+    bool
+    parseNumber(const std::string &path)
+    {
+        const char *start = _text.c_str() + _pos;
+        char *end = nullptr;
+        const double v = std::strtod(start, &end);
+        if (end == start)
+            return false;
+        _pos += std::size_t(end - start);
+        if (!path.empty())
+            _numbers[path] = v;
+        return true;
+    }
+
+    bool
+    value(const std::string &path)
+    {
+        skipWs();
+        if (_pos >= _text.size())
+            return false;
+        const char c = _text[_pos];
+        if (c == '{')
+            return object(path);
+        if (c == '[')
+            return array(path);
+        if (c == '"') {
+            std::string s;
+            if (!parseString(s))
+                return false;
+            if (!path.empty())
+                _strings[path] = s;
+            return true;
+        }
+        if (literal("true") || literal("false") || literal("null"))
+            return true;
+        return parseNumber(path);
+    }
+
+    bool
+    object(const std::string &path)
+    {
+        ++_pos; // '{'
+        skipWs();
+        if (_pos < _text.size() && _text[_pos] == '}') {
+            ++_pos;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            std::string key;
+            if (!parseString(key))
+                return false;
+            skipWs();
+            if (_pos >= _text.size() || _text[_pos] != ':')
+                return false;
+            ++_pos;
+            const std::string child =
+                path.empty() ? key : path + "." + key;
+            _keys.insert(child);
+            if (!value(child))
+                return false;
+            skipWs();
+            if (_pos >= _text.size())
+                return false;
+            if (_text[_pos] == ',') {
+                ++_pos;
+                continue;
+            }
+            if (_text[_pos] == '}') {
+                ++_pos;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    array(const std::string &path)
+    {
+        ++_pos; // '['
+        skipWs();
+        if (_pos < _text.size() && _text[_pos] == ']') {
+            ++_pos;
+            return true;
+        }
+        for (;;) {
+            if (!value(path + ".#"))
+                return false;
+            skipWs();
+            if (_pos >= _text.size())
+                return false;
+            if (_text[_pos] == ',') {
+                ++_pos;
+                continue;
+            }
+            if (_text[_pos] == ']') {
+                ++_pos;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    std::string _text;
+    std::size_t _pos = 0;
+    std::set<std::string> _keys;
+    std::map<std::string, std::string> _strings;
+    std::map<std::string, double> _numbers;
+};
+
+} // namespace omatest
+
+#endif // OMA_TESTS_OBS_JSONLITE_HH

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Run-report serialization tests: the JSON output must be
+ * schema-valid (oma-run-report-v1), the CSV flat and complete, and
+ * save() must honor the OMA_RUN_REPORT / OMA_RUN_REPORT_DIR knobs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "obs/report.hh"
+#include "tests/obs/jsonlite.hh"
+
+namespace oma::obs
+{
+namespace
+{
+
+using omatest::JsonLite;
+
+RunReport
+sampleReport()
+{
+    RunReport report("unit_sample");
+    report.meta["benchmark"] = "mab";
+    report.meta["os"] = "mach3";
+    report.metrics.add("icache/misses", 42);
+    report.metrics.add("dcache/misses", 7);
+    report.metrics.set("rate/refs_per_sec", 1.5e6);
+    report.metrics.accumulate("time_ms/total", 12.5);
+    report.metrics.observe("tlb/refills", 3);
+    report.metrics.observe("tlb/refills", 300);
+    return report;
+}
+
+std::string
+toJson(const RunReport &report)
+{
+    std::ostringstream os;
+    report.writeJson(os);
+    return os.str();
+}
+
+TEST(RunReportDeath, RejectsUnsafeNames)
+{
+    // The name becomes a file name verbatim; anything outside
+    // [A-Za-z0-9_-] must be refused at construction.
+    EXPECT_EXIT(RunReport("../escape"), testing::ExitedWithCode(1),
+                "A-Za-z0-9_-");
+    EXPECT_EXIT(RunReport("has space"), testing::ExitedWithCode(1),
+                "A-Za-z0-9_-");
+    EXPECT_EXIT(RunReport(""), testing::ExitedWithCode(1),
+                "must not be empty");
+}
+
+TEST(RunReport, FileNameFollowsTheBenchConvention)
+{
+    EXPECT_EQ(RunReport("table1").fileName(), "BENCH_table1.json");
+}
+
+TEST(RunReport, JsonIsWellFormedAndSchemaTagged)
+{
+    JsonLite doc;
+    ASSERT_TRUE(doc.parse(toJson(sampleReport())));
+    EXPECT_EQ(doc.str("schema"), "oma-run-report-v1");
+    EXPECT_EQ(doc.str("name"), "unit_sample");
+    // All four sections are present even when some are empty.
+    EXPECT_TRUE(doc.has("meta"));
+    EXPECT_TRUE(doc.has("counters"));
+    EXPECT_TRUE(doc.has("gauges"));
+    EXPECT_TRUE(doc.has("histograms"));
+}
+
+TEST(RunReport, JsonCarriesEveryMetric)
+{
+    JsonLite doc;
+    ASSERT_TRUE(doc.parse(toJson(sampleReport())));
+    EXPECT_EQ(doc.str("meta.benchmark"), "mab");
+    EXPECT_EQ(doc.str("meta.os"), "mach3");
+    EXPECT_DOUBLE_EQ(doc.num("counters.icache/misses"), 42.0);
+    EXPECT_DOUBLE_EQ(doc.num("counters.dcache/misses"), 7.0);
+    EXPECT_DOUBLE_EQ(doc.num("gauges.rate/refs_per_sec"), 1.5e6);
+    EXPECT_DOUBLE_EQ(doc.num("gauges.time_ms/total"), 12.5);
+    EXPECT_DOUBLE_EQ(doc.num("histograms.tlb/refills.count"), 2.0);
+    EXPECT_DOUBLE_EQ(doc.num("histograms.tlb/refills.sum"), 303.0);
+    EXPECT_DOUBLE_EQ(doc.num("histograms.tlb/refills.min"), 3.0);
+    EXPECT_DOUBLE_EQ(doc.num("histograms.tlb/refills.max"), 300.0);
+    EXPECT_TRUE(doc.has("histograms.tlb/refills.buckets"));
+}
+
+TEST(RunReport, EmptyReportIsStillValidJson)
+{
+    JsonLite doc;
+    ASSERT_TRUE(doc.parse(toJson(RunReport("empty"))));
+    EXPECT_EQ(doc.str("schema"), "oma-run-report-v1");
+}
+
+TEST(RunReport, EscapesHostileMetaStrings)
+{
+    RunReport report("escapes");
+    report.meta["cmd"] = "a\"b\\c\nd\te";
+    JsonLite doc;
+    ASSERT_TRUE(doc.parse(toJson(report)));
+    EXPECT_EQ(doc.str("meta.cmd"), "a\"b\\c\nd\te");
+}
+
+TEST(RunReport, NonFiniteGaugesSerializeAsStrings)
+{
+    // JSON has no inf/nan literals; a gauge that held one must not
+    // produce an unparseable document.
+    RunReport report("nonfinite");
+    report.metrics.set("g/pos", std::numeric_limits<double>::infinity());
+    report.metrics.set("g/neg",
+                       -std::numeric_limits<double>::infinity());
+    report.metrics.set("g/nan",
+                       std::numeric_limits<double>::quiet_NaN());
+    JsonLite doc;
+    ASSERT_TRUE(doc.parse(toJson(report)));
+    EXPECT_EQ(doc.str("gauges.g/pos"), "inf");
+    EXPECT_EQ(doc.str("gauges.g/neg"), "-inf");
+    EXPECT_EQ(doc.str("gauges.g/nan"), "nan");
+}
+
+TEST(RunReport, SerializationIsDeterministic)
+{
+    // Ordered maps underneath: two passes over the same report are
+    // textually identical.
+    const RunReport report = sampleReport();
+    EXPECT_EQ(toJson(report), toJson(report));
+}
+
+TEST(RunReport, CsvListsEveryRow)
+{
+    std::ostringstream os;
+    sampleReport().writeCsv(os);
+    const std::string csv = os.str();
+    EXPECT_NE(csv.find("kind,name,value\n"), std::string::npos);
+    EXPECT_NE(csv.find("meta,benchmark,\"mab\"\n"), std::string::npos);
+    EXPECT_NE(csv.find("counter,icache/misses,42\n"),
+              std::string::npos);
+    EXPECT_NE(csv.find("gauge,time_ms/total,12.5\n"),
+              std::string::npos);
+    EXPECT_NE(csv.find("histogram,tlb/refills/count,2\n"),
+              std::string::npos);
+    EXPECT_NE(csv.find("histogram,tlb/refills/sum,303\n"),
+              std::string::npos);
+}
+
+TEST(RunReport, SaveWritesIntoTheRequestedDirectory)
+{
+    const std::string path = sampleReport().save(".");
+    ASSERT_EQ(path, "./BENCH_unit_sample.json");
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::ostringstream read_back;
+    read_back << in.rdbuf();
+    JsonLite doc;
+    EXPECT_TRUE(doc.parse(read_back.str()));
+    EXPECT_EQ(doc.str("name"), "unit_sample");
+    std::remove(path.c_str());
+}
+
+TEST(RunReport, SaveHonorsTheDisableKnob)
+{
+    ASSERT_EQ(setenv("OMA_RUN_REPORT", "0", 1), 0);
+    EXPECT_EQ(sampleReport().save("."), "");
+    ASSERT_EQ(unsetenv("OMA_RUN_REPORT"), 0);
+}
+
+TEST(RunReport, SaveHonorsTheDirEnvVariable)
+{
+    ASSERT_EQ(setenv("OMA_RUN_REPORT_DIR", ".", 1), 0);
+    const std::string path = sampleReport().save();
+    EXPECT_EQ(path, "./BENCH_unit_sample.json");
+    ASSERT_EQ(unsetenv("OMA_RUN_REPORT_DIR"), 0);
+    std::remove(path.c_str());
+}
+
+TEST(RunReport, SaveToUnwritablePathWarnsButSurvives)
+{
+    EXPECT_EQ(sampleReport().save("/nonexistent-dir-for-oma-test"),
+              "");
+}
+
+} // namespace
+} // namespace oma::obs

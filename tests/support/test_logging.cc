@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "support/logging.hh"
 
 namespace oma
@@ -35,6 +37,30 @@ TEST(LoggingDeath, PanicIfTriggersOnlyWhenTrue)
     panicIf(false, "must not fire");
     EXPECT_DEATH(panicIf(true, "invariant broken"),
                  "invariant broken");
+}
+
+// The docs promise fire-on-true: @p cond states the failure
+// condition. Lock both halves of that contract — a true condition
+// terminates (above), and a false condition is a complete no-op (the
+// child must reach its own exit code, untouched by the handler).
+TEST(LoggingDeath, FatalIfFalseIsANoOp)
+{
+    EXPECT_EXIT(
+        {
+            fatalIf(false, "must not fire");
+            std::exit(17);
+        },
+        testing::ExitedWithCode(17), "");
+}
+
+TEST(LoggingDeath, PanicIfFalseIsANoOp)
+{
+    EXPECT_EXIT(
+        {
+            panicIf(false, "must not fire");
+            std::exit(17);
+        },
+        testing::ExitedWithCode(17), "");
 }
 
 TEST(Logging, WarnAndInformDoNotTerminate)

@@ -21,7 +21,35 @@ TEST(RunningStat, EmptyIsZero)
     EXPECT_EQ(s.count(), 0u);
     EXPECT_DOUBLE_EQ(s.mean(), 0.0);
     EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
     EXPECT_DOUBLE_EQ(s.stderrOfMean(), 0.0);
+}
+
+TEST(RunningStat, EmptyExtremaAreSignedInfinities)
+{
+    // The documented sentinels: +inf min and -inf max, so that any
+    // first observation replaces both.
+    RunningStat s;
+    EXPECT_TRUE(std::isinf(s.min()));
+    EXPECT_GT(s.min(), 0.0);
+    EXPECT_TRUE(std::isinf(s.max()));
+    EXPECT_LT(s.max(), 0.0);
+    s.add(-1.0e300);
+    EXPECT_DOUBLE_EQ(s.min(), -1.0e300);
+    EXPECT_DOUBLE_EQ(s.max(), -1.0e300);
+}
+
+TEST(RunningStat, SingleSampleHasNoSpread)
+{
+    // n = 1: the unbiased variance (n - 1 denominator) must come
+    // back 0, not NaN, and so must everything derived from it.
+    RunningStat s;
+    s.add(-7.5);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stderrOfMean(), 0.0);
+    EXPECT_FALSE(std::isnan(s.variance()));
 }
 
 TEST(RunningStat, MatchesDirectComputation)
@@ -78,6 +106,27 @@ TEST(Ratio, Basics)
     EXPECT_EQ(r.events, 2u);
     EXPECT_EQ(r.total, 4u);
     EXPECT_DOUBLE_EQ(r.value(), 0.5);
+}
+
+TEST(Ratio, ZeroTotalYieldsZeroNotNan)
+{
+    // total == 0 must short-circuit to 0.0 — a 0/0 would poison any
+    // average the ratio feeds. Holds even with events set directly
+    // (aggregate-struct initialization allows inconsistent states).
+    Ratio r;
+    EXPECT_EQ(r.total, 0u);
+    EXPECT_DOUBLE_EQ(r.value(), 0.0);
+    EXPECT_FALSE(std::isnan(r.value()));
+    r.events = 3;
+    EXPECT_DOUBLE_EQ(r.value(), 0.0);
+}
+
+TEST(Ratio, AllEventsIsExactlyOne)
+{
+    Ratio r;
+    for (int i = 0; i < 10; ++i)
+        r.record(true);
+    EXPECT_DOUBLE_EQ(r.value(), 1.0);
 }
 
 } // namespace
