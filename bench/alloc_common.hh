@@ -30,32 +30,16 @@ measureMachTables(const oma::ConfigSpace &space,
                   BenchReport *report = nullptr)
 {
     using namespace oma;
-    const auto caches = space.cacheGeometries();
-    const auto tlbs = space.tlbGeometries();
-    ComponentSweep sweep(caches, caches, tlbs);
-
-    const RunConfig rc = benchRun();
-    const std::size_t suite = allBenchmarks().size();
-    if (report != nullptr)
-        report->armProgress(
-            suite * (1 + 2 * caches.size() + tlbs.size()),
-            "grid sweep");
-    std::vector<SweepResult> results;
-    for (BenchmarkId id : allBenchmarks()) {
-        std::cout << "  [sweeping " << benchmarkName(id) << " under "
-                     "Mach: "
-                  << caches.size() << " I-cache, " << caches.size()
-                  << " D-cache, " << tlbs.size()
-                  << " TLB configurations]\n";
-        results.push_back(
-            sweep.run(id, OsKind::Mach, rc,
-                      report ? report->observation() : nullptr));
-        if (report != nullptr)
-            report->addReferences(results.back().references);
-    }
+    SweepSuiteSpec spec;
+    spec.icacheGeoms = space.cacheGeometries();
+    spec.dcacheGeoms = space.cacheGeometries();
+    spec.tlbGeoms = space.tlbGeometries();
+    spec.oses = {OsKind::Mach};
+    spec.announce = true;
+    const auto runs = runSweepSuite(spec, report);
     std::cout << "\n";
     return ComponentCpiTables::average(
-        results, MachineParams::decstation3100());
+        runs.front().results, MachineParams::decstation3100());
 }
 
 /** Print Table 5 (the configuration space considered). */

@@ -36,31 +36,26 @@ main()
             geoms.push_back(
                 CacheGeometry::fromWords(kb * 1024, words, 1));
 
-    const std::vector<CacheGeometry> icache_stub = {
-        CacheGeometry::fromWords(8 * 1024, 4, 1)};
-    const std::vector<TlbGeometry> tlb_stub = {
-        TlbGeometry::fullyAssoc(64)};
     const MachineParams mp = MachineParams::decstation3100();
-    ComponentSweep sweep(icache_stub, geoms, tlb_stub);
 
     omabench::BenchReport report("dcache");
-    const RunConfig rc = omabench::benchRun();
-    for (OsKind os : {OsKind::Ultrix, OsKind::Mach}) {
-        std::vector<double> miss(geoms.size(), 0.0);
-        std::vector<double> cpi(geoms.size(), 0.0);
-        for (BenchmarkId id : allBenchmarks()) {
-            const SweepResult r =
-                sweep.run(id, os, rc, report.observation());
-            report.addReferences(r.references);
-            for (std::size_t i = 0; i < geoms.size(); ++i) {
-                miss[i] += r.dcacheMissRatio(i);
-                cpi[i] += r.dcacheCpi(i, mp);
-            }
-        }
-        for (auto &v : miss)
-            v /= double(numBenchmarks);
-        for (auto &v : cpi)
-            v /= double(numBenchmarks);
+    omabench::SweepSuiteSpec spec;
+    spec.icacheGeoms = {CacheGeometry::fromWords(8 * 1024, 4, 1)};
+    spec.dcacheGeoms = geoms;
+    spec.tlbGeoms = {TlbGeometry::fullyAssoc(64)};
+    spec.progressLabel = "D-cache grid sweep";
+    for (const auto &[os, results] :
+         omabench::runSweepSuite(spec, &report)) {
+        const auto miss = omabench::suiteAverage(
+            results, geoms.size(),
+            [](const SweepResult &r, std::size_t i) {
+                return r.dcache(i).missRatio();
+            });
+        const auto cpi = omabench::suiteAverage(
+            results, geoms.size(),
+            [&mp](const SweepResult &r, std::size_t i) {
+                return r.dcache(i).cpi(mp);
+            });
 
         std::cout << osKindName(os)
                   << ": average D-cache miss ratio\n";

@@ -63,34 +63,25 @@ main()
 
     omabench::BenchReport report("fig9");
     const auto geoms = grid();
-    const std::vector<CacheGeometry> dcache_stub = {
-        CacheGeometry::fromWords(8 * 1024, 4, 1)};
-    const std::vector<TlbGeometry> tlb_stub = {
-        TlbGeometry::fullyAssoc(64)};
     const MachineParams mp = MachineParams::decstation3100();
-    ComponentSweep sweep(geoms, dcache_stub, tlb_stub);
 
-    RunConfig rc = omabench::benchRun();
-    report.armProgress(2 * std::uint64_t(numBenchmarks) *
-                           (1 + geoms.size() + dcache_stub.size() +
-                            tlb_stub.size()),
-                       "I-cache grid sweep");
-    for (OsKind os : {OsKind::Ultrix, OsKind::Mach}) {
-        std::vector<double> miss(geoms.size(), 0.0);
-        std::vector<double> cpi(geoms.size(), 0.0);
-        for (BenchmarkId id : allBenchmarks()) {
-            const SweepResult r =
-                sweep.run(id, os, rc, report.observation());
-            report.addReferences(r.references);
-            for (std::size_t i = 0; i < geoms.size(); ++i) {
-                miss[i] += r.icacheMissRatio(i);
-                cpi[i] += r.icacheCpi(i, mp);
-            }
-        }
-        for (auto &v : miss)
-            v /= double(numBenchmarks);
-        for (auto &v : cpi)
-            v /= double(numBenchmarks);
+    omabench::SweepSuiteSpec spec;
+    spec.icacheGeoms = geoms;
+    spec.dcacheGeoms = {CacheGeometry::fromWords(8 * 1024, 4, 1)};
+    spec.tlbGeoms = {TlbGeometry::fullyAssoc(64)};
+    spec.progressLabel = "I-cache grid sweep";
+    for (const auto &[os, results] :
+         omabench::runSweepSuite(spec, &report)) {
+        const auto miss = omabench::suiteAverage(
+            results, geoms.size(),
+            [](const SweepResult &r, std::size_t i) {
+                return r.icache(i).missRatio();
+            });
+        const auto cpi = omabench::suiteAverage(
+            results, geoms.size(),
+            [&mp](const SweepResult &r, std::size_t i) {
+                return r.icache(i).cpi(mp);
+            });
 
         printGrid(std::string(osKindName(os)) +
                       ": average I-cache miss ratio",

@@ -17,8 +17,10 @@
 #include <memory>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "core/experiment.hh"
+#include "core/sweep.hh"
 #include "obs/metrics.hh"
 #include "obs/report.hh"
 #include "support/clock.hh"
@@ -164,6 +166,96 @@ class BenchReport
     std::uint64_t _refs = 0;
     bool _finished = false;
 };
+
+/**
+ * Declarative sweep-suite specification: the figure/table benches
+ * share one pipeline (build a ComponentSweep over a grid, run the
+ * whole benchmark suite under each OS personality, feed the bench
+ * report) and differ only in the grid, the OS list and the workload
+ * list declared here.
+ */
+struct SweepSuiteSpec
+{
+    std::vector<oma::CacheGeometry> icacheGeoms;
+    std::vector<oma::CacheGeometry> dcacheGeoms;
+    std::vector<oma::TlbGeometry> tlbGeoms;
+    std::vector<oma::OsKind> oses = {oma::OsKind::Ultrix,
+                                     oma::OsKind::Mach};
+    std::vector<oma::BenchmarkId> workloads = oma::allBenchmarks();
+    std::string progressLabel = "grid sweep";
+    /** Print one "[sweeping ...]" line per workload (Table 6/7). */
+    bool announce = false;
+};
+
+/** Per-OS slice of a suite run, in workload order. */
+struct SweepSuiteRun
+{
+    oma::OsKind os;
+    std::vector<oma::SweepResult> results;
+};
+
+/**
+ * Run @p spec: one store-aware sweep per (OS, workload) pair, wired
+ * into @p report (progress armed for the full task count, references
+ * credited, engine counters collected) when non-null. Results come
+ * back grouped by OS, in the order the spec lists them.
+ */
+inline std::vector<SweepSuiteRun>
+runSweepSuite(const SweepSuiteSpec &spec, BenchReport *report)
+{
+    using namespace oma;
+    ComponentSweep sweep(spec.icacheGeoms, spec.dcacheGeoms,
+                         spec.tlbGeoms);
+    const RunConfig rc = benchRun();
+    const std::uint64_t tasks = 1 + spec.icacheGeoms.size() +
+        spec.dcacheGeoms.size() + spec.tlbGeoms.size();
+    if (report != nullptr)
+        report->armProgress(std::uint64_t(spec.oses.size()) *
+                                spec.workloads.size() * tasks,
+                            spec.progressLabel);
+    std::vector<SweepSuiteRun> runs;
+    for (OsKind os : spec.oses) {
+        SweepSuiteRun run;
+        run.os = os;
+        for (BenchmarkId id : spec.workloads) {
+            if (spec.announce)
+                std::cout << "  [sweeping " << benchmarkName(id)
+                          << " under " << osKindName(os) << ": "
+                          << spec.icacheGeoms.size() << " I-cache, "
+                          << spec.dcacheGeoms.size() << " D-cache, "
+                          << spec.tlbGeoms.size()
+                          << " TLB configurations]\n";
+            run.results.push_back(
+                sweep.run(id, os, rc,
+                          report ? report->observation() : nullptr));
+            if (report != nullptr)
+                report->addReferences(run.results.back().references);
+        }
+        runs.push_back(std::move(run));
+    }
+    return runs;
+}
+
+/**
+ * Suite-average of a per-configuration quantity: sums
+ * @p perConfig(result, i) over every result and divides by the suite
+ * size. The view callback names the component and metric, e.g.
+ * `[&](const SweepResult &r, std::size_t i) {
+ *      return r.icache(i).missRatio(); }`.
+ */
+template <typename PerConfig>
+std::vector<double>
+suiteAverage(const std::vector<oma::SweepResult> &results,
+             std::size_t configs, PerConfig perConfig)
+{
+    std::vector<double> avg(configs, 0.0);
+    for (const oma::SweepResult &r : results)
+        for (std::size_t i = 0; i < configs; ++i)
+            avg[i] += perConfig(r, i);
+    for (double &v : avg)
+        v /= double(results.size());
+    return avg;
+}
 
 } // namespace omabench
 

@@ -148,8 +148,8 @@ exportIcacheGrids(const std::filesystem::path &dir, std::uint64_t refs)
         for (BenchmarkId id : allBenchmarks()) {
             const SweepResult r = sweep.run(id, os, rc);
             for (std::size_t i = 0; i < geoms.size(); ++i) {
-                miss[i] += r.icacheMissRatio(i) / numBenchmarks;
-                cpi[i] += r.icacheCpi(i, mp) / numBenchmarks;
+                miss[i] += r.icache(i).missRatio() / numBenchmarks;
+                cpi[i] += r.icache(i).cpi(mp) / numBenchmarks;
             }
         }
         for (std::size_t i = 0; i < geoms.size(); ++i) {

@@ -15,6 +15,11 @@
  *   trace_tools sweep <file> [threads]
  *       Feed a recorded trace straight into a ComponentSweep over a
  *       small cache/TLB grid and print the per-configuration table.
+ *   trace_tools sweeprun <benchmark> <ultrix|mach> <refs> [threads]
+ *       Run a live (store-aware) ComponentSweep over the same grid:
+ *       with OMA_STORE_DIR set, the recording and every replay shard
+ *       persist, so a warm rerun skips the record phase (the CI
+ *       cold-vs-warm job drives this subcommand).
  */
 
 #include <cstdlib>
@@ -174,19 +179,66 @@ cmdSweep(int argc, char **argv)
     TextTable table({"component", "geometry", "miss ratio", "CPI"});
     for (std::size_t i = 0; i < cache_geoms.size(); ++i) {
         table.addRow({"icache", cache_geoms[i].describe(),
-                      fmtFixed(r.icacheMissRatio(i), 4),
-                      fmtFixed(r.icacheCpi(i, mp), 3)});
+                      fmtFixed(r.icache(i).missRatio(), 4),
+                      fmtFixed(r.icache(i).cpi(mp), 3)});
     }
     for (std::size_t i = 0; i < cache_geoms.size(); ++i) {
         table.addRow({"dcache", cache_geoms[i].describe(),
-                      fmtFixed(r.dcacheMissRatio(i), 4),
-                      fmtFixed(r.dcacheCpi(i, mp), 3)});
+                      fmtFixed(r.dcache(i).missRatio(), 4),
+                      fmtFixed(r.dcache(i).cpi(mp), 3)});
     }
     for (std::size_t i = 0; i < tlb_geoms.size(); ++i) {
         table.addRow({"tlb", tlb_geoms[i].describe(), "-",
-                      fmtFixed(r.tlbCpi(i), 3)});
+                      fmtFixed(r.tlb(i).cpi(), 3)});
     }
     table.print(std::cout);
+    return 0;
+}
+
+int
+cmdSweepRun(int argc, char **argv)
+{
+    fatalIf(argc < 5,
+            "sweeprun needs <benchmark> <ultrix|mach> <refs> [threads]");
+    const BenchmarkId id = parseBenchmark(argv[2]);
+    const OsKind os = std::string(argv[3]) == "ultrix"
+        ? OsKind::Ultrix
+        : OsKind::Mach;
+    RunConfig rc;
+    rc.references = std::strtoull(argv[4], nullptr, 10);
+    if (argc > 5)
+        rc.threads = unsigned(std::strtoul(argv[5], nullptr, 10));
+
+    std::vector<CacheGeometry> cache_geoms;
+    for (std::uint64_t kb : {2, 4, 8, 16, 32})
+        cache_geoms.push_back(
+            CacheGeometry::fromWords(kb * 1024, 4, 1));
+    std::vector<TlbGeometry> tlb_geoms = {
+        TlbGeometry::fullyAssoc(64), TlbGeometry(128, 2),
+        TlbGeometry(256, 4)};
+
+    const MachineParams mp = MachineParams::decstation3100();
+    ComponentSweep sweep(cache_geoms, cache_geoms, tlb_geoms, mp);
+    obs::Observation observation;
+    const SweepResult r = sweep.run(id, os, rc, &observation);
+
+    obs::RunReport report("trace_tools_sweeprun");
+    report.meta["benchmark"] = benchmarkName(id);
+    report.meta["os"] = osKindName(os);
+    report.meta["threads"] = std::to_string(rc.threads);
+    report.metrics.merge(observation.metrics);
+    obs::exportSweepResult(report.metrics, r);
+    const std::string saved = report.save();
+    if (!saved.empty())
+        std::cout << "[run report: " << saved << "]\n";
+
+    std::cout << "Swept " << r.references << " references ("
+              << r.instructions << " instructions); records="
+              << observation.metrics.counter("sweep/records")
+              << " record_skips="
+              << observation.metrics.counter("sweep/record_skips")
+              << " store_hits="
+              << observation.metrics.counter("store/hits") << "\n";
     return 0;
 }
 
@@ -196,7 +248,7 @@ int
 main(int argc, char **argv)
 {
     if (argc < 2) {
-        std::cout << "usage: trace_tools gen|info|sim|sweep ...\n";
+        std::cout << "usage: trace_tools gen|info|sim|sweep|sweeprun ...\n";
         return 1;
     }
     const std::string cmd = argv[1];
@@ -208,5 +260,7 @@ main(int argc, char **argv)
         return cmdSim(argc, argv);
     if (cmd == "sweep")
         return cmdSweep(argc, argv);
+    if (cmd == "sweeprun")
+        return cmdSweepRun(argc, argv);
     fatal("unknown command: " + cmd);
 }

@@ -10,6 +10,8 @@
 #include <cstdint>
 #include <string>
 
+#include "support/fingerprint.hh"
+
 namespace oma
 {
 
@@ -66,6 +68,15 @@ struct CacheGeometry
         return capacityBytes == other.capacityBytes &&
             lineBytes == other.lineBytes && assoc == other.assoc;
     }
+
+    /** Append every field to an artifact-store fingerprint. */
+    void
+    fingerprint(Fingerprint &fp) const
+    {
+        fp.u64("cache_geom.capacity_bytes", capacityBytes);
+        fp.u64("cache_geom.line_bytes", lineBytes);
+        fp.u64("cache_geom.assoc", assoc);
+    }
 };
 
 /**
@@ -113,6 +124,14 @@ struct TlbGeometry
     operator==(const TlbGeometry &other) const
     {
         return entries == other.entries && assoc == other.assoc;
+    }
+
+    /** Append every field to an artifact-store fingerprint. */
+    void
+    fingerprint(Fingerprint &fp) const
+    {
+        fp.u64("tlb_geom.entries", entries);
+        fp.u64("tlb_geom.assoc", assoc);
     }
 };
 

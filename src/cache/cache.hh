@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "area/geometry.hh"
+#include "support/fingerprint.hh"
 #include "support/rng.hh"
 #include "trace/memref.hh"
 
@@ -59,6 +60,17 @@ struct CacheParams
     WritePolicy write = WritePolicy::WriteThrough;
     AllocPolicy alloc = AllocPolicy::WriteAllocate;
     std::uint64_t seed = 1; //!< Random-replacement seed.
+
+    /** Append every behaviour-determining field to a fingerprint. */
+    void
+    fingerprint(Fingerprint &fp) const
+    {
+        geom.fingerprint(fp);
+        fp.u64("cache.repl", std::uint64_t(repl));
+        fp.u64("cache.write", std::uint64_t(write));
+        fp.u64("cache.alloc", std::uint64_t(alloc));
+        fp.u64("cache.seed", seed);
+    }
 };
 
 /** Event counters maintained by a Cache. */

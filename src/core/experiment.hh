@@ -8,6 +8,8 @@
 #ifndef OMA_CORE_EXPERIMENT_HH
 #define OMA_CORE_EXPERIMENT_HH
 
+#include <string>
+
 #include "machine/machine.hh"
 #include "workload/system.hh"
 
@@ -30,6 +32,15 @@ struct RunConfig
      * wall-clock for cores.
      */
     unsigned threads = 0;
+    /**
+     * Root directory of the content-addressed artifact store
+     * (docs/MODEL.md §10). Empty (the default) consults the
+     * OMA_STORE_DIR environment variable; when that is unset too, the
+     * store is disabled and every run records and replays live.
+     * Enabling the store never changes results — cached artifacts
+     * reproduce live runs bit-for-bit or are quarantined and re-run.
+     */
+    std::string storeDir;
 };
 
 /** Outcome of a baseline (fixed-machine) run. */

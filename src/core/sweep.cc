@@ -5,9 +5,13 @@
 
 #include "core/sweep.hh"
 
+#include <memory>
+
 #include "obs/export.hh"
+#include "store/codec.hh"
 #include "support/logging.hh"
 #include "support/threadpool.hh"
+#include "trace/tracefile.hh"
 
 namespace oma
 {
@@ -35,42 +39,37 @@ sweepCacheParams(const CacheGeometry &geom, std::uint64_t bank_salt,
 constexpr std::uint64_t icacheBankSalt = 1;
 constexpr std::uint64_t dcacheBankSalt = 2;
 
+/**
+ * Fingerprint of everything upstream of the record phase: formats,
+ * OS personality, seed, trace length and the complete workload
+ * description. Every store key (the recording and each replay shard)
+ * extends this base, so any change in provenance keys a fresh entry.
+ * RunConfig::userOnly is deliberately absent — the sweep path never
+ * consults it.
+ */
+Fingerprint
+sweepBaseKey(const WorkloadParams &workload, OsKind os,
+             const RunConfig &run)
+{
+    Fingerprint fp;
+    fp.u64("store.format_version", ArtifactStore::formatVersion);
+    fp.u64("trace.format_version", TraceFileHeader::currentVersion);
+    fp.str("run.os", osKindName(os));
+    fp.u64("run.seed", run.seed);
+    fp.u64("run.references", run.references);
+    workload.fingerprint(fp);
+    return fp;
+}
+
+Fingerprint
+traceKey(const Fingerprint &base)
+{
+    Fingerprint key = base;
+    key.str("artifact", "trace");
+    return key;
+}
+
 } // namespace
-
-double
-SweepResult::icacheCpi(std::size_t i, const MachineParams &mp) const
-{
-    const CacheStats &s = icacheStats[i];
-    const double instr = double(std::max<std::uint64_t>(1, instructions));
-    return double(s.totalMisses()) *
-        double(mp.missPenalty(icacheGeoms[i])) / instr;
-}
-
-double
-SweepResult::dcacheCpi(std::size_t i, const MachineParams &mp) const
-{
-    // The paper's cost/benefit step estimates the D-cache CPI
-    // contribution as miss ratio x penalty uniformly (Section 5.4);
-    // the cycle-level nuances of the reference machine (free store
-    // allocation on one-word lines) belong to the Monster-style
-    // baseline, not to the design-space scoring.
-    const CacheStats &s = dcacheStats[i];
-    const double instr = double(std::max<std::uint64_t>(1, instructions));
-    return double(s.totalMisses()) *
-        double(mp.missPenalty(dcacheGeoms[i])) / instr;
-}
-
-double
-SweepResult::tlbCpi(std::size_t i) const
-{
-    // Pure refill service only (user + kernel misses): the modify,
-    // invalid and page-fault classes are configuration-independent
-    // constants (and over-weighted by finite trace length), so like
-    // the paper's scoring they do not enter the per-configuration
-    // contribution.
-    const double instr = double(std::max<std::uint64_t>(1, instructions));
-    return double(tlbStats[i].refillCycles()) / instr;
-}
 
 ComponentSweep::ComponentSweep(std::vector<CacheGeometry> icache_geoms,
                                std::vector<CacheGeometry> dcache_geoms,
@@ -88,21 +87,50 @@ ComponentSweep::run(const WorkloadParams &workload, OsKind os,
                     const RunConfig &run,
                     obs::Observation *observation) const
 {
+    const std::unique_ptr<ArtifactStore> store =
+        ArtifactStore::open(run.storeDir);
+    const Fingerprint base = sweepBaseKey(workload, os, run);
+
     // Phase 1 (serial): capture the stream once. The workload RNG
     // and the OS model advance exactly as in a legacy single-pass
     // run; page-invalidation events land inline in the recording at
     // the index of the reference the OS fired them while producing,
-    // which is where every replay applies them.
-    System system(workload, os, run.seed);
+    // which is where every replay applies them. A warm store skips
+    // this phase entirely: the decoded recording is byte-identical
+    // to what a live record would produce.
     RecordedTrace trace;
-    if (observation != nullptr) {
-        obs::Span span(observation->metrics, "sweep/record");
-        trace = system.record(run.references);
-    } else {
-        trace = system.record(run.references);
+    bool have_trace = false;
+    if (store != nullptr) {
+        std::string payload;
+        if (store->load(traceKey(base), payload) &&
+            store::decodeTrace(payload, trace)) {
+            have_trace = true;
+            if (observation != nullptr) {
+                observation->metrics.add("store/trace_hits");
+                observation->metrics.add("sweep/record_skips");
+            }
+        }
     }
-    return replayTrace(trace, ThreadPool::resolveThreads(run.threads),
-                       observation);
+    if (!have_trace) {
+        System system(workload, os, run.seed);
+        if (observation != nullptr) {
+            obs::Span span(observation->metrics, "sweep/record");
+            trace = system.record(run.references);
+            observation->metrics.add("sweep/records");
+        } else {
+            trace = system.record(run.references);
+        }
+        if (store != nullptr)
+            store->save(traceKey(base), store::encodeTrace(trace));
+    }
+
+    SweepResult result =
+        replayTrace(trace, ThreadPool::resolveThreads(run.threads),
+                    observation, store.get(), base);
+    if (store != nullptr && observation != nullptr)
+        obs::exportArtifactStore(observation->metrics, "store",
+                                 *store);
+    return result;
 }
 
 SweepResult
@@ -110,32 +138,38 @@ ComponentSweep::run(const RecordedTrace &trace, unsigned threads,
                     obs::Observation *observation) const
 {
     return replayTrace(trace, ThreadPool::resolveThreads(threads),
-                       observation);
+                       observation, nullptr, Fingerprint());
 }
 
 SweepResult
 ComponentSweep::replayTrace(const RecordedTrace &trace,
                             unsigned threads,
-                            obs::Observation *observation) const
+                            obs::Observation *observation,
+                            const ArtifactStore *store,
+                            const Fingerprint &base_key) const
 {
     // Phase 2 (parallel): replay per consumer. One flat index space
     // across the reference machine and all three component kinds
     // keeps every lane busy; each index owns its private simulator
     // and writes only its own result slot, so the reduction order is
     // fixed by construction and the results are bitwise identical
-    // for any thread count.
+    // for any thread count. With the store enabled, each task first
+    // tries to load its shard (exact integer counters, so a hit
+    // reproduces the live slot bit-for-bit) and persists it right
+    // after simulating — which is what makes a killed sweep resume
+    // at its last completed shard.
     const std::size_t n_i = _icacheGeoms.size();
     const std::size_t n_d = _dcacheGeoms.size();
     const std::size_t n_t = _tlbGeoms.size();
 
     SweepResult result;
     result.references = trace.size();
-    result.icacheGeoms = _icacheGeoms;
-    result.dcacheGeoms = _dcacheGeoms;
-    result.tlbGeoms = _tlbGeoms;
-    result.icacheStats.resize(n_i);
-    result.dcacheStats.resize(n_d);
-    result.tlbStats.resize(n_t);
+    result._icacheGeoms = _icacheGeoms;
+    result._dcacheGeoms = _dcacheGeoms;
+    result._tlbGeoms = _tlbGeoms;
+    result._icacheStats.resize(n_i);
+    result._dcacheStats.resize(n_d);
+    result._tlbStats.resize(n_t);
     result.otherCpi = trace.otherCpi();
 
     // Per-task metric shards: each task writes only its own slot, so
@@ -144,62 +178,138 @@ ComponentSweep::replayTrace(const RecordedTrace &trace,
     std::vector<obs::MetricRegistry> shards(
         observation != nullptr ? 1 + n_i + n_d + n_t : 0);
 
+    const auto loadShard = [&](const Fingerprint &key,
+                               auto decode) -> bool {
+        if (store == nullptr)
+            return false;
+        std::string payload;
+        return store->load(key, payload) && decode(payload);
+    };
+    const auto saveShard = [&](const Fingerprint &key,
+                               const std::string &payload) {
+        if (store != nullptr)
+            store->save(key, payload);
+    };
+
     std::uint64_t wb_stall = 0;
     const auto body = [&](std::size_t task) {
         if (task == 0) {
             // Reference machine replay: stall attribution for the
             // configuration-independent CPI components.
-            Machine machine(_refMachine);
-            trace.replay(
-                [&](const MemRef &ref) { machine.observe(ref); },
-                [&](const TraceEvent &e) {
-                    machine.mmu().invalidatePage(e.vpn, e.asid,
-                                                 e.global);
-                });
-            result.instructions = machine.stalls().instructions;
-            wb_stall = machine.stalls().wbStall;
+            Fingerprint key = base_key;
+            key.str("artifact", "shard");
+            key.str("component", "machine");
+            _refMachine.fingerprint(key);
+
+            store::MachineShard shard;
+            if (!loadShard(key, [&](const std::string &p) {
+                    return store::decodeMachineShard(p, shard);
+                })) {
+                Machine machine(_refMachine);
+                trace.replay(
+                    [&](const MemRef &ref) { machine.observe(ref); },
+                    [&](const TraceEvent &e) {
+                        machine.mmu().invalidatePage(e.vpn, e.asid,
+                                                     e.global);
+                    });
+                shard.instructions = machine.stalls().instructions;
+                shard.icacheStall = machine.stalls().icacheStall;
+                shard.dcacheStall = machine.stalls().dcacheStall;
+                shard.wbStall = machine.stalls().wbStall;
+                shard.tlbStall = machine.stalls().tlbStall;
+                shard.wbStores = machine.writeBuffer().stores();
+                shard.wbStallCycles =
+                    machine.writeBuffer().stallCycles();
+                saveShard(key, store::encodeMachineShard(shard));
+            }
+            result.instructions = shard.instructions;
+            wb_stall = shard.wbStall;
             if (observation != nullptr) {
+                const StallCounters stalls{
+                    shard.instructions, shard.icacheStall,
+                    shard.dcacheStall, shard.wbStall, shard.tlbStall};
                 obs::exportStallCounters(shards[task], "machine",
-                                         machine.stalls());
-                obs::exportWriteBuffer(shards[task], "wb",
-                                       machine.writeBuffer());
+                                         stalls);
+                obs::exportWriteBufferCounters(shards[task], "wb",
+                                               shard.wbStores,
+                                               shard.wbStallCycles);
             }
         } else if (task <= n_i) {
             const std::size_t i = task - 1;
-            Cache cache(sweepCacheParams(_icacheGeoms[i],
-                                         icacheBankSalt, i));
-            trace.replayFetchPaddrs([&](std::uint64_t paddr) {
-                cache.access(paddr, RefKind::IFetch);
-            });
-            result.icacheStats[i] = cache.stats();
+            const CacheParams params =
+                sweepCacheParams(_icacheGeoms[i], icacheBankSalt, i);
+            Fingerprint key = base_key;
+            key.str("artifact", "shard");
+            key.str("component", "icache");
+            key.u64("index", i);
+            params.fingerprint(key);
+
+            CacheStats stats;
+            if (!loadShard(key, [&](const std::string &p) {
+                    return store::decodeCacheStats(p, stats);
+                })) {
+                Cache cache(params);
+                trace.replayFetchPaddrs([&](std::uint64_t paddr) {
+                    cache.access(paddr, RefKind::IFetch);
+                });
+                stats = cache.stats();
+                saveShard(key, store::encodeCacheStats(stats));
+            }
+            result._icacheStats[i] = stats;
             if (observation != nullptr)
-                obs::exportCacheStats(shards[task], "icache",
-                                      cache.stats());
+                obs::exportCacheStats(shards[task], "icache", stats);
         } else if (task <= n_i + n_d) {
             const std::size_t d = task - 1 - n_i;
-            Cache cache(sweepCacheParams(_dcacheGeoms[d],
-                                         dcacheBankSalt, d));
-            trace.replayCachedData(
-                [&](std::uint64_t paddr, RefKind kind) {
-                    cache.access(paddr, kind);
-                });
-            result.dcacheStats[d] = cache.stats();
+            const CacheParams params =
+                sweepCacheParams(_dcacheGeoms[d], dcacheBankSalt, d);
+            Fingerprint key = base_key;
+            key.str("artifact", "shard");
+            key.str("component", "dcache");
+            key.u64("index", d);
+            params.fingerprint(key);
+
+            CacheStats stats;
+            if (!loadShard(key, [&](const std::string &p) {
+                    return store::decodeCacheStats(p, stats);
+                })) {
+                Cache cache(params);
+                trace.replayCachedData(
+                    [&](std::uint64_t paddr, RefKind kind) {
+                        cache.access(paddr, kind);
+                    });
+                stats = cache.stats();
+                saveShard(key, store::encodeCacheStats(stats));
+            }
+            result._dcacheStats[d] = stats;
             if (observation != nullptr)
-                obs::exportCacheStats(shards[task], "dcache",
-                                      cache.stats());
+                obs::exportCacheStats(shards[task], "dcache", stats);
         } else {
             const std::size_t t = task - 1 - n_i - n_d;
             TlbParams p;
             p.geom = _tlbGeoms[t];
-            Mmu mmu(p, _refMachine.tlbPenalties);
-            trace.replay(
-                [&](const MemRef &ref) { mmu.translate(ref); },
-                [&](const TraceEvent &e) {
-                    mmu.invalidatePage(e.vpn, e.asid, e.global);
-                });
-            result.tlbStats[t] = mmu.stats();
+            Fingerprint key = base_key;
+            key.str("artifact", "shard");
+            key.str("component", "tlb");
+            key.u64("index", t);
+            p.fingerprint(key);
+            _refMachine.tlbPenalties.fingerprint(key);
+
+            MmuStats stats;
+            if (!loadShard(key, [&](const std::string &pay) {
+                    return store::decodeMmuStats(pay, stats);
+                })) {
+                Mmu mmu(p, _refMachine.tlbPenalties);
+                trace.replay(
+                    [&](const MemRef &ref) { mmu.translate(ref); },
+                    [&](const TraceEvent &e) {
+                        mmu.invalidatePage(e.vpn, e.asid, e.global);
+                    });
+                stats = mmu.stats();
+                saveShard(key, store::encodeMmuStats(stats));
+            }
+            result._tlbStats[t] = stats;
             if (observation != nullptr)
-                obs::exportMmuStats(shards[task], "tlb", mmu.stats());
+                obs::exportMmuStats(shards[task], "tlb", stats);
         }
         if (observation != nullptr && observation->progress != nullptr)
             observation->progress->tick();
@@ -237,25 +347,25 @@ ComponentCpiTables::average(const std::vector<SweepResult> &results,
     panicIf(results.empty(), "cannot average zero sweep results");
     ComponentCpiTables tables;
     const SweepResult &first = results.front();
-    tables.icacheGeoms = first.icacheGeoms;
-    tables.dcacheGeoms = first.dcacheGeoms;
-    tables.tlbGeoms = first.tlbGeoms;
+    tables.icacheGeoms = first.icacheGeometries();
+    tables.dcacheGeoms = first.dcacheGeometries();
+    tables.tlbGeoms = first.tlbGeometries();
     tables.icacheCpi.assign(tables.icacheGeoms.size(), 0.0);
     tables.dcacheCpi.assign(tables.dcacheGeoms.size(), 0.0);
     tables.tlbCpi.assign(tables.tlbGeoms.size(), 0.0);
 
     double wb = 0.0, other = 0.0;
     for (const auto &r : results) {
-        panicIf(r.icacheGeoms.size() != tables.icacheGeoms.size() ||
-                    r.dcacheGeoms.size() != tables.dcacheGeoms.size() ||
-                    r.tlbGeoms.size() != tables.tlbGeoms.size(),
+        panicIf(r.icacheCount() != tables.icacheGeoms.size() ||
+                    r.dcacheCount() != tables.dcacheGeoms.size() ||
+                    r.tlbCount() != tables.tlbGeoms.size(),
                 "sweep results built from different geometry lists");
         for (std::size_t i = 0; i < tables.icacheCpi.size(); ++i)
-            tables.icacheCpi[i] += r.icacheCpi(i, mp);
+            tables.icacheCpi[i] += r.icache(i).cpi(mp);
         for (std::size_t i = 0; i < tables.dcacheCpi.size(); ++i)
-            tables.dcacheCpi[i] += r.dcacheCpi(i, mp);
+            tables.dcacheCpi[i] += r.dcache(i).cpi(mp);
         for (std::size_t i = 0; i < tables.tlbCpi.size(); ++i)
-            tables.tlbCpi[i] += r.tlbCpi(i);
+            tables.tlbCpi[i] += r.tlb(i).cpi();
         wb += r.wbCpi;
         other += r.otherCpi;
     }

@@ -9,17 +9,28 @@
  * cycles from Tapeworm, plus a configuration-independent base (write
  * buffer and non-memory stalls). ComponentSweep produces exactly
  * those tables.
+ *
+ * Results are consumed through per-configuration views —
+ * `result.icache(i)`, `result.dcache(i)`, `result.tlb(i)` — each
+ * bundling the geometry, the raw counters and the derived CPI
+ * contribution and miss ratio for one swept configuration. The views
+ * are the supported surface (docs/MODEL.md); every indexed accessor
+ * is bounds-checked and fails fatally on an out-of-range index.
  */
 
 #ifndef OMA_CORE_SWEEP_HH
 #define OMA_CORE_SWEEP_HH
 
+#include <algorithm>
+#include <string>
 #include <vector>
 
 #include "cache/bank.hh"
 #include "core/experiment.hh"
 #include "machine/machine.hh"
 #include "obs/metrics.hh"
+#include "store/store.hh"
+#include "support/logging.hh"
 #include "tlb/tapeworm.hh"
 #include "trace/recorded.hh"
 #include "workload/system.hh"
@@ -27,18 +38,17 @@
 namespace oma
 {
 
-/** Per-configuration results of one sweep over one workload/OS pair. */
+/**
+ * Per-configuration results of one sweep over one workload/OS pair.
+ *
+ * Access per-configuration data through the icache()/dcache()/tlb()
+ * views; the backing storage is private so the bounds-checked views
+ * are the only way in.
+ */
 struct SweepResult
 {
     std::uint64_t instructions = 0;
     std::uint64_t references = 0;
-
-    std::vector<CacheGeometry> icacheGeoms;
-    std::vector<CacheStats> icacheStats;
-    std::vector<CacheGeometry> dcacheGeoms;
-    std::vector<CacheStats> dcacheStats;
-    std::vector<TlbGeometry> tlbGeoms;
-    std::vector<MmuStats> tlbStats;
 
     /** Write-buffer stall cycles per instruction (config-independent
      * base, measured on the reference machine). */
@@ -46,27 +56,136 @@ struct SweepResult
     /** Non-memory stall cycles per instruction. */
     double otherCpi = 0.0;
 
-    /** I-cache CPI contribution of config @p i (paper's penalty). */
-    [[nodiscard]] double icacheCpi(std::size_t i,
-                                   const MachineParams &mp) const;
-    /** D-cache CPI contribution of config @p i. */
-    [[nodiscard]] double dcacheCpi(std::size_t i,
-                                   const MachineParams &mp) const;
-    /** TLB CPI contribution of config @p i. */
-    [[nodiscard]] double tlbCpi(std::size_t i) const;
-
-    /** I-cache miss ratio of config @p i. */
-    [[nodiscard]] double
-    icacheMissRatio(std::size_t i) const
+    /** Read-only view of one swept cache configuration. */
+    struct CacheConfigView
     {
-        return icacheStats[i].missRatio();
+        const CacheGeometry &geom;
+        const CacheStats &stats;
+        /** Instruction count of the run (the CPI denominator). */
+        std::uint64_t instructions;
+
+        /** Overall miss ratio of this configuration. */
+        [[nodiscard]] double
+        missRatio() const
+        {
+            return stats.missRatio();
+        }
+
+        /** CPI contribution of this configuration (the paper's
+         * misses x penalty per instruction). */
+        [[nodiscard]] double
+        cpi(const MachineParams &mp) const
+        {
+            const double instr =
+                double(std::max<std::uint64_t>(1, instructions));
+            return double(stats.totalMisses()) *
+                double(mp.missPenalty(geom)) / instr;
+        }
+    };
+
+    /** Read-only view of one swept TLB configuration. */
+    struct TlbConfigView
+    {
+        const TlbGeometry &geom;
+        const MmuStats &stats;
+        /** Instruction count of the run (the CPI denominator). */
+        std::uint64_t instructions;
+
+        /**
+         * CPI contribution: pure refill service only (user + kernel
+         * misses). The modify, invalid and page-fault classes are
+         * configuration-independent constants (and over-weighted by
+         * finite trace length), so like the paper's scoring they do
+         * not enter the per-configuration contribution.
+         */
+        [[nodiscard]] double
+        cpi() const
+        {
+            const double instr =
+                double(std::max<std::uint64_t>(1, instructions));
+            return double(stats.refillCycles()) / instr;
+        }
+    };
+
+    /** View of I-cache configuration @p i (fatal when out of range). */
+    [[nodiscard]] CacheConfigView
+    icache(std::size_t i) const
+    {
+        fatalIf(i >= _icacheStats.size(),
+                "SweepResult::icache(" + std::to_string(i) +
+                    "): only " + std::to_string(_icacheStats.size()) +
+                    " configurations swept");
+        return {_icacheGeoms[i], _icacheStats[i], instructions};
     }
 
-    [[nodiscard]] double
-    dcacheMissRatio(std::size_t i) const
+    /** View of D-cache configuration @p i (fatal when out of range). */
+    [[nodiscard]] CacheConfigView
+    dcache(std::size_t i) const
     {
-        return dcacheStats[i].missRatio();
+        fatalIf(i >= _dcacheStats.size(),
+                "SweepResult::dcache(" + std::to_string(i) +
+                    "): only " + std::to_string(_dcacheStats.size()) +
+                    " configurations swept");
+        return {_dcacheGeoms[i], _dcacheStats[i], instructions};
     }
+
+    /** View of TLB configuration @p i (fatal when out of range). */
+    [[nodiscard]] TlbConfigView
+    tlb(std::size_t i) const
+    {
+        fatalIf(i >= _tlbStats.size(),
+                "SweepResult::tlb(" + std::to_string(i) + "): only " +
+                    std::to_string(_tlbStats.size()) +
+                    " configurations swept");
+        return {_tlbGeoms[i], _tlbStats[i], instructions};
+    }
+
+    [[nodiscard]] std::size_t
+    icacheCount() const
+    {
+        return _icacheStats.size();
+    }
+
+    [[nodiscard]] std::size_t
+    dcacheCount() const
+    {
+        return _dcacheStats.size();
+    }
+
+    [[nodiscard]] std::size_t
+    tlbCount() const
+    {
+        return _tlbStats.size();
+    }
+
+    /** The swept geometry lists (index-aligned with the views). */
+    [[nodiscard]] const std::vector<CacheGeometry> &
+    icacheGeometries() const
+    {
+        return _icacheGeoms;
+    }
+
+    [[nodiscard]] const std::vector<CacheGeometry> &
+    dcacheGeometries() const
+    {
+        return _dcacheGeoms;
+    }
+
+    [[nodiscard]] const std::vector<TlbGeometry> &
+    tlbGeometries() const
+    {
+        return _tlbGeoms;
+    }
+
+  private:
+    friend class ComponentSweep;
+
+    std::vector<CacheGeometry> _icacheGeoms;
+    std::vector<CacheStats> _icacheStats;
+    std::vector<CacheGeometry> _dcacheGeoms;
+    std::vector<CacheStats> _dcacheStats;
+    std::vector<TlbGeometry> _tlbGeoms;
+    std::vector<MmuStats> _tlbStats;
 };
 
 /**
@@ -83,6 +202,13 @@ struct SweepResult
  * per-configuration replays inline, so results are bitwise identical
  * for any thread count. A recording loaded from a v2 trace file can
  * be swept directly via the RecordedTrace overload.
+ *
+ * When RunConfig::storeDir (or OMA_STORE_DIR) enables the artifact
+ * store, the recording and every completed replay shard persist as
+ * they are produced: a warm rerun skips the record phase entirely, a
+ * killed sweep resumes at its last completed shard, and a corrupt
+ * entry is quarantined and transparently re-simulated. Cached runs
+ * reproduce live runs bit-for-bit (tests/core/test_store_sweep.cc).
  */
 class ComponentSweep
 {
@@ -96,9 +222,10 @@ class ComponentSweep
     /**
      * Run the sweep. An optional obs::Observation collects component
      * counters (merged over per-task shards in task order), phase
-     * timings and progress ticks; attaching one never changes the
-     * SweepResult (tests/core/test_observed_sweep.cc holds bitwise
-     * identity at 1 and 4 threads).
+     * timings, store hit/miss counters and progress ticks; attaching
+     * one never changes the SweepResult
+     * (tests/core/test_observed_sweep.cc holds bitwise identity at 1
+     * and 4 threads).
      */
     [[nodiscard]] SweepResult
     run(const WorkloadParams &workload, OsKind os,
@@ -118,7 +245,9 @@ class ComponentSweep
      * Sweep an existing recording (e.g. System::record output or a
      * readTrace()d v2 file) on @p threads lanes (0 = hardware, 1 =
      * serial). Reproduces the live-run SweepResult exactly when the
-     * recording came from the same workload/OS/seed/length.
+     * recording came from the same workload/OS/seed/length. Never
+     * touches the artifact store: a bare recording carries no
+     * provenance to fingerprint.
      */
     [[nodiscard]] SweepResult
     run(const RecordedTrace &trace, unsigned threads = 0,
@@ -127,7 +256,9 @@ class ComponentSweep
   private:
     SweepResult replayTrace(const RecordedTrace &trace,
                             unsigned threads,
-                            obs::Observation *observation) const;
+                            obs::Observation *observation,
+                            const ArtifactStore *store,
+                            const Fingerprint &base_key) const;
 
     std::vector<CacheGeometry> _icacheGeoms;
     std::vector<CacheGeometry> _dcacheGeoms;

@@ -63,6 +63,25 @@ struct MachineParams
     {
         return missFirstWord + missPerWord * (geom.lineWords() - 1);
     }
+
+    /** Append every behaviour-determining field to a fingerprint. */
+    void
+    fingerprint(Fingerprint &fp) const
+    {
+        fp.str("machine.icache", "");
+        icache.fingerprint(fp);
+        fp.str("machine.dcache", "");
+        dcache.fingerprint(fp);
+        fp.str("machine.tlb", "");
+        tlb.fingerprint(fp);
+        tlbPenalties.fingerprint(fp);
+        fp.u64("machine.miss_first_word", missFirstWord);
+        fp.u64("machine.miss_per_word", missPerWord);
+        fp.u64("machine.uncached_load", uncachedLoad);
+        fp.u64("machine.wb_entries", wbEntries);
+        fp.u64("machine.wb_drain_cycles", wbDrainCycles);
+        fp.flag("machine.i_prefetch_next_line", iPrefetchNextLine);
+    }
 };
 
 /** Monster-style per-cause stall counters. */

@@ -25,6 +25,7 @@
 #include "core/sweep.hh"
 #include "machine/machine.hh"
 #include "obs/metrics.hh"
+#include "store/store.hh"
 #include "support/threadpool.hh"
 #include "tlb/tapeworm.hh"
 #include "trace/recorded.hh"
@@ -79,13 +80,24 @@ exportStallCounters(MetricRegistry &m, const std::string &prefix,
     m.add(prefix + "/tlb_stall", s.tlbStall);
 }
 
+/** Write-buffer counters under `<prefix>/...` from raw values (the
+ * artifact-store warm path replays counters without a WriteBuffer). */
+inline void
+exportWriteBufferCounters(MetricRegistry &m, const std::string &prefix,
+                          std::uint64_t stores,
+                          std::uint64_t stall_cycles)
+{
+    m.add(prefix + "/stores", stores);
+    m.add(prefix + "/stall_cycles", stall_cycles);
+}
+
 /** Write-buffer counters under `<prefix>/...`. */
 inline void
 exportWriteBuffer(MetricRegistry &m, const std::string &prefix,
                   const WriteBuffer &wb)
 {
-    m.add(prefix + "/stores", wb.stores());
-    m.add(prefix + "/stall_cycles", wb.stallCycles());
+    exportWriteBufferCounters(m, prefix, wb.stores(),
+                              wb.stallCycles());
 }
 
 /** Recording shape: reference/event counts and packed size. */
@@ -128,15 +140,18 @@ exportSweepResult(MetricRegistry &m, const SweepResult &r)
 {
     m.add("sweep/references", r.references);
     m.add("sweep/instructions", r.instructions);
-    m.add("sweep/icache_configs", r.icacheStats.size());
-    m.add("sweep/dcache_configs", r.dcacheStats.size());
-    m.add("sweep/tlb_configs", r.tlbStats.size());
-    for (const CacheStats &s : r.icacheStats)
-        m.observe("icache/misses_per_config", s.totalMisses());
-    for (const CacheStats &s : r.dcacheStats)
-        m.observe("dcache/misses_per_config", s.totalMisses());
-    for (const MmuStats &s : r.tlbStats)
-        m.observe("tlb/refill_cycles_per_config", s.refillCycles());
+    m.add("sweep/icache_configs", r.icacheCount());
+    m.add("sweep/dcache_configs", r.dcacheCount());
+    m.add("sweep/tlb_configs", r.tlbCount());
+    for (std::size_t i = 0; i < r.icacheCount(); ++i)
+        m.observe("icache/misses_per_config",
+                  r.icache(i).stats.totalMisses());
+    for (std::size_t i = 0; i < r.dcacheCount(); ++i)
+        m.observe("dcache/misses_per_config",
+                  r.dcache(i).stats.totalMisses());
+    for (std::size_t i = 0; i < r.tlbCount(); ++i)
+        m.observe("tlb/refill_cycles_per_config",
+                  r.tlb(i).stats.refillCycles());
 }
 
 /** Ranked-allocation summary (count, best CPI/area). */
@@ -149,6 +164,18 @@ exportRanking(MetricRegistry &m,
         m.set("search/best_cpi", ranked.front().cpi);
         m.set("search/best_area_rbe", ranked.front().areaRbe);
     }
+}
+
+/** Artifact-store traffic counters under `<prefix>/...`. */
+inline void
+exportArtifactStore(MetricRegistry &m, const std::string &prefix,
+                    const ArtifactStore &store)
+{
+    const StoreStatsSnapshot s = store.stats();
+    m.add(prefix + "/hits", s.hits);
+    m.add(prefix + "/misses", s.misses);
+    m.add(prefix + "/writes", s.writes);
+    m.add(prefix + "/quarantined", s.quarantined);
 }
 
 /** Pool shape and work volume under `<prefix>/...`. */

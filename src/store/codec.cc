@@ -1,0 +1,315 @@
+/**
+ * @file
+ * Implementation of the artifact byte codecs.
+ */
+
+#include "store/codec.hh"
+
+#include <cstring>
+#include <vector>
+
+namespace oma::store
+{
+
+namespace
+{
+
+void
+appendU8(std::string &out, std::uint8_t v)
+{
+    out.push_back(char(v));
+}
+
+void
+appendU32(std::string &out, std::uint32_t v)
+{
+    char buf[sizeof v];
+    std::memcpy(buf, &v, sizeof v);
+    out.append(buf, sizeof v);
+}
+
+void
+appendU64(std::string &out, std::uint64_t v)
+{
+    char buf[sizeof v];
+    std::memcpy(buf, &v, sizeof v);
+    out.append(buf, sizeof v);
+}
+
+void
+appendF64(std::string &out, double v)
+{
+    char buf[sizeof v];
+    std::memcpy(buf, &v, sizeof v);
+    out.append(buf, sizeof v);
+}
+
+/** Bounds-checked cursor over an encoded payload. */
+class Reader
+{
+  public:
+    explicit Reader(std::string_view in) : _in(in) {}
+
+    bool
+    u8(std::uint8_t &v)
+    {
+        if (remaining() < sizeof v)
+            return fail();
+        v = std::uint8_t(_in[_pos]);
+        _pos += sizeof v;
+        return true;
+    }
+
+    bool
+    u32(std::uint32_t &v)
+    {
+        return raw(&v, sizeof v);
+    }
+
+    bool
+    u64(std::uint64_t &v)
+    {
+        return raw(&v, sizeof v);
+    }
+
+    bool
+    f64(double &v)
+    {
+        return raw(&v, sizeof v);
+    }
+
+    /** True when every byte was consumed and nothing failed. */
+    [[nodiscard]] bool
+    done() const
+    {
+        return _ok && _pos == _in.size();
+    }
+
+  private:
+    bool
+    raw(void *dst, std::size_t n)
+    {
+        if (remaining() < n)
+            return fail();
+        std::memcpy(dst, _in.data() + _pos, n);
+        _pos += n;
+        return true;
+    }
+
+    [[nodiscard]] std::size_t remaining() const
+    {
+        return _in.size() - _pos;
+    }
+
+    bool
+    fail()
+    {
+        _ok = false;
+        return false;
+    }
+
+    std::string_view _in;
+    std::size_t _pos = 0;
+    bool _ok = true;
+};
+
+} // namespace
+
+std::string
+encodeTrace(const RecordedTrace &trace)
+{
+    std::string out;
+    out.reserve(24 + trace.size() * RecordedTrace::packedRefBytes +
+                trace.events().size() * 21);
+    appendU64(out, trace.size());
+    appendU64(out, trace.events().size());
+    appendF64(out, trace.otherCpi());
+    trace.replay([&](const MemRef &ref) {
+        appendU32(out, std::uint32_t(ref.vaddr));
+        appendU32(out, std::uint32_t(ref.paddr));
+        appendU8(out, std::uint8_t(ref.asid));
+        appendU8(out, RecordedTrace::packFlags(ref));
+    });
+    for (const TraceEvent &e : trace.events()) {
+        appendU64(out, e.index);
+        appendU64(out, e.vpn);
+        appendU32(out, e.asid);
+        appendU8(out, e.global ? 1 : 0);
+    }
+    return out;
+}
+
+bool
+decodeTrace(std::string_view payload, RecordedTrace &trace)
+{
+    Reader r(payload);
+    std::uint64_t size = 0, event_count = 0;
+    double other_cpi = 0.0;
+    if (!r.u64(size) || !r.u64(event_count) || !r.f64(other_cpi))
+        return false;
+
+    // Events are framed after the reference columns, but
+    // recordInvalidation() pins an event to the *current* append
+    // position — so parse both sections first, then interleave.
+    const std::size_t refs_bytes =
+        std::size_t(size) * RecordedTrace::packedRefBytes;
+    const std::size_t events_bytes = std::size_t(event_count) * 21;
+    if (payload.size() != 24 + refs_bytes + events_bytes)
+        return false;
+
+    std::vector<TraceEvent> events;
+    events.reserve(std::size_t(event_count));
+    {
+        Reader ev(payload.substr(24 + refs_bytes));
+        for (std::uint64_t i = 0; i < event_count; ++i) {
+            TraceEvent e{};
+            std::uint8_t global = 0;
+            if (!ev.u64(e.index) || !ev.u64(e.vpn) || !ev.u32(e.asid) ||
+                !ev.u8(global)) {
+                return false;
+            }
+            e.global = global != 0;
+            events.push_back(e);
+        }
+        if (!ev.done())
+            return false;
+    }
+
+    RecordedTrace decoded;
+    std::size_t next_event = 0;
+    for (std::uint64_t i = 0; i < size; ++i) {
+        while (next_event < events.size() &&
+               events[next_event].index == i) {
+            const TraceEvent &e = events[next_event++];
+            decoded.recordInvalidation(e.vpn, e.asid, e.global);
+        }
+        std::uint32_t vaddr = 0, paddr = 0;
+        std::uint8_t asid = 0, flags = 0;
+        if (!r.u32(vaddr) || !r.u32(paddr) || !r.u8(asid) ||
+            !r.u8(flags)) {
+            return false;
+        }
+        MemRef ref;
+        ref.vaddr = vaddr;
+        ref.paddr = paddr;
+        ref.asid = asid;
+        RecordedTrace::unpackFlags(flags, ref);
+        decoded.append(ref);
+    }
+    // Events recorded after the final reference.
+    for (; next_event < events.size(); ++next_event) {
+        const TraceEvent &e = events[next_event];
+        if (e.index != size)
+            return false;
+        decoded.recordInvalidation(e.vpn, e.asid, e.global);
+    }
+    decoded.setOtherCpi(other_cpi);
+    trace = std::move(decoded);
+    return true;
+}
+
+std::string
+encodeCacheStats(const CacheStats &s)
+{
+    std::string out;
+    appendU64(out, numRefKinds);
+    for (unsigned k = 0; k < numRefKinds; ++k)
+        appendU64(out, s.accesses[k]);
+    for (unsigned k = 0; k < numRefKinds; ++k)
+        appendU64(out, s.misses[k]);
+    appendU64(out, s.lineFills);
+    appendU64(out, s.writebacks);
+    appendU64(out, s.writeThroughWords);
+    appendU64(out, s.compulsoryMisses);
+    return out;
+}
+
+bool
+decodeCacheStats(std::string_view payload, CacheStats &s)
+{
+    Reader r(payload);
+    std::uint64_t kinds = 0;
+    if (!r.u64(kinds) || kinds != numRefKinds)
+        return false;
+    CacheStats decoded;
+    for (unsigned k = 0; k < numRefKinds; ++k)
+        if (!r.u64(decoded.accesses[k]))
+            return false;
+    for (unsigned k = 0; k < numRefKinds; ++k)
+        if (!r.u64(decoded.misses[k]))
+            return false;
+    if (!r.u64(decoded.lineFills) || !r.u64(decoded.writebacks) ||
+        !r.u64(decoded.writeThroughWords) ||
+        !r.u64(decoded.compulsoryMisses) || !r.done()) {
+        return false;
+    }
+    s = decoded;
+    return true;
+}
+
+std::string
+encodeMmuStats(const MmuStats &s)
+{
+    std::string out;
+    appendU64(out, numMissClasses);
+    appendU64(out, s.translations);
+    for (unsigned c = 0; c < numMissClasses; ++c)
+        appendU64(out, s.counts[c]);
+    for (unsigned c = 0; c < numMissClasses; ++c)
+        appendU64(out, s.cycles[c]);
+    appendU64(out, s.asidFlushes);
+    return out;
+}
+
+bool
+decodeMmuStats(std::string_view payload, MmuStats &s)
+{
+    Reader r(payload);
+    std::uint64_t classes = 0;
+    if (!r.u64(classes) || classes != numMissClasses)
+        return false;
+    MmuStats decoded;
+    if (!r.u64(decoded.translations))
+        return false;
+    for (unsigned c = 0; c < numMissClasses; ++c)
+        if (!r.u64(decoded.counts[c]))
+            return false;
+    for (unsigned c = 0; c < numMissClasses; ++c)
+        if (!r.u64(decoded.cycles[c]))
+            return false;
+    if (!r.u64(decoded.asidFlushes) || !r.done())
+        return false;
+    s = decoded;
+    return true;
+}
+
+std::string
+encodeMachineShard(const MachineShard &s)
+{
+    std::string out;
+    appendU64(out, s.instructions);
+    appendU64(out, s.icacheStall);
+    appendU64(out, s.dcacheStall);
+    appendU64(out, s.wbStall);
+    appendU64(out, s.tlbStall);
+    appendU64(out, s.wbStores);
+    appendU64(out, s.wbStallCycles);
+    return out;
+}
+
+bool
+decodeMachineShard(std::string_view payload, MachineShard &s)
+{
+    Reader r(payload);
+    MachineShard decoded;
+    if (!r.u64(decoded.instructions) || !r.u64(decoded.icacheStall) ||
+        !r.u64(decoded.dcacheStall) || !r.u64(decoded.wbStall) ||
+        !r.u64(decoded.tlbStall) || !r.u64(decoded.wbStores) ||
+        !r.u64(decoded.wbStallCycles) || !r.done()) {
+        return false;
+    }
+    s = decoded;
+    return true;
+}
+
+} // namespace oma::store

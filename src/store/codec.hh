@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Byte codecs for the artifacts the store holds.
+ *
+ * Two artifact kinds exist today: a complete RecordedTrace (the
+ * output of the serial record phase) and one replay shard's exact
+ * counters (CacheStats / MmuStats / the reference machine's
+ * MachineShard). Every codec stores raw integer counters — never
+ * derived ratios — so a decoded shard reproduces the live result and
+ * its exported metrics bit-for-bit; that is the store's whole
+ * bitwise-identity guarantee (tests/core/test_store_sweep.cc).
+ *
+ * Encoding is little-endian-agnostic host byte order via memcpy
+ * (entries are per-machine caches; the fingerprint scheme ages them
+ * out on format changes). Decoders are bounds-checked and return
+ * false on any framing mismatch, which callers treat as a store miss.
+ */
+
+#ifndef OMA_STORE_CODEC_HH
+#define OMA_STORE_CODEC_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "cache/cache.hh"
+#include "tlb/mmu.hh"
+#include "trace/recorded.hh"
+
+namespace oma::store
+{
+
+/**
+ * The reference-machine replay shard: everything task 0 of a sweep
+ * contributes to the SweepResult and the run report.
+ */
+struct MachineShard
+{
+    std::uint64_t instructions = 0;
+    std::uint64_t icacheStall = 0;
+    std::uint64_t dcacheStall = 0;
+    std::uint64_t wbStall = 0;
+    std::uint64_t tlbStall = 0;
+    std::uint64_t wbStores = 0;
+    std::uint64_t wbStallCycles = 0;
+};
+
+/** Serialize a recording (references, events, otherCpi). */
+[[nodiscard]] std::string encodeTrace(const RecordedTrace &trace);
+
+/** @retval false on framing mismatch (treat as a store miss). */
+[[nodiscard]] bool decodeTrace(std::string_view payload,
+                               RecordedTrace &trace);
+
+[[nodiscard]] std::string encodeCacheStats(const CacheStats &s);
+[[nodiscard]] bool decodeCacheStats(std::string_view payload,
+                                    CacheStats &s);
+
+[[nodiscard]] std::string encodeMmuStats(const MmuStats &s);
+[[nodiscard]] bool decodeMmuStats(std::string_view payload,
+                                  MmuStats &s);
+
+[[nodiscard]] std::string encodeMachineShard(const MachineShard &s);
+[[nodiscard]] bool decodeMachineShard(std::string_view payload,
+                                      MachineShard &s);
+
+} // namespace oma::store
+
+#endif // OMA_STORE_CODEC_HH

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Content-addressed on-disk artifact store.
+ *
+ * Re-recording the same workload/OS reference stream on every run is
+ * the dominant cost of a cold sweep, and a killed long sweep used to
+ * lose every completed replay shard. The store removes both costs:
+ * any artifact whose complete provenance fits in a Fingerprint (a
+ * recorded trace, one replay shard's counters) can be saved under
+ * that fingerprint and transparently reloaded by a later run with the
+ * identical configuration.
+ *
+ * Design rules, in order of importance:
+ *
+ * * *Correctness over reuse.* Every entry carries its full canonical
+ *   key text and a payload checksum. A load whose stored key text
+ *   does not byte-match the requested key (hash collision), whose
+ *   checksum fails, or whose framing is truncated is quarantined
+ *   (renamed to `<entry>.corrupt`) and reported as a miss, so the
+ *   caller falls back to live simulation — never to wrong data.
+ *
+ * * *Atomic publication.* Writers stream into a private temp file in
+ *   the store directory and rename() it over the final path, so a
+ *   reader (or a concurrent writer racing on the same key) only ever
+ *   observes complete entries. Both sides of a same-key race write
+ *   the same bytes, so last-rename-wins is harmless.
+ *
+ * * *Off by default.* A store only exists when RunConfig::storeDir or
+ *   the OMA_STORE_DIR environment variable names a directory; open()
+ *   returns nullptr otherwise and every engine falls back to the
+ *   live path.
+ *
+ * Entries are per-machine caches, not an interchange format: payload
+ * integers are stored in host byte order. The trace-format version
+ * and a store schema version are part of every fingerprint, so
+ * format changes age old entries into misses instead of misreads.
+ */
+
+#ifndef OMA_STORE_STORE_HH
+#define OMA_STORE_STORE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "support/fingerprint.hh"
+
+namespace oma
+{
+
+/** Running event counters of one ArtifactStore instance. */
+struct StoreStatsSnapshot
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t quarantined = 0;
+};
+
+/** A content-addressed artifact cache rooted at one directory. */
+class ArtifactStore
+{
+  public:
+    /** Version of the on-disk entry framing; fingerprinted into every
+     * key, so bumping it invalidates all old entries at once. */
+    static constexpr std::uint32_t formatVersion = 1;
+
+    /** Open the store rooted at @p root, creating directories as
+     * needed (fatal when the root cannot be created). */
+    explicit ArtifactStore(std::string root);
+
+    /**
+     * Store-or-nothing policy knob: open the store at
+     * @p configured_dir when non-empty, else at $OMA_STORE_DIR when
+     * set and non-empty, else return nullptr (store disabled).
+     */
+    [[nodiscard]] static std::unique_ptr<ArtifactStore>
+    open(const std::string &configured_dir);
+
+    /**
+     * Load the payload stored under @p key into @p payload.
+     *
+     * @retval true on a verified hit (key text matched byte-for-byte
+     *         and the payload checksum held).
+     * @retval false on a miss — including a corrupt or mismatched
+     *         entry, which is quarantined first.
+     */
+    [[nodiscard]] bool load(const Fingerprint &key,
+                            std::string &payload) const;
+
+    /** Publish @p payload under @p key (atomic temp-file+rename). */
+    void save(const Fingerprint &key, std::string_view payload) const;
+
+    /** Absolute path an entry for @p key lives at. */
+    [[nodiscard]] std::string entryPath(const Fingerprint &key) const;
+
+    [[nodiscard]] const std::string &root() const { return _root; }
+
+    /** Snapshot of the hit/miss/write/quarantine counters. */
+    [[nodiscard]] StoreStatsSnapshot
+    stats() const
+    {
+        StoreStatsSnapshot s;
+        s.hits = _hits.load();
+        s.misses = _misses.load();
+        s.writes = _writes.load();
+        s.quarantined = _quarantined.load();
+        return s;
+    }
+
+    /**
+     * Write one complete entry file (header + key text + payload) to
+     * @p path, fatal on any I/O failure — the building block save()
+     * aims at a temp file, exposed so the disk-full path is directly
+     * death-testable (tests/store/test_store.cc, /dev/full).
+     */
+    static void writeEntryFile(const std::string &path,
+                               std::string_view key_text,
+                               std::string_view payload);
+
+  private:
+    /** Move a bad entry aside so it cannot be re-read, then count it. */
+    void quarantine(const std::string &path) const;
+
+    std::string _root;
+    mutable std::atomic<std::uint64_t> _hits{0};
+    mutable std::atomic<std::uint64_t> _misses{0};
+    mutable std::atomic<std::uint64_t> _writes{0};
+    mutable std::atomic<std::uint64_t> _quarantined{0};
+};
+
+} // namespace oma
+
+#endif // OMA_STORE_STORE_HH

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Canonical fingerprints for cacheable simulation inputs.
+ *
+ * The artifact store (src/store) keys every entry by the complete
+ * configuration that produced it: workload parameters, OS
+ * personality, seed, trace-format version, component geometry. A
+ * Fingerprint accumulates those fields as a canonical `name=value`
+ * text — one line per field, in the order the caller declares them —
+ * and derives a 128-bit content hash from that text. The text itself
+ * travels with every store entry, so a hash collision is detected by
+ * comparison instead of silently aliasing two configurations.
+ *
+ * Determinism contract: the canonical text is a pure function of the
+ * declared fields. Integers print in decimal, doubles via
+ * std::to_chars shortest round-trip form (fully specified by the
+ * standard, so identical across runs), strings with a length prefix
+ * so embedded separators cannot forge field boundaries.
+ */
+
+#ifndef OMA_SUPPORT_FINGERPRINT_HH
+#define OMA_SUPPORT_FINGERPRINT_HH
+
+#include <charconv>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace oma
+{
+
+/** An append-only canonical field serialization plus its hash. */
+class Fingerprint
+{
+  public:
+    /** Append an unsigned integer field. */
+    void
+    u64(std::string_view name, std::uint64_t value)
+    {
+        appendName(name);
+        char buf[24];
+        const auto res = std::to_chars(buf, buf + sizeof buf, value);
+        _text.append(buf, res.ptr);
+        _text.push_back('\n');
+    }
+
+    /** Append a floating-point field (shortest round-trip form). */
+    void
+    real(std::string_view name, double value)
+    {
+        appendName(name);
+        char buf[48];
+        const auto res = std::to_chars(buf, buf + sizeof buf, value);
+        _text.append(buf, res.ptr);
+        _text.push_back('\n');
+    }
+
+    /** Append a string field (length-prefixed, so the value cannot
+     * forge field boundaries). */
+    void
+    str(std::string_view name, std::string_view value)
+    {
+        appendName(name);
+        char buf[24];
+        const auto res =
+            std::to_chars(buf, buf + sizeof buf, value.size());
+        _text.append(buf, res.ptr);
+        _text.push_back(':');
+        _text.append(value);
+        _text.push_back('\n');
+    }
+
+    /** Append a boolean field. */
+    void
+    flag(std::string_view name, bool value)
+    {
+        appendName(name);
+        _text.push_back(value ? '1' : '0');
+        _text.push_back('\n');
+    }
+
+    /** The canonical `name=value` text accumulated so far. */
+    [[nodiscard]] const std::string &text() const { return _text; }
+
+    /**
+     * 128-bit content hash of the canonical text as 32 lowercase hex
+     * digits: two independent 64-bit FNV-1a lanes (distinct offset
+     * bases). Store entries carry the full text as well, so even an
+     * improbable collision degrades to a detected miss, never to
+     * silently aliased results.
+     */
+    [[nodiscard]] std::string
+    hex() const
+    {
+        std::string out;
+        appendHex(out, fnv1a(0xcbf29ce484222325ULL));
+        appendHex(out, fnv1a(0x6c62272e07bb0142ULL));
+        return out;
+    }
+
+  private:
+    void
+    appendName(std::string_view name)
+    {
+        _text.append(name);
+        _text.push_back('=');
+    }
+
+    [[nodiscard]] std::uint64_t
+    fnv1a(std::uint64_t basis) const
+    {
+        std::uint64_t h = basis;
+        for (const char c : _text) {
+            h ^= std::uint64_t(static_cast<unsigned char>(c));
+            h *= 0x100000001b3ULL;
+        }
+        return h;
+    }
+
+    static void
+    appendHex(std::string &out, std::uint64_t v)
+    {
+        static const char digits[] = "0123456789abcdef";
+        for (int shift = 60; shift >= 0; shift -= 4)
+            out.push_back(digits[(v >> shift) & 0xf]);
+    }
+
+    std::string _text;
+};
+
+} // namespace oma
+
+#endif // OMA_SUPPORT_FINGERPRINT_HH

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <unordered_map>
 
+#include "support/fingerprint.hh"
 #include "tlb/mips_va.hh"
 #include "tlb/tlb.hh"
 #include "trace/memref.hh"
@@ -69,6 +70,17 @@ struct TlbPenalties
             return pageFault;
         }
         return 0;
+    }
+
+    /** Append every cost-determining field to a fingerprint. */
+    void
+    fingerprint(Fingerprint &fp) const
+    {
+        fp.u64("tlb_pen.user_miss", userMiss);
+        fp.u64("tlb_pen.kernel_miss", kernelMiss);
+        fp.u64("tlb_pen.modify_fault", modifyFault);
+        fp.u64("tlb_pen.invalid_fault", invalidFault);
+        fp.u64("tlb_pen.page_fault", pageFault);
     }
 };
 

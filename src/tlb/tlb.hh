@@ -18,6 +18,7 @@
 
 #include "area/geometry.hh"
 #include "cache/cache.hh" // ReplacementPolicy
+#include "support/fingerprint.hh"
 #include "support/rng.hh"
 
 namespace oma
@@ -36,6 +37,16 @@ struct TlbParams
      * services hop between address spaces constantly.
      */
     bool flushOnAsidSwitch = false;
+
+    /** Append every behaviour-determining field to a fingerprint. */
+    void
+    fingerprint(Fingerprint &fp) const
+    {
+        geom.fingerprint(fp);
+        fp.u64("tlb.repl", std::uint64_t(repl));
+        fp.u64("tlb.seed", seed);
+        fp.flag("tlb.flush_on_asid_switch", flushOnAsidSwitch);
+    }
 };
 
 /** Raw TLB hit/miss counters (classification happens in Mmu). */

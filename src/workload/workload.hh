@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "os/osmodel.hh"
+#include "support/fingerprint.hh"
 
 namespace oma
 {
@@ -28,6 +29,15 @@ struct SyscallMixEntry
     ServiceKind kind = ServiceKind::Stat;
     double weight = 1.0;
     std::uint64_t meanBytes = 0;
+
+    /** Append every field to an artifact-store fingerprint. */
+    void
+    fingerprint(Fingerprint &fp) const
+    {
+        fp.u64("syscall.kind", std::uint64_t(kind));
+        fp.real("syscall.weight", weight);
+        fp.u64("syscall.mean_bytes", meanBytes);
+    }
 };
 
 /** Complete description of a benchmark's behaviour. */
@@ -84,6 +94,45 @@ struct WorkloadParams
      * service-time measurements to paper-comparable seconds.
      */
     double nominalInstructions = 1.0e9;
+
+    /**
+     * Append every behaviour-determining field to an artifact-store
+     * fingerprint, in declaration order. Any new field must be added
+     * here too — forgetting it would let two different workloads
+     * share a cache key (tests/store/test_store.cc pins the scheme).
+     */
+    void
+    fingerprint(Fingerprint &fp) const
+    {
+        fp.str("workload.name", name);
+        fp.u64("workload.code_footprint", codeFootprint);
+        fp.real("workload.code_skew", codeSkew);
+        fp.real("workload.mean_run", meanRun);
+        fp.real("workload.mean_iterations", meanIterations);
+        fp.real("workload.load_per_instr", loadPerInstr);
+        fp.real("workload.store_per_instr", storePerInstr);
+        fp.u64("workload.ws_bytes", wsBytes);
+        fp.real("workload.ws_skew", wsSkew);
+        fp.u64("workload.stack_bytes", stackBytes);
+        fp.real("workload.stream_frac_load", streamFracLoad);
+        fp.real("workload.stream_frac_store", streamFracStore);
+        fp.real("workload.store_burst_mean", storeBurstMean);
+        fp.u64("workload.stream_bytes", streamBytes);
+        fp.u64("workload.stream_stride", streamStride);
+        fp.real("workload.user_other_cpi", userOtherCpi);
+        fp.real("workload.kernel_other_cpi", kernelOtherCpi);
+        fp.real("workload.syscall_per_instr", syscallPerInstr);
+        fp.real("workload.syscall_burst_mean", syscallBurstMean);
+        fp.real("workload.syscall_burst_gap", syscallBurstGap);
+        fp.u64("workload.syscalls", syscalls.size());
+        for (const SyscallMixEntry &e : syscalls)
+            e.fingerprint(fp);
+        fp.real("workload.frame_per_instr", framePerInstr);
+        fp.u64("workload.frame_bytes", frameBytes);
+        fp.real("workload.vm_per_instr", vmPerInstr);
+        fp.real("workload.timer_per_instr", timerPerInstr);
+        fp.real("workload.nominal_instructions", nominalInstructions);
+    }
 };
 
 /** Identifiers for the paper's benchmark suite (Table 2). */

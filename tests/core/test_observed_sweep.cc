@@ -63,17 +63,17 @@ expectSameSweepResult(const SweepResult &plain, const SweepResult &obs)
 {
     ASSERT_EQ(plain.instructions, obs.instructions);
     ASSERT_EQ(plain.references, obs.references);
-    ASSERT_EQ(plain.icacheStats.size(), obs.icacheStats.size());
-    ASSERT_EQ(plain.dcacheStats.size(), obs.dcacheStats.size());
-    ASSERT_EQ(plain.tlbStats.size(), obs.tlbStats.size());
-    for (std::size_t i = 0; i < plain.icacheStats.size(); ++i)
-        expectSameCacheStats(plain.icacheStats[i], obs.icacheStats[i],
-                             "icache", i);
-    for (std::size_t i = 0; i < plain.dcacheStats.size(); ++i)
-        expectSameCacheStats(plain.dcacheStats[i], obs.dcacheStats[i],
-                             "dcache", i);
-    for (std::size_t i = 0; i < plain.tlbStats.size(); ++i)
-        expectSameMmuStats(plain.tlbStats[i], obs.tlbStats[i], i);
+    ASSERT_EQ(plain.icacheCount(), obs.icacheCount());
+    ASSERT_EQ(plain.dcacheCount(), obs.dcacheCount());
+    ASSERT_EQ(plain.tlbCount(), obs.tlbCount());
+    for (std::size_t i = 0; i < plain.icacheCount(); ++i)
+        expectSameCacheStats(plain.icache(i).stats,
+                             obs.icache(i).stats, "icache", i);
+    for (std::size_t i = 0; i < plain.dcacheCount(); ++i)
+        expectSameCacheStats(plain.dcache(i).stats,
+                             obs.dcache(i).stats, "dcache", i);
+    for (std::size_t i = 0; i < plain.tlbCount(); ++i)
+        expectSameMmuStats(plain.tlb(i).stats, obs.tlb(i).stats, i);
     EXPECT_TRUE(sameBits(plain.wbCpi, obs.wbCpi));
     EXPECT_TRUE(sameBits(plain.otherCpi, obs.otherCpi));
 }
@@ -110,12 +110,13 @@ runConfig(unsigned threads)
 }
 
 /** Sum of a SweepResult-derived quantity, for counter cross-checks. */
+template <typename View>
 std::uint64_t
-sumCacheMisses(const std::vector<CacheStats> &stats)
+sumCacheMisses(const SweepResult &r, std::size_t count, View view)
 {
     std::uint64_t total = 0;
-    for (const CacheStats &s : stats)
-        total += s.totalMisses();
+    for (std::size_t i = 0; i < count; ++i)
+        total += view(r, i).stats.totalMisses();
     return total;
 }
 
@@ -166,12 +167,18 @@ TEST(ObservedSweep, CountersMatchTheSweepResultTheyDescribe)
                                     runConfig(2), &observation);
     const obs::MetricRegistry &m = observation.metrics;
     EXPECT_EQ(m.counter("icache/misses"),
-              sumCacheMisses(r.icacheStats));
+              sumCacheMisses(r, r.icacheCount(),
+                             [](const SweepResult &sr, std::size_t i) {
+                                 return sr.icache(i);
+                             }));
     EXPECT_EQ(m.counter("dcache/misses"),
-              sumCacheMisses(r.dcacheStats));
+              sumCacheMisses(r, r.dcacheCount(),
+                             [](const SweepResult &sr, std::size_t i) {
+                                 return sr.dcache(i);
+                             }));
     std::uint64_t tlb_refills = 0;
-    for (const MmuStats &s : r.tlbStats)
-        tlb_refills += s.refillCycles();
+    for (std::size_t i = 0; i < r.tlbCount(); ++i)
+        tlb_refills += r.tlb(i).stats.refillCycles();
     EXPECT_EQ(m.counter("tlb/refill_cycles"), tlb_refills);
     EXPECT_EQ(m.counter("machine/instructions"), r.instructions);
     EXPECT_EQ(m.counter("trace/references"), r.references);

@@ -56,27 +56,28 @@ expectSameSweepResult(const SweepResult &serial, const SweepResult &par)
 {
     ASSERT_EQ(serial.instructions, par.instructions);
     ASSERT_EQ(serial.references, par.references);
-    ASSERT_EQ(serial.icacheStats.size(), par.icacheStats.size());
-    ASSERT_EQ(serial.dcacheStats.size(), par.dcacheStats.size());
-    ASSERT_EQ(serial.tlbStats.size(), par.tlbStats.size());
-    for (std::size_t i = 0; i < serial.icacheStats.size(); ++i)
-        expectSameCacheStats(serial.icacheStats[i], par.icacheStats[i],
-                             "icache", i);
-    for (std::size_t i = 0; i < serial.dcacheStats.size(); ++i)
-        expectSameCacheStats(serial.dcacheStats[i], par.dcacheStats[i],
-                             "dcache", i);
-    for (std::size_t i = 0; i < serial.tlbStats.size(); ++i)
-        expectSameMmuStats(serial.tlbStats[i], par.tlbStats[i], i);
+    ASSERT_EQ(serial.icacheCount(), par.icacheCount());
+    ASSERT_EQ(serial.dcacheCount(), par.dcacheCount());
+    ASSERT_EQ(serial.tlbCount(), par.tlbCount());
+    for (std::size_t i = 0; i < serial.icacheCount(); ++i)
+        expectSameCacheStats(serial.icache(i).stats,
+                             par.icache(i).stats, "icache", i);
+    for (std::size_t i = 0; i < serial.dcacheCount(); ++i)
+        expectSameCacheStats(serial.dcache(i).stats,
+                             par.dcache(i).stats, "dcache", i);
+    for (std::size_t i = 0; i < serial.tlbCount(); ++i)
+        expectSameMmuStats(serial.tlb(i).stats, par.tlb(i).stats, i);
     EXPECT_TRUE(sameBits(serial.wbCpi, par.wbCpi));
     EXPECT_TRUE(sameBits(serial.otherCpi, par.otherCpi));
 
     // The derived CPI contributions are computed from the counters,
     // so identical counters imply identical doubles; spot-check.
     const MachineParams mp = MachineParams::decstation3100();
-    for (std::size_t i = 0; i < serial.icacheStats.size(); ++i)
-        EXPECT_TRUE(sameBits(serial.icacheCpi(i, mp), par.icacheCpi(i, mp)));
-    for (std::size_t i = 0; i < serial.tlbStats.size(); ++i)
-        EXPECT_TRUE(sameBits(serial.tlbCpi(i), par.tlbCpi(i)));
+    for (std::size_t i = 0; i < serial.icacheCount(); ++i)
+        EXPECT_TRUE(sameBits(serial.icache(i).cpi(mp),
+                             par.icache(i).cpi(mp)));
+    for (std::size_t i = 0; i < serial.tlbCount(); ++i)
+        EXPECT_TRUE(sameBits(serial.tlb(i).cpi(), par.tlb(i).cpi()));
 }
 
 std::vector<CacheGeometry>

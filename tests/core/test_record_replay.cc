@@ -62,27 +62,29 @@ expectSameSweepResult(const SweepResult &a, const SweepResult &b)
 {
     ASSERT_EQ(a.instructions, b.instructions);
     ASSERT_EQ(a.references, b.references);
-    ASSERT_EQ(a.icacheStats.size(), b.icacheStats.size());
-    ASSERT_EQ(a.dcacheStats.size(), b.dcacheStats.size());
-    ASSERT_EQ(a.tlbStats.size(), b.tlbStats.size());
-    for (std::size_t i = 0; i < a.icacheStats.size(); ++i)
-        expectSameCacheStats(a.icacheStats[i], b.icacheStats[i],
+    ASSERT_EQ(a.icacheCount(), b.icacheCount());
+    ASSERT_EQ(a.dcacheCount(), b.dcacheCount());
+    ASSERT_EQ(a.tlbCount(), b.tlbCount());
+    for (std::size_t i = 0; i < a.icacheCount(); ++i)
+        expectSameCacheStats(a.icache(i).stats, b.icache(i).stats,
                              "icache", i);
-    for (std::size_t i = 0; i < a.dcacheStats.size(); ++i)
-        expectSameCacheStats(a.dcacheStats[i], b.dcacheStats[i],
+    for (std::size_t i = 0; i < a.dcacheCount(); ++i)
+        expectSameCacheStats(a.dcache(i).stats, b.dcache(i).stats,
                              "dcache", i);
-    for (std::size_t i = 0; i < a.tlbStats.size(); ++i)
-        expectSameMmuStats(a.tlbStats[i], b.tlbStats[i], i);
+    for (std::size_t i = 0; i < a.tlbCount(); ++i)
+        expectSameMmuStats(a.tlb(i).stats, b.tlb(i).stats, i);
     EXPECT_TRUE(sameBits(a.wbCpi, b.wbCpi));
     EXPECT_TRUE(sameBits(a.otherCpi, b.otherCpi));
 
     const MachineParams mp = MachineParams::decstation3100();
-    for (std::size_t i = 0; i < a.icacheStats.size(); ++i)
-        EXPECT_TRUE(sameBits(a.icacheCpi(i, mp), b.icacheCpi(i, mp)));
-    for (std::size_t i = 0; i < a.dcacheStats.size(); ++i)
-        EXPECT_TRUE(sameBits(a.dcacheCpi(i, mp), b.dcacheCpi(i, mp)));
-    for (std::size_t i = 0; i < a.tlbStats.size(); ++i)
-        EXPECT_TRUE(sameBits(a.tlbCpi(i), b.tlbCpi(i)));
+    for (std::size_t i = 0; i < a.icacheCount(); ++i)
+        EXPECT_TRUE(
+            sameBits(a.icache(i).cpi(mp), b.icache(i).cpi(mp)));
+    for (std::size_t i = 0; i < a.dcacheCount(); ++i)
+        EXPECT_TRUE(
+            sameBits(a.dcache(i).cpi(mp), b.dcache(i).cpi(mp)));
+    for (std::size_t i = 0; i < a.tlbCount(); ++i)
+        EXPECT_TRUE(sameBits(a.tlb(i).cpi(), b.tlb(i).cpi()));
 }
 
 std::vector<CacheGeometry>

@@ -1,0 +1,327 @@
+/**
+ * @file
+ * End-to-end contract of store-backed sweeps: a cold run (fills the
+ * store), a warm run (replays from it, record phase skipped), and a
+ * resumed run after a mid-sweep kill must all be bitwise identical
+ * to a live no-store sweep — at 1 and 4 threads — and corrupt
+ * entries must fall back to live simulation, never to wrong data.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include <unistd.h>
+
+#include "core/sweep.hh"
+#include "obs/metrics.hh"
+
+namespace oma
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+void
+expectSameCacheStats(const CacheStats &a, const CacheStats &b,
+                     const char *what, std::size_t i)
+{
+    for (unsigned k = 0; k < numRefKinds; ++k) {
+        ASSERT_EQ(a.accesses[k], b.accesses[k]) << what << " " << i;
+        ASSERT_EQ(a.misses[k], b.misses[k]) << what << " " << i;
+    }
+    ASSERT_EQ(a.lineFills, b.lineFills) << what << " " << i;
+    ASSERT_EQ(a.writebacks, b.writebacks) << what << " " << i;
+    ASSERT_EQ(a.writeThroughWords, b.writeThroughWords)
+        << what << " " << i;
+    ASSERT_EQ(a.compulsoryMisses, b.compulsoryMisses)
+        << what << " " << i;
+}
+
+void
+expectSameMmuStats(const MmuStats &a, const MmuStats &b, std::size_t i)
+{
+    ASSERT_EQ(a.translations, b.translations) << "tlb " << i;
+    for (unsigned c = 0; c < numMissClasses; ++c) {
+        ASSERT_EQ(a.counts[c], b.counts[c]) << "tlb " << i;
+        ASSERT_EQ(a.cycles[c], b.cycles[c]) << "tlb " << i;
+    }
+    ASSERT_EQ(a.asidFlushes, b.asidFlushes) << "tlb " << i;
+}
+
+/** Bitwise double equality (== would conflate -0.0 and 0.0). */
+bool
+sameBits(double a, double b)
+{
+    return std::memcmp(&a, &b, sizeof a) == 0;
+}
+
+void
+expectSameSweepResult(const SweepResult &a, const SweepResult &b)
+{
+    ASSERT_EQ(a.instructions, b.instructions);
+    ASSERT_EQ(a.references, b.references);
+    ASSERT_EQ(a.icacheCount(), b.icacheCount());
+    ASSERT_EQ(a.dcacheCount(), b.dcacheCount());
+    ASSERT_EQ(a.tlbCount(), b.tlbCount());
+    for (std::size_t i = 0; i < a.icacheCount(); ++i)
+        expectSameCacheStats(a.icache(i).stats, b.icache(i).stats,
+                             "icache", i);
+    for (std::size_t i = 0; i < a.dcacheCount(); ++i)
+        expectSameCacheStats(a.dcache(i).stats, b.dcache(i).stats,
+                             "dcache", i);
+    for (std::size_t i = 0; i < a.tlbCount(); ++i)
+        expectSameMmuStats(a.tlb(i).stats, b.tlb(i).stats, i);
+    EXPECT_TRUE(sameBits(a.wbCpi, b.wbCpi));
+    EXPECT_TRUE(sameBits(a.otherCpi, b.otherCpi));
+
+    const MachineParams mp = MachineParams::decstation3100();
+    for (std::size_t i = 0; i < a.icacheCount(); ++i)
+        EXPECT_TRUE(
+            sameBits(a.icache(i).cpi(mp), b.icache(i).cpi(mp)));
+    for (std::size_t i = 0; i < a.dcacheCount(); ++i)
+        EXPECT_TRUE(
+            sameBits(a.dcache(i).cpi(mp), b.dcache(i).cpi(mp)));
+    for (std::size_t i = 0; i < a.tlbCount(); ++i)
+        EXPECT_TRUE(sameBits(a.tlb(i).cpi(), b.tlb(i).cpi()));
+}
+
+std::vector<CacheGeometry>
+cacheSubset()
+{
+    std::vector<CacheGeometry> geoms;
+    for (std::uint64_t kb : {2, 8})
+        geoms.push_back(CacheGeometry::fromWords(kb * 1024, 4, 1));
+    geoms.push_back(CacheGeometry::fromWords(16 * 1024, 4, 2));
+    return geoms;
+}
+
+std::vector<TlbGeometry>
+tlbSubset()
+{
+    return {TlbGeometry::fullyAssoc(32), TlbGeometry(128, 2)};
+}
+
+ComponentSweep
+sweepUnderTest()
+{
+    return ComponentSweep(cacheSubset(), cacheSubset(), tlbSubset());
+}
+
+/** Replay tasks in one sweep: reference machine + every config. */
+std::uint64_t
+taskCount()
+{
+    return 1 + 2 * cacheSubset().size() + tlbSubset().size();
+}
+
+RunConfig
+storeRun(const std::string &dir, unsigned threads)
+{
+    RunConfig rc;
+    rc.references = 60000;
+    rc.seed = 42;
+    rc.threads = threads;
+    rc.storeDir = dir;
+    return rc;
+}
+
+/** Fresh per-test store directory (tests must not inherit a store
+ * from the environment either). */
+std::string
+freshStoreDir(const std::string &name)
+{
+    ::unsetenv("OMA_STORE_DIR");
+    const std::string dir = testing::TempDir() + "/oma_sweep_store_" +
+        name + "." + std::to_string(::getpid());
+    fs::remove_all(dir);
+    return dir;
+}
+
+std::vector<fs::path>
+storeEntries(const std::string &dir)
+{
+    std::vector<fs::path> entries;
+    for (const auto &e : fs::recursive_directory_iterator(dir)) {
+        if (e.is_regular_file() && e.path().extension() == ".bin")
+            entries.push_back(e.path());
+    }
+    return entries;
+}
+
+TEST(StoreSweep, ColdAndWarmRunsMatchTheLiveResultBitwise)
+{
+    const ComponentSweep sweep = sweepUnderTest();
+    for (unsigned threads : {1u, 4u}) {
+        SCOPED_TRACE(threads);
+        const std::string dir = freshStoreDir("coldwarm");
+        const SweepResult live = sweep.run(
+            BenchmarkId::Mab, OsKind::Mach, storeRun("", threads));
+
+        obs::Observation cold_obs;
+        const SweepResult cold =
+            sweep.run(BenchmarkId::Mab, OsKind::Mach,
+                      storeRun(dir, threads), &cold_obs);
+        expectSameSweepResult(live, cold);
+        EXPECT_EQ(cold_obs.metrics.counter("sweep/records"), 1u);
+        EXPECT_EQ(cold_obs.metrics.counter("store/trace_hits"), 0u);
+        // Everything persisted: the recording plus one shard per task.
+        EXPECT_EQ(cold_obs.metrics.counter("store/writes"),
+                  1 + taskCount());
+
+        obs::Observation warm_obs;
+        const SweepResult warm =
+            sweep.run(BenchmarkId::Mab, OsKind::Mach,
+                      storeRun(dir, threads), &warm_obs);
+        expectSameSweepResult(live, warm);
+        // The warm run does zero record-phase work and zero writes.
+        EXPECT_EQ(warm_obs.metrics.counter("sweep/records"), 0u);
+        EXPECT_EQ(warm_obs.metrics.counter("sweep/record_skips"), 1u);
+        EXPECT_EQ(warm_obs.metrics.counter("store/trace_hits"), 1u);
+        EXPECT_EQ(warm_obs.metrics.counter("store/hits"),
+                  1 + taskCount());
+        EXPECT_EQ(warm_obs.metrics.counter("store/misses"), 0u);
+        EXPECT_EQ(warm_obs.metrics.counter("store/writes"), 0u);
+        fs::remove_all(dir);
+    }
+}
+
+TEST(StoreSweep, WarmReuseIsThreadCountInvariant)
+{
+    // Thread count is not part of any fingerprint: a store filled at
+    // 1 thread serves a 4-thread run (and vice versa) bitwise.
+    const ComponentSweep sweep = sweepUnderTest();
+    const std::string dir = freshStoreDir("crossthreads");
+    const SweepResult cold = sweep.run(BenchmarkId::Mpeg,
+                                       OsKind::Ultrix, storeRun(dir, 1));
+    obs::Observation warm_obs;
+    const SweepResult warm =
+        sweep.run(BenchmarkId::Mpeg, OsKind::Ultrix, storeRun(dir, 4),
+                  &warm_obs);
+    expectSameSweepResult(cold, warm);
+    EXPECT_EQ(warm_obs.metrics.counter("store/hits"), 1 + taskCount());
+    fs::remove_all(dir);
+}
+
+TEST(StoreSweep, DifferentConfigurationsNeverShareEntries)
+{
+    // Same store directory, different seed: nothing may be reused.
+    const ComponentSweep sweep = sweepUnderTest();
+    const std::string dir = freshStoreDir("keyed");
+    RunConfig rc = storeRun(dir, 2);
+    (void)sweep.run(BenchmarkId::Mab, OsKind::Mach, rc);
+    rc.seed = 43;
+    obs::Observation observation;
+    (void)sweep.run(BenchmarkId::Mab, OsKind::Mach, rc, &observation);
+    EXPECT_EQ(observation.metrics.counter("store/hits"), 0u);
+    EXPECT_EQ(observation.metrics.counter("sweep/records"), 1u);
+    fs::remove_all(dir);
+}
+
+TEST(StoreSweep, CorruptEntriesFallBackToLiveSimulation)
+{
+    const ComponentSweep sweep = sweepUnderTest();
+    const std::string dir = freshStoreDir("corrupt");
+    const SweepResult live = sweep.run(BenchmarkId::Mab, OsKind::Mach,
+                                       storeRun("", 2));
+    (void)sweep.run(BenchmarkId::Mab, OsKind::Mach, storeRun(dir, 2));
+
+    // Flip the last byte (payload tail) of every entry: checksums
+    // fail, every load quarantines, and the sweep re-simulates.
+    const auto entries = storeEntries(dir);
+    ASSERT_EQ(entries.size(), 1 + taskCount());
+    for (const fs::path &path : entries) {
+        std::fstream f(path,
+                       std::ios::binary | std::ios::in | std::ios::out);
+        f.seekg(-1, std::ios::end);
+        char last = 0;
+        f.get(last);
+        f.seekp(-1, std::ios::end);
+        const char flipped = char(last ^ 0x40);
+        f.write(&flipped, 1);
+    }
+
+    obs::Observation observation;
+    const SweepResult recovered =
+        sweep.run(BenchmarkId::Mab, OsKind::Mach, storeRun(dir, 2),
+                  &observation);
+    expectSameSweepResult(live, recovered);
+    EXPECT_EQ(observation.metrics.counter("store/quarantined"),
+              1 + taskCount());
+    EXPECT_EQ(observation.metrics.counter("store/hits"), 0u);
+    EXPECT_EQ(observation.metrics.counter("sweep/records"), 1u);
+
+    // The fallback rewrote every entry, so the next run is warm.
+    obs::Observation warm_obs;
+    const SweepResult warm = sweep.run(
+        BenchmarkId::Mab, OsKind::Mach, storeRun(dir, 2), &warm_obs);
+    expectSameSweepResult(live, warm);
+    EXPECT_EQ(warm_obs.metrics.counter("store/misses"), 0u);
+    EXPECT_EQ(warm_obs.metrics.counter("store/hits"), 1 + taskCount());
+    fs::remove_all(dir);
+}
+
+TEST(StoreSweep, KilledSweepResumesFromPersistedShards)
+{
+    const ComponentSweep sweep = sweepUnderTest();
+    const std::string dir = freshStoreDir("resume");
+    const SweepResult live = sweep.run(BenchmarkId::Mab, OsKind::Mach,
+                                       storeRun("", 1));
+
+    // Child process: serial store-backed sweep, killed hard after
+    // its third completed replay task (each shard is persisted
+    // before its progress tick, so the kill point bounds what the
+    // store may be missing).
+    constexpr std::uint64_t kill_after = 3;
+    EXPECT_EXIT(
+        {
+            obs::Progress progress(
+                taskCount(),
+                [](std::uint64_t done, std::uint64_t) {
+                    if (done >= kill_after)
+                        ::_exit(42);
+                },
+                taskCount());
+            obs::Observation observation;
+            observation.progress = &progress;
+            (void)sweep.run(BenchmarkId::Mab, OsKind::Mach,
+                            storeRun(dir, 1), &observation);
+        },
+        testing::ExitedWithCode(42), "");
+
+    // The kill left a partial store: the recording plus the
+    // completed shards, and not the full set.
+    const std::size_t partial = storeEntries(dir).size();
+    EXPECT_GE(partial, 1 + kill_after);
+    EXPECT_LT(partial, 1 + taskCount());
+
+    obs::Observation resumed_obs;
+    const SweepResult resumed =
+        sweep.run(BenchmarkId::Mab, OsKind::Mach, storeRun(dir, 1),
+                  &resumed_obs);
+    expectSameSweepResult(live, resumed);
+    // The resume skips the record phase and every persisted shard...
+    EXPECT_EQ(resumed_obs.metrics.counter("sweep/records"), 0u);
+    EXPECT_EQ(resumed_obs.metrics.counter("store/trace_hits"), 1u);
+    EXPECT_GE(resumed_obs.metrics.counter("store/hits"),
+              1 + kill_after);
+    // ...and persists only what the kill lost.
+    EXPECT_EQ(resumed_obs.metrics.counter("store/writes"),
+              1 + taskCount() - partial);
+
+    // After the resume the store is complete, also for 4 threads.
+    obs::Observation warm_obs;
+    const SweepResult warm = sweep.run(
+        BenchmarkId::Mab, OsKind::Mach, storeRun(dir, 4), &warm_obs);
+    expectSameSweepResult(live, warm);
+    EXPECT_EQ(warm_obs.metrics.counter("store/misses"), 0u);
+    fs::remove_all(dir);
+}
+
+} // namespace
+} // namespace oma

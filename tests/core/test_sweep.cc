@@ -40,9 +40,9 @@ runSweep(OsKind os, std::uint64_t refs = 300000)
 TEST(ComponentSweep, ShapesMatchConfiguration)
 {
     const SweepResult r = runSweep(OsKind::Ultrix);
-    EXPECT_EQ(r.icacheStats.size(), 3u);
-    EXPECT_EQ(r.dcacheStats.size(), 3u);
-    EXPECT_EQ(r.tlbStats.size(), 3u);
+    EXPECT_EQ(r.icacheCount(), 3u);
+    EXPECT_EQ(r.dcacheCount(), 3u);
+    EXPECT_EQ(r.tlbCount(), 3u);
     EXPECT_EQ(r.references, 300000u);
     EXPECT_GT(r.instructions, 100000u);
 }
@@ -50,22 +50,22 @@ TEST(ComponentSweep, ShapesMatchConfiguration)
 TEST(ComponentSweep, MissRatiosFallWithCapacity)
 {
     const SweepResult r = runSweep(OsKind::Mach);
-    EXPECT_GT(r.icacheMissRatio(0), r.icacheMissRatio(1));
-    EXPECT_GT(r.icacheMissRatio(1), r.icacheMissRatio(2));
-    EXPECT_GT(r.dcacheMissRatio(0), r.dcacheMissRatio(2));
+    EXPECT_GT(r.icache(0).missRatio(), r.icache(1).missRatio());
+    EXPECT_GT(r.icache(1).missRatio(), r.icache(2).missRatio());
+    EXPECT_GT(r.dcache(0).missRatio(), r.dcache(2).missRatio());
 }
 
 TEST(ComponentSweep, CpiContributionMath)
 {
     const SweepResult r = runSweep(OsKind::Ultrix);
     const MachineParams mp = MachineParams::decstation3100();
-    // icacheCpi = misses x penalty / instructions.
-    const double expected = double(r.icacheStats[1].totalMisses()) *
-        double(mp.missPenalty(r.icacheGeoms[1])) /
+    // icache CPI = misses x penalty / instructions.
+    const double expected = double(r.icache(1).stats.totalMisses()) *
+        double(mp.missPenalty(r.icache(1).geom)) /
         double(r.instructions);
-    EXPECT_DOUBLE_EQ(r.icacheCpi(1, mp), expected);
-    EXPECT_GT(r.tlbCpi(0), 0.0);
-    EXPECT_GE(r.tlbCpi(0), r.tlbCpi(1)); // larger FA TLB: fewer cycles
+    EXPECT_DOUBLE_EQ(r.icache(1).cpi(mp), expected);
+    EXPECT_GT(r.tlb(0).cpi(), 0.0);
+    EXPECT_GE(r.tlb(0).cpi(), r.tlb(1).cpi()); // larger FA TLB: fewer cycles
 }
 
 TEST(ComponentSweep, DcacheStoresFreeOnlyOnOneWordLines)
@@ -81,13 +81,13 @@ TEST(ComponentSweep, DcacheStoresFreeOnlyOnOneWordLines)
                                     OsKind::Ultrix, rc);
     const MachineParams mp = MachineParams::decstation3100();
     // The 1-word D-config charges only load misses.
-    const double d1 = double(r.dcacheStats[0].misses[unsigned(
+    const double d1 = double(r.dcache(0).stats.misses[unsigned(
                           RefKind::Load)]) *
         6.0 / double(r.instructions);
-    // (dcacheGeoms holds the "wide" list; dcacheCpi(0) uses it.)
-    const double charged = r.dcacheCpi(0, mp);
+    // (the D-cache bank holds the "wide" list; dcache(0) uses it.)
+    const double charged = r.dcache(0).cpi(mp);
     const double all_misses =
-        double(r.dcacheStats[0].totalMisses()) * 9.0 /
+        double(r.dcache(0).stats.totalMisses()) * 9.0 /
         double(r.instructions);
     EXPECT_LE(charged, all_misses + 1e-12);
     (void)d1;
@@ -97,7 +97,7 @@ TEST(ComponentSweep, MachTlbServiceExceedsUltrix)
 {
     const SweepResult u = runSweep(OsKind::Ultrix);
     const SweepResult m = runSweep(OsKind::Mach);
-    EXPECT_GT(m.tlbCpi(1), u.tlbCpi(1)); // 64-entry FA (the R2000)
+    EXPECT_GT(m.tlb(1).cpi(), u.tlb(1).cpi()); // 64-entry FA (the R2000)
 }
 
 TEST(ComponentCpiTables, AveragesAcrossWorkloads)
@@ -114,8 +114,8 @@ TEST(ComponentCpiTables, AveragesAcrossWorkloads)
         ComponentCpiTables::average(results, mp);
     ASSERT_EQ(tables.icacheCpi.size(), 3u);
     for (std::size_t i = 0; i < 3; ++i) {
-        const double mean = 0.5 * (results[0].icacheCpi(i, mp) +
-                                   results[1].icacheCpi(i, mp));
+        const double mean = 0.5 * (results[0].icache(i).cpi(mp) +
+                                   results[1].icache(i).cpi(mp));
         EXPECT_NEAR(tables.icacheCpi[i], mean, 1e-12);
     }
     EXPECT_DOUBLE_EQ(tables.baseCpi, 1.0);
@@ -128,6 +128,24 @@ TEST(ComponentCpiTablesDeath, EmptyAverageRejected)
     EXPECT_DEATH(ComponentCpiTables::average(
                      {}, MachineParams::decstation3100()),
                  "zero sweep");
+}
+
+TEST(SweepResultDeath, OutOfRangeViewIndexIsFatal)
+{
+    // The views are the only way into per-configuration data, and
+    // every indexed accessor is bounds-checked: out-of-range indices
+    // exit fatally instead of reading past the vectors (the old
+    // surface's UB).
+    const SweepResult r = runSweep(OsKind::Ultrix, 50000);
+    const MachineParams mp = MachineParams::decstation3100();
+    EXPECT_EXIT((void)r.icache(3), testing::ExitedWithCode(1),
+                "SweepResult::icache\\(3\\)");
+    EXPECT_EXIT((void)r.dcache(100), testing::ExitedWithCode(1),
+                "SweepResult::dcache\\(100\\)");
+    EXPECT_EXIT((void)r.tlb(3), testing::ExitedWithCode(1),
+                "SweepResult::tlb\\(3\\)");
+    EXPECT_EXIT((void)r.icache(3).cpi(mp), testing::ExitedWithCode(1),
+                "only 3 configurations");
 }
 
 } // namespace

@@ -26,13 +26,13 @@ int main(int argc, char **argv) {
     std::cout << wl << " " << (os==OsKind::Mach?"Mach":"Ultrix") << "  instr=" << r.instructions << "\n";
     std::cout << "I-miss%: ";
     for (size_t i = 0; i < ig.size(); ++i)
-        std::cout << ig[i].capacityBytes/1024 << "K/" << ig[i].lineWords() << "w=" << 100*r.icacheMissRatio(i) << " ";
+        std::cout << ig[i].capacityBytes/1024 << "K/" << ig[i].lineWords() << "w=" << 100*r.icache(i).missRatio() << " ";
     std::cout << "\nD-miss%: ";
     for (size_t i = 0; i < dg.size(); ++i)
-        std::cout << dg[i].capacityBytes/1024 << "K/" << dg[i].lineWords() << "w=" << 100*r.dcacheMissRatio(i) << " ";
-    std::cout << "\nTLB64 cpi=" << r.tlbCpi(0) << " TLB256 cpi=" << r.tlbCpi(1)
+        std::cout << dg[i].capacityBytes/1024 << "K/" << dg[i].lineWords() << "w=" << 100*r.dcache(i).missRatio() << " ";
+    std::cout << "\nTLB64 cpi=" << r.tlb(0).cpi() << " TLB256 cpi=" << r.tlb(1).cpi()
               << " wbCpi=" << r.wbCpi << " otherCpi=" << r.otherCpi << "\n";
-    const MmuStats &m = r.tlbStats[0];
+    const MmuStats &m = r.tlb(0).stats;
     std::cout << "TLB64 classes (count/cpi): ";
     for (unsigned c = 0; c < numMissClasses; ++c)
         std::cout << missClassName(MissClass(c)) << "=" << m.counts[c]
