@@ -18,8 +18,11 @@
 #include "bench/common.hh"
 #include "cache/bank.hh"
 #include "cache/cheetah.hh"
+#include "cache/replay.hh"
 #include "core/search.hh"
 #include "machine/machine.hh"
+#include "store/codec.hh"
+#include "tlb/replay.hh"
 #include "tlb/tapeworm.hh"
 #include "workload/system.hh"
 
@@ -278,6 +281,103 @@ BM_RecordTrace(benchmark::State &state)
 }
 BENCHMARK(BM_RecordTrace)->Unit(benchmark::kMillisecond);
 
+/** One shared recording for the replay-kernel comparison. */
+const RecordedTrace &
+replayKernelTrace()
+{
+    static RecordedTrace trace;
+    if (trace.empty()) {
+        System system(benchmarkParams(BenchmarkId::Mpeg),
+                      OsKind::Mach, 42);
+        trace = system.record(1 << 18);
+    }
+    return trace;
+}
+
+/**
+ * The tentpole comparison: one sweep replay leg (I-cache fetches,
+ * D-cache data, one MMU) driven per-reference through the scalar
+ * views vs through the batched chunk kernels, over the same
+ * recording. Arg(0) (scalar) is registered before Arg(1) (batched)
+ * so the batched run can report its measured speedup; the run report
+ * gains the `replay/speedup_vs_scalar` gauge the CI replay-
+ * equivalence job gates on, plus the v3 encoded footprint
+ * (`trace/bytes_per_ref`, `trace/encoded_bytes`).
+ */
+void
+BM_ReplayKernel(benchmark::State &state)
+{
+    static double scalar_seconds = 0.0;
+    const RecordedTrace &trace = replayKernelTrace();
+    const bool batched = state.range(0) != 0;
+
+    CacheParams cp;
+    cp.geom = CacheGeometry::fromWords(8 * 1024, 4, 2);
+    TlbParams tp;
+    tp.geom = TlbGeometry::fullyAssoc(64);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    for (auto _ : state) {
+        Cache icache(cp), dcache(cp);
+        Mmu mmu(tp, TlbPenalties());
+        if (batched) {
+            replayFetchBatched(trace, icache);
+            replayCachedDataBatched(trace, dcache);
+            replayTranslateBatched(trace, mmu);
+        } else {
+            trace.replayFetchPaddrs([&](std::uint64_t paddr) {
+                icache.access(paddr, RefKind::IFetch);
+            });
+            trace.replayCachedData(
+                [&](std::uint64_t paddr, RefKind kind) {
+                    dcache.access(paddr, kind);
+                });
+            trace.replay(
+                [&](const MemRef &ref) { mmu.translate(ref); },
+                [&](const TraceEvent &e) {
+                    mmu.invalidatePage(e.vpn, e.asid, e.global);
+                });
+        }
+        benchmark::DoNotOptimize(icache.stats().totalMisses() +
+                                 dcache.stats().totalMisses() +
+                                 mmu.stats().totalMisses());
+    }
+    const double per_iter = state.iterations()
+        ? std::chrono::duration<double>(
+              std::chrono::steady_clock::now() - t0)
+                .count() /
+            double(state.iterations())
+        : 0.0;
+
+    state.counters["batched"] = batched ? 1.0 : 0.0;
+    if (!batched) {
+        scalar_seconds = per_iter;
+    } else if (scalar_seconds > 0.0 && per_iter > 0.0) {
+        const double speedup = scalar_seconds / per_iter;
+        state.counters["speedup_vs_scalar"] = speedup;
+        if (g_report != nullptr) {
+            g_report->metrics().set("replay/speedup_vs_scalar",
+                                    speedup);
+        }
+    }
+    if (batched && g_report != nullptr) {
+        const std::string encoded = store::encodeTrace(trace);
+        g_report->metrics().add("trace/encoded_bytes",
+                                encoded.size());
+        g_report->metrics().set("trace/bytes_per_ref",
+                                double(encoded.size()) /
+                                    double(trace.size()));
+    }
+    // Three replay legs consume the full stream each iteration.
+    state.SetItemsProcessed(state.iterations() *
+                            int64_t(3 * trace.size()));
+}
+BENCHMARK(BM_ReplayKernel)
+    ->Arg(0)
+    ->Arg(1)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
 /**
  * Replaying one shared recording through a Table 5 grid subset —
  * the phase-2 half of ComponentSweep::run, as driven by a v2 trace
@@ -308,6 +408,10 @@ BM_ReplaySweep(benchmark::State &state)
     }
     state.counters["threads"] = double(threads);
     state.counters["bytes_per_ref"] = double(trace.byteSize()) /
+        double(std::max<std::uint64_t>(1, trace.size()));
+    // The stored (v3 delta/varint) footprint of the same recording.
+    state.counters["encoded_bytes_per_ref"] =
+        double(store::encodeTrace(trace).size()) /
         double(std::max<std::uint64_t>(1, trace.size()));
     state.SetItemsProcessed(state.iterations() *
                             int64_t(trace.size()));

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Validate BENCH_*.json run reports against oma-run-report-v1.
 
-Usage: check_run_report.py FILE [FILE...]
+Usage: check_run_report.py [OPTIONS] FILE [FILE...]
 
 Checks, per file (see docs/OBSERVABILITY.md for the schema):
   - parses as JSON with the five fixed top-level keys;
@@ -13,6 +13,12 @@ Checks, per file (see docs/OBSERVABILITY.md for the schema):
   - histograms carry integer count/sum/min/max, a numeric (or
     non-finite-string) mean, and power-of-two bucket bounds whose
     occupancy sums to count.
+
+Threshold options (repeatable, applied to every FILE):
+  --require-gauge-above NAME=VALUE   gauge NAME must exist, be finite
+                                     and be strictly greater than VALUE
+  --require-gauge-below NAME=VALUE   gauge NAME must exist, be finite
+                                     and be strictly less than VALUE
 
 Exits non-zero listing every violation; prints one OK line per valid
 file so CI logs show what was actually checked.
@@ -76,6 +82,40 @@ def check_histogram(name, h, errors):
             f"count {h['count']}")
 
 
+def parse_threshold(spec, flag):
+    """Split a NAME=VALUE threshold spec; exit(2) on a malformed one."""
+    name, sep, raw = spec.partition("=")
+    try:
+        value = float(raw)
+    except ValueError:
+        value = None
+    if not sep or not name or value is None or value != value:
+        print(f"{flag}: expected NAME=VALUE with a finite numeric "
+              f"VALUE, got {spec!r}", file=sys.stderr)
+        sys.exit(2)
+    return name, value
+
+
+def check_thresholds(path, doc, thresholds):
+    """Apply (name, bound, above) gauge thresholds to one report."""
+    errors = []
+    for name, bound, above in thresholds:
+        value = doc["gauges"].get(name)
+        if value is None:
+            errors.append(f"gauge {name}: required but missing")
+            continue
+        if not isinstance(value, (int, float)) or isinstance(
+                value, bool) or value != value:
+            errors.append(
+                f"gauge {name}: {value!r} is not a finite number")
+            continue
+        if above and not value > bound:
+            errors.append(f"gauge {name}: {value} is not > {bound}")
+        elif not above and not value < bound:
+            errors.append(f"gauge {name}: {value} is not < {bound}")
+    return errors
+
+
 def check_report(path):
     errors = []
     try:
@@ -116,22 +156,44 @@ def check_report(path):
 
 
 def main(argv):
-    if len(argv) < 2:
+    paths = []
+    thresholds = []
+    args = argv[1:]
+    while args:
+        arg = args.pop(0)
+        if arg in ("--require-gauge-above", "--require-gauge-below"):
+            if not args:
+                print(f"{arg}: missing NAME=VALUE argument",
+                      file=sys.stderr)
+                return 2
+            name, value = parse_threshold(args.pop(0), arg)
+            thresholds.append(
+                (name, value, arg == "--require-gauge-above"))
+        elif arg.startswith("--"):
+            print(f"unknown option {arg!r}", file=sys.stderr)
+            return 2
+        else:
+            paths.append(arg)
+    if not paths:
         print(__doc__.strip().splitlines()[2], file=sys.stderr)
         return 2
     failed = False
-    for path in argv[1:]:
+    for path in paths:
         errors = check_report(path)
+        if not errors:
+            with open(path, encoding="utf-8") as f:
+                doc = json.load(f)
+            errors = check_thresholds(path, doc, thresholds)
+            if not errors:
+                checked = (f", {len(thresholds)} thresholds"
+                           if thresholds else "")
+                print(f"OK {path}: {len(doc['counters'])} counters, "
+                      f"{len(doc['gauges'])} gauges, "
+                      f"{len(doc['histograms'])} histograms{checked}")
         if errors:
             failed = True
             for e in errors:
                 print(f"{path}: {e}", file=sys.stderr)
-        else:
-            with open(path, encoding="utf-8") as f:
-                doc = json.load(f)
-            print(f"OK {path}: {len(doc['counters'])} counters, "
-                  f"{len(doc['gauges'])} gauges, "
-                  f"{len(doc['histograms'])} histograms")
     return 1 if failed else 0
 
 

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Implementation of the batched cache replay drivers.
+ */
+
+#include "cache/replay.hh"
+
+#include <vector>
+
+#include "tlb/mips_va.hh"
+
+namespace oma
+{
+
+std::uint64_t
+replayFetchBatched(const RecordedTrace &trace, Cache &cache)
+{
+    std::vector<std::uint32_t> paddr;
+    paddr.reserve(RecordedTrace::chunkRefs);
+    std::uint64_t delivered = 0;
+    for (std::size_t c = 0; c < trace.numChunks(); ++c) {
+        const TraceChunkView v = trace.chunkView(c);
+        paddr.clear();
+        for (std::size_t i = 0; i < v.size; ++i) {
+            if (RefKind(v.flags[i] & RecordedTrace::kindMask) ==
+                RefKind::IFetch) {
+                paddr.push_back(v.paddr[i]);
+            }
+        }
+        cache.replayFetchBatch(paddr.data(), paddr.size());
+        delivered += paddr.size();
+    }
+    return delivered;
+}
+
+std::uint64_t
+replayCachedDataBatched(const RecordedTrace &trace, Cache &cache)
+{
+    std::vector<std::uint32_t> paddr;
+    std::vector<std::uint8_t> flags;
+    paddr.reserve(RecordedTrace::chunkRefs);
+    flags.reserve(RecordedTrace::chunkRefs);
+    std::uint64_t delivered = 0;
+    for (std::size_t c = 0; c < trace.numChunks(); ++c) {
+        const TraceChunkView v = trace.chunkView(c);
+        paddr.clear();
+        flags.clear();
+        for (std::size_t i = 0; i < v.size; ++i) {
+            if (RefKind(v.flags[i] & RecordedTrace::kindMask) !=
+                    RefKind::IFetch &&
+                !isUncached(std::uint64_t(v.vaddr[i]))) {
+                paddr.push_back(v.paddr[i]);
+                flags.push_back(v.flags[i]);
+            }
+        }
+        cache.replayDataBatch(paddr.data(), flags.data(),
+                              paddr.size());
+        delivered += paddr.size();
+    }
+    return delivered;
+}
+
+} // namespace oma

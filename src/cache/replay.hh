@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Batched trace-replay drivers for the cache simulator.
+ *
+ * The sweep engines used to push every reference through a per-ref
+ * callback (RecordedTrace::replayFetchPaddrs and friends), paying a
+ * filter branch and a lambda call per reference per configuration.
+ * These drivers instead walk the trace one storage chunk at a time,
+ * compact the surviving references into contiguous stride buffers
+ * (paddr, and for data replays the packed flag byte), and hand each
+ * buffer to the cache's batched kernel — which runs the geometry's
+ * compile-time-specialized inner loop. The compaction pass touches
+ * each column once per chunk; the kernel then streams a dense array.
+ *
+ * Both drivers visit exactly the references the per-ref views visit,
+ * in the same order, through the same access body — so their counter
+ * streams are bitwise-identical to the scalar path by construction
+ * (tests/core/test_batched_replay.cc).
+ */
+
+#ifndef OMA_CACHE_REPLAY_HH
+#define OMA_CACHE_REPLAY_HH
+
+#include <cstdint>
+
+#include "cache/cache.hh"
+#include "trace/recorded.hh"
+
+namespace oma
+{
+
+/**
+ * Replay every instruction fetch in @p trace through @p cache's
+ * batched kernel (the batched form of replayFetchPaddrs +
+ * access(paddr, IFetch)).
+ *
+ * @return References delivered to the cache.
+ */
+std::uint64_t replayFetchBatched(const RecordedTrace &trace,
+                                 Cache &cache);
+
+/**
+ * Replay every cached data access in @p trace — loads and stores
+ * surviving the kseg1 (uncached) filter — through @p cache's batched
+ * kernel (the batched form of replayCachedData + access(paddr,
+ * kind)).
+ *
+ * @return References delivered to the cache.
+ */
+std::uint64_t replayCachedDataBatched(const RecordedTrace &trace,
+                                      Cache &cache);
+
+} // namespace oma
+
+#endif // OMA_CACHE_REPLAY_HH

@@ -7,10 +7,12 @@
 
 #include <memory>
 
+#include "cache/replay.hh"
 #include "obs/export.hh"
 #include "store/codec.hh"
 #include "support/logging.hh"
 #include "support/threadpool.hh"
+#include "tlb/replay.hh"
 #include "trace/tracefile.hh"
 
 namespace oma
@@ -120,8 +122,13 @@ ComponentSweep::run(const WorkloadParams &workload, OsKind os,
         } else {
             trace = system.record(run.references);
         }
-        if (store != nullptr)
-            store->save(traceKey(base), store::encodeTrace(trace));
+        if (store != nullptr) {
+            const std::string payload = store::encodeTrace(trace);
+            store->save(traceKey(base), payload);
+            if (observation != nullptr)
+                obs::exportEncodedTrace(observation->metrics, "trace",
+                                        payload.size(), trace.size());
+        }
     }
 
     SweepResult result =
@@ -153,11 +160,14 @@ ComponentSweep::replayTrace(const RecordedTrace &trace,
     // keeps every lane busy; each index owns its private simulator
     // and writes only its own result slot, so the reduction order is
     // fixed by construction and the results are bitwise identical
-    // for any thread count. With the store enabled, each task first
-    // tries to load its shard (exact integer counters, so a hit
-    // reproduces the live slot bit-for-bit) and persists it right
-    // after simulating — which is what makes a killed sweep resume
-    // at its last completed shard.
+    // for any thread count. Cache and TLB tasks stream the packed
+    // trace columns through the batched replay kernels
+    // (cache/replay.hh, tlb/replay.hh) — the same access bodies as
+    // the scalar path, so batching cannot change any counter. With
+    // the store enabled, each task first tries to load its shard
+    // (exact integer counters, so a hit reproduces the live slot
+    // bit-for-bit) and persists it right after simulating — which is
+    // what makes a killed sweep resume at its last completed shard.
     const std::size_t n_i = _icacheGeoms.size();
     const std::size_t n_d = _dcacheGeoms.size();
     const std::size_t n_t = _tlbGeoms.size();
@@ -249,11 +259,12 @@ ComponentSweep::replayTrace(const RecordedTrace &trace,
                     return store::decodeCacheStats(p, stats);
                 })) {
                 Cache cache(params);
-                trace.replayFetchPaddrs([&](std::uint64_t paddr) {
-                    cache.access(paddr, RefKind::IFetch);
-                });
+                const std::uint64_t refs =
+                    replayFetchBatched(trace, cache);
                 stats = cache.stats();
                 saveShard(key, store::encodeCacheStats(stats));
+                if (observation != nullptr)
+                    shards[task].add("replay/batched_refs", refs);
             }
             result._icacheStats[i] = stats;
             if (observation != nullptr)
@@ -273,12 +284,12 @@ ComponentSweep::replayTrace(const RecordedTrace &trace,
                     return store::decodeCacheStats(p, stats);
                 })) {
                 Cache cache(params);
-                trace.replayCachedData(
-                    [&](std::uint64_t paddr, RefKind kind) {
-                        cache.access(paddr, kind);
-                    });
+                const std::uint64_t refs =
+                    replayCachedDataBatched(trace, cache);
                 stats = cache.stats();
                 saveShard(key, store::encodeCacheStats(stats));
+                if (observation != nullptr)
+                    shards[task].add("replay/batched_refs", refs);
             }
             result._dcacheStats[d] = stats;
             if (observation != nullptr)
@@ -299,13 +310,12 @@ ComponentSweep::replayTrace(const RecordedTrace &trace,
                     return store::decodeMmuStats(pay, stats);
                 })) {
                 Mmu mmu(p, _refMachine.tlbPenalties);
-                trace.replay(
-                    [&](const MemRef &ref) { mmu.translate(ref); },
-                    [&](const TraceEvent &e) {
-                        mmu.invalidatePage(e.vpn, e.asid, e.global);
-                    });
+                const std::uint64_t refs =
+                    replayTranslateBatched(trace, mmu);
                 stats = mmu.stats();
                 saveShard(key, store::encodeMmuStats(stats));
+                if (observation != nullptr)
+                    shards[task].add("replay/batched_refs", refs);
             }
             result._tlbStats[t] = stats;
             if (observation != nullptr)

@@ -5,8 +5,11 @@
 
 #include "store/codec.hh"
 
+#include <algorithm>
 #include <cstring>
 #include <vector>
+
+#include "trace/codec.hh"
 
 namespace oma::store
 {
@@ -78,6 +81,17 @@ class Reader
         return raw(&v, sizeof v);
     }
 
+    /** Borrow the next @p n bytes without copying them. */
+    bool
+    bytes(std::size_t n, std::string_view &v)
+    {
+        if (remaining() < n)
+            return fail();
+        v = _in.substr(_pos, n);
+        _pos += n;
+        return true;
+    }
+
     /** True when every byte was consumed and nothing failed. */
     [[nodiscard]] bool
     done() const
@@ -118,23 +132,30 @@ class Reader
 std::string
 encodeTrace(const RecordedTrace &trace)
 {
+    // Header, then the event section (checksummed), then one framed
+    // delta/varint payload per column chunk. Events come first so
+    // the decoder can interleave them while streaming the chunks.
     std::string out;
-    out.reserve(24 + trace.size() * RecordedTrace::packedRefBytes +
-                trace.events().size() * 21);
     appendU64(out, trace.size());
     appendU64(out, trace.events().size());
     appendF64(out, trace.otherCpi());
-    trace.replay([&](const MemRef &ref) {
-        appendU32(out, std::uint32_t(ref.vaddr));
-        appendU32(out, std::uint32_t(ref.paddr));
-        appendU8(out, std::uint8_t(ref.asid));
-        appendU8(out, RecordedTrace::packFlags(ref));
-    });
+    const std::size_t events_start = out.size();
     for (const TraceEvent &e : trace.events()) {
         appendU64(out, e.index);
         appendU64(out, e.vpn);
         appendU32(out, e.asid);
         appendU8(out, e.global ? 1 : 0);
+    }
+    appendU32(out, trace::fnv1a32(
+                       std::string_view(out).substr(events_start)));
+    for (std::size_t c = 0; c < trace.numChunks(); ++c) {
+        const TraceChunkView v = trace.chunkView(c);
+        const std::string chunk = trace::encodeColumns(
+            v.vaddr, v.paddr, v.asid, v.flags, v.size);
+        appendU32(out, std::uint32_t(v.size));
+        appendU32(out, std::uint32_t(chunk.size()));
+        appendU32(out, trace::fnv1a32(chunk));
+        out += chunk;
     }
     return out;
 }
@@ -148,19 +169,23 @@ decodeTrace(std::string_view payload, RecordedTrace &trace)
     if (!r.u64(size) || !r.u64(event_count) || !r.f64(other_cpi))
         return false;
 
-    // Events are framed after the reference columns, but
+    // The event section precedes the chunks, but
     // recordInvalidation() pins an event to the *current* append
-    // position — so parse both sections first, then interleave.
-    const std::size_t refs_bytes =
-        std::size_t(size) * RecordedTrace::packedRefBytes;
-    const std::size_t events_bytes = std::size_t(event_count) * 21;
-    if (payload.size() != 24 + refs_bytes + events_bytes)
+    // position — so parse the events first, then interleave them
+    // while streaming the chunks.
+    if (event_count > payload.size()) // also caps the * 21 below
         return false;
-
+    std::string_view event_bytes;
+    std::uint32_t events_sum = 0;
+    if (!r.bytes(std::size_t(event_count) * 21, event_bytes) ||
+        !r.u32(events_sum) ||
+        trace::fnv1a32(event_bytes) != events_sum) {
+        return false;
+    }
     std::vector<TraceEvent> events;
     events.reserve(std::size_t(event_count));
     {
-        Reader ev(payload.substr(24 + refs_bytes));
+        Reader ev(event_bytes);
         for (std::uint64_t i = 0; i < event_count; ++i) {
             TraceEvent e{};
             std::uint8_t global = 0;
@@ -177,24 +202,36 @@ decodeTrace(std::string_view payload, RecordedTrace &trace)
 
     RecordedTrace decoded;
     std::size_t next_event = 0;
-    for (std::uint64_t i = 0; i < size; ++i) {
-        while (next_event < events.size() &&
-               events[next_event].index == i) {
-            const TraceEvent &e = events[next_event++];
-            decoded.recordInvalidation(e.vpn, e.asid, e.global);
-        }
-        std::uint32_t vaddr = 0, paddr = 0;
-        std::uint8_t asid = 0, flags = 0;
-        if (!r.u32(vaddr) || !r.u32(paddr) || !r.u8(asid) ||
-            !r.u8(flags)) {
+    std::uint64_t index = 0;
+    trace::ChunkColumns cols;
+    while (index < size) {
+        // RecordedTrace chunks deterministically, so every chunk but
+        // the last must hold exactly chunkRefs references.
+        const std::size_t expect = std::size_t(
+            std::min<std::uint64_t>(RecordedTrace::chunkRefs,
+                                    size - index));
+        std::uint32_t ref_count = 0, chunk_bytes = 0, chunk_sum = 0;
+        std::string_view chunk;
+        if (!r.u32(ref_count) || !r.u32(chunk_bytes) ||
+            !r.u32(chunk_sum) || ref_count != expect ||
+            !r.bytes(chunk_bytes, chunk) ||
+            trace::fnv1a32(chunk) != chunk_sum ||
+            !trace::decodeColumns(chunk, expect, cols)) {
             return false;
         }
-        MemRef ref;
-        ref.vaddr = vaddr;
-        ref.paddr = paddr;
-        ref.asid = asid;
-        RecordedTrace::unpackFlags(flags, ref);
-        decoded.append(ref);
+        for (std::size_t i = 0; i < expect; ++i, ++index) {
+            while (next_event < events.size() &&
+                   events[next_event].index == index) {
+                const TraceEvent &e = events[next_event++];
+                decoded.recordInvalidation(e.vpn, e.asid, e.global);
+            }
+            MemRef ref;
+            ref.vaddr = cols.vaddr[i];
+            ref.paddr = cols.paddr[i];
+            ref.asid = cols.asid[i];
+            RecordedTrace::unpackFlags(cols.flags[i], ref);
+            decoded.append(ref);
+        }
     }
     // Events recorded after the final reference.
     for (; next_event < events.size(); ++next_event) {
@@ -203,6 +240,8 @@ decodeTrace(std::string_view payload, RecordedTrace &trace)
             return false;
         decoded.recordInvalidation(e.vpn, e.asid, e.global);
     }
+    if (!r.done())
+        return false;
     decoded.setOtherCpi(other_cpi);
     trace = std::move(decoded);
     return true;

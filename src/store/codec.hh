@@ -12,8 +12,12 @@
  *
  * Encoding is little-endian-agnostic host byte order via memcpy
  * (entries are per-machine caches; the fingerprint scheme ages them
- * out on format changes). Decoders are bounds-checked and return
- * false on any framing mismatch, which callers treat as a store miss.
+ * out on format changes). Trace payloads run each column chunk
+ * through the delta/varint codec (trace/codec.hh) with per-chunk
+ * checksums — the same byte layer as trace-file format v3 — so warm
+ * replays re-read a fraction of the packed 10 B/ref footprint.
+ * Decoders are bounds-checked and return false on any framing
+ * mismatch, which callers treat as a store miss.
  */
 
 #ifndef OMA_STORE_CODEC_HH
@@ -45,10 +49,12 @@ struct MachineShard
     std::uint64_t wbStallCycles = 0;
 };
 
-/** Serialize a recording (references, events, otherCpi). */
+/** Serialize a recording (references, events, otherCpi) through the
+ * v3 delta/varint chunk codec. */
 [[nodiscard]] std::string encodeTrace(const RecordedTrace &trace);
 
-/** @retval false on framing mismatch (treat as a store miss). */
+/** @retval false on framing mismatch, a checksum mismatch or a chunk
+ * that fails delta/varint decoding (treat any as a store miss). */
 [[nodiscard]] bool decodeTrace(std::string_view payload,
                                RecordedTrace &trace);
 

@@ -5,6 +5,8 @@
 
 #include "tlb/mmu.hh"
 
+#include "trace/recorded.hh"
+
 namespace oma
 {
 
@@ -67,23 +69,40 @@ Mmu::translate(const MemRef &ref)
 {
     if (!ref.mapped || !isMappedAddress(ref.vaddr))
         return 0;
+    return translateMapped(ref.vaddr, ref.asid, ref.isStore());
+}
 
+std::uint64_t
+Mmu::translatePacked(std::uint32_t vaddr, std::uint8_t asid,
+                     std::uint8_t flags)
+{
+    if ((flags & RecordedTrace::mappedBit) == 0 ||
+        !isMappedAddress(vaddr)) {
+        return 0;
+    }
+    const bool store =
+        RefKind(flags & RecordedTrace::kindMask) == RefKind::Store;
+    return translateMapped(vaddr, asid, store);
+}
+
+std::uint64_t
+Mmu::translateMapped(std::uint64_t vaddr, std::uint32_t asid,
+                     bool store)
+{
     ++_stats.translations;
-    const bool kernel_seg = inKseg2(ref.vaddr);
+    const bool kernel_seg = inKseg2(vaddr);
     if (_flushOnSwitch && !kernel_seg) {
-        if (_asidSeen && ref.asid != _currentAsid) {
+        if (_asidSeen && asid != _currentAsid) {
             // No ASIDs in the hardware: a context switch invalidates
             // every entry (kernel-global entries included — there is
             // no G bit either).
             _tlb.invalidateAll();
             ++_stats.asidFlushes;
         }
-        _currentAsid = ref.asid;
+        _currentAsid = asid;
         _asidSeen = true;
     }
-    const std::uint64_t vpn = vpnOf(ref.vaddr);
-    const std::uint32_t asid = ref.asid;
-    const bool store = ref.isStore();
+    const std::uint64_t vpn = vpnOf(vaddr);
     std::uint64_t cost = 0;
 
     if (_tlb.lookup(vpn, asid)) {

@@ -155,6 +155,16 @@ class Mmu
     std::uint64_t translate(const MemRef &ref);
 
     /**
+     * Translate one packed trace reference (columns straight out of
+     * a RecordedTrace chunk, no MemRef materialization): exactly
+     * equivalent to translate() on the decoded reference. @p flags
+     * is the packed trace flag byte (kind + mode + mapped bits).
+     */
+    std::uint64_t translatePacked(std::uint32_t vaddr,
+                                  std::uint8_t asid,
+                                  std::uint8_t flags);
+
+    /**
      * OS invalidation of a page (external pager, pageout, COW). The
      * next access takes an invalid fault.
      */
@@ -194,6 +204,11 @@ class Mmu
     }
 
     std::uint64_t charge(MissClass c);
+
+    /** The translation body behind both translate() entry points,
+     * past the unmapped-reference gate. */
+    std::uint64_t translateMapped(std::uint64_t vaddr,
+                                  std::uint32_t asid, bool store);
 
     /**
      * Refill for a missing page-table page. Charged as a nested

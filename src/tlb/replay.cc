@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Implementation of the batched MMU replay driver.
+ */
+
+#include "tlb/replay.hh"
+
+#include <vector>
+
+namespace oma
+{
+
+std::uint64_t
+replayTranslateBatched(const RecordedTrace &trace, Mmu &mmu)
+{
+    const std::vector<TraceEvent> &events = trace.events();
+    std::size_t e = 0;
+    std::uint64_t index = 0;
+    for (std::size_t c = 0; c < trace.numChunks(); ++c) {
+        const TraceChunkView v = trace.chunkView(c);
+        if (e == events.size() ||
+            events[e].index >= index + v.size) {
+            // No event fires inside this chunk (an event pinned to
+            // the chunk-end index belongs to the next chunk's first
+            // reference): run the dense loop.
+            for (std::size_t i = 0; i < v.size; ++i)
+                mmu.translatePacked(v.vaddr[i], v.asid[i], v.flags[i]);
+            index += v.size;
+            continue;
+        }
+        for (std::size_t i = 0; i < v.size; ++i, ++index) {
+            while (e < events.size() && events[e].index == index) {
+                const TraceEvent &ev = events[e++];
+                mmu.invalidatePage(ev.vpn, ev.asid, ev.global);
+            }
+            mmu.translatePacked(v.vaddr[i], v.asid[i], v.flags[i]);
+        }
+    }
+    return index;
+}
+
+} // namespace oma

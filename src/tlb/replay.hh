@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Batched trace-replay driver for the MMU model.
+ *
+ * The TLB leg of a sweep used to decode a MemRef per reference just
+ * to read four fields back out of it. This driver walks the packed
+ * RecordedTrace columns chunk by chunk and feeds them straight to
+ * Mmu::translatePacked, firing the trace's pinned invalidation
+ * events at exactly the positions the scalar replay fires them.
+ * Chunks with no pending events run a dense inner loop with no
+ * event bookkeeping at all — the common tail once a run's
+ * invalidation burst has passed.
+ *
+ * The event interleave and the translation body are shared with the
+ * scalar path, so the replay is bitwise-identical to
+ * RecordedTrace::replay + Mmu::translate by construction
+ * (tests/core/test_batched_replay.cc).
+ */
+
+#ifndef OMA_TLB_REPLAY_HH
+#define OMA_TLB_REPLAY_HH
+
+#include <cstdint>
+
+#include "tlb/mmu.hh"
+#include "trace/recorded.hh"
+
+namespace oma
+{
+
+/**
+ * Replay every reference in @p trace through @p mmu, delivering the
+ * trace's invalidation events before the reference each is pinned
+ * to (the batched form of replay(translate, invalidatePage)).
+ *
+ * @return References delivered to the MMU (trace.size()).
+ */
+std::uint64_t replayTranslateBatched(const RecordedTrace &trace,
+                                     Mmu &mmu);
+
+} // namespace oma
+
+#endif // OMA_TLB_REPLAY_HH

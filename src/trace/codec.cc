@@ -1,0 +1,173 @@
+#include "trace/codec.hh"
+
+#include "support/logging.hh"
+#include "trace/memref.hh"
+#include "trace/recorded.hh"
+
+namespace oma::trace
+{
+
+void
+putVarint(std::string &out, std::uint64_t v)
+{
+    while (v >= 0x80) {
+        out.push_back(char(std::uint8_t(v) | 0x80));
+        v >>= 7;
+    }
+    out.push_back(char(std::uint8_t(v)));
+}
+
+bool
+getVarint(std::string_view in, std::size_t &pos, std::uint64_t &v)
+{
+    v = 0;
+    for (unsigned shift = 0; shift < 70; shift += 7) {
+        if (pos >= in.size())
+            return false;
+        const std::uint8_t byte = std::uint8_t(in[pos++]);
+        if (shift == 63 && (byte & 0x7e) != 0)
+            return false; // bits past 2^64 — over-long encoding
+        v |= std::uint64_t(byte & 0x7f) << shift;
+        if ((byte & 0x80) == 0)
+            return true;
+    }
+    return false; // an 11th continuation byte — over-long encoding
+}
+
+std::uint32_t
+fnv1a32(std::string_view bytes, std::uint32_t seed)
+{
+    std::uint32_t h = seed;
+    for (const char c : bytes) {
+        h ^= std::uint8_t(c);
+        h *= 0x01000193u;
+    }
+    return h;
+}
+
+namespace
+{
+
+/** Last same-kind address seen, one slot per RefKind. */
+struct KindPredictor
+{
+    std::int64_t last[numRefKinds] = {0, 0, 0};
+};
+
+void
+encodeAddrColumn(std::string &out, const std::uint32_t *addr,
+                 const std::uint8_t *flags, std::size_t n)
+{
+    KindPredictor pred;
+    for (std::size_t i = 0; i < n; ++i) {
+        const unsigned kind = flags[i] & RecordedTrace::kindMask;
+        const std::int64_t value = std::int64_t(addr[i]);
+        putVarint(out, zigzag(value - pred.last[kind]));
+        pred.last[kind] = value;
+    }
+}
+
+bool
+decodeAddrColumn(std::string_view in, std::size_t &pos,
+                 const std::uint8_t *flags, std::size_t n,
+                 std::vector<std::uint32_t> &out)
+{
+    KindPredictor pred;
+    out.clear();
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        std::uint64_t enc = 0;
+        if (!getVarint(in, pos, enc))
+            return false;
+        const unsigned kind = flags[i] & RecordedTrace::kindMask;
+        const std::int64_t value = pred.last[kind] + unzigzag(enc);
+        if (value < 0 || value > std::int64_t(0xffffffffLL))
+            return false; // delta left the 32-bit address domain
+        pred.last[kind] = value;
+        out.push_back(std::uint32_t(value));
+    }
+    return true;
+}
+
+} // namespace
+
+std::string
+encodeColumns(const std::uint32_t *vaddr, const std::uint32_t *paddr,
+              const std::uint8_t *asid, const std::uint8_t *flags,
+              std::size_t n)
+{
+    std::string out;
+    // Flag nibbles first: both address columns predict per kind, so
+    // the decoder needs the kinds before either address column.
+    for (std::size_t i = 0; i < n; ++i) {
+        panicIf(flags[i] > 0xf ||
+                    (flags[i] & RecordedTrace::kindMask) >= numRefKinds,
+                "unencodable trace flag byte");
+    }
+    for (std::size_t i = 0; i < n; i += 2) {
+        const std::uint8_t hi =
+            i + 1 < n ? std::uint8_t(flags[i + 1] << 4) : 0;
+        out.push_back(char(flags[i] | hi));
+    }
+    // ASID runs.
+    for (std::size_t i = 0; i < n;) {
+        std::size_t run = 1;
+        while (i + run < n && asid[i + run] == asid[i])
+            ++run;
+        putVarint(out, run);
+        out.push_back(char(asid[i]));
+        i += run;
+    }
+    encodeAddrColumn(out, vaddr, flags, n);
+    encodeAddrColumn(out, paddr, flags, n);
+    return out;
+}
+
+bool
+decodeColumns(std::string_view payload, std::size_t n,
+              ChunkColumns &out)
+{
+    std::size_t pos = 0;
+
+    out.flags.clear();
+    out.flags.reserve(n);
+    for (std::size_t i = 0; i < n; i += 2) {
+        if (pos >= payload.size())
+            return false;
+        const std::uint8_t packed = std::uint8_t(payload[pos++]);
+        out.flags.push_back(packed & 0xf);
+        if (i + 1 < n)
+            out.flags.push_back(packed >> 4);
+        else if ((packed >> 4) != 0)
+            return false; // the pad nibble must stay zero
+    }
+    for (const std::uint8_t f : out.flags) {
+        // A kind of 3 has no RefKind (and would index past the
+        // per-kind predictors); only corruption produces it.
+        if ((f & RecordedTrace::kindMask) >= numRefKinds)
+            return false;
+    }
+
+    out.asid.clear();
+    out.asid.reserve(n);
+    while (out.asid.size() < n) {
+        std::uint64_t run = 0;
+        if (!getVarint(payload, pos, run))
+            return false;
+        if (run == 0 || run > n - out.asid.size())
+            return false; // run overshoots the chunk
+        if (pos >= payload.size())
+            return false;
+        const std::uint8_t value = std::uint8_t(payload[pos++]);
+        out.asid.insert(out.asid.end(), std::size_t(run), value);
+    }
+
+    if (!decodeAddrColumn(payload, pos, out.flags.data(), n,
+                          out.vaddr) ||
+        !decodeAddrColumn(payload, pos, out.flags.data(), n,
+                          out.paddr))
+        return false;
+    return pos == payload.size(); // no trailing bytes
+}
+
+} // namespace oma::trace

@@ -19,6 +19,24 @@ RecordedTrace::checkEncodable(const MemRef &ref)
             "ASID does not fit the packed trace encoding");
 }
 
+MemRef
+RecordedTrace::at(std::uint64_t i) const
+{
+    fatalIf(i >= _size, "trace reference index out of range");
+    const Chunk &c = _chunks[i / chunkRefs];
+    return decode(c, std::size_t(i % chunkRefs));
+}
+
+TraceChunkView
+RecordedTrace::chunkView(std::size_t c) const
+{
+    fatalIf(c >= _chunks.size(), "trace chunk index out of range");
+    const Chunk &chunk = _chunks[c];
+    return {chunk.vaddr.data(), chunk.paddr.data(),
+            chunk.asid.data(),  chunk.flags.data(),
+            chunk.size(),       std::uint64_t(c) * chunkRefs};
+}
+
 void
 RecordedTrace::newChunk()
 {

@@ -57,6 +57,26 @@ struct TraceEvent
     bool global;
 };
 
+/**
+ * A borrowed, read-only view of one storage chunk's packed columns.
+ * The pointers alias the trace's own column vectors and stay valid
+ * until the trace is mutated or destroyed. This is the input format
+ * of the batched replay kernels (cache/replay.hh, tlb/replay.hh) and
+ * of the v3 chunk codec (trace/codec.hh): consumers stream whole
+ * columns instead of decoding one MemRef per reference.
+ */
+struct TraceChunkView
+{
+    const std::uint32_t *vaddr;
+    const std::uint32_t *paddr;
+    const std::uint8_t *asid;
+    const std::uint8_t *flags;
+    /** References in this chunk (chunkRefs except for the tail). */
+    std::size_t size;
+    /** Trace-wide index of the chunk's first reference. */
+    std::uint64_t baseIndex;
+};
+
 /** A compact recorded reference stream with inline events. */
 class RecordedTrace
 {
@@ -105,13 +125,19 @@ class RecordedTrace
     }
     [[nodiscard]] double otherCpi() const { return _otherCpi; }
 
-    /** Decode the reference at index @p i (exact round trip). */
-    [[nodiscard]] MemRef
-    at(std::uint64_t i) const
+    /** Decode the reference at index @p i (exact round trip; fatal
+     * when @p i is out of range). */
+    [[nodiscard]] MemRef at(std::uint64_t i) const;
+
+    /** Number of storage chunks (0 for an empty trace). */
+    [[nodiscard]] std::size_t numChunks() const
     {
-        const Chunk &c = _chunks[i / chunkRefs];
-        return decode(c, std::size_t(i % chunkRefs));
+        return _chunks.size();
     }
+
+    /** Borrow the packed columns of chunk @p c (fatal when @p c is
+     * out of range). */
+    [[nodiscard]] TraceChunkView chunkView(std::size_t c) const;
 
     /** Packed bytes held by the recording (columns + events); the
      * number the bytes-per-reference bench counters report. */

@@ -8,6 +8,7 @@
 #include <cstring>
 
 #include "support/logging.hh"
+#include "trace/codec.hh"
 
 namespace oma
 {
@@ -48,6 +49,19 @@ struct ChunkHeader
     std::uint32_t eventCount;
 };
 
+/**
+ * Per-chunk on-disk header (v3). The chunk body is @c payloadBytes of
+ * delta/varint payload (trace/codec.hh) followed by @c eventCount
+ * packed events; @c checksum is FNV-1a over both.
+ */
+struct ChunkHeaderV3
+{
+    std::uint32_t refCount;
+    std::uint32_t eventCount;
+    std::uint32_t payloadBytes;
+    std::uint32_t checksum;
+};
+
 MemRef
 unpackV1(const PackedRefV1 &p)
 {
@@ -71,16 +85,6 @@ writeRaw(std::ofstream &out, const T &value)
 }
 
 template <typename T>
-void
-writeColumn(std::ofstream &out, const std::vector<T> &column)
-{
-    // oma-lint: allow(cast-audit): contiguous trivially-copyable
-    // elements; the char view covers exactly size()*sizeof(T) bytes.
-    out.write(reinterpret_cast<const char *>(column.data()),
-              std::streamsize(column.size() * sizeof(T)));
-}
-
-template <typename T>
 bool
 readRaw(std::ifstream &in, T &value)
 {
@@ -100,6 +104,40 @@ readColumn(std::ifstream &in, std::vector<T> &column, std::size_t n)
     in.read(reinterpret_cast<char *>(column.data()),
             std::streamsize(n * sizeof(T)));
     return bool(in);
+}
+
+template <typename T>
+void
+appendRaw(std::string &out, const T &value)
+{
+    // oma-lint: allow(cast-audit): T is trivially copyable; viewing
+    // its object representation as chars is defined byte I/O.
+    out.append(reinterpret_cast<const char *>(&value), sizeof(value));
+}
+
+bool
+readBytes(std::ifstream &in, std::string &out, std::size_t n)
+{
+    out.resize(n);
+    in.read(out.data(), std::streamsize(n));
+    return bool(in);
+}
+
+/** Serialize a chunk's events the way both v2 and v3 store them. */
+std::string
+packEvents(const std::vector<TraceEvent> &events)
+{
+    std::string out;
+    out.reserve(events.size() * sizeof(PackedEvent));
+    for (const TraceEvent &e : events) {
+        PackedEvent p = {};
+        p.index = e.index;
+        p.vpn = e.vpn;
+        p.asid = e.asid;
+        p.global = e.global ? 1 : 0;
+        appendRaw(out, p);
+    }
+    return out;
 }
 
 } // namespace
@@ -169,22 +207,19 @@ TraceFileWriter::flushChunk()
 {
     if (_vaddr.empty() && _chunkEvents.empty())
         return;
-    ChunkHeader ch;
+    const std::string payload =
+        trace::encodeColumns(_vaddr.data(), _paddr.data(),
+                             _asid.data(), _flags.data(),
+                             _vaddr.size());
+    const std::string events = packEvents(_chunkEvents);
+    ChunkHeaderV3 ch;
     ch.refCount = std::uint32_t(_vaddr.size());
     ch.eventCount = std::uint32_t(_chunkEvents.size());
+    ch.payloadBytes = std::uint32_t(payload.size());
+    ch.checksum = trace::fnv1a32(events, trace::fnv1a32(payload));
     writeRaw(_out, ch);
-    writeColumn(_out, _vaddr);
-    writeColumn(_out, _paddr);
-    writeColumn(_out, _asid);
-    writeColumn(_out, _flags);
-    for (const TraceEvent &e : _chunkEvents) {
-        PackedEvent p = {};
-        p.index = e.index;
-        p.vpn = e.vpn;
-        p.asid = e.asid;
-        p.global = e.global ? 1 : 0;
-        writeRaw(_out, p);
-    }
+    _out.write(payload.data(), std::streamsize(payload.size()));
+    _out.write(events.data(), std::streamsize(events.size()));
     checkStream("chunk write");
     _vaddr.clear();
     _paddr.clear();
@@ -241,7 +276,7 @@ TraceFileReader::next(MemRef &ref)
 {
     if (_read >= _header.recordCount)
         return false;
-    return _header.version == 1 ? nextV1(ref) : nextV2(ref);
+    return _header.version == 1 ? nextV1(ref) : nextChunked(ref);
 }
 
 bool
@@ -258,20 +293,50 @@ TraceFileReader::nextV1(MemRef &ref)
 bool
 TraceFileReader::loadChunk()
 {
-    ChunkHeader ch;
-    if (!readRaw(_in, ch))
-        return false;
-    bool ok = readColumn(_in, _vaddr, ch.refCount) &&
-        readColumn(_in, _paddr, ch.refCount) &&
-        readColumn(_in, _asid, ch.refCount) &&
-        readColumn(_in, _flags, ch.refCount);
-    fatalIf(!ok, "truncated trace file chunk: " + _path);
-    _chunkEvents.clear();
-    _chunkEvents.reserve(ch.eventCount);
-    for (std::uint32_t i = 0; i < ch.eventCount; ++i) {
-        PackedEvent p;
-        fatalIf(!readRaw(_in, p),
+    std::uint32_t ref_count = 0, event_count = 0;
+    std::string event_bytes;
+    if (_header.version >= 3) {
+        ChunkHeaderV3 ch;
+        if (!readRaw(_in, ch))
+            return false;
+        ref_count = ch.refCount;
+        event_count = ch.eventCount;
+        std::string payload;
+        fatalIf(!readBytes(_in, payload, ch.payloadBytes) ||
+                    !readBytes(_in, event_bytes,
+                               std::size_t(event_count) *
+                                   sizeof(PackedEvent)),
                 "truncated trace file chunk: " + _path);
+        fatalIf(trace::fnv1a32(event_bytes,
+                               trace::fnv1a32(payload)) != ch.checksum,
+                "corrupt trace file chunk (checksum): " + _path);
+        trace::ChunkColumns cols;
+        fatalIf(!trace::decodeColumns(payload, ref_count, cols),
+                "corrupt trace file chunk (encoding): " + _path);
+        _vaddr = std::move(cols.vaddr);
+        _paddr = std::move(cols.paddr);
+        _asid = std::move(cols.asid);
+        _flags = std::move(cols.flags);
+    } else {
+        ChunkHeader ch;
+        if (!readRaw(_in, ch))
+            return false;
+        ref_count = ch.refCount;
+        event_count = ch.eventCount;
+        const bool ok = readColumn(_in, _vaddr, ref_count) &&
+            readColumn(_in, _paddr, ref_count) &&
+            readColumn(_in, _asid, ref_count) &&
+            readColumn(_in, _flags, ref_count) &&
+            readBytes(_in, event_bytes,
+                      std::size_t(event_count) * sizeof(PackedEvent));
+        fatalIf(!ok, "truncated trace file chunk: " + _path);
+    }
+    _chunkEvents.clear();
+    _chunkEvents.reserve(event_count);
+    for (std::uint32_t i = 0; i < event_count; ++i) {
+        PackedEvent p;
+        std::memcpy(&p, event_bytes.data() + i * sizeof(PackedEvent),
+                    sizeof(PackedEvent));
         _chunkEvents.push_back({p.index, p.vpn, p.asid, p.global != 0});
     }
     _chunkPos = 0;
@@ -280,10 +345,15 @@ TraceFileReader::loadChunk()
 }
 
 bool
-TraceFileReader::nextV2(MemRef &ref)
+TraceFileReader::nextChunked(MemRef &ref)
 {
-    if (_chunkPos >= _vaddr.size() && !loadChunk())
-        return false;
+    // The loop (not an `if`) makes a chunk advertising zero
+    // references — which only a corrupt or hand-built file contains —
+    // skip ahead instead of reading past the empty column arrays.
+    while (_chunkPos >= _vaddr.size()) {
+        if (!loadChunk())
+            return false;
+    }
     while (_chunkEventPos < _chunkEvents.size() &&
            _chunkEvents[_chunkEventPos].index == _read) {
         const TraceEvent &e = _chunkEvents[_chunkEventPos++];

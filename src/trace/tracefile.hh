@@ -2,18 +2,22 @@
  * @file
  * Binary trace-file format (reader and writer).
  *
- * Version 2 (current) is a chunked dump of a RecordedTrace: packed
- * little-endian columns (32-bit virtual/physical address, 8-bit ASID,
- * 8-bit flags) plus page-invalidation events pinned to their trace
- * position, so a file can drive everything the live generator can —
- * including the sweep engines, whose TLB replays need the events.
- * The header carries a magic, a format version, the record and event
- * counts and the stream's non-memory stall rate; counts are patched
- * on close(), so a writer must be close()d (or destroyed) for the
- * file to be valid.
+ * Version 3 (current) stores each column chunk through the
+ * delta/varint codec (trace/codec.hh): per-kind address deltas,
+ * nibble-packed flags and run-length ASIDs, framed by a per-chunk
+ * header carrying the payload size and an FNV-1a checksum over the
+ * payload and the chunk's packed events. Page-invalidation events
+ * stay pinned to their trace position, so a file can drive
+ * everything the live generator can — including the sweep engines,
+ * whose TLB replays need the events. The file header carries a
+ * magic, a format version, the record and event counts and the
+ * stream's non-memory stall rate; counts are patched on close(), so
+ * a writer must be close()d (or destroyed) for the file to be valid.
  *
- * Version 1 (fixed-size 24-byte MemRef records, no events) is still
- * readable; TraceFileReader handles both transparently.
+ * Version 2 (chunked raw little-endian columns: 32-bit
+ * virtual/physical address, 8-bit ASID, 8-bit flags) and version 1
+ * (fixed-size 24-byte MemRef records, no events) are still readable;
+ * TraceFileReader handles all three transparently.
  */
 
 #ifndef OMA_TRACE_TRACEFILE_HH
@@ -36,7 +40,7 @@ struct TraceFileHeader
 {
     static constexpr std::uint64_t magicValue = 0x454341525441
         /* "ATRACE" */;
-    static constexpr std::uint32_t currentVersion = 2;
+    static constexpr std::uint32_t currentVersion = 3;
 
     std::uint64_t magic = magicValue;
     std::uint32_t version = currentVersion;
@@ -51,11 +55,11 @@ struct TraceFileHeader
 };
 
 /**
- * Streams references (and inline invalidation events) to a v2 trace
+ * Streams references (and inline invalidation events) to a v3 trace
  * file. References are buffered into one column chunk at a time and
- * flushed when the chunk fills; every write is checked, so a full
- * disk or I/O error fails fatally instead of silently truncating the
- * trace behind a valid header.
+ * delta/varint-encoded when the chunk fills; every write is checked,
+ * so a full disk or I/O error fails fatally instead of silently
+ * truncating the trace behind a valid header.
  */
 class TraceFileWriter : public TraceSink
 {
@@ -106,7 +110,7 @@ class TraceFileWriter : public TraceSink
     std::vector<TraceEvent> _chunkEvents;
 };
 
-/** Replays a trace file (v1 or v2) as a TraceSource. */
+/** Replays a trace file (v1, v2 or v3) as a TraceSource. */
 class TraceFileReader : public TraceSource
 {
   public:
@@ -117,13 +121,13 @@ class TraceFileReader : public TraceSource
     explicit TraceFileReader(const std::string &path);
 
     /**
-     * Produce the next reference. For v2 files, any invalidation
+     * Produce the next reference. For v2+ files, any invalidation
      * events pinned to it fire through the hook (if set) first —
      * the same contract System's live hook provides.
      */
     bool next(MemRef &ref) override;
 
-    /** Register a page-invalidation callback (v2 events). */
+    /** Register a page-invalidation callback (v2+ events). */
     void setInvalidateHook(InvalidateHook hook)
     {
         _hook = std::move(hook);
@@ -135,16 +139,17 @@ class TraceFileReader : public TraceSource
     /** Total events according to the header (0 for v1 files). */
     std::uint64_t eventCount() const { return _header.eventCount; }
 
-    /** Non-memory stall rate recorded with the stream (v2). */
+    /** Non-memory stall rate recorded with the stream (v2+). */
     double otherCpi() const { return _header.otherCpi; }
 
-    /** On-disk format version (1 or 2). */
+    /** On-disk format version (1, 2 or 3). */
     std::uint32_t version() const { return _header.version; }
 
   private:
     bool nextV1(MemRef &ref);
-    bool nextV2(MemRef &ref);
-    /** Load the next v2 chunk; false at end of stream. */
+    /** Chunked-column replay shared by v2 and v3. */
+    bool nextChunked(MemRef &ref);
+    /** Load the next chunk (v2 raw or v3 encoded); false at end. */
     bool loadChunk();
 
     std::ifstream _in;
@@ -153,7 +158,7 @@ class TraceFileReader : public TraceSource
     std::uint64_t _read = 0;
     InvalidateHook _hook;
 
-    // Decoded current chunk (v2).
+    // Decoded current chunk (v2/v3).
     std::vector<std::uint32_t> _vaddr;
     std::vector<std::uint32_t> _paddr;
     std::vector<std::uint8_t> _asid;
@@ -163,12 +168,12 @@ class TraceFileReader : public TraceSource
     std::size_t _chunkEventPos = 0;
 };
 
-/** Write @p trace (references, events, otherCpi) to a v2 file. */
+/** Write @p trace (references, events, otherCpi) to a v3 file. */
 void writeTrace(const std::string &path, const RecordedTrace &trace);
 
 /**
- * Load an entire trace file (v1 or v2) into a RecordedTrace, ready
- * to feed a ComponentSweep or any other replay consumer.
+ * Load an entire trace file (v1, v2 or v3) into a RecordedTrace,
+ * ready to feed a ComponentSweep or any other replay consumer.
  */
 RecordedTrace readTrace(const std::string &path);
 

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
 #include <vector>
 
 #include "support/rng.hh"
@@ -208,6 +209,113 @@ TEST(RecordedTrace, OtherCpiMetadataSticks)
     EXPECT_EQ(trace.otherCpi(), 0.0);
     trace.setOtherCpi(0.375);
     EXPECT_EQ(trace.otherCpi(), 0.375);
+}
+
+TEST(RecordedTrace, EmptyTraceHasNoChunksAndReplaysNothing)
+{
+    const RecordedTrace trace;
+    EXPECT_TRUE(trace.empty());
+    EXPECT_EQ(trace.numChunks(), 0u);
+    EXPECT_EQ(trace.byteSize(), 0u);
+    std::uint64_t visits = 0;
+    trace.replay([&](const MemRef &) { ++visits; });
+    trace.replay([&](const MemRef &) { ++visits; },
+                 [&](const TraceEvent &) { ++visits; });
+    trace.replayFetchPaddrs([&](std::uint64_t) { ++visits; });
+    trace.replayCachedData(
+        [&](std::uint64_t, RefKind) { ++visits; });
+    EXPECT_EQ(visits, 0u);
+}
+
+TEST(RecordedTrace, EventsOnEmptyTraceNeverFire)
+{
+    // Events with no following reference are all trailing events.
+    RecordedTrace trace;
+    trace.recordInvalidation(9, 1, false);
+    ASSERT_EQ(trace.events().size(), 1u);
+    std::uint64_t fired = 0;
+    trace.replay([](const MemRef &) {},
+                 [&](const TraceEvent &) { ++fired; });
+    EXPECT_EQ(fired, 0u);
+}
+
+TEST(RecordedTrace, ChunkViewsMirrorThePackedColumns)
+{
+    const std::uint64_t n = RecordedTrace::chunkRefs + 137;
+    Rng rng(29);
+    RecordedTrace trace;
+    for (std::uint64_t i = 0; i < n; ++i)
+        trace.append(randomRef(rng));
+    ASSERT_EQ(trace.numChunks(), 2u);
+
+    std::uint64_t index = 0;
+    for (std::size_t c = 0; c < trace.numChunks(); ++c) {
+        const TraceChunkView v = trace.chunkView(c);
+        EXPECT_EQ(v.baseIndex, index);
+        ASSERT_EQ(v.size, c == 0 ? RecordedTrace::chunkRefs
+                                 : std::size_t(137));
+        for (std::size_t i = 0; i < v.size; ++i, ++index) {
+            const MemRef want = trace.at(index);
+            ASSERT_EQ(v.vaddr[i], want.vaddr) << index;
+            ASSERT_EQ(v.paddr[i], want.paddr) << index;
+            ASSERT_EQ(v.asid[i], want.asid) << index;
+            ASSERT_EQ(v.flags[i],
+                      RecordedTrace::packFlags(want)) << index;
+        }
+    }
+    EXPECT_EQ(index, n);
+}
+
+TEST(RecordedTrace, EventsStraddlingChunkBoundariesReplayInOrder)
+{
+    // Events pinned to the last reference of one chunk, to the seam
+    // itself (the next chunk's first reference) and one past it must
+    // interleave exactly as recorded — the seam is where a chunked
+    // replay is most tempted to fire early or late.
+    const std::uint64_t c = RecordedTrace::chunkRefs;
+    RecordedTrace trace;
+    MemRef r;
+    for (std::uint64_t i = 0; i < c + 2; ++i) {
+        if (i == c - 1)
+            trace.recordInvalidation(1000, 1, false); // index c-1
+        if (i == c)
+            trace.recordInvalidation(2000, 2, false); // index c
+        if (i == c + 1)
+            trace.recordInvalidation(3000, 3, false); // index c+1
+        r.vaddr = i;
+        trace.append(r);
+    }
+    std::vector<std::pair<char, std::uint64_t>> log;
+    trace.replay(
+        [&](const MemRef &ref) { log.emplace_back('r', ref.vaddr); },
+        [&](const TraceEvent &e) { log.emplace_back('e', e.vpn); });
+    ASSERT_EQ(log.size(), c + 5);
+    EXPECT_EQ(log[c - 1], std::make_pair('e', std::uint64_t(1000)));
+    EXPECT_EQ(log[c], std::make_pair('r', c - 1));
+    EXPECT_EQ(log[c + 1], std::make_pair('e', std::uint64_t(2000)));
+    EXPECT_EQ(log[c + 2], std::make_pair('r', c));
+    EXPECT_EQ(log[c + 3], std::make_pair('e', std::uint64_t(3000)));
+    EXPECT_EQ(log[c + 4], std::make_pair('r', c + 1));
+}
+
+TEST(RecordedTraceDeath, AtOutOfRangeIsFatal)
+{
+    // Regression: at() used to index _chunks unchecked, so an
+    // out-of-range index on an empty trace read past the chunk list.
+    const RecordedTrace empty;
+    EXPECT_EXIT((void)empty.at(0), testing::ExitedWithCode(1),
+                "out of range");
+    RecordedTrace one;
+    one.append(MemRef());
+    EXPECT_EXIT((void)one.at(1), testing::ExitedWithCode(1),
+                "out of range");
+}
+
+TEST(RecordedTraceDeath, ChunkViewOutOfRangeIsFatal)
+{
+    const RecordedTrace empty;
+    EXPECT_EXIT((void)empty.chunkView(0), testing::ExitedWithCode(1),
+                "out of range");
 }
 
 TEST(RecordedTraceDeath, UnencodableRefIsFatal)
