@@ -22,9 +22,11 @@ namespace omabench
 constexpr double paperBudgetRbe = 250000.0;
 
 /** Measure the suite-averaged component CPI tables under Mach.
- * With a @p report, every sweep feeds the bench's observation
- * (counters, phase timings, optional progress) and the simulated
- * reference volume is credited toward its refs/sec. */
+ * Extension axes of @p space (victim, write-buffer, L2) ride the same
+ * sweep as heterogeneous component slots. With a @p report, every
+ * sweep feeds the bench's observation (counters, phase timings,
+ * optional progress) and the simulated reference volume is credited
+ * toward its refs/sec. */
 inline oma::ComponentCpiTables
 measureMachTables(const oma::ConfigSpace &space,
                   BenchReport *report = nullptr)
@@ -34,12 +36,35 @@ measureMachTables(const oma::ConfigSpace &space,
     spec.icacheGeoms = space.cacheGeometries();
     spec.dcacheGeoms = space.cacheGeometries();
     spec.tlbGeoms = space.tlbGeometries();
+    spec.components = space.extensionSlots();
     spec.oses = {OsKind::Mach};
     spec.announce = true;
     const auto runs = runSweepSuite(spec, report);
     std::cout << "\n";
     return ComponentCpiTables::average(
         runs.front().results, MachineParams::decstation3100());
+}
+
+/** "+4-line victim", "4-entry WB", "32-KB L2" style summary of an
+ * allocation's extension components ("-" when classic). */
+inline std::string
+describeExtras(const oma::Allocation &a)
+{
+    std::string extras;
+    const auto append = [&extras](const std::string &part) {
+        if (!extras.empty())
+            extras += ", ";
+        extras += part;
+    };
+    if (a.victimEntries != 0)
+        append(std::to_string(a.victimEntries) + "-line victim");
+    if (a.unified)
+        append("unified L1");
+    if (a.hasL2)
+        append(oma::fmtKBytes(a.l2.capacityBytes) + " L2");
+    if (a.wbEntries != 0)
+        append(std::to_string(a.wbEntries) + "-entry WB");
+    return extras.empty() ? "-" : extras;
 }
 
 /** Print Table 5 (the configuration space considered). */

@@ -4,17 +4,18 @@
  * paper does not search — unified L1 caches (i486, PowerPC 601
  * style) and split L1s backed by an on-chip L2 (where the paper
  * predicts high-end parts will spend extra memory). Each
- * organization is sized to roughly the same MQF area and simulated
- * on the suite under both OS models.
+ * organization is sized to roughly the same MQF area and rides the
+ * suite sweep as one hierarchy component slot (core/component.hh)
+ * under both OS models.
  */
 
 #include <iostream>
+#include <iterator>
 
 #include "area/mqf.hh"
 #include "bench/common.hh"
 #include "cache/hierarchy.hh"
 #include "support/table.hh"
-#include "workload/system.hh"
 
 using namespace oma;
 
@@ -24,11 +25,7 @@ namespace
 struct Organization
 {
     const char *name;
-    bool unified;
-    CacheParams l1i; //!< Also the unified array when unified.
-    CacheParams l1d;
-    CacheParams l2;
-    bool hasL2;
+    HierarchyParams params;
 };
 
 CacheParams
@@ -39,47 +36,30 @@ cache(std::uint64_t kb, std::uint64_t words, std::uint64_t ways)
     return p;
 }
 
-double
-areaOf(const Organization &org)
+Organization
+org(const char *name, bool unified, CacheParams l1i, CacheParams l1d,
+    CacheParams l2, bool has_l2)
 {
-    AreaModel model;
-    double rbe = model.cacheArea(org.l1i.geom);
-    if (!org.unified)
-        rbe += model.cacheArea(org.l1d.geom);
-    if (org.hasL2)
-        rbe += model.cacheArea(org.l2.geom);
-    return rbe;
+    Organization o;
+    o.name = name;
+    o.params.l1i = l1i;
+    o.params.l1d = l1d;
+    o.params.l2 = l2;
+    o.params.hasL2 = has_l2;
+    o.params.unified = unified;
+    return o;
 }
 
-/** Suite-average CPI contribution of one organization under one OS. */
 double
-measure(const Organization &org, OsKind os, std::uint64_t refs)
+areaOf(const HierarchyParams &p)
 {
-    HierarchyPenalties pen;
-    double total = 0.0;
-    for (BenchmarkId id : allBenchmarks()) {
-        System system(benchmarkParams(id), os, 42);
-        UnifiedCache unified(org.l1i, pen);
-        TwoLevelCache split(org.l1i, org.l1d, org.l2, org.hasL2, pen);
-        MemRef ref;
-        std::uint64_t instructions = 0;
-        for (std::uint64_t i = 0; i < refs; ++i) {
-            system.next(ref);
-            if (!ref.mapped && ref.vaddr >= kseg1Base &&
-                ref.vaddr < kseg2Base) {
-                continue; // uncached frame-buffer traffic
-            }
-            instructions += ref.isFetch();
-            if (org.unified)
-                unified.access(ref.paddr, ref.kind);
-            else
-                split.access(ref.paddr, ref.kind);
-        }
-        const HierarchyStats &s =
-            org.unified ? unified.stats() : split.stats();
-        total += double(s.stallCycles) / double(instructions);
-    }
-    return total / double(numBenchmarks);
+    AreaModel model;
+    double rbe = model.cacheArea(p.l1i.geom);
+    if (!p.unified)
+        rbe += model.cacheArea(p.l1d.geom);
+    if (p.hasL2)
+        rbe += model.cacheArea(p.l2.geom);
+    return rbe;
 }
 
 } // namespace
@@ -92,36 +72,44 @@ main()
                      "Table 1's organizational alternatives");
 
     const Organization orgs[] = {
-        {"split 16-KB I + 8-KB D (2-way, 4w)", false,
-         cache(16, 4, 2), cache(8, 4, 2), cache(64, 8, 4), false},
-        {"unified 32-KB (2-way, 4w)", true, cache(32, 4, 2),
-         cache(8, 4, 2), cache(64, 8, 4), false},
-        {"unified 32-KB (8-way, 16w, PPC601-ish)", true,
-         cache(32, 16, 8), cache(8, 4, 2), cache(64, 8, 4), false},
-        {"split 8-KB I + 4-KB D + 16-KB L2 (8w lines)", false,
-         cache(8, 4, 2), cache(4, 4, 2), cache(16, 8, 4), true},
-        {"split 4-KB I + 2-KB D + 32-KB L2 (8w lines)", false,
-         cache(4, 4, 2), cache(2, 4, 2), cache(32, 8, 4), true},
+        org("split 16-KB I + 8-KB D (2-way, 4w)", false,
+            cache(16, 4, 2), cache(8, 4, 2), cache(64, 8, 4), false),
+        org("unified 32-KB (2-way, 4w)", true, cache(32, 4, 2),
+            cache(8, 4, 2), cache(64, 8, 4), false),
+        org("unified 32-KB (8-way, 16w, PPC601-ish)", true,
+            cache(32, 16, 8), cache(8, 4, 2), cache(64, 8, 4), false),
+        org("split 8-KB I + 4-KB D + 16-KB L2 (8w lines)", false,
+            cache(8, 4, 2), cache(4, 4, 2), cache(16, 8, 4), true),
+        org("split 4-KB I + 2-KB D + 32-KB L2 (8w lines)", false,
+            cache(4, 4, 2), cache(2, 4, 2), cache(32, 8, 4), true),
     };
 
     omabench::BenchReport report("ext_hierarchy");
-    const std::uint64_t refs = omabench::benchReferences() / 2;
+    omabench::SweepSuiteSpec spec;
+    for (const Organization &o : orgs)
+        spec.components.push_back(ComponentSlot::hierarchy(o.params));
+    spec.progressLabel = "hierarchy sweep";
+    const auto runs = omabench::runSweepSuite(spec, &report);
+
     TextTable table({"Organization", "MQF area (rbes)",
                      "Ultrix cache CPI", "Mach cache CPI"});
-    std::size_t org_index = 0;
-    for (const Organization &org : orgs) {
-        const double ultrix = measure(org, OsKind::Ultrix, refs);
-        const double mach = measure(org, OsKind::Mach, refs);
-        const std::string slug =
-            "hierarchy/org" + std::to_string(org_index++);
+    for (std::size_t i = 0; i < std::size(orgs); ++i) {
+        // Suite-average hierarchy stall CPI per OS (runs are in spec
+        // order: Ultrix first, Mach second).
+        double cpi[2] = {0.0, 0.0};
+        for (std::size_t o = 0; o < runs.size(); ++o) {
+            for (const SweepResult &r : runs[o].results)
+                cpi[o] += r.hierarchy(i).cpi();
+            cpi[o] /= double(runs[o].results.size());
+        }
+        const double rbe = areaOf(orgs[i].params);
+        const std::string slug = "hierarchy/org" + std::to_string(i);
         report.metrics().add("hierarchy/organizations");
-        report.metrics().set(slug + "/area_rbe", areaOf(org));
-        report.metrics().set(slug + "/ultrix_cache_cpi", ultrix);
-        report.metrics().set(slug + "/mach_cache_cpi", mach);
-        report.addReferences(2 * refs * numBenchmarks);
-        table.addRow({org.name,
-                      fmtGrouped(std::uint64_t(areaOf(org))),
-                      fmtFixed(ultrix, 3), fmtFixed(mach, 3)});
+        report.metrics().set(slug + "/area_rbe", rbe);
+        report.metrics().set(slug + "/ultrix_cache_cpi", cpi[0]);
+        report.metrics().set(slug + "/mach_cache_cpi", cpi[1]);
+        table.addRow({orgs[i].name, fmtGrouped(std::uint64_t(rbe)),
+                      fmtFixed(cpi[0], 3), fmtFixed(cpi[1], 3)});
     }
     table.print(std::cout);
 

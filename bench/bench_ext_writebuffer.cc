@@ -5,15 +5,18 @@
  * "other architectural structures" the paper suggests a fuller study
  * should place under the same budget.
  *
- * Part 1 sweeps write-buffer depth (with its MQF area cost) on the
- * DECstation baseline; part 2 toggles tagged next-line I-prefetch
- * and reports how much of Mach's long-path I-cache penalty the
- * prefetcher recovers for free area (prefetching reuses the existing
- * datapath; its silicon cost here is ~a write-buffer entry of
- * control, effectively noise on the 250 k-rbe scale).
+ * Part 1 sweeps write-buffer depth (with its MQF area cost) as a
+ * standalone replayable component (core/component.hh): every depth
+ * rides one suite sweep per OS and reports its buffer-full stall CPI
+ * against the store stream. Part 2 toggles tagged next-line
+ * I-prefetch and reports how much of Mach's long-path I-cache
+ * penalty the prefetcher recovers for free area (prefetching reuses
+ * the existing datapath; its silicon cost here is ~a write-buffer
+ * entry of control, effectively noise on the 250 k-rbe scale).
  */
 
 #include <iostream>
+#include <iterator>
 
 #include "area/mqf.hh"
 #include "bench/common.hh"
@@ -33,34 +36,38 @@ main()
     AreaModel area;
 
     // --- Part 1: write-buffer depth ---
-    std::cout << "Write-buffer depth (DECstation baseline, suite "
-                 "average):\n";
+    std::cout << "Write-buffer depth (buffer-full stall CPI against "
+                 "the store stream, suite average):\n";
+    const std::uint64_t depths[] = {1, 2, 4, 8, 16};
+    omabench::SweepSuiteSpec spec;
+    for (std::uint64_t entries : depths) {
+        WriteBufferParams p;
+        p.entries = entries;
+        spec.components.push_back(ComponentSlot::writeBuffer(p));
+    }
+    spec.progressLabel = "write-buffer sweep";
+    const auto runs = omabench::runSweepSuite(spec, &report);
+
     TextTable wb_table({"Entries", "Area (rbes)", "Ultrix WB CPI",
                         "Mach WB CPI"});
-    for (std::uint64_t entries : {1, 2, 4, 8, 16}) {
-        MachineParams mp = MachineParams::decstation3100();
-        mp.wbEntries = entries;
-        double wb[2] = {0.0, 0.0};
-        for (OsKind os : {OsKind::Ultrix, OsKind::Mach}) {
-            for (BenchmarkId id : allBenchmarks()) {
-                const BaselineResult r = runBaseline(id, os, rc, mp);
-                wb[os == OsKind::Mach] += r.cpi.writeBuffer;
-            }
+    for (std::size_t i = 0; i < std::size(depths); ++i) {
+        double cpi[2] = {0.0, 0.0};
+        for (std::size_t o = 0; o < runs.size(); ++o) {
+            for (const SweepResult &r : runs[o].results)
+                cpi[o] += r.writeBuffer(i).cpi();
+            cpi[o] /= double(runs[o].results.size());
         }
-        report.addReferences(2 * rc.references * numBenchmarks);
         const std::string slug =
-            "wb_depth/" + std::to_string(entries) + "e";
+            "wb_depth/" + std::to_string(depths[i]) + "e";
         report.metrics().set(slug + "/area_rbe",
-                             area.writeBufferArea(entries));
-        report.metrics().set(slug + "/ultrix_wb_cpi",
-                             wb[0] / numBenchmarks);
-        report.metrics().set(slug + "/mach_wb_cpi",
-                             wb[1] / numBenchmarks);
+                             area.writeBufferArea(depths[i]));
+        report.metrics().set(slug + "/ultrix_wb_cpi", cpi[0]);
+        report.metrics().set(slug + "/mach_wb_cpi", cpi[1]);
         wb_table.addRow(
-            {std::to_string(entries),
-             fmtGrouped(std::uint64_t(area.writeBufferArea(entries))),
-             fmtFixed(wb[0] / numBenchmarks, 3),
-             fmtFixed(wb[1] / numBenchmarks, 3)});
+            {std::to_string(depths[i]),
+             fmtGrouped(
+                 std::uint64_t(area.writeBufferArea(depths[i]))),
+             fmtFixed(cpi[0], 3), fmtFixed(cpi[1], 3)});
     }
     wb_table.print(std::cout);
     std::cout << "\nDiminishing returns set in by 4-8 entries at a "

@@ -179,6 +179,9 @@ struct SweepSuiteSpec
     std::vector<oma::CacheGeometry> icacheGeoms;
     std::vector<oma::CacheGeometry> dcacheGeoms;
     std::vector<oma::TlbGeometry> tlbGeoms;
+    /** Extension components (victim caches, write buffers,
+     * hierarchies) appended after the classic grid. */
+    std::vector<oma::ComponentSlot> components;
     std::vector<oma::OsKind> oses = {oma::OsKind::Ultrix,
                                      oma::OsKind::Mach};
     std::vector<oma::BenchmarkId> workloads = oma::allBenchmarks();
@@ -206,9 +209,12 @@ runSweepSuite(const SweepSuiteSpec &spec, BenchReport *report)
     using namespace oma;
     ComponentSweep sweep(spec.icacheGeoms, spec.dcacheGeoms,
                          spec.tlbGeoms);
+    for (const ComponentSlot &slot : spec.components)
+        sweep.addComponent(slot);
     const RunConfig rc = benchRun();
     const std::uint64_t tasks = 1 + spec.icacheGeoms.size() +
-        spec.dcacheGeoms.size() + spec.tlbGeoms.size();
+        spec.dcacheGeoms.size() + spec.tlbGeoms.size() +
+        spec.components.size();
     if (report != nullptr)
         report->armProgress(std::uint64_t(spec.oses.size()) *
                                 spec.workloads.size() * tasks,

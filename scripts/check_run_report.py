@@ -19,6 +19,9 @@ Threshold options (repeatable, applied to every FILE):
                                      and be strictly greater than VALUE
   --require-gauge-below NAME=VALUE   gauge NAME must exist, be finite
                                      and be strictly less than VALUE
+  --require-counter-prefix PREFIX    at least one metric key (counter,
+                                     gauge or histogram) must start
+                                     with PREFIX
 
 Exits non-zero listing every violation; prints one OK line per valid
 file so CI logs show what was actually checked.
@@ -116,6 +119,19 @@ def check_thresholds(path, doc, thresholds):
     return errors
 
 
+def check_prefixes(doc, prefixes):
+    """Require one metric key per prefix across all three metric maps."""
+    errors = []
+    keys = (list(doc["counters"]) + list(doc["gauges"]) +
+            list(doc["histograms"]))
+    for prefix in prefixes:
+        if not any(key.startswith(prefix) for key in keys):
+            errors.append(
+                f"no counter, gauge or histogram key starts with "
+                f"{prefix!r}")
+    return errors
+
+
 def check_report(path):
     errors = []
     try:
@@ -158,6 +174,7 @@ def check_report(path):
 def main(argv):
     paths = []
     thresholds = []
+    prefixes = []
     args = argv[1:]
     while args:
         arg = args.pop(0)
@@ -169,6 +186,12 @@ def main(argv):
             name, value = parse_threshold(args.pop(0), arg)
             thresholds.append(
                 (name, value, arg == "--require-gauge-above"))
+        elif arg == "--require-counter-prefix":
+            if not args or not args[0] or args[0].startswith("--"):
+                print(f"{arg}: missing PREFIX argument",
+                      file=sys.stderr)
+                return 2
+            prefixes.append(args.pop(0))
         elif arg.startswith("--"):
             print(f"unknown option {arg!r}", file=sys.stderr)
             return 2
@@ -183,10 +206,15 @@ def main(argv):
         if not errors:
             with open(path, encoding="utf-8") as f:
                 doc = json.load(f)
-            errors = check_thresholds(path, doc, thresholds)
+            errors = (check_thresholds(path, doc, thresholds) +
+                      check_prefixes(doc, prefixes))
             if not errors:
-                checked = (f", {len(thresholds)} thresholds"
-                           if thresholds else "")
+                gates = []
+                if thresholds:
+                    gates.append(f"{len(thresholds)} thresholds")
+                if prefixes:
+                    gates.append(f"{len(prefixes)} prefixes")
+                checked = ", " + ", ".join(gates) if gates else ""
                 print(f"OK {path}: {len(doc['counters'])} counters, "
                       f"{len(doc['gauges'])} gauges, "
                       f"{len(doc['histograms'])} histograms{checked}")

@@ -96,6 +96,23 @@ AreaModel::tlbArea(const TlbGeometry &geom) const
 }
 
 double
+AreaModel::victimBufferArea(std::uint64_t entries,
+                            std::uint64_t line_bytes) const
+{
+    if (entries == 0)
+        return 0.0;
+    fatalIf(line_bytes == 0 || (line_bytes & (line_bytes - 1)) != 0,
+            "victim buffer lines must be a power-of-two byte count");
+    // Tags hold full line numbers (no index bits: the buffer is
+    // fully associative).
+    const unsigned tag_bits =
+        _params.physAddrBits - floorLog2(line_bytes);
+    return camArrayArea(entries, tag_bits) +
+        sramArrayArea(entries, line_bytes * 8) +
+        _params.controlOverheadRbe;
+}
+
+double
 AreaModel::writeBufferArea(std::uint64_t entries) const
 {
     const unsigned addr_bits = _params.physAddrBits - 2; // word address

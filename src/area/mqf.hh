@@ -117,6 +117,16 @@ class AreaModel
      */
     double writeBufferArea(std::uint64_t entries) const;
 
+    /**
+     * Area in rbe of a Jouppi victim buffer of @p entries lines of
+     * @p line_bytes bytes: per entry, a CAM line-number tag plus an
+     * SRAM data line. Costed the same way the write buffer is, so
+     * victim-cache organizations compete in the allocation search on
+     * equal footing (cache/victim.hh).
+     */
+    double victimBufferArea(std::uint64_t entries,
+                            std::uint64_t line_bytes) const;
+
   private:
     AreaParams _params;
 };

@@ -11,9 +11,11 @@
 #ifndef OMA_CACHE_BANK_HH
 #define OMA_CACHE_BANK_HH
 
+#include <string>
 #include <vector>
 
 #include "cache/cache.hh"
+#include "support/logging.hh"
 
 namespace oma
 {
@@ -48,12 +50,32 @@ class CacheBank
 
     std::size_t size() const { return _caches.size(); }
 
-    Cache &at(std::size_t i) { return _caches[i]; }
-    const Cache &at(std::size_t i) const { return _caches[i]; }
+    /** Member cache @p i (fatal when out of range). */
+    Cache &
+    at(std::size_t i)
+    {
+        checkIndex(i);
+        return _caches[i];
+    }
+
+    const Cache &
+    at(std::size_t i) const
+    {
+        checkIndex(i);
+        return _caches[i];
+    }
 
     std::vector<Cache> &caches() { return _caches; }
 
   private:
+    void
+    checkIndex(std::size_t i) const
+    {
+        fatalIf(i >= _caches.size(),
+                "CacheBank::at(" + std::to_string(i) + "): only " +
+                    std::to_string(_caches.size()) + " caches");
+    }
+
     std::vector<Cache> _caches;
 };
 

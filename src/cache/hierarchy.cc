@@ -5,6 +5,8 @@
 
 #include "cache/hierarchy.hh"
 
+#include "support/logging.hh"
+
 namespace oma
 {
 
@@ -19,6 +21,18 @@ penalty(const CacheGeometry &geom, std::uint64_t first,
 }
 
 } // namespace
+
+std::string
+HierarchyParams::describe() const
+{
+    if (unified)
+        return "unified " + l1i.geom.describe();
+    std::string out =
+        l1i.geom.describe() + " I + " + l1d.geom.describe() + " D";
+    if (hasL2)
+        out += " + " + l2.geom.describe() + " L2";
+    return out;
+}
 
 UnifiedCache::UnifiedCache(const CacheParams &params,
                            const HierarchyPenalties &penalties)
@@ -67,6 +81,15 @@ TwoLevelCache::TwoLevelCache(const CacheParams &l1i,
       _l2PenaltyMem(penalty(l2.geom, penalties.memFirstWord,
                             penalties.memPerWord))
 {
+}
+
+TwoLevelCache::TwoLevelCache(const HierarchyParams &params)
+    : TwoLevelCache(params.l1i, params.l1d, params.l2, params.hasL2,
+                    params.penalties)
+{
+    fatalIf(params.unified,
+            "TwoLevelCache models split hierarchies; construct a "
+            "UnifiedCache for a unified organization");
 }
 
 void

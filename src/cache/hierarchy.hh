@@ -20,6 +20,8 @@
 #ifndef OMA_CACHE_HIERARCHY_HH
 #define OMA_CACHE_HIERARCHY_HH
 
+#include <string>
+
 #include "cache/cache.hh"
 
 namespace oma
@@ -56,6 +58,52 @@ struct HierarchyPenalties
     std::uint64_t memPerWord = 1;
     /** Extra cycle when a unified L1 serves fetch+data in one cycle. */
     std::uint64_t portConflict = 1;
+
+    /** Append every behaviour-determining field to a fingerprint. */
+    void
+    fingerprint(Fingerprint &fp) const
+    {
+        fp.u64("hier.l2_first_word", l2FirstWord);
+        fp.u64("hier.l2_per_word", l2PerWord);
+        fp.u64("hier.mem_first_word", memFirstWord);
+        fp.u64("hier.mem_per_word", memPerWord);
+        fp.u64("hier.port_conflict", portConflict);
+    }
+};
+
+/**
+ * Full configuration of one hierarchy organization: either split L1
+ * I/D caches backed by an optional unified L2 (TwoLevelCache), or one
+ * unified L1 array serving both reference kinds (UnifiedCache, in
+ * which case @c l1i names the unified array and @c l1d / @c l2 are
+ * ignored).
+ */
+struct HierarchyParams
+{
+    CacheParams l1i; //!< Also the unified array when @c unified.
+    CacheParams l1d;
+    CacheParams l2;
+    bool hasL2 = false;
+    bool unified = false;
+    HierarchyPenalties penalties;
+
+    /** Append every behaviour-determining field to a fingerprint. */
+    void
+    fingerprint(Fingerprint &fp) const
+    {
+        fp.str("hier.l1i", "");
+        l1i.fingerprint(fp);
+        fp.str("hier.l1d", "");
+        l1d.fingerprint(fp);
+        fp.str("hier.l2", "");
+        l2.fingerprint(fp);
+        fp.flag("hier.has_l2", hasL2);
+        fp.flag("hier.unified", unified);
+        penalties.fingerprint(fp);
+    }
+
+    /** "8-KB I + 4-KB D + 32-KB L2" style description. */
+    std::string describe() const;
 };
 
 /**
@@ -93,6 +141,10 @@ class TwoLevelCache
     TwoLevelCache(const CacheParams &l1i, const CacheParams &l1d,
                   const CacheParams &l2, bool has_l2,
                   const HierarchyPenalties &penalties);
+
+    /** Split-hierarchy form of @p params (params.unified must be
+     * false; a unified organization needs a UnifiedCache). */
+    explicit TwoLevelCache(const HierarchyParams &params);
 
     void access(std::uint64_t paddr, RefKind kind);
 

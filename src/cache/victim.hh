@@ -15,13 +15,32 @@
 #ifndef OMA_CACHE_VICTIM_HH
 #define OMA_CACHE_VICTIM_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
 #include "area/geometry.hh"
+#include "support/fingerprint.hh"
 
 namespace oma
 {
+
+/** Full configuration of a victim-cache organization. */
+struct VictimParams
+{
+    /** Direct-mapped L1 geometry (assoc must be 1). */
+    CacheGeometry l1;
+    /** Lines in the victim buffer (0 disables the buffer). */
+    std::uint64_t entries = 4;
+
+    /** Append every behaviour-determining field to a fingerprint. */
+    void
+    fingerprint(Fingerprint &fp) const
+    {
+        l1.fingerprint(fp);
+        fp.u64("victim.entries", entries);
+    }
+};
 
 /** Counters of a victim-cache simulation. */
 struct VictimStats
@@ -61,6 +80,11 @@ class VictimCache
      */
     VictimCache(const CacheGeometry &l1, std::uint64_t victim_entries);
 
+    explicit VictimCache(const VictimParams &params)
+        : VictimCache(params.l1, params.entries)
+    {
+    }
+
     /**
      * Simulate one access.
      *
@@ -69,6 +93,19 @@ class VictimCache
      * @retval 2 miss to memory.
      */
     int access(std::uint64_t paddr);
+
+    /**
+     * Batched form of access(): simulate @p n physical addresses in
+     * order. Funnels through the same access() body, so the counter
+     * stream is bitwise-identical to n scalar calls by construction
+     * (the replayable-component contract, core/component.hh).
+     */
+    void
+    replayFetchBatch(const std::uint32_t *paddr, std::size_t n)
+    {
+        for (std::size_t i = 0; i < n; ++i)
+            access(std::uint64_t(paddr[i]));
+    }
 
     const VictimStats &stats() const { return _stats; }
     const CacheGeometry &l1Geometry() const { return _geom; }

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * The replayable-component concept: one uniform surface for every
+ * simulator the sweep engine measures.
+ *
+ * A replayable component is anything that can consume a recorded
+ * reference stream and report exact counters:
+ *
+ *  - a *parameter struct* carrying `fingerprint()` (keys the artifact
+ *    store) — CacheParams, TlbParams, VictimParams, WriteBufferParams
+ *    or HierarchyParams, bundled with a ComponentKind in a
+ *    ComponentSlot;
+ *  - scalar `access(const MemRef &)` — one reference through the
+ *    simulator's own access body;
+ *  - chunked `replay(const TraceChunkView &)` — one packed column
+ *    chunk through the *same* access body, so batched and scalar
+ *    counter streams are bitwise-identical by construction (the PR 6
+ *    contract, proven differentially in
+ *    tests/core/test_component_replay.cc at 1 and 4 threads, cold and
+ *    warm store);
+ *  - ordered `counters()` — the component's exact integer counters as
+ *    a ComponentCounters variant, which the store codec persists
+ *    (store/codec.hh) and the obs exporters name deterministically.
+ *
+ * ComponentSweep replays a heterogeneous list of ComponentSlots
+ * (core/sweep.hh); AllocationSearch ranks the extension components
+ * alongside the paper's three-way grid (core/search.hh). The concrete
+ * adapters live in component.cc and are checked against the
+ * ReplayableComponent concept at compile time.
+ */
+
+#ifndef OMA_CORE_COMPONENT_HH
+#define OMA_CORE_COMPONENT_HH
+
+#include <concepts>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "cache/cache.hh"
+#include "cache/hierarchy.hh"
+#include "cache/victim.hh"
+#include "machine/machine.hh"
+#include "machine/writebuffer.hh"
+#include "tlb/tlb.hh"
+#include "tlb/mmu.hh"
+#include "trace/recorded.hh"
+
+namespace oma
+{
+
+/** The component kinds a sweep can carry. */
+enum class ComponentKind : std::uint8_t
+{
+    ICache,      //!< Cache replaying the instruction-fetch stream.
+    DCache,      //!< Cache replaying the cached-data stream.
+    Tlb,         //!< Mmu translating the full stream (with events).
+    Victim,      //!< Direct-mapped L1 + victim buffer (fetch stream).
+    WriteBuffer, //!< Standalone write-buffer depth model.
+    Hierarchy,   //!< Unified L1 or split L1s + optional L2.
+};
+
+/** Number of distinct component kinds. */
+constexpr std::size_t numComponentKinds = 6;
+
+/** Short lowercase kind name used in store keys and metric
+ * prefixes: "icache", "dcache", "tlb", "victim", "wbuffer", "l2". */
+[[nodiscard]] const char *componentKindName(ComponentKind kind);
+
+/** The parameter struct of one component, by kind. */
+using ComponentParams =
+    std::variant<CacheParams, TlbParams, VictimParams,
+                 WriteBufferParams, HierarchyParams>;
+
+/** The exact counters one component reports, by kind. */
+using ComponentCounters =
+    std::variant<CacheStats, MmuStats, VictimStats, WriteBufferStats,
+                 HierarchyStats>;
+
+/**
+ * One slot of a sweep's heterogeneous component axis: a kind plus the
+ * matching parameter struct. Construct through the named factories so
+ * the kind and the variant alternative cannot disagree.
+ */
+struct ComponentSlot
+{
+    ComponentKind kind = ComponentKind::ICache;
+    ComponentParams params;
+
+    [[nodiscard]] static ComponentSlot icache(const CacheParams &p);
+    [[nodiscard]] static ComponentSlot dcache(const CacheParams &p);
+    [[nodiscard]] static ComponentSlot tlb(const TlbParams &p);
+    [[nodiscard]] static ComponentSlot victim(const VictimParams &p);
+    [[nodiscard]] static ComponentSlot
+    writeBuffer(const WriteBufferParams &p);
+    [[nodiscard]] static ComponentSlot
+    hierarchy(const HierarchyParams &p);
+
+    /** Append every parameter field to a store key (kind-agnostic:
+     * the sweep keys the kind separately via componentKindName so
+     * the classic legs keep their exact historical keys). */
+    void fingerprint(Fingerprint &fp) const;
+
+    /** Human-readable one-line description. */
+    [[nodiscard]] std::string describe() const;
+};
+
+/**
+ * A type-erased replayable component instance: the runtime face of
+ * the concept, used by the sweep engine to drive any slot through one
+ * replay loop. Obtain instances from makeComponent().
+ */
+class ComponentReplayer
+{
+  public:
+    virtual ~ComponentReplayer() = default;
+
+    /** Observe one reference through the scalar access body. */
+    virtual void access(const MemRef &ref) = 0;
+
+    /** Observe one packed column chunk through the same body. */
+    virtual void replay(const TraceChunkView &chunk) = 0;
+
+    /** Apply one trace event (page invalidation). No-op for
+     * components that do not track virtual mappings. */
+    virtual void
+    event(const TraceEvent &ev)
+    {
+        static_cast<void>(ev);
+    }
+
+    /** True when replay must be sliced at event positions. */
+    [[nodiscard]] virtual bool
+    wantsEvents() const
+    {
+        return false;
+    }
+
+    /** The component's exact counters (ordered, raw integers). */
+    [[nodiscard]] virtual ComponentCounters counters() const = 0;
+
+    /** References the component's filter actually delivered. */
+    [[nodiscard]] virtual std::uint64_t delivered() const = 0;
+};
+
+/**
+ * The compile-time contract the concrete adapters satisfy: scalar
+ * access, chunked replay, and ordered counters. component.cc
+ * static_asserts every adapter against it.
+ */
+template <typename C>
+concept ReplayableComponent =
+    requires(C c, const C cc, const MemRef &ref,
+             const TraceChunkView &chunk) {
+        c.access(ref);
+        c.replay(chunk);
+        { cc.counters() } -> std::same_as<ComponentCounters>;
+        { cc.delivered() } -> std::same_as<std::uint64_t>;
+    };
+
+/**
+ * Instantiate the simulator for @p slot. @p reference_machine
+ * supplies the kind-independent context a component needs beyond its
+ * own parameters (today: the TLB miss-handler penalties).
+ */
+[[nodiscard]] std::unique_ptr<ComponentReplayer>
+makeComponent(const ComponentSlot &slot,
+              const MachineParams &reference_machine);
+
+/**
+ * Replay the whole recording through @p component, chunk by chunk,
+ * firing trace events at their pinned positions for components that
+ * want them (chunks are sliced at event indices; event-blind
+ * components stream whole chunks).
+ *
+ * @return References examined (the trace length).
+ */
+std::uint64_t replayComponent(const RecordedTrace &trace,
+                              ComponentReplayer &component);
+
+/**
+ * Scalar reference replay: every reference through access(), one at
+ * a time, events interleaved at their positions. Exists for the
+ * differential tests — it must produce counters bitwise-identical to
+ * replayComponent() for every component kind.
+ *
+ * @return References examined (the trace length).
+ */
+std::uint64_t replayComponentScalar(const RecordedTrace &trace,
+                                    ComponentReplayer &component);
+
+/** Encode a counters variant for the artifact store (raw integer
+ * counters only; the store key, not the payload, carries the kind). */
+[[nodiscard]] std::string
+encodeComponentCounters(const ComponentCounters &counters);
+
+/** @retval false when the payload does not frame exactly one
+ * counters record of @p kind (treat as a store miss). */
+[[nodiscard]] bool
+decodeComponentCounters(std::string_view payload, ComponentKind kind,
+                        ComponentCounters &counters);
+
+} // namespace oma
+
+#endif // OMA_CORE_COMPONENT_HH

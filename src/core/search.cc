@@ -50,6 +50,79 @@ ConfigSpace::cacheGeometries(std::uint64_t max_ways) const
     return geoms;
 }
 
+std::vector<VictimParams>
+ConfigSpace::victimConfigs() const
+{
+    std::vector<VictimParams> configs;
+    for (std::uint64_t kb : cacheKBytes) {
+        for (std::uint64_t entries : victimEntries) {
+            VictimParams p;
+            p.l1 = CacheGeometry::fromWords(kb * 1024,
+                                            victimLineWords, 1);
+            p.entries = entries;
+            configs.push_back(p);
+        }
+    }
+    return configs;
+}
+
+std::vector<WriteBufferParams>
+ConfigSpace::writeBufferConfigs() const
+{
+    std::vector<WriteBufferParams> configs;
+    for (std::uint64_t entries : wbEntries) {
+        WriteBufferParams p;
+        p.entries = entries;
+        p.drainCycles = wbDrainCycles;
+        configs.push_back(p);
+    }
+    return configs;
+}
+
+std::vector<HierarchyParams>
+ConfigSpace::hierarchyConfigs() const
+{
+    std::vector<HierarchyParams> configs;
+    for (std::uint64_t l2kb : l2KBytes) {
+        for (std::uint64_t kb : cacheKBytes) {
+            if (kb >= l2kb)
+                continue; // an L2 must outsize its L1s
+            HierarchyParams p;
+            p.l1i.geom = CacheGeometry::fromWords(
+                kb * 1024, hierL1LineWords, hierL1Ways);
+            p.l1d.geom = p.l1i.geom;
+            p.l2.geom = CacheGeometry::fromWords(l2kb * 1024,
+                                                 l2LineWords, l2Ways);
+            p.hasL2 = true;
+            configs.push_back(p);
+        }
+    }
+    return configs;
+}
+
+std::vector<ComponentSlot>
+ConfigSpace::extensionSlots() const
+{
+    std::vector<ComponentSlot> slots;
+    for (const VictimParams &p : victimConfigs())
+        slots.push_back(ComponentSlot::victim(p));
+    for (const WriteBufferParams &p : writeBufferConfigs())
+        slots.push_back(ComponentSlot::writeBuffer(p));
+    for (const HierarchyParams &p : hierarchyConfigs())
+        slots.push_back(ComponentSlot::hierarchy(p));
+    return slots;
+}
+
+ConfigSpace
+ConfigSpace::extended()
+{
+    ConfigSpace space;
+    space.victimEntries = {4, 8};
+    space.wbEntries = {1, 2, 4, 8};
+    space.l2KBytes = {32, 64};
+    return space;
+}
+
 AllocationSearch::AllocationSearch(const AreaModel &area,
                                    double budget_rbe)
     : _area(area), _budget(budget_rbe)
@@ -78,32 +151,148 @@ AllocationSearch::rank(const ComponentCpiTables &tables,
     for (std::size_t i = 0; i < tables.dcacheGeoms.size(); ++i)
         d_area[i] = _area.cacheArea(tables.dcacheGeoms[i]);
 
+    // The I-cache axis: every plain I-cache in index order, then
+    // every victim-cache option (a direct-mapped L1 plus its CAM
+    // buffer, costed as an alternative fetch-side organization).
+    // With no victim options this list is exactly the classic
+    // I-cache enumeration, so the extension-free emission order —
+    // and therefore the stable-sorted ranking, ties included — is
+    // unchanged from the three-component search.
+    struct IOption
+    {
+        std::size_t index;   //!< Into icacheGeoms or victimOptions.
+        bool isVictim;
+        double area;
+        double cpi;
+    };
+    std::vector<IOption> i_options;
+    i_options.reserve(tables.icacheGeoms.size() +
+                      tables.victimOptions.size());
+    for (std::size_t i = 0; i < tables.icacheGeoms.size(); ++i) {
+        if (tables.icacheGeoms[i].assoc > max_cache_ways)
+            continue;
+        i_options.push_back(
+            {i, false, i_area[i], tables.icacheCpi[i]});
+    }
+    for (std::size_t v = 0; v < tables.victimOptions.size(); ++v) {
+        const VictimParams &p = tables.victimOptions[v].params;
+        const double area = _area.cacheArea(p.l1) +
+            _area.victimBufferArea(p.entries, p.l1.lineBytes);
+        i_options.push_back(
+            {v, true, area, tables.victimOptions[v].cpi});
+    }
+
+    // The write-buffer axis: a single free no-op entry when depths
+    // were not swept (the classic search), else one entry per depth.
+    struct WbOption
+    {
+        std::uint64_t entries;
+        double area;
+        double cpi;
+    };
+    std::vector<WbOption> wb_options;
+    if (tables.wbOptions.empty()) {
+        wb_options.push_back({0, 0.0, 0.0});
+    } else {
+        for (const auto &wb : tables.wbOptions)
+            wb_options.push_back(
+                {wb.params.entries,
+                 _area.writeBufferArea(wb.params.entries), wb.cpi});
+    }
+
+    // The hierarchy axis: organizations that replace the split I/D
+    // pair wholesale (their L1s obey the associativity restriction).
+    struct HierOption
+    {
+        std::size_t index;
+        double area;
+        double cpi;
+    };
+    std::vector<HierOption> hier_options;
+    for (std::size_t h = 0; h < tables.hierarchyOptions.size(); ++h) {
+        const HierarchyParams &p = tables.hierarchyOptions[h].params;
+        if (p.l1i.geom.assoc > max_cache_ways ||
+            (!p.unified && p.l1d.geom.assoc > max_cache_ways)) {
+            continue;
+        }
+        double area = _area.cacheArea(p.l1i.geom);
+        if (!p.unified) {
+            area += _area.cacheArea(p.l1d.geom);
+            if (p.hasL2)
+                area += _area.cacheArea(p.l2.geom);
+        }
+        hier_options.push_back(
+            {h, area, tables.hierarchyOptions[h].cpi});
+    }
+
     // Score one TLB-geometry shard: exactly the serial enumeration
-    // restricted to TLB index t, emitting allocations in (i, d) order.
+    // restricted to TLB index t, emitting split allocations in
+    // (i-option, d, wb) order, then hierarchy allocations in
+    // (hierarchy, wb) order.
     const auto score_shard = [&](std::size_t t,
                                  std::vector<Allocation> &shard) {
-        for (std::size_t i = 0; i < tables.icacheGeoms.size(); ++i) {
-            if (tables.icacheGeoms[i].assoc > max_cache_ways)
-                continue;
-            const double ti_area = tlb_area[t] + i_area[i];
+        for (const IOption &io : i_options) {
+            const double ti_area = tlb_area[t] + io.area;
             if (ti_area > _budget)
                 continue;
             for (std::size_t d = 0; d < tables.dcacheGeoms.size(); ++d) {
                 if (tables.dcacheGeoms[d].assoc > max_cache_ways)
                     continue;
-                const double area = ti_area + d_area[d];
+                const double tid_area = ti_area + d_area[d];
+                if (tid_area > _budget)
+                    continue;
+                for (const WbOption &wb : wb_options) {
+                    const double area = tid_area + wb.area;
+                    if (area > _budget)
+                        continue;
+                    Allocation a;
+                    a.tlb = tables.tlbGeoms[t];
+                    if (io.isVictim) {
+                        const VictimParams &p =
+                            tables.victimOptions[io.index].params;
+                        a.icache = p.l1;
+                        a.victimEntries = p.entries;
+                    } else {
+                        a.icache = tables.icacheGeoms[io.index];
+                    }
+                    a.dcache = tables.dcacheGeoms[d];
+                    a.areaRbe = area;
+                    a.tlbCpi = tables.tlbCpi[t];
+                    a.icacheCpi = io.cpi;
+                    a.dcacheCpi = tables.dcacheCpi[d];
+                    a.wbEntries = wb.entries;
+                    a.wbCpi = wb.cpi;
+                    a.cpi = tables.baseCpi + a.tlbCpi + a.icacheCpi +
+                        a.dcacheCpi + a.wbCpi;
+                    shard.push_back(a);
+                }
+            }
+        }
+        for (const HierOption &ho : hier_options) {
+            const double th_area = tlb_area[t] + ho.area;
+            if (th_area > _budget)
+                continue;
+            for (const WbOption &wb : wb_options) {
+                const double area = th_area + wb.area;
                 if (area > _budget)
                     continue;
+                const HierarchyParams &p =
+                    tables.hierarchyOptions[ho.index].params;
                 Allocation a;
                 a.tlb = tables.tlbGeoms[t];
-                a.icache = tables.icacheGeoms[i];
-                a.dcache = tables.dcacheGeoms[d];
+                a.icache = p.l1i.geom;
+                a.dcache = p.unified ? p.l1i.geom : p.l1d.geom;
+                a.hasL2 = p.hasL2 && !p.unified;
+                a.unified = p.unified;
+                if (a.hasL2)
+                    a.l2 = p.l2.geom;
                 a.areaRbe = area;
                 a.tlbCpi = tables.tlbCpi[t];
-                a.icacheCpi = tables.icacheCpi[i];
-                a.dcacheCpi = tables.dcacheCpi[d];
-                a.cpi = tables.baseCpi + a.tlbCpi + a.icacheCpi +
-                    a.dcacheCpi;
+                a.hierarchyCpi = ho.cpi;
+                a.wbEntries = wb.entries;
+                a.wbCpi = wb.cpi;
+                a.cpi = tables.baseCpi + a.tlbCpi + a.hierarchyCpi +
+                    a.wbCpi;
                 shard.push_back(a);
             }
         }
@@ -138,14 +327,15 @@ AllocationSearch::rank(const ComponentCpiTables &tables,
 
     if (observation != nullptr) {
         obs::MetricRegistry &m = observation->metrics;
-        std::uint64_t eligible_i = 0, eligible_d = 0;
-        for (const CacheGeometry &g : tables.icacheGeoms)
-            eligible_i += g.assoc <= max_cache_ways;
+        std::uint64_t eligible_d = 0;
         for (const CacheGeometry &g : tables.dcacheGeoms)
             eligible_d += g.assoc <= max_cache_ways;
         m.add("search/shards", shards.size());
         m.add("search/candidates",
-              tables.tlbGeoms.size() * eligible_i * eligible_d);
+              tables.tlbGeoms.size() *
+                  (i_options.size() * eligible_d +
+                   hier_options.size()) *
+                  wb_options.size());
         m.add("search/in_budget", out.size());
         obs::exportRanking(m, out);
     }

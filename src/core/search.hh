@@ -23,7 +23,14 @@
 namespace oma
 {
 
-/** The configuration grid of Table 5. */
+/**
+ * The configuration grid of Table 5, plus optional extension axes.
+ * The extension vectors default to empty, which makes the space the
+ * paper's exact grid; populating them opens the five-component
+ * allocation space (victim caches on the I-cache axis, swept
+ * write-buffer depths, and split-L1 + L2 hierarchies) that the
+ * extended search ranks alongside the classic combinations.
+ */
 struct ConfigSpace
 {
     std::vector<std::uint64_t> tlbEntries = {64, 128, 256, 512};
@@ -35,6 +42,28 @@ struct ConfigSpace
     std::vector<std::uint64_t> lineWords = {1, 2, 4, 8, 16, 32};
     std::vector<std::uint64_t> cacheWays = {1, 2, 4, 8};
 
+    // ----- extension axes (all default-empty = the paper's grid) -----
+
+    /** Victim-buffer line counts paired with every direct-mapped
+     * capacity in @c cacheKBytes (empty = no victim candidates). */
+    std::vector<std::uint64_t> victimEntries;
+    /** Line words of the direct-mapped L1 under a victim buffer. */
+    std::uint64_t victimLineWords = 4;
+
+    /** Write-buffer depths to sweep (empty = keep the reference
+     * machine's buffer out of the search). */
+    std::vector<std::uint64_t> wbEntries;
+    std::uint64_t wbDrainCycles = 3;
+
+    /** L2 capacities backing split L1 pairs (empty = no hierarchy
+     * candidates). */
+    std::vector<std::uint64_t> l2KBytes;
+    std::uint64_t l2LineWords = 8;
+    std::uint64_t l2Ways = 4;
+    /** Split-L1 organization under an L2. */
+    std::uint64_t hierL1LineWords = 4;
+    std::uint64_t hierL1Ways = 2;
+
     /** All TLB geometries in the grid. */
     [[nodiscard]] std::vector<TlbGeometry> tlbGeometries() const;
 
@@ -44,6 +73,34 @@ struct ConfigSpace
      */
     [[nodiscard]] std::vector<CacheGeometry>
     cacheGeometries(std::uint64_t max_ways = 8) const;
+
+    /** Victim-cache candidates (capacity x buffer depth). */
+    [[nodiscard]] std::vector<VictimParams> victimConfigs() const;
+
+    /** Write-buffer depth candidates. */
+    [[nodiscard]] std::vector<WriteBufferParams>
+    writeBufferConfigs() const;
+
+    /** Split-L1 + L2 candidates (every L1 capacity strictly smaller
+     * than its L2). */
+    [[nodiscard]] std::vector<HierarchyParams>
+    hierarchyConfigs() const;
+
+    /** Every extension candidate as a sweepable component slot, in
+     * victim, write-buffer, hierarchy order. */
+    [[nodiscard]] std::vector<ComponentSlot> extensionSlots() const;
+
+    /** True when any extension axis is populated. */
+    [[nodiscard]] bool
+    hasExtensions() const
+    {
+        return !victimEntries.empty() || !wbEntries.empty() ||
+            !l2KBytes.empty();
+    }
+
+    /** The default extended space the experiments sweep: the paper's
+     * grid plus modest victim / write-buffer / L2 axes. */
+    [[nodiscard]] static ConfigSpace extended();
 };
 
 /** One ranked allocation of the on-chip memory budget. */
@@ -59,6 +116,31 @@ struct Allocation
     double dcacheCpi = 0.0;
     /** 1-based rank in the unrestricted ordering. */
     std::size_t rank = 0;
+
+    // ----- extension fields (zero/false for classic allocations) ---
+
+    /** Victim-buffer lines behind the (direct-mapped) I-cache. */
+    std::uint64_t victimEntries = 0;
+    /** Swept write-buffer depth (0 = not part of this allocation). */
+    std::uint64_t wbEntries = 0;
+    /** Hierarchy organization: split L1s (icache/dcache fields name
+     * the L1 pair) backed by @c l2 when @c hasL2. */
+    bool hasL2 = false;
+    bool unified = false;
+    CacheGeometry l2;
+    /** Hierarchy stall CPI (replaces icacheCpi/dcacheCpi, which are
+     * zero for hierarchy allocations). */
+    double hierarchyCpi = 0.0;
+    /** Swept write buffer's stall CPI (additive axis). */
+    double wbCpi = 0.0;
+
+    /** True when any extension component is part of the allocation. */
+    [[nodiscard]] bool
+    hasExtension() const
+    {
+        return victimEntries != 0 || wbEntries != 0 || hasL2 ||
+            unified;
+    }
 };
 
 /**

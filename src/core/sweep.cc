@@ -7,12 +7,10 @@
 
 #include <memory>
 
-#include "cache/replay.hh"
 #include "obs/export.hh"
 #include "store/codec.hh"
 #include "support/logging.hh"
 #include "support/threadpool.hh"
-#include "tlb/replay.hh"
 #include "trace/tracefile.hh"
 
 namespace oma
@@ -77,10 +75,26 @@ ComponentSweep::ComponentSweep(std::vector<CacheGeometry> icache_geoms,
                                std::vector<CacheGeometry> dcache_geoms,
                                std::vector<TlbGeometry> tlb_geoms,
                                const MachineParams &reference_machine)
-    : _icacheGeoms(std::move(icache_geoms)),
-      _dcacheGeoms(std::move(dcache_geoms)),
-      _tlbGeoms(std::move(tlb_geoms)),
-      _refMachine(reference_machine)
+    : _refMachine(reference_machine)
+{
+    _slots.reserve(icache_geoms.size() + dcache_geoms.size() +
+                   tlb_geoms.size());
+    for (std::size_t i = 0; i < icache_geoms.size(); ++i)
+        _slots.push_back(ComponentSlot::icache(
+            sweepCacheParams(icache_geoms[i], icacheBankSalt, i)));
+    for (std::size_t d = 0; d < dcache_geoms.size(); ++d)
+        _slots.push_back(ComponentSlot::dcache(
+            sweepCacheParams(dcache_geoms[d], dcacheBankSalt, d)));
+    for (const TlbGeometry &geom : tlb_geoms) {
+        TlbParams p;
+        p.geom = geom;
+        _slots.push_back(ComponentSlot::tlb(p));
+    }
+}
+
+ComponentSweep::ComponentSweep(std::vector<ComponentSlot> slots,
+                               const MachineParams &reference_machine)
+    : _slots(std::move(slots)), _refMachine(reference_machine)
 {
 }
 
@@ -156,37 +170,58 @@ ComponentSweep::replayTrace(const RecordedTrace &trace,
                             const Fingerprint &base_key) const
 {
     // Phase 2 (parallel): replay per consumer. One flat index space
-    // across the reference machine and all three component kinds
-    // keeps every lane busy; each index owns its private simulator
-    // and writes only its own result slot, so the reduction order is
+    // across the reference machine and every component slot keeps
+    // every lane busy; each index owns its private simulator and
+    // writes only its own result slot, so the reduction order is
     // fixed by construction and the results are bitwise identical
-    // for any thread count. Cache and TLB tasks stream the packed
-    // trace columns through the batched replay kernels
-    // (cache/replay.hh, tlb/replay.hh) — the same access bodies as
-    // the scalar path, so batching cannot change any counter. With
-    // the store enabled, each task first tries to load its shard
-    // (exact integer counters, so a hit reproduces the live slot
-    // bit-for-bit) and persists it right after simulating — which is
-    // what makes a killed sweep resume at its last completed shard.
-    const std::size_t n_i = _icacheGeoms.size();
-    const std::size_t n_d = _dcacheGeoms.size();
-    const std::size_t n_t = _tlbGeoms.size();
+    // for any thread count. Every component streams the packed trace
+    // columns through its batched replay body (core/component.hh) —
+    // the same access body as the scalar path, so batching cannot
+    // change any counter. With the store enabled, each task first
+    // tries to load its shard (exact integer counters, so a hit
+    // reproduces the live slot bit-for-bit) and persists it right
+    // after simulating — which is what makes a killed sweep resume
+    // at its last completed shard.
+    const std::size_t n_slots = _slots.size();
 
     SweepResult result;
     result.references = trace.size();
-    result._icacheGeoms = _icacheGeoms;
-    result._dcacheGeoms = _dcacheGeoms;
-    result._tlbGeoms = _tlbGeoms;
-    result._icacheStats.resize(n_i);
-    result._dcacheStats.resize(n_d);
-    result._tlbStats.resize(n_t);
     result.otherCpi = trace.otherCpi();
+    result._slots = _slots;
+    result._stats.resize(n_slots);
+
+    // Per-kind index of each slot: names the store shard and backs
+    // the typed per-kind views.
+    std::vector<std::size_t> kind_index(n_slots);
+    for (std::size_t s = 0; s < n_slots; ++s) {
+        const ComponentSlot &slot = _slots[s];
+        std::vector<std::size_t> &index =
+            result._kindIndex[std::size_t(slot.kind)];
+        kind_index[s] = index.size();
+        index.push_back(s);
+        switch (slot.kind) {
+          case ComponentKind::ICache:
+            result._icacheGeoms.push_back(
+                std::get<CacheParams>(slot.params).geom);
+            break;
+          case ComponentKind::DCache:
+            result._dcacheGeoms.push_back(
+                std::get<CacheParams>(slot.params).geom);
+            break;
+          case ComponentKind::Tlb:
+            result._tlbGeoms.push_back(
+                std::get<TlbParams>(slot.params).geom);
+            break;
+          default:
+            break;
+        }
+    }
 
     // Per-task metric shards: each task writes only its own slot, so
     // the post-loop merge (in task order) is a pure function of the
     // work — never of the schedule or lane count.
     std::vector<obs::MetricRegistry> shards(
-        observation != nullptr ? 1 + n_i + n_d + n_t : 0);
+        observation != nullptr ? 1 + n_slots : 0);
 
     const auto loadShard = [&](const Fingerprint &key,
                                auto decode) -> bool {
@@ -244,88 +279,48 @@ ComponentSweep::replayTrace(const RecordedTrace &trace,
                                                shard.wbStores,
                                                shard.wbStallCycles);
             }
-        } else if (task <= n_i) {
-            const std::size_t i = task - 1;
-            const CacheParams params =
-                sweepCacheParams(_icacheGeoms[i], icacheBankSalt, i);
-            Fingerprint key = base_key;
-            key.str("artifact", "shard");
-            key.str("component", "icache");
-            key.u64("index", i);
-            params.fingerprint(key);
-
-            CacheStats stats;
-            if (!loadShard(key, [&](const std::string &p) {
-                    return store::decodeCacheStats(p, stats);
-                })) {
-                Cache cache(params);
-                const std::uint64_t refs =
-                    replayFetchBatched(trace, cache);
-                stats = cache.stats();
-                saveShard(key, store::encodeCacheStats(stats));
-                if (observation != nullptr)
-                    shards[task].add("replay/batched_refs", refs);
-            }
-            result._icacheStats[i] = stats;
-            if (observation != nullptr)
-                obs::exportCacheStats(shards[task], "icache", stats);
-        } else if (task <= n_i + n_d) {
-            const std::size_t d = task - 1 - n_i;
-            const CacheParams params =
-                sweepCacheParams(_dcacheGeoms[d], dcacheBankSalt, d);
-            Fingerprint key = base_key;
-            key.str("artifact", "shard");
-            key.str("component", "dcache");
-            key.u64("index", d);
-            params.fingerprint(key);
-
-            CacheStats stats;
-            if (!loadShard(key, [&](const std::string &p) {
-                    return store::decodeCacheStats(p, stats);
-                })) {
-                Cache cache(params);
-                const std::uint64_t refs =
-                    replayCachedDataBatched(trace, cache);
-                stats = cache.stats();
-                saveShard(key, store::encodeCacheStats(stats));
-                if (observation != nullptr)
-                    shards[task].add("replay/batched_refs", refs);
-            }
-            result._dcacheStats[d] = stats;
-            if (observation != nullptr)
-                obs::exportCacheStats(shards[task], "dcache", stats);
         } else {
-            const std::size_t t = task - 1 - n_i - n_d;
-            TlbParams p;
-            p.geom = _tlbGeoms[t];
+            // Component replay: every kind runs through the one
+            // replayable-component surface. The shard key reproduces
+            // the historical per-kind keys exactly (kind name +
+            // per-kind index + parameter fingerprint, plus the TLB
+            // handler penalties for TLB slots), so stores written by
+            // the three-legged engine stay warm.
+            const std::size_t s = task - 1;
+            const ComponentSlot &slot = _slots[s];
             Fingerprint key = base_key;
             key.str("artifact", "shard");
-            key.str("component", "tlb");
-            key.u64("index", t);
-            p.fingerprint(key);
-            _refMachine.tlbPenalties.fingerprint(key);
+            key.str("component", componentKindName(slot.kind));
+            key.u64("index", kind_index[s]);
+            slot.fingerprint(key);
+            if (slot.kind == ComponentKind::Tlb)
+                _refMachine.tlbPenalties.fingerprint(key);
 
-            MmuStats stats;
-            if (!loadShard(key, [&](const std::string &pay) {
-                    return store::decodeMmuStats(pay, stats);
+            ComponentCounters counters;
+            if (!loadShard(key, [&](const std::string &p) {
+                    return decodeComponentCounters(p, slot.kind,
+                                                   counters);
                 })) {
-                Mmu mmu(p, _refMachine.tlbPenalties);
-                const std::uint64_t refs =
-                    replayTranslateBatched(trace, mmu);
-                stats = mmu.stats();
-                saveShard(key, store::encodeMmuStats(stats));
+                const std::unique_ptr<ComponentReplayer> component =
+                    makeComponent(slot, _refMachine);
+                replayComponent(trace, *component);
+                counters = component->counters();
+                saveShard(key, encodeComponentCounters(counters));
                 if (observation != nullptr)
-                    shards[task].add("replay/batched_refs", refs);
+                    shards[task].add("replay/batched_refs",
+                                     component->delivered());
             }
-            result._tlbStats[t] = stats;
+            result._stats[s] = counters;
             if (observation != nullptr)
-                obs::exportMmuStats(shards[task], "tlb", stats);
+                obs::exportComponentCounters(
+                    shards[task], componentKindName(slot.kind),
+                    counters);
         }
         if (observation != nullptr && observation->progress != nullptr)
             observation->progress->tick();
     };
 
-    const std::size_t n_tasks = 1 + n_i + n_d + n_t;
+    const std::size_t n_tasks = 1 + n_slots;
     if (observation != nullptr) {
         // Run on an explicit pool so its work counters can be
         // exported alongside the component metrics.
@@ -364,18 +359,39 @@ ComponentCpiTables::average(const std::vector<SweepResult> &results,
     tables.dcacheCpi.assign(tables.dcacheGeoms.size(), 0.0);
     tables.tlbCpi.assign(tables.tlbGeoms.size(), 0.0);
 
+    tables.victimOptions.resize(first.victimCount());
+    for (std::size_t i = 0; i < first.victimCount(); ++i)
+        tables.victimOptions[i].params = first.victim(i).params;
+    tables.wbOptions.resize(first.writeBufferCount());
+    for (std::size_t i = 0; i < first.writeBufferCount(); ++i)
+        tables.wbOptions[i].params = first.writeBuffer(i).params;
+    tables.hierarchyOptions.resize(first.hierarchyCount());
+    for (std::size_t i = 0; i < first.hierarchyCount(); ++i)
+        tables.hierarchyOptions[i].params = first.hierarchy(i).params;
+
     double wb = 0.0, other = 0.0;
     for (const auto &r : results) {
         panicIf(r.icacheCount() != tables.icacheGeoms.size() ||
                     r.dcacheCount() != tables.dcacheGeoms.size() ||
-                    r.tlbCount() != tables.tlbGeoms.size(),
-                "sweep results built from different geometry lists");
+                    r.tlbCount() != tables.tlbGeoms.size() ||
+                    r.victimCount() != tables.victimOptions.size() ||
+                    r.writeBufferCount() != tables.wbOptions.size() ||
+                    r.hierarchyCount() !=
+                        tables.hierarchyOptions.size(),
+                "sweep results built from different component lists");
         for (std::size_t i = 0; i < tables.icacheCpi.size(); ++i)
             tables.icacheCpi[i] += r.icache(i).cpi(mp);
         for (std::size_t i = 0; i < tables.dcacheCpi.size(); ++i)
             tables.dcacheCpi[i] += r.dcache(i).cpi(mp);
         for (std::size_t i = 0; i < tables.tlbCpi.size(); ++i)
             tables.tlbCpi[i] += r.tlb(i).cpi();
+        for (std::size_t i = 0; i < tables.victimOptions.size(); ++i)
+            tables.victimOptions[i].cpi += r.victim(i).cpi(mp);
+        for (std::size_t i = 0; i < tables.wbOptions.size(); ++i)
+            tables.wbOptions[i].cpi += r.writeBuffer(i).cpi();
+        for (std::size_t i = 0; i < tables.hierarchyOptions.size();
+             ++i)
+            tables.hierarchyOptions[i].cpi += r.hierarchy(i).cpi();
         wb += r.wbCpi;
         other += r.otherCpi;
     }
@@ -386,6 +402,12 @@ ComponentCpiTables::average(const std::vector<SweepResult> &results,
         v /= n;
     for (auto &v : tables.tlbCpi)
         v /= n;
+    for (auto &v : tables.victimOptions)
+        v.cpi /= n;
+    for (auto &v : tables.wbOptions)
+        v.cpi /= n;
+    for (auto &v : tables.hierarchyOptions)
+        v.cpi /= n;
     // Like the paper's Tables 6/7, the total CPI of an allocation is
     // 1 + TLB + I-cache + D-cache; write-buffer and non-memory
     // stalls are configuration-independent and kept separately.

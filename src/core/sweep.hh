@@ -22,10 +22,12 @@
 #define OMA_CORE_SWEEP_HH
 
 #include <algorithm>
+#include <array>
 #include <string>
 #include <vector>
 
 #include "cache/bank.hh"
+#include "core/component.hh"
 #include "core/experiment.hh"
 #include "machine/machine.hh"
 #include "obs/metrics.hh"
@@ -107,55 +109,164 @@ struct SweepResult
         }
     };
 
+    /** Read-only view of one swept victim-cache configuration. */
+    struct VictimConfigView
+    {
+        const VictimParams &params;
+        const VictimStats &stats;
+        /** Instruction count of the run (the CPI denominator). */
+        std::uint64_t instructions;
+
+        /** Miss ratio past both the L1 and the victim buffer. */
+        [[nodiscard]] double
+        missRatio() const
+        {
+            return stats.missRatio();
+        }
+
+        /** CPI contribution: only misses that go to memory pay the
+         * machine's miss penalty (a victim-buffer swap-back is
+         * served at cache speed). */
+        [[nodiscard]] double
+        cpi(const MachineParams &mp) const
+        {
+            const double instr =
+                double(std::max<std::uint64_t>(1, instructions));
+            return double(stats.misses) *
+                double(mp.missPenalty(params.l1)) / instr;
+        }
+    };
+
+    /** Read-only view of one swept write-buffer configuration. */
+    struct WriteBufferConfigView
+    {
+        const WriteBufferParams &params;
+        const WriteBufferStats &stats;
+
+        /** Buffer-full stall cycles per instruction. */
+        [[nodiscard]] double
+        cpi() const
+        {
+            return stats.cpiContribution();
+        }
+    };
+
+    /** Read-only view of one swept hierarchy configuration. */
+    struct HierarchyConfigView
+    {
+        const HierarchyParams &params;
+        const HierarchyStats &stats;
+
+        /** Hierarchy stall cycles per instruction. */
+        [[nodiscard]] double
+        cpi() const
+        {
+            return stats.cpiContribution();
+        }
+    };
+
     /** View of I-cache configuration @p i (fatal when out of range). */
     [[nodiscard]] CacheConfigView
     icache(std::size_t i) const
     {
-        fatalIf(i >= _icacheStats.size(),
-                "SweepResult::icache(" + std::to_string(i) +
-                    "): only " + std::to_string(_icacheStats.size()) +
-                    " configurations swept");
-        return {_icacheGeoms[i], _icacheStats[i], instructions};
+        const std::size_t s =
+            kindSlot(ComponentKind::ICache, i, "icache");
+        return {_icacheGeoms[i], std::get<CacheStats>(_stats[s]),
+                instructions};
     }
 
     /** View of D-cache configuration @p i (fatal when out of range). */
     [[nodiscard]] CacheConfigView
     dcache(std::size_t i) const
     {
-        fatalIf(i >= _dcacheStats.size(),
-                "SweepResult::dcache(" + std::to_string(i) +
-                    "): only " + std::to_string(_dcacheStats.size()) +
-                    " configurations swept");
-        return {_dcacheGeoms[i], _dcacheStats[i], instructions};
+        const std::size_t s =
+            kindSlot(ComponentKind::DCache, i, "dcache");
+        return {_dcacheGeoms[i], std::get<CacheStats>(_stats[s]),
+                instructions};
     }
 
     /** View of TLB configuration @p i (fatal when out of range). */
     [[nodiscard]] TlbConfigView
     tlb(std::size_t i) const
     {
-        fatalIf(i >= _tlbStats.size(),
-                "SweepResult::tlb(" + std::to_string(i) + "): only " +
-                    std::to_string(_tlbStats.size()) +
-                    " configurations swept");
-        return {_tlbGeoms[i], _tlbStats[i], instructions};
+        const std::size_t s = kindSlot(ComponentKind::Tlb, i, "tlb");
+        return {_tlbGeoms[i], std::get<MmuStats>(_stats[s]),
+                instructions};
+    }
+
+    /** View of victim configuration @p i (fatal when out of range). */
+    [[nodiscard]] VictimConfigView
+    victim(std::size_t i) const
+    {
+        const std::size_t s =
+            kindSlot(ComponentKind::Victim, i, "victim");
+        return {std::get<VictimParams>(_slots[s].params),
+                std::get<VictimStats>(_stats[s]), instructions};
+    }
+
+    /** View of write-buffer configuration @p i (fatal when out of
+     * range). */
+    [[nodiscard]] WriteBufferConfigView
+    writeBuffer(std::size_t i) const
+    {
+        const std::size_t s =
+            kindSlot(ComponentKind::WriteBuffer, i, "writeBuffer");
+        return {std::get<WriteBufferParams>(_slots[s].params),
+                std::get<WriteBufferStats>(_stats[s])};
+    }
+
+    /** View of hierarchy configuration @p i (fatal when out of
+     * range). */
+    [[nodiscard]] HierarchyConfigView
+    hierarchy(std::size_t i) const
+    {
+        const std::size_t s =
+            kindSlot(ComponentKind::Hierarchy, i, "hierarchy");
+        return {std::get<HierarchyParams>(_slots[s].params),
+                std::get<HierarchyStats>(_stats[s])};
     }
 
     [[nodiscard]] std::size_t
     icacheCount() const
     {
-        return _icacheStats.size();
+        return kindCount(ComponentKind::ICache);
     }
 
     [[nodiscard]] std::size_t
     dcacheCount() const
     {
-        return _dcacheStats.size();
+        return kindCount(ComponentKind::DCache);
     }
 
     [[nodiscard]] std::size_t
     tlbCount() const
     {
-        return _tlbStats.size();
+        return kindCount(ComponentKind::Tlb);
+    }
+
+    [[nodiscard]] std::size_t
+    victimCount() const
+    {
+        return kindCount(ComponentKind::Victim);
+    }
+
+    [[nodiscard]] std::size_t
+    writeBufferCount() const
+    {
+        return kindCount(ComponentKind::WriteBuffer);
+    }
+
+    [[nodiscard]] std::size_t
+    hierarchyCount() const
+    {
+        return kindCount(ComponentKind::Hierarchy);
+    }
+
+    /** Total swept components of every kind. */
+    [[nodiscard]] std::size_t
+    componentCount() const
+    {
+        return _slots.size();
     }
 
     /** The swept geometry lists (index-aligned with the views). */
@@ -180,12 +291,39 @@ struct SweepResult
   private:
     friend class ComponentSweep;
 
+    [[nodiscard]] std::size_t
+    kindCount(ComponentKind kind) const
+    {
+        return _kindIndex[std::size_t(kind)].size();
+    }
+
+    /** Slot index of the @p i -th component of @p kind (fatal when
+     * out of range, naming accessor @p what). */
+    [[nodiscard]] std::size_t
+    kindSlot(ComponentKind kind, std::size_t i, const char *what) const
+    {
+        const std::vector<std::size_t> &index =
+            _kindIndex[std::size_t(kind)];
+        fatalIf(i >= index.size(),
+                "SweepResult::" + std::string(what) + "(" +
+                    std::to_string(i) + "): only " +
+                    std::to_string(index.size()) +
+                    " configurations swept");
+        return index[i];
+    }
+
+    /** The heterogeneous component axis: one slot and one counters
+     * record per swept component, in sweep order, plus a per-kind
+     * index so the typed views stay O(1). */
+    std::vector<ComponentSlot> _slots;
+    std::vector<ComponentCounters> _stats;
+    std::array<std::vector<std::size_t>, numComponentKinds> _kindIndex;
+
+    /** Materialized geometry lists backing the by-reference classic
+     * getters (index-aligned with the per-kind views). */
     std::vector<CacheGeometry> _icacheGeoms;
-    std::vector<CacheStats> _icacheStats;
     std::vector<CacheGeometry> _dcacheGeoms;
-    std::vector<CacheStats> _dcacheStats;
     std::vector<TlbGeometry> _tlbGeoms;
-    std::vector<MmuStats> _tlbStats;
 };
 
 /**
@@ -213,11 +351,35 @@ struct SweepResult
 class ComponentSweep
 {
   public:
+    /**
+     * The classic three-kind sweep: one I-cache slot per geometry
+     * (each with its private Rng stream), one D-cache slot, one TLB
+     * slot. Extension components join via addComponent().
+     */
     ComponentSweep(std::vector<CacheGeometry> icache_geoms,
                    std::vector<CacheGeometry> dcache_geoms,
                    std::vector<TlbGeometry> tlb_geoms,
                    const MachineParams &reference_machine =
                        MachineParams::decstation3100());
+
+    /** Sweep an explicit heterogeneous component list. */
+    explicit ComponentSweep(std::vector<ComponentSlot> slots,
+                            const MachineParams &reference_machine =
+                                MachineParams::decstation3100());
+
+    /** Append one more component (any kind) to the sweep. */
+    void
+    addComponent(ComponentSlot slot)
+    {
+        _slots.push_back(std::move(slot));
+    }
+
+    /** The swept component slots, in task order. */
+    [[nodiscard]] const std::vector<ComponentSlot> &
+    components() const
+    {
+        return _slots;
+    }
 
     /**
      * Run the sweep. An optional obs::Observation collects component
@@ -260,9 +422,7 @@ class ComponentSweep
                             const ArtifactStore *store,
                             const Fingerprint &base_key) const;
 
-    std::vector<CacheGeometry> _icacheGeoms;
-    std::vector<CacheGeometry> _dcacheGeoms;
-    std::vector<TlbGeometry> _tlbGeoms;
+    std::vector<ComponentSlot> _slots;
     MachineParams _refMachine;
 };
 
@@ -279,6 +439,34 @@ struct ComponentCpiTables
     std::vector<double> dcacheCpi;
     std::vector<TlbGeometry> tlbGeoms;
     std::vector<double> tlbCpi;
+
+    /** One averaged extension candidate: a victim-cache organization
+     * competing against the I-cache axis. */
+    struct VictimOption
+    {
+        VictimParams params;
+        double cpi = 0.0;
+    };
+
+    /** One averaged write-buffer depth candidate. */
+    struct WriteBufferOption
+    {
+        WriteBufferParams params;
+        double cpi = 0.0;
+    };
+
+    /** One averaged hierarchy candidate (replaces the split I/D
+     * axes of an allocation wholesale). */
+    struct HierarchyOption
+    {
+        HierarchyParams params;
+        double cpi = 0.0;
+    };
+
+    /** Extension axes (empty for the paper's classic space). */
+    std::vector<VictimOption> victimOptions;
+    std::vector<WriteBufferOption> wbOptions;
+    std::vector<HierarchyOption> hierarchyOptions;
     /** Base of an allocation's total CPI (1.0, as in Tables 6/7). */
     double baseCpi = 1.0;
     /** Config-independent write-buffer stall CPI (informational). */

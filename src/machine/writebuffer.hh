@@ -16,10 +16,46 @@
 #include <cstdint>
 #include <deque>
 
+#include "support/fingerprint.hh"
 #include "support/logging.hh"
+#include "trace/memref.hh"
 
 namespace oma
 {
+
+/** Configuration of a write buffer as a swept component. */
+struct WriteBufferParams
+{
+    /** Buffer depth in words (must be at least 1). */
+    std::uint64_t entries = 4;
+    /** Memory cycles to retire one word (must be at least 1). */
+    std::uint64_t drainCycles = 3;
+
+    /** Append every behaviour-determining field to a fingerprint. */
+    void
+    fingerprint(Fingerprint &fp) const
+    {
+        fp.u64("wb.entries", entries);
+        fp.u64("wb.drain_cycles", drainCycles);
+    }
+};
+
+/** Counters of a standalone write-buffer simulation. */
+struct WriteBufferStats
+{
+    std::uint64_t instructions = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t stallCycles = 0; //!< Buffer-full stalls.
+
+    /** Write-buffer stall cycles per instruction. */
+    [[nodiscard]] double
+    cpiContribution() const
+    {
+        return instructions == 0
+            ? 0.0
+            : double(stallCycles) / double(instructions);
+    }
+};
 
 /** A FIFO write buffer with serialized memory retirement. */
 class WriteBuffer
@@ -97,6 +133,66 @@ class WriteBuffer
     std::deque<std::uint64_t> _done; //!< Retire-completion times.
     std::uint64_t _stallCycles = 0;
     std::uint64_t _stores = 0;
+};
+
+/**
+ * Standalone trace-driven write-buffer simulation: the write buffer
+ * as a *swept component* rather than a fixture of one Machine.
+ *
+ * The model keeps its own cycle count — one base cycle per
+ * instruction fetch, plus the buffer-full stalls its own stores
+ * suffer — so a depth sweep measures how the store stream alone
+ * pressures each candidate depth, independent of cache-miss timing.
+ * (The write-through machines the paper measures push every store
+ * into the buffer, so the store stream is what a depth decision must
+ * absorb; cache-miss interactions are second-order and configuration-
+ * coupled, which is exactly what a per-component table must not be.)
+ *
+ * Every reference kind is observed through one observe() body; the
+ * batched chunk replay (core/component.hh) funnels through the same
+ * body, so scalar and batched counter streams are bitwise-identical
+ * by construction.
+ */
+class WriteBufferSim
+{
+  public:
+    explicit WriteBufferSim(const WriteBufferParams &params)
+        : _wb(params.entries, params.drainCycles), _params(params)
+    {
+    }
+
+    /** Observe one reference of the stream (any kind). */
+    void
+    observe(RefKind kind)
+    {
+        if (kind == RefKind::IFetch) {
+            ++_stats.instructions;
+            ++_now;
+            return;
+        }
+        if (kind == RefKind::Store) {
+            ++_stats.stores;
+            const std::uint64_t stall = _wb.store(_now);
+            _now += stall;
+            _stats.stallCycles += stall;
+        }
+    }
+
+    [[nodiscard]] const WriteBufferStats &stats() const
+    {
+        return _stats;
+    }
+
+    [[nodiscard]] const WriteBufferParams &params() const
+    {
+        return _params;
+    }
+
+  private:
+    WriteBuffer _wb;
+    WriteBufferParams _params;
+    WriteBufferStats _stats;
+    std::uint64_t _now = 0;
 };
 
 } // namespace oma

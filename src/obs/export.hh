@@ -19,6 +19,8 @@
 #define OMA_OBS_EXPORT_HH
 
 #include <string>
+#include <type_traits>
+#include <variant>
 
 #include "core/experiment.hh"
 #include "core/search.hh"
@@ -100,6 +102,65 @@ exportWriteBuffer(MetricRegistry &m, const std::string &prefix,
                               wb.stallCycles());
 }
 
+/** Victim-cache counters under `<prefix>/...`. */
+inline void
+exportVictimStats(MetricRegistry &m, const std::string &prefix,
+                  const VictimStats &s)
+{
+    m.add(prefix + "/accesses", s.accesses);
+    m.add(prefix + "/l1_hits", s.l1Hits);
+    m.add(prefix + "/victim_hits", s.victimHits);
+    m.add(prefix + "/misses", s.misses);
+}
+
+/** Standalone write-buffer component counters under `<prefix>/...`. */
+inline void
+exportWriteBufferSimStats(MetricRegistry &m,
+                          const std::string &prefix,
+                          const WriteBufferStats &s)
+{
+    m.add(prefix + "/instructions", s.instructions);
+    m.add(prefix + "/stores", s.stores);
+    m.add(prefix + "/stall_cycles", s.stallCycles);
+}
+
+/** Hierarchy counters under `<prefix>/...`. */
+inline void
+exportHierarchyStats(MetricRegistry &m, const std::string &prefix,
+                     const HierarchyStats &s)
+{
+    m.add(prefix + "/instructions", s.instructions);
+    m.add(prefix + "/data_refs", s.dataRefs);
+    m.add(prefix + "/l1_misses", s.l1Misses);
+    m.add(prefix + "/l2_hits", s.l2Hits);
+    m.add(prefix + "/l2_misses", s.l2Misses);
+    m.add(prefix + "/port_conflicts", s.portConflicts);
+    m.add(prefix + "/stall_cycles", s.stallCycles);
+}
+
+/** Any replayable component's counters under `<prefix>/...`
+ * (dispatches on the ComponentCounters alternative). */
+inline void
+exportComponentCounters(MetricRegistry &m, const std::string &prefix,
+                        const ComponentCounters &counters)
+{
+    std::visit(
+        [&m, &prefix](const auto &s) {
+            using T = std::decay_t<decltype(s)>;
+            if constexpr (std::is_same_v<T, CacheStats>)
+                exportCacheStats(m, prefix, s);
+            else if constexpr (std::is_same_v<T, MmuStats>)
+                exportMmuStats(m, prefix, s);
+            else if constexpr (std::is_same_v<T, VictimStats>)
+                exportVictimStats(m, prefix, s);
+            else if constexpr (std::is_same_v<T, WriteBufferStats>)
+                exportWriteBufferSimStats(m, prefix, s);
+            else
+                exportHierarchyStats(m, prefix, s);
+        },
+        counters);
+}
+
 /** Recording shape: reference/event counts and packed size. */
 inline void
 exportRecordedTrace(MetricRegistry &m, const std::string &prefix,
@@ -168,6 +229,26 @@ exportSweepResult(MetricRegistry &m, const SweepResult &r)
     for (std::size_t i = 0; i < r.tlbCount(); ++i)
         m.observe("tlb/refill_cycles_per_config",
                   r.tlb(i).stats.refillCycles());
+    // Extension axes: only present when the sweep carried them, so
+    // classic-space run reports are byte-compatible.
+    if (r.victimCount() != 0) {
+        m.add("sweep/victim_configs", r.victimCount());
+        for (std::size_t i = 0; i < r.victimCount(); ++i)
+            m.observe("victim/misses_per_config",
+                      r.victim(i).stats.misses);
+    }
+    if (r.writeBufferCount() != 0) {
+        m.add("sweep/wbuffer_configs", r.writeBufferCount());
+        for (std::size_t i = 0; i < r.writeBufferCount(); ++i)
+            m.observe("wbuffer/stall_cycles_per_config",
+                      r.writeBuffer(i).stats.stallCycles);
+    }
+    if (r.hierarchyCount() != 0) {
+        m.add("sweep/l2_configs", r.hierarchyCount());
+        for (std::size_t i = 0; i < r.hierarchyCount(); ++i)
+            m.observe("l2/stall_cycles_per_config",
+                      r.hierarchy(i).stats.stallCycles);
+    }
 }
 
 /** Ranked-allocation summary (count, best CPI/area). */

@@ -351,4 +351,81 @@ decodeMachineShard(std::string_view payload, MachineShard &s)
     return true;
 }
 
+std::string
+encodeVictimStats(const VictimStats &s)
+{
+    std::string out;
+    appendU64(out, s.accesses);
+    appendU64(out, s.l1Hits);
+    appendU64(out, s.victimHits);
+    appendU64(out, s.misses);
+    return out;
+}
+
+bool
+decodeVictimStats(std::string_view payload, VictimStats &s)
+{
+    Reader r(payload);
+    VictimStats decoded;
+    if (!r.u64(decoded.accesses) || !r.u64(decoded.l1Hits) ||
+        !r.u64(decoded.victimHits) || !r.u64(decoded.misses) ||
+        !r.done()) {
+        return false;
+    }
+    s = decoded;
+    return true;
+}
+
+std::string
+encodeWriteBufferStats(const WriteBufferStats &s)
+{
+    std::string out;
+    appendU64(out, s.instructions);
+    appendU64(out, s.stores);
+    appendU64(out, s.stallCycles);
+    return out;
+}
+
+bool
+decodeWriteBufferStats(std::string_view payload, WriteBufferStats &s)
+{
+    Reader r(payload);
+    WriteBufferStats decoded;
+    if (!r.u64(decoded.instructions) || !r.u64(decoded.stores) ||
+        !r.u64(decoded.stallCycles) || !r.done()) {
+        return false;
+    }
+    s = decoded;
+    return true;
+}
+
+std::string
+encodeHierarchyStats(const HierarchyStats &s)
+{
+    std::string out;
+    appendU64(out, s.instructions);
+    appendU64(out, s.dataRefs);
+    appendU64(out, s.l1Misses);
+    appendU64(out, s.l2Hits);
+    appendU64(out, s.l2Misses);
+    appendU64(out, s.portConflicts);
+    appendU64(out, s.stallCycles);
+    return out;
+}
+
+bool
+decodeHierarchyStats(std::string_view payload, HierarchyStats &s)
+{
+    Reader r(payload);
+    HierarchyStats decoded;
+    if (!r.u64(decoded.instructions) || !r.u64(decoded.dataRefs) ||
+        !r.u64(decoded.l1Misses) || !r.u64(decoded.l2Hits) ||
+        !r.u64(decoded.l2Misses) || !r.u64(decoded.portConflicts) ||
+        !r.u64(decoded.stallCycles) || !r.done()) {
+        return false;
+    }
+    s = decoded;
+    return true;
+}
+
 } // namespace oma::store

@@ -28,6 +28,9 @@
 #include <string_view>
 
 #include "cache/cache.hh"
+#include "cache/hierarchy.hh"
+#include "cache/victim.hh"
+#include "machine/writebuffer.hh"
 #include "tlb/mmu.hh"
 #include "trace/recorded.hh"
 
@@ -69,6 +72,26 @@ struct MachineShard
 [[nodiscard]] std::string encodeMachineShard(const MachineShard &s);
 [[nodiscard]] bool decodeMachineShard(std::string_view payload,
                                       MachineShard &s);
+
+// Counter shards of the extension components (victim caches, write
+// buffers, hierarchies) swept as replayable components
+// (core/component.hh). Raw counters only, like every shard codec, so
+// warm reruns and killed-sweep resume reproduce live runs
+// bit-for-bit.
+
+[[nodiscard]] std::string encodeVictimStats(const VictimStats &s);
+[[nodiscard]] bool decodeVictimStats(std::string_view payload,
+                                     VictimStats &s);
+
+[[nodiscard]] std::string
+encodeWriteBufferStats(const WriteBufferStats &s);
+[[nodiscard]] bool decodeWriteBufferStats(std::string_view payload,
+                                          WriteBufferStats &s);
+
+[[nodiscard]] std::string
+encodeHierarchyStats(const HierarchyStats &s);
+[[nodiscard]] bool decodeHierarchyStats(std::string_view payload,
+                                        HierarchyStats &s);
 
 } // namespace oma::store
 

@@ -59,5 +59,19 @@ TEST(CacheBank, EmptyBankIsHarmless)
     EXPECT_EQ(bank.size(), 0u);
 }
 
+TEST(CacheBankDeathTest, AtRejectsOutOfRangeIndex)
+{
+    CacheBank bank;
+    CacheParams p;
+    p.geom = CacheGeometry(2 * 1024, 16, 1);
+    bank.add(p);
+    const CacheBank &cbank = bank;
+    EXPECT_DEATH((void)bank.at(1), "CacheBank::at\\(1\\): only 1");
+    EXPECT_DEATH((void)cbank.at(7), "CacheBank::at\\(7\\): only 1");
+
+    CacheBank empty;
+    EXPECT_DEATH((void)empty.at(0), "only 0 caches");
+}
+
 } // namespace
 } // namespace oma

@@ -105,6 +105,48 @@ TEST(TwoLevelCache, StoreMissOnOneWordLineFree)
     EXPECT_EQ(two.stats().l1Misses, 1u);
 }
 
+TEST(TwoLevelCache, L2SmallerThanL1StaysConsistent)
+{
+    // A degenerate but legal geometry: the L2 is smaller than the
+    // L1s, so it can only ever hold a subset and nearly every L1
+    // miss must also miss the L2. The conservation law — every L1
+    // miss is exactly one L2 hit or one L2 miss — must hold anyway.
+    HierarchyPenalties pen;
+    TwoLevelCache two(params(8, 4, 2), params(8, 4, 2),
+                      params(2, 4, 1), /*has_l2=*/true, pen);
+    Rng rng(11);
+    for (int i = 0; i < 40000; ++i) {
+        two.access(rng.below(32 * 1024) & ~3ULL,
+                   static_cast<RefKind>(rng.below(3)));
+    }
+    const HierarchyStats &s = two.stats();
+    EXPECT_GT(s.l1Misses, 0u);
+    EXPECT_EQ(s.l2Hits + s.l2Misses, s.l1Misses);
+    // The inverted hierarchy mostly forwards to memory.
+    EXPECT_GT(s.l2Misses, s.l2Hits);
+}
+
+TEST(TwoLevelCache, OneWayL2CapturesConflictFreeReuse)
+{
+    // 1-way (direct-mapped) L2 behind tiny L1s: the L2 still absorbs
+    // L1 capacity misses whose lines do not conflict in the L2, and
+    // the L1-miss conservation law holds on the edge associativity.
+    HierarchyPenalties pen;
+    TwoLevelCache two(params(1, 4, 1), params(1, 4, 1),
+                      params(32, 8, 1), /*has_l2=*/true, pen);
+    for (int round = 0; round < 20; ++round) {
+        // An 8-KB stride-16B sweep: far beyond the 1-KB L1s, well
+        // inside the 32-KB direct-mapped L2, no L2 conflicts.
+        for (std::uint64_t addr = 0; addr < 8 * 1024; addr += 16)
+            two.access(addr, RefKind::Load);
+    }
+    const HierarchyStats &s = two.stats();
+    EXPECT_EQ(s.l2Hits + s.l2Misses, s.l1Misses);
+    EXPECT_GT(s.l2Hits, 0u);
+    // After the compulsory first round every L1 miss hits the L2.
+    EXPECT_LE(s.l2Misses, s.l1Misses / 10);
+}
+
 TEST(TwoLevelCache, L2WinsWhenTheWorkingSetFitsIt)
 {
     // A working set between the L1 and L2 capacities is exactly

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Golden canonical-text tests for the component parameter
+ * fingerprints. The artifact store keys every replay shard by these
+ * texts (src/store), so any accidental change to a field name, field
+ * order or value encoding silently orphans every previously stored
+ * shard. These tests pin the exact canonical text for the extension
+ * components (victim cache, write buffer, hierarchy) the way the
+ * store-key tests pin the classic cache/TLB components.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/hierarchy.hh"
+#include "cache/victim.hh"
+#include "machine/writebuffer.hh"
+#include "support/fingerprint.hh"
+
+namespace oma
+{
+namespace
+{
+
+TEST(FingerprintText, VictimParamsCanonicalText)
+{
+    VictimParams p;
+    p.l1 = CacheGeometry(8192, 16, 1);
+    p.entries = 4;
+    Fingerprint fp;
+    p.fingerprint(fp);
+    EXPECT_EQ(fp.text(), "cache_geom.capacity_bytes=8192\n"
+                         "cache_geom.line_bytes=16\n"
+                         "cache_geom.assoc=1\n"
+                         "victim.entries=4\n");
+}
+
+TEST(FingerprintText, WriteBufferParamsCanonicalText)
+{
+    WriteBufferParams p;
+    p.entries = 4;
+    p.drainCycles = 3;
+    Fingerprint fp;
+    p.fingerprint(fp);
+    EXPECT_EQ(fp.text(), "wb.entries=4\n"
+                         "wb.drain_cycles=3\n");
+}
+
+TEST(FingerprintText, HierarchyParamsCanonicalText)
+{
+    HierarchyParams p;
+    p.l1i.geom = CacheGeometry(8192, 16, 2);
+    p.l1d.geom = CacheGeometry(4096, 16, 2);
+    p.l2.geom = CacheGeometry(32768, 32, 4);
+    p.hasL2 = true;
+    Fingerprint fp;
+    p.fingerprint(fp);
+    EXPECT_EQ(fp.text(), "hier.l1i=0:\n"
+                         "cache_geom.capacity_bytes=8192\n"
+                         "cache_geom.line_bytes=16\n"
+                         "cache_geom.assoc=2\n"
+                         "cache.repl=0\n"
+                         "cache.write=0\n"
+                         "cache.alloc=0\n"
+                         "cache.seed=1\n"
+                         "hier.l1d=0:\n"
+                         "cache_geom.capacity_bytes=4096\n"
+                         "cache_geom.line_bytes=16\n"
+                         "cache_geom.assoc=2\n"
+                         "cache.repl=0\n"
+                         "cache.write=0\n"
+                         "cache.alloc=0\n"
+                         "cache.seed=1\n"
+                         "hier.l2=0:\n"
+                         "cache_geom.capacity_bytes=32768\n"
+                         "cache_geom.line_bytes=32\n"
+                         "cache_geom.assoc=4\n"
+                         "cache.repl=0\n"
+                         "cache.write=0\n"
+                         "cache.alloc=0\n"
+                         "cache.seed=1\n"
+                         "hier.has_l2=1\n"
+                         "hier.unified=0\n"
+                         "hier.l2_first_word=2\n"
+                         "hier.l2_per_word=0\n"
+                         "hier.mem_first_word=6\n"
+                         "hier.mem_per_word=1\n"
+                         "hier.port_conflict=1\n");
+}
+
+TEST(FingerprintText, EveryFieldReachesTheHash)
+{
+    // Round-trip sanity: identical params hash identically, and every
+    // behaviour-determining field perturbs the hash.
+    const auto hexOf = [](const auto &p) {
+        Fingerprint fp;
+        p.fingerprint(fp);
+        return fp.hex();
+    };
+
+    VictimParams v;
+    v.l1 = CacheGeometry(8192, 16, 1);
+    EXPECT_EQ(hexOf(v), hexOf(v));
+    VictimParams v2 = v;
+    v2.entries = 8;
+    EXPECT_NE(hexOf(v), hexOf(v2));
+
+    WriteBufferParams w;
+    EXPECT_EQ(hexOf(w), hexOf(w));
+    WriteBufferParams w2 = w;
+    w2.drainCycles = 5;
+    EXPECT_NE(hexOf(w), hexOf(w2));
+
+    HierarchyParams h;
+    h.l1i.geom = CacheGeometry(8192, 16, 2);
+    h.l1d.geom = h.l1i.geom;
+    h.l2.geom = CacheGeometry(32768, 32, 4);
+    EXPECT_EQ(hexOf(h), hexOf(h));
+    HierarchyParams h2 = h;
+    h2.unified = true;
+    EXPECT_NE(hexOf(h), hexOf(h2));
+    HierarchyParams h3 = h;
+    h3.penalties.l2FirstWord = 4;
+    EXPECT_NE(hexOf(h), hexOf(h3));
+}
+
+} // namespace
+} // namespace oma
