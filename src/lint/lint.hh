@@ -160,6 +160,16 @@ void printReport(const LintReport &report, bool fixits,
                  std::ostream &os);
 
 /**
+ * Render @p report as a SARIF 2.1.0 log (the interchange format CI
+ * annotation UIs ingest): one `run` for the oma_lint driver with the
+ * full default rule set declared, and one `result` per finding
+ * carrying its rule id, message (fixit appended when present), and
+ * file/line location. Deterministic: byte-identical for identical
+ * reports.
+ */
+void printSarif(const LintReport &report, std::ostream &os);
+
+/**
  * Write one single-include translation unit per header under
  * @p src_root into @p out_dir, plus a `manifest.txt` naming every
  * generated TU — the list the `header_tu` CMake target compiles with

@@ -461,6 +461,417 @@ class RuleCastAudit : public Rule
     }
 };
 
+// ---------------------------------------------------------------- //
+// Concurrency-contract rules (docs/STATIC_ANALYSIS.md, "Concurrency
+// contract"). Shared scaffolding first: a brace tracker that records
+// each line's starting depth and every class/struct body region, so
+// the rules can tell a member declaration from an inline body or a
+// local.
+// ---------------------------------------------------------------- //
+
+/** One class/struct body: lines whose *starting* brace depth equals
+ * bodyDepth inside [beginLine, endLine] are member declarations. */
+struct ClassRegion
+{
+    std::string name;
+    std::size_t beginLine = 0; //!< Line after the opening brace.
+    std::size_t endLine = 0;   //!< Line holding the closing brace.
+    int bodyDepth = 0;
+};
+
+struct BraceScan
+{
+    /** lineDepth[l] = brace depth (all braces) where line l starts. */
+    std::vector<int> lineDepth;
+    std::vector<ClassRegion> classes;
+};
+
+BraceScan
+scanBraces(const SourceFile &file)
+{
+    BraceScan scan;
+    scan.lineDepth.assign(file.lineCount() + 1, 0);
+    int depth = 0;
+    std::string prev;          //!< Last identifier seen.
+    bool pendingClass = false; //!< class/struct head awaiting '{'.
+    std::string pendingName;
+    std::vector<std::size_t> open; //!< Indices into scan.classes.
+    for (std::size_t l = 1; l <= file.lineCount(); ++l) {
+        scan.lineDepth[l] = depth;
+        const std::string &code = file.codeLine(l);
+        std::size_t i = 0;
+        while (i < code.size()) {
+            const char c = code[i];
+            if (identChar(c)) {
+                std::size_t end = i;
+                while (end < code.size() && identChar(code[end]))
+                    ++end;
+                const std::string tok = code.substr(i, end - i);
+                if ((tok == "class" || tok == "struct") &&
+                    prev != "enum") {
+                    pendingClass = true;
+                    pendingName.clear();
+                } else if (pendingClass) {
+                    pendingName = tok; // Last ident before '{' wins.
+                }
+                prev = tok;
+                i = end;
+                continue;
+            }
+            if (c == '{') {
+                ++depth;
+                if (pendingClass) {
+                    ClassRegion region;
+                    region.name = pendingName;
+                    region.beginLine = l;
+                    region.bodyDepth = depth;
+                    open.push_back(scan.classes.size());
+                    scan.classes.push_back(region);
+                    pendingClass = false;
+                }
+            } else if (c == '}') {
+                if (!open.empty() &&
+                    scan.classes[open.back()].bodyDepth == depth) {
+                    scan.classes[open.back()].endLine = l;
+                    open.pop_back();
+                }
+                --depth;
+            } else if (c == ';') {
+                pendingClass = false; // Forward declaration.
+            }
+            ++i;
+        }
+    }
+    // Unterminated regions (truncated buffer) extend to EOF.
+    for (const std::size_t idx : open)
+        scan.classes[idx].endLine = file.lineCount();
+    return scan;
+}
+
+/** Substring find of @p token with identifier boundaries on both
+ * sides (for qualified tokens like "std::mutex" that findToken's
+ * whole-identifier match cannot express). */
+std::size_t
+findQualified(const std::string &line, const std::string &token)
+{
+    std::size_t pos = 0;
+    while ((pos = line.find(token, pos)) != std::string::npos) {
+        const bool left_ok = pos == 0 || !identChar(line[pos - 1]);
+        const std::size_t end = pos + token.size();
+        const bool right_ok =
+            end >= line.size() || !identChar(line[end]);
+        if (left_ok && right_ok)
+            return pos;
+        pos = end;
+    }
+    return std::string::npos;
+}
+
+/** Next non-space character at/after @p pos, or '\0'. */
+char
+nextNonSpace(const std::string &line, std::size_t pos)
+{
+    while (pos < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[pos])))
+        ++pos;
+    return pos < line.size() ? line[pos] : '\0';
+}
+
+/** Tokens that disqualify a line from being a data declaration. */
+bool
+hasAnyToken(const std::string &code,
+            std::initializer_list<const char *> tokens)
+{
+    for (const char *t : tokens) {
+        if (findToken(code, t) != std::string::npos)
+            return true;
+    }
+    return false;
+}
+
+/**
+ * Name of the variable declared on @p code, or "" when the line does
+ * not look like one. Scans identifiers left to right: one followed by
+ * '(' makes the line a function/call (not a data declaration); one
+ * followed by ';', '=', '{' or '[' is the declared name. When
+ * @p underscore_only is set, only the codebase's `_member` naming
+ * pattern counts — the guarded-member rule uses that to stay out of
+ * expressions inside inline bodies.
+ */
+std::string
+declaredVariable(const std::string &code, bool underscore_only)
+{
+    // A net-negative paren balance means this line continues a
+    // multi-line signature or call (`    std::uint64_t limit = 0);`)
+    // — default arguments there are not variable declarations.
+    int balance = 0;
+    for (const char c : code)
+        balance += c == '(' ? 1 : c == ')' ? -1 : 0;
+    if (balance < 0)
+        return "";
+    std::size_t i = 0;
+    while (i < code.size()) {
+        if (!identChar(code[i])) {
+            ++i;
+            continue;
+        }
+        std::size_t end = i;
+        while (end < code.size() && identChar(code[end]))
+            ++end;
+        const std::string tok = code.substr(i, end - i);
+        const char next = nextNonSpace(code, end);
+        if (next == '(')
+            return ""; // Function declaration, call, or macro.
+        if ((next == ';' || next == '=' || next == '{' ||
+             next == '[') &&
+            !std::isdigit(static_cast<unsigned char>(tok[0])) &&
+            (!underscore_only || tok[0] == '_')) {
+            return tok;
+        }
+        i = end;
+    }
+    return "";
+}
+
+/**
+ * lock-audit: every lock is an oma::Mutex acquired through an
+ * oma::LockGuard (support/sync.hh) — the capability-annotated,
+ * rank-checked shim. Raw std synchronization types have no
+ * annotations (so clang cannot verify their guarded state) and naked
+ * lock()/unlock() calls leak locks on exception paths; both are
+ * flagged everywhere outside the shim itself.
+ */
+class RuleLockAudit : public Rule
+{
+  public:
+    std::string_view name() const override { return "lock-audit"; }
+
+    std::string_view
+    rationale() const override
+    {
+        return "raw std::mutex/std::condition_variable and naked "
+               "lock()/unlock() calls bypass the annotated, "
+               "rank-checked oma::Mutex shim (support/sync.hh); "
+               "RAII guards only";
+    }
+
+    void
+    check(const SourceFile &file, std::vector<Finding> &out) const override
+    {
+        // The shim itself wraps the raw primitives, once.
+        if (pathEndsWith(file.path(), "support/sync.hh"))
+            return;
+        static const std::array<const char *, 8> types = {
+            "std::mutex",
+            "std::recursive_mutex",
+            "std::timed_mutex",
+            "std::recursive_timed_mutex",
+            "std::shared_mutex",
+            "std::shared_timed_mutex",
+            "std::condition_variable",
+            "std::condition_variable_any",
+        };
+        static const std::array<const char *, 6> calls = {
+            ".lock(",     "->lock(",     ".unlock(",
+            "->unlock(",  ".try_lock(",  "->try_lock(",
+        };
+        for (std::size_t l = 1; l <= file.lineCount(); ++l) {
+            const std::string &code = file.codeLine(l);
+            for (const char *token : types) {
+                if (findQualified(code, token) != std::string::npos) {
+                    out.push_back(
+                        {file.path(), l, std::string(name()),
+                         std::string("raw '") + token +
+                             "' outside support/sync.hh",
+                         "use oma::Mutex / oma::CondVar with "
+                         "oma::LockGuard from support/sync.hh",
+                         true});
+                    break;
+                }
+            }
+            for (const char *token : calls) {
+                if (code.find(token) != std::string::npos) {
+                    out.push_back(
+                        {file.path(), l, std::string(name()),
+                         std::string("naked '") + token +
+                             ")' call: a lock held outside RAII "
+                             "leaks on exception paths",
+                         "hold the mutex with `oma::LockGuard "
+                         "lock(mutex);` for the guarded scope",
+                         true});
+                    break;
+                }
+            }
+        }
+    }
+};
+
+/**
+ * guarded-member: a class that owns an oma::Mutex is declaring that
+ * it has concurrent state, so every mutable data member must either
+ * name the lock that protects it (OMA_GUARDED_BY) or carry a
+ * reasoned suppression stating why it needs no lock (immutable after
+ * construction, atomic with an ordering argument, ...). The clang
+ * build then verifies the annotations; this rule makes sure they
+ * exist on every compiler.
+ */
+class RuleGuardedMember : public Rule
+{
+  public:
+    std::string_view name() const override { return "guarded-member"; }
+
+    std::string_view
+    rationale() const override
+    {
+        return "a mutex-owning class must say, member by member, "
+               "what the mutex protects: OMA_GUARDED_BY or a "
+               "reasoned suppression on every mutable data member";
+    }
+
+    void
+    check(const SourceFile &file, std::vector<Finding> &out) const override
+    {
+        if (pathEndsWith(file.path(), "support/sync.hh"))
+            return;
+        const BraceScan scan = scanBraces(file);
+        for (const ClassRegion &region : scan.classes) {
+            bool ownsMutex = false;
+            for (std::size_t l = region.beginLine;
+                 l <= region.endLine && !ownsMutex; ++l) {
+                const std::string &code = file.codeLine(l);
+                if (scan.lineDepth[l] != region.bodyDepth)
+                    continue;
+                // An owned Mutex member (a reference member is
+                // borrowed, not owned, and functions returning
+                // Mutex& also carry '&').
+                if (findToken(code, "Mutex") != std::string::npos &&
+                    code.find(';') != std::string::npos &&
+                    code.find('&') == std::string::npos &&
+                    code.find('(') == std::string::npos)
+                    ownsMutex = true;
+            }
+            if (!ownsMutex)
+                continue;
+            for (std::size_t l = region.beginLine;
+                 l <= region.endLine; ++l) {
+                if (scan.lineDepth[l] != region.bodyDepth)
+                    continue;
+                const std::string &code = file.codeLine(l);
+                if (code.find(';') == std::string::npos)
+                    continue;
+                if (code.find("OMA_GUARDED_BY") != std::string::npos ||
+                    code.find("OMA_PT_GUARDED_BY") !=
+                        std::string::npos)
+                    continue;
+                // The sync primitives themselves need no guard, and
+                // const/static members are not mutable
+                // instance state.
+                if (hasAnyToken(code,
+                                {"Mutex", "CondVar", "const",
+                                 "constexpr", "static", "using",
+                                 "friend", "typedef", "return",
+                                 "operator", "public", "private",
+                                 "protected", "template", "enum",
+                                 "class", "struct"}))
+                    continue;
+                const std::string member =
+                    declaredVariable(code, /*underscore_only=*/true);
+                if (member.empty())
+                    continue;
+                out.push_back(
+                    {file.path(), l, std::string(name()),
+                     "member '" + member + "' of mutex-owning " +
+                         (region.name.empty() ? "class"
+                                              : "class '" +
+                                 region.name + "'") +
+                         " has no OMA_GUARDED_BY annotation",
+                     "annotate `" + member +
+                         " OMA_GUARDED_BY(<mutex>)` or add "
+                         "`// oma-lint: allow(guarded-member): "
+                         "<why no lock is needed>`",
+                     true});
+            }
+        }
+    }
+};
+
+/**
+ * shared-state: mutable statics and namespace-scope globals are
+ * state every thread shares and no caller passed in — the daemon's
+ * concurrency hazard and the determinism contract's blind spot
+ * (they survive across runs within a process). Constants,
+ * thread_local state, and the logging sink are fine; anything else
+ * must justify itself in a suppression.
+ */
+class RuleSharedState : public Rule
+{
+  public:
+    std::string_view name() const override { return "shared-state"; }
+
+    std::string_view
+    rationale() const override
+    {
+        return "mutable static/global state is shared by every "
+               "thread and reused across runs in one process; make "
+               "it const, thread_local, or caller-owned";
+    }
+
+    void
+    check(const SourceFile &file, std::vector<Finding> &out) const override
+    {
+        // Allowlist: the logging sink is the sanctioned process-wide
+        // channel, and bench drivers are single-threaded
+        // google-benchmark mains whose statics cache setup between
+        // registered benchmarks without ever reaching a result
+        // (same carve-out as no-wallclock).
+        if (pathEndsWith(file.path(), "support/logging.hh") ||
+            pathEndsWith(file.path(), "support/logging.cc") ||
+            pathContainsDir(file.path(), "bench"))
+            return;
+        const std::vector<int> depths =
+            RuleIncludeHygiene::scopeDepths(file);
+        for (std::size_t l = 1; l <= file.lineCount(); ++l) {
+            const std::string &code = file.codeLine(l);
+            const bool isStatic =
+                findToken(code, "static") != std::string::npos;
+            // Namespace-scope declarations are shared even without
+            // `static` (scopeDepths ignores namespace braces).
+            const bool atNamespaceScope = depths[l] == 0;
+            if (!isStatic && !atNamespaceScope)
+                continue;
+            if (code.find(';') == std::string::npos)
+                continue;
+            if (nextNonSpace(code, 0) == '#')
+                continue; // Preprocessor line.
+            // Constants and per-thread state are not shared-mutable;
+            // declaration-shaped non-variable lines are skipped.
+            if (hasAnyToken(code,
+                            {"const", "constexpr", "thread_local",
+                             "consteval", "constinit", "using",
+                             "friend", "typedef", "namespace",
+                             "class", "struct", "enum", "union",
+                             "template", "operator", "extern",
+                             "return"}))
+                continue;
+            const std::string variable =
+                declaredVariable(code, /*underscore_only=*/false);
+            if (variable.empty())
+                continue;
+            out.push_back(
+                {file.path(), l, std::string(name()),
+                 std::string(isStatic ? "mutable static"
+                                      : "namespace-scope mutable") +
+                     " state '" + variable +
+                     "' is shared by every thread",
+                 "make '" + variable +
+                     "' const/constexpr or thread_local, or pass it "
+                     "explicitly; if it must be process-wide, add "
+                     "`// oma-lint: allow(shared-state): <why>`",
+                 true});
+        }
+    }
+};
+
 } // namespace
 
 std::vector<std::unique_ptr<Rule>>
@@ -472,6 +883,9 @@ makeDefaultRules()
     rules.push_back(std::make_unique<RuleHeaderGuard>());
     rules.push_back(std::make_unique<RuleIncludeHygiene>());
     rules.push_back(std::make_unique<RuleCastAudit>());
+    rules.push_back(std::make_unique<RuleLockAudit>());
+    rules.push_back(std::make_unique<RuleGuardedMember>());
+    rules.push_back(std::make_unique<RuleSharedState>());
     return rules;
 }
 

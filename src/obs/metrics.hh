@@ -27,13 +27,13 @@
 #ifndef OMA_OBS_METRICS_HH
 #define OMA_OBS_METRICS_HH
 
-#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <string>
 
 #include "support/clock.hh"
+#include "support/sync.hh"
 
 namespace oma::obs
 {
@@ -274,27 +274,47 @@ class Progress
     [[nodiscard]] bool enabled() const { return bool(_callback); }
 
     /** Record @p n completed units; fires the callback on stride
-     * boundaries and on completion. */
+     * boundaries and on completion. The counter update is guarded;
+     * the callback runs outside the lock so a slow sink never
+     * serializes worker lanes (callbacks may therefore still be
+     * invoked concurrently and slightly out of order). */
     void
     tick(std::uint64_t n = 1)
     {
         if (!_callback)
             return;
-        const std::uint64_t done = _done.fetch_add(n) + n;
+        std::uint64_t done = 0;
+        {
+            LockGuard lock(_mutex);
+            _done += n;
+            done = _done;
+        }
         if (done / _stride != (done - n) / _stride || done == _total)
             _callback(done, _total);
     }
 
-    [[nodiscard]] std::uint64_t done() const { return _done.load(); }
+    [[nodiscard]] std::uint64_t
+    done() const
+    {
+        LockGuard lock(_mutex);
+        return _done;
+    }
 
     /** A callback that routes "`what`: done/total" through inform(). */
     static Callback informSink(std::string what);
 
   private:
+    // oma-lint: allow(guarded-member): immutable after construction.
     std::uint64_t _total = 0;
+    // oma-lint: allow(guarded-member): immutable after construction.
     std::uint64_t _stride = 1;
+    // oma-lint: allow(guarded-member): immutable after construction.
     Callback _callback;
-    std::atomic<std::uint64_t> _done{0};
+
+    /** Guards the tick counter; never held while the callback runs
+     * (rank table in sync.hh). */
+    mutable Mutex _mutex{OMA_LOCK_RANK(lockrank::obsProgress)};
+    std::uint64_t _done OMA_GUARDED_BY(_mutex) = 0;
 };
 
 /**

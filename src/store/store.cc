@@ -127,7 +127,7 @@ ArtifactStore::load(const Fingerprint &key, std::string &payload) const
     const std::string path = entryPath(key);
     std::ifstream in(path, std::ios::binary);
     if (!in.is_open()) {
-        _misses.fetch_add(1);
+        bump(&StoreStatsSnapshot::misses);
         return false;
     }
     std::string raw((std::istreambuf_iterator<char>(in)),
@@ -136,7 +136,7 @@ ArtifactStore::load(const Fingerprint &key, std::string &payload) const
 
     const auto corrupt = [&]() {
         quarantine(path);
-        _misses.fetch_add(1);
+        bump(&StoreStatsSnapshot::misses);
         return false;
     };
 
@@ -164,7 +164,7 @@ ArtifactStore::load(const Fingerprint &key, std::string &payload) const
         return corrupt();
 
     payload.assign(stored_payload);
-    _hits.fetch_add(1);
+    bump(&StoreStatsSnapshot::hits);
     return true;
 }
 
@@ -183,6 +183,8 @@ ArtifactStore::save(const Fingerprint &key,
     // concurrent writers racing on one key never share a temp file;
     // rename() publishes atomically and last-rename-wins is harmless
     // because both race sides produce identical bytes.
+    // oma-lint: allow(shared-state): atomic nonce that only
+    // uniquifies temp-file names; it never reaches any result.
     static std::atomic<std::uint64_t> tmpCounter{0};
     const std::string tmp = path + ".tmp." +
         std::to_string(::getpid()) + "." +
@@ -196,7 +198,7 @@ ArtifactStore::save(const Fingerprint &key,
         fatal("artifact store: cannot publish '" + path +
               "': " + ec.message());
     }
-    _writes.fetch_add(1);
+    bump(&StoreStatsSnapshot::writes);
 }
 
 void
@@ -220,6 +222,14 @@ ArtifactStore::writeEntryFile(const std::string &path,
 }
 
 void
+ArtifactStore::bump(std::uint64_t StoreStatsSnapshot::*counter,
+                    std::uint64_t delta) const
+{
+    LockGuard lock(_statsMutex);
+    _stats.*counter += delta;
+}
+
+void
 ArtifactStore::quarantine(const std::string &path) const
 {
     std::error_code ec;
@@ -229,7 +239,7 @@ ArtifactStore::quarantine(const std::string &path) const
         // bad entry is never served twice.
         std::filesystem::remove(path, ec);
     }
-    _quarantined.fetch_add(1);
+    bump(&StoreStatsSnapshot::quarantined);
     warn("artifact store: quarantined corrupt entry '" + path + "'");
 }
 

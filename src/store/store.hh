@@ -39,13 +39,13 @@
 #ifndef OMA_STORE_STORE_HH
 #define OMA_STORE_STORE_HH
 
-#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
 #include <string_view>
 
 #include "support/fingerprint.hh"
+#include "support/sync.hh"
 
 namespace oma
 {
@@ -98,16 +98,14 @@ class ArtifactStore
 
     [[nodiscard]] const std::string &root() const { return _root; }
 
-    /** Snapshot of the hit/miss/write/quarantine counters. */
+    /** Consistent snapshot of the hit/miss/write/quarantine
+     * counters: all four are read under one lock, so concurrent
+     * readers never observe a torn cross-counter state. */
     [[nodiscard]] StoreStatsSnapshot
     stats() const
     {
-        StoreStatsSnapshot s;
-        s.hits = _hits.load();
-        s.misses = _misses.load();
-        s.writes = _writes.load();
-        s.quarantined = _quarantined.load();
-        return s;
+        LockGuard lock(_statsMutex);
+        return _stats;
     }
 
     /**
@@ -124,11 +122,17 @@ class ArtifactStore
     /** Move a bad entry aside so it cannot be re-read, then count it. */
     void quarantine(const std::string &path) const;
 
-    std::string _root;
-    mutable std::atomic<std::uint64_t> _hits{0};
-    mutable std::atomic<std::uint64_t> _misses{0};
-    mutable std::atomic<std::uint64_t> _writes{0};
-    mutable std::atomic<std::uint64_t> _quarantined{0};
+    /** Add @p delta to counter member @p counter (e.g.
+     * `&StoreStatsSnapshot::hits`) under the stats lock. */
+    void bump(std::uint64_t StoreStatsSnapshot::*counter,
+              std::uint64_t delta = 1) const;
+
+    const std::string _root; //!< Immutable after construction.
+
+    /** Protects the event counters; never held across I/O or any
+     * call out of the store (rank table in sync.hh). */
+    mutable Mutex _statsMutex{OMA_LOCK_RANK(lockrank::storeStats)};
+    mutable StoreStatsSnapshot _stats OMA_GUARDED_BY(_statsMutex);
 };
 
 } // namespace oma

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Clang thread-safety (capability) annotation macros.
+ *
+ * The parallel engines guarantee bitwise serial/parallel equivalence;
+ * the other half of the concurrency contract is that every piece of
+ * shared mutable state names the lock that protects it, and the
+ * compiler — not a code reviewer — checks that the lock is held at
+ * every access. These macros wrap clang's capability-analysis
+ * attributes (-Wthread-safety, enabled as errors by the
+ * OMA_THREAD_SAFETY CMake option); on non-clang compilers they expand
+ * to nothing, so annotated code builds everywhere and is *verified*
+ * wherever clang builds it.
+ *
+ * Annotate with the oma::Mutex / oma::LockGuard wrappers from
+ * support/sync.hh — the raw std primitives carry no capability
+ * attributes and are forbidden outside that shim by the `lock-audit`
+ * lint rule (docs/STATIC_ANALYSIS.md).
+ */
+
+#ifndef OMA_SUPPORT_THREAD_ANNOTATIONS_HH
+#define OMA_SUPPORT_THREAD_ANNOTATIONS_HH
+
+#if defined(__clang__)
+#define OMA_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define OMA_THREAD_ANNOTATION(x) // no-op outside clang
+#endif
+
+/** Marks a type as a capability (a lock) the analysis can track. */
+#define OMA_CAPABILITY(x) OMA_THREAD_ANNOTATION(capability(x))
+
+/** Marks an RAII type that acquires a capability in its constructor
+ * and releases it in its destructor. */
+#define OMA_SCOPED_CAPABILITY OMA_THREAD_ANNOTATION(scoped_lockable)
+
+/** Data member readable/writable only while holding @p x. */
+#define OMA_GUARDED_BY(x) OMA_THREAD_ANNOTATION(guarded_by(x))
+
+/** Pointer member whose *pointee* is protected by @p x. */
+#define OMA_PT_GUARDED_BY(x) OMA_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/** Function acquires the listed capabilities and does not release
+ * them before returning. */
+#define OMA_ACQUIRE(...) \
+    OMA_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/** Function releases the listed capabilities (held on entry). */
+#define OMA_RELEASE(...) \
+    OMA_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/** Caller must hold the listed capabilities across the call. */
+#define OMA_REQUIRES(...) \
+    OMA_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/** Caller must NOT hold the listed capabilities (deadlock guard). */
+#define OMA_EXCLUDES(...) OMA_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/** Function tries to acquire and reports success as @p __VA_ARGS__[0]. */
+#define OMA_TRY_ACQUIRE(...) \
+    OMA_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/** Function returns a reference to the capability protecting @p x. */
+#define OMA_RETURN_CAPABILITY(x) OMA_THREAD_ANNOTATION(lock_returned(x))
+
+/**
+ * Opt a function body out of the analysis. Reserved for the sync
+ * shim's own internals (where the wrapped std primitive is
+ * manipulated directly); never use it to silence a finding in
+ * engine code — state the real lock relationship instead.
+ */
+#define OMA_NO_THREAD_SAFETY_ANALYSIS \
+    OMA_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif // OMA_SUPPORT_THREAD_ANNOTATIONS_HH

@@ -39,16 +39,23 @@ ThreadPool::ThreadPool(unsigned threads)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lock(_mutex);
+        LockGuard lock(_mutex);
         _stopping = true;
     }
-    _wake.notify_all();
+    _wake.notifyAll();
     // Join here, not via ~jthread: members are destroyed in reverse
     // declaration order, so the condition variables would die before
     // the workers vector — while a worker may still be inside its
-    // final notify_one().
+    // final notifyOne().
     for (auto &worker : _workers)
         worker.join();
+}
+
+ThreadPoolStats
+ThreadPool::stats() const
+{
+    LockGuard lock(_mutex);
+    return _stats;
 }
 
 void
@@ -56,36 +63,41 @@ ThreadPool::workerLoop()
 {
     std::uint64_t seen = 0;
     for (;;) {
+        std::size_t end = 0;
+        const std::function<void(std::size_t)> *body = nullptr;
         {
-            std::unique_lock<std::mutex> lock(_mutex);
-            _wake.wait(lock,
-                       [&] { return _stopping || _jobGen != seen; });
+            LockGuard lock(_mutex);
+            while (!_stopping && _jobGen == seen)
+                _wake.wait(lock);
             if (_stopping)
                 return;
             seen = _jobGen;
+            end = _end;
+            body = _body;
         }
-        claimIndices();
+        claimIndices(end, *body);
         {
-            std::lock_guard<std::mutex> lock(_mutex);
+            LockGuard lock(_mutex);
             --_activeWorkers;
         }
-        _done.notify_one();
+        _done.notifyOne();
     }
 }
 
 void
-ThreadPool::claimIndices()
+ThreadPool::claimIndices(std::size_t end,
+                         const std::function<void(std::size_t)> &body)
 {
     t_inParallelFor = true;
     for (;;) {
         const std::size_t i =
             _next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= _end)
+        if (i >= end)
             break;
         try {
-            (*_body)(i);
+            body(i);
         } catch (...) {
-            std::lock_guard<std::mutex> lock(_mutex);
+            LockGuard lock(_mutex);
             if (i < _errorIndex) {
                 _errorIndex = i;
                 _error = std::current_exception();
@@ -102,21 +114,23 @@ ThreadPool::parallelFor(std::size_t begin, std::size_t end,
     if (begin >= end)
         return;
     // Nested calls run on worker lanes; counting only top-level
-    // submissions keeps _stats single-writer (the submitting thread).
-    if (!t_inParallelFor) {
+    // submissions keeps jobs/indices a pure function of the work.
+    const bool nested = t_inParallelFor;
+    if (!nested) {
+        LockGuard lock(_mutex);
         _stats.jobs += 1;
         _stats.indices += end - begin;
     }
     // Serial pool, or a nested call from inside one of our own
     // bodies: run inline on this lane (see class comment).
-    if (_workers.empty() || t_inParallelFor) {
+    if (_workers.empty() || nested) {
         for (std::size_t i = begin; i < end; ++i)
             body(i);
         return;
     }
 
     {
-        std::lock_guard<std::mutex> lock(_mutex);
+        LockGuard lock(_mutex);
         _next.store(begin, std::memory_order_relaxed);
         _end = end;
         _body = &body;
@@ -125,14 +139,15 @@ ThreadPool::parallelFor(std::size_t begin, std::size_t end,
         _activeWorkers = unsigned(_workers.size());
         ++_jobGen;
     }
-    _wake.notify_all();
+    _wake.notifyAll();
 
-    claimIndices(); // The caller is a lane too.
+    claimIndices(end, body); // The caller is a lane too.
 
     std::exception_ptr error;
     {
-        std::unique_lock<std::mutex> lock(_mutex);
-        _done.wait(lock, [&] { return _activeWorkers == 0; });
+        LockGuard lock(_mutex);
+        while (_activeWorkers != 0)
+            _done.wait(lock);
         _body = nullptr;
         error = _error;
         _error = nullptr;

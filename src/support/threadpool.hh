@@ -9,19 +9,23 @@
  * index writes only its own output slot, so the schedule cannot leak
  * into the results, and the caller observes completion of the whole
  * range before continuing.
+ *
+ * All shared state is annotated against the pool mutex
+ * (support/sync.hh); the clang -Wthread-safety build verifies that
+ * every access holds it.
  */
 
 #ifndef OMA_SUPPORT_THREADPOOL_HH
 #define OMA_SUPPORT_THREADPOOL_HH
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "support/sync.hh"
 
 namespace oma
 {
@@ -82,32 +86,45 @@ class ThreadPool
                      const std::function<void(std::size_t)> &body);
 
     /** Work submitted so far. Deterministic (a function of the jobs
-     * run, not of the schedule); only the submitting thread may call
-     * this concurrently with parallelFor(). */
-    ThreadPoolStats stats() const { return _stats; }
+     * run, not of the schedule) and safe to call from any thread,
+     * including concurrently with parallelFor(). */
+    ThreadPoolStats stats() const;
 
   private:
     void workerLoop();
-    /** Claim and run indices of the current job on this thread. */
-    void claimIndices();
+    /** Claim and run indices of the current job on this thread.
+     * @p end and @p body are the job parameters the caller read
+     * under _mutex (or owns outright), so no guarded state is
+     * touched on the claim fast path. */
+    void claimIndices(std::size_t end,
+                      const std::function<void(std::size_t)> &body);
 
+    // oma-lint: allow(guarded-member): filled in the constructor and
+    // joined in the destructor; immutable while any worker runs.
     std::vector<std::jthread> _workers;
 
-    std::mutex _mutex;
-    std::condition_variable _wake; //!< Workers wait for a new job.
-    std::condition_variable _done; //!< Caller waits for job completion.
-    std::uint64_t _jobGen = 0;     //!< Bumped when a job is posted.
-    unsigned _activeWorkers = 0;   //!< Workers not yet done with the job.
-    bool _stopping = false;
+    /** Protects every guarded member below; leaf lock — never held
+     * while calling out of the pool (rank table in sync.hh). */
+    mutable Mutex _mutex{OMA_LOCK_RANK(lockrank::threadPool)};
+    CondVar _wake; //!< Workers wait for a new job.
+    CondVar _done; //!< Caller waits for job completion.
+    std::uint64_t _jobGen OMA_GUARDED_BY(_mutex) = 0;
+    unsigned _activeWorkers OMA_GUARDED_BY(_mutex) = 0;
+    bool _stopping OMA_GUARDED_BY(_mutex) = false;
 
-    // Current job; written under _mutex before workers are woken.
-    std::atomic<std::size_t> _next{0}; //!< Next unclaimed index.
-    std::size_t _end = 0;
-    const std::function<void(std::size_t)> *_body = nullptr;
-    std::exception_ptr _error;
-    std::size_t _errorIndex = 0;
+    // Next unclaimed index of the current job. Atomic so lanes can
+    // claim without the mutex; ordering is inherited from the job
+    // publication under _mutex.
+    // oma-lint: allow(guarded-member): relaxed atomic claim counter;
+    // store/load ordering piggybacks on the _mutex job handshake.
+    std::atomic<std::size_t> _next{0};
+    std::size_t _end OMA_GUARDED_BY(_mutex) = 0;
+    const std::function<void(std::size_t)> *_body
+        OMA_GUARDED_BY(_mutex) = nullptr;
+    std::exception_ptr _error OMA_GUARDED_BY(_mutex);
+    std::size_t _errorIndex OMA_GUARDED_BY(_mutex) = 0;
 
-    ThreadPoolStats _stats; //!< Written only by the submitting thread.
+    ThreadPoolStats _stats OMA_GUARDED_BY(_mutex);
 };
 
 /**

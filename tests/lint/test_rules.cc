@@ -12,9 +12,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <sstream>
 #include <string>
 
 #include "lint/lint.hh"
+#include "tests/obs/jsonlite.hh"
 
 namespace oma::lint
 {
@@ -366,6 +368,249 @@ int f(double d) { return static_cast<int>(d); }
 }
 
 // ---------------------------------------------------------------- //
+// lock-audit
+// ---------------------------------------------------------------- //
+
+TEST(LintLockAudit, FlagsRawStdSyncTypes)
+{
+    const auto report = lintBuffer("src/core/foo.cc", R"(
+#include <mutex>
+struct S {
+    std::mutex m;
+    std::condition_variable cv;
+    std::shared_mutex rw;
+};
+)");
+    EXPECT_EQ(countRule(report, "lock-audit"), 3u);
+}
+
+TEST(LintLockAudit, FlagsNakedLockCalls)
+{
+    const auto report = lintBuffer("src/core/foo.cc", R"(
+void f(Mutex &m, Mutex *p) {
+    m.lock();
+    m.unlock();
+    bool ok = p->try_lock();
+}
+)");
+    ASSERT_EQ(countRule(report, "lock-audit"), 3u);
+    // Each finding carries a concrete remedy.
+    for (const Finding &f : report.findings) {
+        if (f.rule == "lock-audit")
+            EXPECT_NE(f.fixit.find("LockGuard"), std::string::npos);
+    }
+}
+
+TEST(LintLockAudit, SyncShimIsExempt)
+{
+    const auto report = lintBuffer("src/support/sync.hh", R"(
+class Mutex {
+    std::mutex _raw;
+};
+)");
+    EXPECT_EQ(countRule(report, "lock-audit"), 0u);
+}
+
+TEST(LintLockAudit, OmaPrimitivesAreClean)
+{
+    const auto report = lintBuffer("src/core/foo.cc", R"(
+#include "support/sync.hh"
+void f(oma::Mutex &m, oma::CondVar &cv) {
+    oma::LockGuard lock(m);
+    cv.notifyOne();
+}
+)");
+    EXPECT_EQ(countRule(report, "lock-audit"), 0u);
+}
+
+TEST(LintLockAudit, SuppressionRequiresReason)
+{
+    const auto reasonless = lintBuffer("src/core/foo.cc", R"(
+void f(Mutex &m) {
+    // oma-lint: allow(lock-audit)
+    m.lock();
+}
+)");
+    EXPECT_EQ(countRule(reasonless, "lock-audit"), 1u);
+    const auto reasoned = lintBuffer("src/core/foo.cc", R"(
+void f(Mutex &m) {
+    // oma-lint: allow(lock-audit): adapting to a C callback ABI
+    m.lock();
+}
+)");
+    EXPECT_EQ(countRule(reasoned, "lock-audit"), 0u);
+}
+
+// ---------------------------------------------------------------- //
+// guarded-member
+// ---------------------------------------------------------------- //
+
+TEST(LintGuardedMember, FlagsUnannotatedMemberOfMutexOwningClass)
+{
+    const auto report = lintBuffer("src/core/foo.hh", R"(
+#ifndef X
+#define X
+class Counter {
+  private:
+    mutable oma::Mutex _mutex;
+    int _count = 0;
+};
+#endif
+)");
+    ASSERT_EQ(countRule(report, "guarded-member"), 1u);
+    for (const Finding &f : report.findings) {
+        if (f.rule == "guarded-member") {
+            EXPECT_NE(f.message.find("'_count'"), std::string::npos);
+            EXPECT_NE(f.fixit.find("OMA_GUARDED_BY"),
+                      std::string::npos);
+        }
+    }
+}
+
+TEST(LintGuardedMember, AnnotatedAndImmutableMembersPass)
+{
+    const auto report = lintBuffer("src/core/foo.hh", R"(
+#ifndef X
+#define X
+class Counter {
+  public:
+    int value() const;
+  private:
+    mutable oma::Mutex _mutex;
+    oma::CondVar _wake;
+    int _count OMA_GUARDED_BY(_mutex) = 0;
+    const std::string _name;
+    static int s_instances;
+};
+#endif
+)");
+    EXPECT_EQ(countRule(report, "guarded-member"), 0u);
+}
+
+TEST(LintGuardedMember, ClassWithoutMutexIsIgnored)
+{
+    const auto report = lintBuffer("src/core/foo.hh", R"(
+#ifndef X
+#define X
+class Plain {
+    int _count = 0;
+    double _mean = 0.0;
+};
+#endif
+)");
+    EXPECT_EQ(countRule(report, "guarded-member"), 0u);
+}
+
+TEST(LintGuardedMember, SuppressionRequiresReason)
+{
+    const auto reasonless = lintBuffer("src/core/foo.hh", R"(
+#ifndef X
+#define X
+class Counter {
+    oma::Mutex _mutex;
+    // oma-lint: allow(guarded-member)
+    int _count = 0;
+};
+#endif
+)");
+    EXPECT_EQ(countRule(reasonless, "guarded-member"), 1u);
+    const auto reasoned = lintBuffer("src/core/foo.hh", R"(
+#ifndef X
+#define X
+class Counter {
+    oma::Mutex _mutex;
+    // oma-lint: allow(guarded-member): written once before threads
+    int _count = 0;
+};
+#endif
+)");
+    EXPECT_EQ(countRule(reasoned, "guarded-member"), 0u);
+}
+
+// ---------------------------------------------------------------- //
+// shared-state
+// ---------------------------------------------------------------- //
+
+TEST(LintSharedState, FlagsMutableStaticLocal)
+{
+    const auto report = lintBuffer("src/core/foo.cc", R"(
+int f() {
+    static int calls = 0;
+    return ++calls;
+}
+)");
+    ASSERT_EQ(countRule(report, "shared-state"), 1u);
+    for (const Finding &f : report.findings) {
+        if (f.rule == "shared-state")
+            EXPECT_NE(f.fixit.find("thread_local"),
+                      std::string::npos);
+    }
+}
+
+TEST(LintSharedState, FlagsNamespaceScopeGlobal)
+{
+    const auto report = lintBuffer("src/core/foo.cc", R"(
+namespace oma {
+int g_count = 0;
+}
+)");
+    EXPECT_EQ(countRule(report, "shared-state"), 1u);
+}
+
+TEST(LintSharedState, ConstantsAndThreadLocalPass)
+{
+    const auto report = lintBuffer("src/core/foo.cc", R"(
+namespace oma {
+constexpr int kLimit = 8;
+const char *kName = "x";
+thread_local bool t_inside = false;
+int f() {
+    static const int table[] = {1, 2, 3};
+    return table[0] + kLimit;
+}
+}
+)");
+    EXPECT_EQ(countRule(report, "shared-state"), 0u);
+}
+
+TEST(LintSharedState, SignatureContinuationIsNotADeclaration)
+{
+    const auto report = lintBuffer("src/core/foo.cc", R"(
+namespace oma {
+void drain(int source,
+           unsigned limit = 0);
+}
+)");
+    EXPECT_EQ(countRule(report, "shared-state"), 0u);
+}
+
+TEST(LintSharedState, BenchDriversAreExempt)
+{
+    const auto report = lintBuffer("bench/bench_foo.cc", R"(
+static double serial_seconds = 0.0;
+)");
+    EXPECT_EQ(countRule(report, "shared-state"), 0u);
+}
+
+TEST(LintSharedState, SuppressionRequiresReason)
+{
+    const auto reasonless = lintBuffer("src/core/foo.cc", R"(
+void f() {
+    // oma-lint: allow(shared-state)
+    static int nonce = 0;
+}
+)");
+    EXPECT_EQ(countRule(reasonless, "shared-state"), 1u);
+    const auto reasoned = lintBuffer("src/core/foo.cc", R"(
+void f() {
+    // oma-lint: allow(shared-state): atomic nonce, never in results
+    static int nonce = 0;
+}
+)");
+    EXPECT_EQ(countRule(reasoned, "shared-state"), 0u);
+}
+
+// ---------------------------------------------------------------- //
 // scanner behaviour shared by all rules
 // ---------------------------------------------------------------- //
 
@@ -394,9 +639,56 @@ TEST(LintScanner, RuleRegistryIsComplete)
     for (const auto &rule : makeDefaultRules())
         names.emplace_back(rule->name());
     const std::vector<std::string> expected = {
-        "no-wallclock", "ordered-results", "header-guard",
-        "include-hygiene", "cast-audit"};
+        "no-wallclock",   "ordered-results", "header-guard",
+        "include-hygiene", "cast-audit",     "lock-audit",
+        "guarded-member", "shared-state"};
     EXPECT_EQ(names, expected);
+}
+
+// ---------------------------------------------------------------- //
+// SARIF output
+// ---------------------------------------------------------------- //
+
+TEST(LintSarif, EmitsValidSarifWithFindings)
+{
+    const auto report = lintBuffer("src/core/foo.cc", R"(
+void f() {
+    auto t = time(nullptr);
+}
+)");
+    ASSERT_EQ(report.findings.size(), 1u);
+    std::ostringstream os;
+    printSarif(report, os);
+    omatest::JsonLite json;
+    ASSERT_TRUE(json.parse(os.str())) << os.str();
+    EXPECT_EQ(json.str("version"), "2.1.0");
+    EXPECT_EQ(json.str("runs.#.tool.driver.name"), "oma_lint");
+    EXPECT_EQ(json.str("runs.#.results.#.ruleId"), "no-wallclock");
+    EXPECT_EQ(json.str("runs.#.results.#.level"), "error");
+    EXPECT_EQ(json.str("runs.#.results.#.locations.#.physicalLocation"
+                       ".artifactLocation.uri"),
+              "src/core/foo.cc");
+    EXPECT_EQ(json.num("runs.#.results.#.locations.#.physicalLocation"
+                       ".region.startLine"),
+              3.0);
+    // The message carries the fixit hint.
+    EXPECT_NE(json.str("runs.#.results.#.message.text").find("fix: "),
+              std::string::npos);
+}
+
+TEST(LintSarif, DeclaresEveryRuleEvenWhenClean)
+{
+    const auto report = lintBuffer("src/core/foo.cc", "int x();\n");
+    ASSERT_TRUE(report.clean());
+    std::ostringstream os;
+    printSarif(report, os);
+    omatest::JsonLite json;
+    ASSERT_TRUE(json.parse(os.str())) << os.str();
+    // Arrays share one ".#" path: the recorded id is the last rule
+    // emitted, proving the rules array was populated in order.
+    EXPECT_EQ(json.str("runs.#.tool.driver.rules.#.id"),
+              "shared-state");
+    EXPECT_FALSE(json.has("runs.#.results.#.ruleId"));
 }
 
 // ---------------------------------------------------------------- //

@@ -244,6 +244,42 @@ TEST(ArtifactStore, ConcurrentWritersOnOneKeyStayConsistent)
     fs::remove_all(store.root());
 }
 
+TEST(ArtifactStore, StatsSnapshotIsConsistentUnderConcurrency)
+{
+    // Regression for the old per-counter atomics: stats() now takes
+    // all four counters under one lock, so a concurrent reader never
+    // sees a hit recorded without its matching load having finished
+    // (the TSan job runs this suite). Every load here is a verified
+    // hit, so hits+misses must always equal completed loads.
+    const ArtifactStore store(storeRoot("stats"));
+    const Fingerprint key = sampleKey();
+    store.save(key, "payload");
+    std::vector<std::thread> readers;
+    for (int t = 0; t < 4; ++t) {
+        readers.emplace_back([&]() {
+            std::string loaded;
+            for (int i = 0; i < 16; ++i)
+                EXPECT_TRUE(store.load(key, loaded));
+        });
+    }
+    std::uint64_t maxSeen = 0;
+    while (maxSeen < 64) {
+        const StoreStatsSnapshot snap = store.stats();
+        const std::uint64_t total = snap.hits + snap.misses;
+        ASSERT_LE(total, 64u);
+        ASSERT_GE(total, maxSeen); // Counters never go backward.
+        maxSeen = total;
+    }
+    for (std::thread &r : readers)
+        r.join();
+    const StoreStatsSnapshot final = store.stats();
+    EXPECT_EQ(final.hits, 64u);
+    EXPECT_EQ(final.misses, 0u);
+    EXPECT_EQ(final.writes, 1u);
+    EXPECT_EQ(final.quarantined, 0u);
+    fs::remove_all(store.root());
+}
+
 TEST(ArtifactStoreDeath, UnusableRootIsFatal)
 {
     EXPECT_EXIT(ArtifactStore("/dev/null/oma"),

@@ -6,7 +6,6 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
-#include <mutex>
 #include <set>
 #include <stdexcept>
 #include <thread>
@@ -58,10 +57,10 @@ TEST(ThreadPool, EveryIndexRunsExactlyOnce)
 TEST(ThreadPool, NonZeroBeginRespected)
 {
     ThreadPool pool(3);
-    std::mutex m;
+    Mutex m;
     std::set<std::size_t> seen;
     pool.parallelFor(10, 20, [&](std::size_t i) {
-        std::lock_guard<std::mutex> lock(m);
+        LockGuard lock(m);
         seen.insert(i);
     });
     ASSERT_EQ(seen.size(), 10u);
@@ -133,6 +132,36 @@ TEST(ThreadPool, SingleLanePoolRunsOnCallerThread)
     });
     for (const auto &id : ids)
         EXPECT_EQ(id, caller);
+}
+
+TEST(ThreadPool, StatsCountTopLevelJobsAndIndices)
+{
+    ThreadPool pool(4);
+    pool.parallelFor(0, 10, [](std::size_t) {});
+    pool.parallelFor(5, 9, [](std::size_t) {});
+    const ThreadPoolStats stats = pool.stats();
+    EXPECT_EQ(stats.jobs, 2u);
+    EXPECT_EQ(stats.indices, 14u);
+}
+
+TEST(ThreadPool, StatsReadableWhileJobRuns)
+{
+    // Regression for the unsynchronized stats() read: the accessor is
+    // now lock-guarded, so concurrent observers during a running job
+    // are race-free (the TSan job runs this suite).
+    ThreadPool pool(4);
+    std::atomic<bool> stop{false};
+    std::thread observer([&] {
+        while (!stop.load()) {
+            const ThreadPoolStats stats = pool.stats();
+            ASSERT_LE(stats.jobs, 64u);
+        }
+    });
+    for (int round = 0; round < 64; ++round)
+        pool.parallelFor(0, 32, [](std::size_t) {});
+    stop.store(true);
+    observer.join();
+    EXPECT_EQ(pool.stats().jobs, 64u);
 }
 
 TEST(ParallelForHelper, SerialWhenOneThread)

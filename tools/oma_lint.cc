@@ -2,9 +2,12 @@
  * @file
  * CLI driver for the determinism-contract lint pass.
  *
- *     oma_lint [--fixit] [--include-root DIR] PATH...
+ *     oma_lint [--fixit] [--sarif FILE] [--include-root DIR] PATH...
  *     oma_lint --emit-header-tus OUTDIR SRCROOT
  *     oma_lint --list-rules
+ *
+ * --sarif additionally writes the findings as a SARIF 2.1.0 log to
+ * FILE (`-` for stdout), the format CI annotation UIs ingest.
  *
  * Exits 0 when every scanned file is clean, 1 when findings remain
  * after suppressions, 2 on usage errors. The canonical repo-root
@@ -12,6 +15,7 @@
  * too but exempt from no-wallclock). See docs/STATIC_ANALYSIS.md.
  */
 
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -25,7 +29,8 @@ int
 usage()
 {
     std::cerr
-        << "usage: oma_lint [--fixit] [--include-root DIR] PATH...\n"
+        << "usage: oma_lint [--fixit] [--sarif FILE] "
+           "[--include-root DIR] PATH...\n"
         << "       oma_lint --emit-header-tus OUTDIR SRCROOT\n"
         << "       oma_lint --list-rules\n";
     return 2;
@@ -38,12 +43,17 @@ main(int argc, char **argv)
 {
     bool fixits = false;
     std::string includeRoot = "src";
+    std::string sarifPath;
     std::vector<std::string> paths;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--fixit") {
             fixits = true;
+        } else if (arg == "--sarif") {
+            if (++i >= argc)
+                return usage();
+            sarifPath = argv[i];
         } else if (arg == "--include-root") {
             if (++i >= argc)
                 return usage();
@@ -73,5 +83,18 @@ main(int argc, char **argv)
     const oma::lint::LintReport report =
         oma::lint::lintPaths(paths, includeRoot);
     oma::lint::printReport(report, fixits, std::cout);
+    if (!sarifPath.empty()) {
+        if (sarifPath == "-") {
+            oma::lint::printSarif(report, std::cout);
+        } else {
+            std::ofstream out(sarifPath, std::ios::trunc);
+            if (!out) {
+                std::cerr << "oma_lint: cannot write SARIF log to '"
+                          << sarifPath << "'\n";
+                return 2;
+            }
+            oma::lint::printSarif(report, out);
+        }
+    }
     return report.clean() ? 0 : 1;
 }
