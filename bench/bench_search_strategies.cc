@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Search-strategy comparison: exhaustive enumeration vs seeded
+ * simulated annealing over the scored five-component space.
+ *
+ * Measures the extended Mach tables once, then runs both strategies
+ * over three grids — the classic Table 6 grid (8-way limit), the
+ * Table 7 grid (2-way limit) and the extended five-component grid —
+ * comparing the annealer's single answer bitwise against the
+ * exhaustive rank-1 allocation, and reporting evaluations-to-optimum
+ * and wall time per strategy. CI gates on this bench's report: the
+ * annealer must recover every exhaustive winner while evaluating
+ * less than a tenth of the classic candidate space
+ * (strategy/classic8/evaluations : strategy/classic8/candidates).
+ */
+
+#include <cstring>
+#include <iostream>
+
+#include "bench/alloc_common.hh"
+#include "core/search_strategy.hh"
+#include "support/clock.hh"
+
+using namespace oma;
+
+namespace
+{
+
+bool
+sameBits(double a, double b)
+{
+    return std::memcmp(&a, &b, sizeof a) == 0;
+}
+
+/** Field-for-field equality, doubles compared bitwise. */
+bool
+sameAllocation(const Allocation &a, const Allocation &b)
+{
+    return a.tlb.entries == b.tlb.entries &&
+        a.tlb.assoc == b.tlb.assoc &&
+        a.icache.capacityBytes == b.icache.capacityBytes &&
+        a.icache.lineBytes == b.icache.lineBytes &&
+        a.icache.assoc == b.icache.assoc &&
+        a.dcache.capacityBytes == b.dcache.capacityBytes &&
+        a.dcache.lineBytes == b.dcache.lineBytes &&
+        a.dcache.assoc == b.dcache.assoc &&
+        a.victimEntries == b.victimEntries &&
+        a.wbEntries == b.wbEntries && a.hasL2 == b.hasL2 &&
+        a.unified == b.unified &&
+        a.l2.capacityBytes == b.l2.capacityBytes &&
+        sameBits(a.cpi, b.cpi) && sameBits(a.areaRbe, b.areaRbe);
+}
+
+void
+runScenario(const std::string &key, const std::string &label,
+            const ComponentCpiTables &tables,
+            std::uint64_t max_cache_ways, const AnnealingConfig &config,
+            omabench::BenchReport &report, TextTable &table)
+{
+    const SearchSpace space(tables, AreaModel(),
+                            omabench::paperBudgetRbe, max_cache_ways);
+
+    const std::int64_t t0 = Clock::nowNs();
+    const SearchResult exhaustive = ExhaustiveStrategy().search(space);
+    const std::int64_t t1 = Clock::nowNs();
+    const SearchResult annealed =
+        AnnealingStrategy(config).search(space);
+    const std::int64_t t2 = Clock::nowNs();
+    const double exhaustive_ms = Clock::toMs(t1 - t0);
+    const double annealed_ms = Clock::toMs(t2 - t1);
+
+    const bool recovered = !exhaustive.allocations.empty() &&
+        annealed.allocations.size() == 1 &&
+        sameAllocation(annealed.allocations.front(),
+                       exhaustive.allocations.front());
+    const double evals_pct = annealed.candidates == 0
+        ? 0.0
+        : 100.0 * double(annealed.evaluations) /
+            double(annealed.candidates);
+
+    obs::MetricRegistry &m = report.metrics();
+    const std::string prefix = "strategy/" + key + "/";
+    m.add(prefix + "candidates", annealed.candidates);
+    m.add(prefix + "evaluations", annealed.evaluations);
+    m.add(prefix + "pruned_subspaces", annealed.prunedSubspaces);
+    m.add(prefix + "exhaustive_evaluations", exhaustive.evaluations);
+    m.add(prefix + "exhaustive_pruned", exhaustive.prunedSubspaces);
+    m.set(prefix + "recovered", recovered ? 1.0 : 0.0);
+    m.set(prefix + "time_ms/exhaustive", exhaustive_ms);
+    m.set(prefix + "time_ms/annealing", annealed_ms);
+    if (!exhaustive.allocations.empty())
+        m.set(prefix + "best_cpi", exhaustive.allocations.front().cpi);
+
+    table.addRow(
+        {label, fmtGrouped(annealed.candidates),
+         fmtGrouped(annealed.evaluations), fmtFixed(evals_pct, 1),
+         fmtGrouped(annealed.prunedSubspaces),
+         fmtFixed(exhaustive_ms, 1), fmtFixed(annealed_ms, 1),
+         recovered ? "yes" : "NO"});
+
+    if (!exhaustive.allocations.empty()) {
+        const Allocation &w = exhaustive.allocations.front();
+        std::cout << label << " winner: " << w.tlb.describe()
+                  << " TLB, " << w.icache.describe() << " I, "
+                  << w.dcache.describe() << " D, "
+                  << omabench::describeExtras(w) << ", CPI "
+                  << fmtFixed(w.cpi, 3)
+                  << (recovered ? " — recovered by annealing"
+                                : " — NOT recovered by annealing")
+                  << "\n";
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    omabench::banner(
+        "Search strategies: exhaustive vs seeded annealing over the "
+        "five-component space",
+        "Section 5.4 search, 250,000-rbe budget");
+
+    omabench::BenchReport report("search_strategies");
+    const ConfigSpace space = ConfigSpace::extended();
+    const ComponentCpiTables extended =
+        omabench::measureMachTables(space, &report);
+
+    // Stripping the extension axes leaves the paper's exact grid.
+    ComponentCpiTables classic = extended;
+    classic.victimOptions.clear();
+    classic.wbOptions.clear();
+    classic.hierarchyOptions.clear();
+
+    // One annealing budget per grid, scaled so the evaluation count
+    // stays well under a tenth of the candidate space. Seeds are
+    // fixed: every number below reproduces bit for bit.
+    AnnealingConfig classic8; // defaults: 6 chains x 2000 iterations
+    AnnealingConfig classic2;
+    classic2.chains = 4;
+    classic2.iterations = 1000;
+    AnnealingConfig ext; // defaults; the grid is ~4x the classic one
+
+    TextTable table({"Grid", "Candidates", "Anneal evals", "Evals %",
+                     "Pruned", "Exhaustive ms", "Anneal ms",
+                     "Winner recovered"});
+    runScenario("classic8", "Classic (Table 6, 8-way)", classic, 8,
+                classic8, report, table);
+    runScenario("classic2", "Classic (Table 7, 2-way)", classic, 2,
+                classic2, report, table);
+    runScenario("extended", "Extended five-component", extended, 8,
+                ext, report, table);
+    std::cout << "\n";
+    table.print(std::cout);
+
+    std::cout
+        << "\nReading guide: the annealer's answer is a pure "
+           "function of its seed (independent chains merged in "
+           "chain order, then a deterministic coordinate-descent "
+           "polish), so 'recovered' is reproducible, not a lucky "
+           "draw. Cost-bound pruning removes options whose per-axis "
+           "area floor already exceeds the budget; the exhaustive "
+           "strategy applies the same floors per subgrid, which is "
+           "why its evaluation count sits below the candidate "
+           "count.\n";
+    return 0;
+}

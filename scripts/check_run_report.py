@@ -22,6 +22,12 @@ Threshold options (repeatable, applied to every FILE):
   --require-counter-prefix PREFIX    at least one metric key (counter,
                                      gauge or histogram) must start
                                      with PREFIX
+  --require-counter-ratio NUM:DEN<MAX
+                                     counters NUM and DEN must both
+                                     exist, DEN must be positive, and
+                                     NUM/DEN must be strictly below
+                                     MAX (the separator is ':' because
+                                     metric names contain '/')
 
 Exits non-zero listing every violation; prints one OK line per valid
 file so CI logs show what was actually checked.
@@ -97,6 +103,41 @@ def parse_threshold(spec, flag):
               f"VALUE, got {spec!r}", file=sys.stderr)
         sys.exit(2)
     return name, value
+
+
+def parse_ratio(spec, flag):
+    """Split a NUM:DEN<MAX ratio spec; exit(2) on a malformed one."""
+    m = re.match(r"^([^:<]+):([^:<]+)<(.+)$", spec)
+    try:
+        bound = float(m.group(3)) if m else None
+    except ValueError:
+        bound = None
+    if m is None or bound is None or bound != bound:
+        print(f"{flag}: expected NUM:DEN<MAX with a finite numeric "
+              f"MAX, got {spec!r}", file=sys.stderr)
+        sys.exit(2)
+    return m.group(1), m.group(2), bound
+
+
+def check_ratios(doc, ratios):
+    """Apply (num, den, max) counter-ratio gates to one report."""
+    errors = []
+    for num, den, bound in ratios:
+        n = doc["counters"].get(num)
+        d = doc["counters"].get(den)
+        if not is_count(n):
+            errors.append(f"counter {num}: required but missing")
+            continue
+        if not is_count(d) or d == 0:
+            errors.append(
+                f"counter {den}: required as a positive denominator, "
+                f"got {d!r}")
+            continue
+        if not n / d < bound:
+            errors.append(
+                f"counter ratio {num}/{den}: {n}/{d} = {n / d:.6g} "
+                f"is not < {bound}")
+    return errors
 
 
 def check_thresholds(path, doc, thresholds):
@@ -175,6 +216,7 @@ def main(argv):
     paths = []
     thresholds = []
     prefixes = []
+    ratios = []
     args = argv[1:]
     while args:
         arg = args.pop(0)
@@ -186,6 +228,12 @@ def main(argv):
             name, value = parse_threshold(args.pop(0), arg)
             thresholds.append(
                 (name, value, arg == "--require-gauge-above"))
+        elif arg == "--require-counter-ratio":
+            if not args:
+                print(f"{arg}: missing NUM:DEN<MAX argument",
+                      file=sys.stderr)
+                return 2
+            ratios.append(parse_ratio(args.pop(0), arg))
         elif arg == "--require-counter-prefix":
             if not args or not args[0] or args[0].startswith("--"):
                 print(f"{arg}: missing PREFIX argument",
@@ -207,13 +255,16 @@ def main(argv):
             with open(path, encoding="utf-8") as f:
                 doc = json.load(f)
             errors = (check_thresholds(path, doc, thresholds) +
-                      check_prefixes(doc, prefixes))
+                      check_prefixes(doc, prefixes) +
+                      check_ratios(doc, ratios))
             if not errors:
                 gates = []
                 if thresholds:
                     gates.append(f"{len(thresholds)} thresholds")
                 if prefixes:
                     gates.append(f"{len(prefixes)} prefixes")
+                if ratios:
+                    gates.append(f"{len(ratios)} ratios")
                 checked = ", " + ", ".join(gates) if gates else ""
                 print(f"OK {path}: {len(doc['counters'])} counters, "
                       f"{len(doc['gauges'])} gauges, "

@@ -22,6 +22,16 @@ penalty(const CacheGeometry &geom, std::uint64_t first,
 
 } // namespace
 
+void
+HierarchyParams::validate() const
+{
+    fatalIf(unified && hasL2,
+            "HierarchyParams: a unified L1 cannot be backed by an "
+            "L2 (UnifiedCache simulates one array; the area model "
+            "and the simulators would disagree about the L2) — "
+            "clear hasL2 or model a split hierarchy");
+}
+
 std::string
 HierarchyParams::describe() const
 {

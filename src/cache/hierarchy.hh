@@ -75,8 +75,15 @@ struct HierarchyPenalties
  * Full configuration of one hierarchy organization: either split L1
  * I/D caches backed by an optional unified L2 (TwoLevelCache), or one
  * unified L1 array serving both reference kinds (UnifiedCache, in
- * which case @c l1i names the unified array and @c l1d / @c l2 are
- * ignored).
+ * which case @c l1i names the unified array and @c l1d is ignored).
+ *
+ * A unified organization cannot also declare an L2: UnifiedCache
+ * simulates a single array, so a `unified && hasL2` combination
+ * would be simulated without the L2 yet its describe()/fingerprint
+ * (and, before the search grew validate(), its area accounting)
+ * would disagree about whether one exists. validate() rejects the
+ * combination fatally; every consumer that admits externally built
+ * params (makeComponent, the allocation search) calls it.
  */
 struct HierarchyParams
 {
@@ -86,6 +93,11 @@ struct HierarchyParams
     bool hasL2 = false;
     bool unified = false;
     HierarchyPenalties penalties;
+
+    /** Abort via fatal() on a contradictory organization
+     * (`unified && hasL2`: a unified L1 has no split pair for an L2
+     * to back; spend the area on the unified array instead). */
+    void validate() const;
 
     /** Append every behaviour-determining field to a fingerprint. */
     void

@@ -364,6 +364,7 @@ class HierarchyComponent final : public ComponentReplayer
   public:
     explicit HierarchyComponent(const HierarchyParams &params)
     {
+        params.validate(); // unified && hasL2 is contradictory
         if (params.unified)
             _unified = std::make_unique<UnifiedCache>(
                 params.l1i, params.penalties);

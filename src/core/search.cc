@@ -5,12 +5,11 @@
 
 #include "core/search.hh"
 
-#include <algorithm>
 #include <memory>
 
+#include "core/search_strategy.hh"
 #include "obs/export.hh"
 #include "support/logging.hh"
-#include "support/threadpool.hh"
 
 namespace oma
 {
@@ -85,8 +84,11 @@ ConfigSpace::hierarchyConfigs() const
     std::vector<HierarchyParams> configs;
     for (std::uint64_t l2kb : l2KBytes) {
         for (std::uint64_t kb : cacheKBytes) {
-            if (kb >= l2kb)
-                continue; // an L2 must outsize its L1s
+            // An L2 must outsize the L1 level it backs, and the
+            // split pair totals 2*kb (the per-L1 comparison used
+            // here before let a pair as large as the L2 through).
+            if (2 * kb >= l2kb)
+                continue;
             HierarchyParams p;
             p.l1i.geom = CacheGeometry::fromWords(
                 kb * 1024, hierL1LineWords, hierL1Ways);
@@ -140,206 +142,14 @@ AllocationSearch::rank(const ComponentCpiTables &tables,
         span = std::make_unique<obs::Span>(observation->metrics,
                                            "search/rank");
 
-    // Precompute areas once per distinct geometry.
-    std::vector<double> tlb_area(tables.tlbGeoms.size());
-    for (std::size_t i = 0; i < tables.tlbGeoms.size(); ++i)
-        tlb_area[i] = _area.tlbArea(tables.tlbGeoms[i]);
-    std::vector<double> i_area(tables.icacheGeoms.size());
-    for (std::size_t i = 0; i < tables.icacheGeoms.size(); ++i)
-        i_area[i] = _area.cacheArea(tables.icacheGeoms[i]);
-    std::vector<double> d_area(tables.dcacheGeoms.size());
-    for (std::size_t i = 0; i < tables.dcacheGeoms.size(); ++i)
-        d_area[i] = _area.cacheArea(tables.dcacheGeoms[i]);
-
-    // The I-cache axis: every plain I-cache in index order, then
-    // every victim-cache option (a direct-mapped L1 plus its CAM
-    // buffer, costed as an alternative fetch-side organization).
-    // With no victim options this list is exactly the classic
-    // I-cache enumeration, so the extension-free emission order —
-    // and therefore the stable-sorted ranking, ties included — is
-    // unchanged from the three-component search.
-    struct IOption
-    {
-        std::size_t index;   //!< Into icacheGeoms or victimOptions.
-        bool isVictim;
-        double area;
-        double cpi;
-    };
-    std::vector<IOption> i_options;
-    i_options.reserve(tables.icacheGeoms.size() +
-                      tables.victimOptions.size());
-    for (std::size_t i = 0; i < tables.icacheGeoms.size(); ++i) {
-        if (tables.icacheGeoms[i].assoc > max_cache_ways)
-            continue;
-        i_options.push_back(
-            {i, false, i_area[i], tables.icacheCpi[i]});
-    }
-    for (std::size_t v = 0; v < tables.victimOptions.size(); ++v) {
-        const VictimParams &p = tables.victimOptions[v].params;
-        const double area = _area.cacheArea(p.l1) +
-            _area.victimBufferArea(p.entries, p.l1.lineBytes);
-        i_options.push_back(
-            {v, true, area, tables.victimOptions[v].cpi});
-    }
-
-    // The write-buffer axis: a single free no-op entry when depths
-    // were not swept (the classic search), else one entry per depth.
-    struct WbOption
-    {
-        std::uint64_t entries;
-        double area;
-        double cpi;
-    };
-    std::vector<WbOption> wb_options;
-    if (tables.wbOptions.empty()) {
-        wb_options.push_back({0, 0.0, 0.0});
-    } else {
-        for (const auto &wb : tables.wbOptions)
-            wb_options.push_back(
-                {wb.params.entries,
-                 _area.writeBufferArea(wb.params.entries), wb.cpi});
-    }
-
-    // The hierarchy axis: organizations that replace the split I/D
-    // pair wholesale (their L1s obey the associativity restriction).
-    struct HierOption
-    {
-        std::size_t index;
-        double area;
-        double cpi;
-    };
-    std::vector<HierOption> hier_options;
-    for (std::size_t h = 0; h < tables.hierarchyOptions.size(); ++h) {
-        const HierarchyParams &p = tables.hierarchyOptions[h].params;
-        if (p.l1i.geom.assoc > max_cache_ways ||
-            (!p.unified && p.l1d.geom.assoc > max_cache_ways)) {
-            continue;
-        }
-        double area = _area.cacheArea(p.l1i.geom);
-        if (!p.unified) {
-            area += _area.cacheArea(p.l1d.geom);
-            if (p.hasL2)
-                area += _area.cacheArea(p.l2.geom);
-        }
-        hier_options.push_back(
-            {h, area, tables.hierarchyOptions[h].cpi});
-    }
-
-    // Score one TLB-geometry shard: exactly the serial enumeration
-    // restricted to TLB index t, emitting split allocations in
-    // (i-option, d, wb) order, then hierarchy allocations in
-    // (hierarchy, wb) order.
-    const auto score_shard = [&](std::size_t t,
-                                 std::vector<Allocation> &shard) {
-        for (const IOption &io : i_options) {
-            const double ti_area = tlb_area[t] + io.area;
-            if (ti_area > _budget)
-                continue;
-            for (std::size_t d = 0; d < tables.dcacheGeoms.size(); ++d) {
-                if (tables.dcacheGeoms[d].assoc > max_cache_ways)
-                    continue;
-                const double tid_area = ti_area + d_area[d];
-                if (tid_area > _budget)
-                    continue;
-                for (const WbOption &wb : wb_options) {
-                    const double area = tid_area + wb.area;
-                    if (area > _budget)
-                        continue;
-                    Allocation a;
-                    a.tlb = tables.tlbGeoms[t];
-                    if (io.isVictim) {
-                        const VictimParams &p =
-                            tables.victimOptions[io.index].params;
-                        a.icache = p.l1;
-                        a.victimEntries = p.entries;
-                    } else {
-                        a.icache = tables.icacheGeoms[io.index];
-                    }
-                    a.dcache = tables.dcacheGeoms[d];
-                    a.areaRbe = area;
-                    a.tlbCpi = tables.tlbCpi[t];
-                    a.icacheCpi = io.cpi;
-                    a.dcacheCpi = tables.dcacheCpi[d];
-                    a.wbEntries = wb.entries;
-                    a.wbCpi = wb.cpi;
-                    a.cpi = tables.baseCpi + a.tlbCpi + a.icacheCpi +
-                        a.dcacheCpi + a.wbCpi;
-                    shard.push_back(a);
-                }
-            }
-        }
-        for (const HierOption &ho : hier_options) {
-            const double th_area = tlb_area[t] + ho.area;
-            if (th_area > _budget)
-                continue;
-            for (const WbOption &wb : wb_options) {
-                const double area = th_area + wb.area;
-                if (area > _budget)
-                    continue;
-                const HierarchyParams &p =
-                    tables.hierarchyOptions[ho.index].params;
-                Allocation a;
-                a.tlb = tables.tlbGeoms[t];
-                a.icache = p.l1i.geom;
-                a.dcache = p.unified ? p.l1i.geom : p.l1d.geom;
-                a.hasL2 = p.hasL2 && !p.unified;
-                a.unified = p.unified;
-                if (a.hasL2)
-                    a.l2 = p.l2.geom;
-                a.areaRbe = area;
-                a.tlbCpi = tables.tlbCpi[t];
-                a.hierarchyCpi = ho.cpi;
-                a.wbEntries = wb.entries;
-                a.wbCpi = wb.cpi;
-                a.cpi = tables.baseCpi + a.tlbCpi + a.hierarchyCpi +
-                    a.wbCpi;
-                shard.push_back(a);
-            }
-        }
-    };
-
-    // Concatenating the shards in TLB order reproduces the serial
-    // (t, i, d) emission order, so the stable sort below sees the
-    // same sequence — and breaks CPI ties identically — no matter
-    // how many lanes scored the shards.
-    std::vector<std::vector<Allocation>> shards(tables.tlbGeoms.size());
-    parallelFor(threads, 0, shards.size(), [&](std::size_t t) {
-        score_shard(t, shards[t]);
-        if (observation != nullptr &&
-            observation->progress != nullptr)
-            observation->progress->tick();
-    });
-
-    std::vector<Allocation> out;
-    std::size_t total = 0;
-    for (const auto &shard : shards)
-        total += shard.size();
-    out.reserve(total);
-    for (auto &shard : shards)
-        out.insert(out.end(), shard.begin(), shard.end());
-
-    std::stable_sort(out.begin(), out.end(),
-                     [](const Allocation &x, const Allocation &y) {
-                         return x.cpi < y.cpi;
-                     });
-    for (std::size_t r = 0; r < out.size(); ++r)
-        out[r].rank = r + 1;
-
-    if (observation != nullptr) {
-        obs::MetricRegistry &m = observation->metrics;
-        std::uint64_t eligible_d = 0;
-        for (const CacheGeometry &g : tables.dcacheGeoms)
-            eligible_d += g.assoc <= max_cache_ways;
-        m.add("search/shards", shards.size());
-        m.add("search/candidates",
-              tables.tlbGeoms.size() *
-                  (i_options.size() * eligible_d +
-                   hier_options.size()) *
-                  wb_options.size());
-        m.add("search/in_budget", out.size());
-        obs::exportRanking(m, out);
-    }
-    return out;
+    // The historical entry point: build the scored space and run the
+    // exhaustive strategy over it. The refactor is bitwise-neutral —
+    // ExhaustiveStrategy preserves the emission order, the
+    // floating-point accumulation order and the stable sort of the
+    // original in-line enumeration (see core/search_strategy.hh).
+    const SearchSpace space(tables, _area, _budget, max_cache_ways);
+    return ExhaustiveStrategy().search(space, threads, observation)
+        .allocations;
 }
 
 } // namespace oma

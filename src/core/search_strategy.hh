@@ -1,0 +1,360 @@
+/**
+ * @file
+ * Search strategies over the five-component allocation space.
+ *
+ * The exhaustive allocator (AllocationSearch::rank) scores every
+ * in-budget combination of TLB, fetch-side organization (plain
+ * I-cache or direct-mapped L1 + victim buffer), D-cache, write
+ * buffer and hierarchy replacement. That is the gold standard — and
+ * on extended grids it is also millions of evaluations per suite.
+ * This header factors the scored space itself out of the exhaustive
+ * loop (SearchSpace: candidate encoding, exact area/CPI evaluation
+ * reusing the precomputed per-geometry tables) and defines a common
+ * SearchStrategy interface over it with two implementations:
+ *
+ *  - ExhaustiveStrategy: the classic enumeration, refactored behind
+ *    the interface with *bitwise-unchanged* output (same emission
+ *    order, same floating-point accumulation order, same stable
+ *    sort), plus monotone cost-bound pruning: the MQF area model is
+ *    monotone in entries/ways/capacity, so a per-axis area floor can
+ *    reject a whole subgrid before any candidate in it is scored.
+ *    Pruning only ever skips candidates that the budget test would
+ *    reject individually, so the ranking is identical with it on or
+ *    off.
+ *
+ *  - AnnealingStrategy: seeded simulated annealing with typed
+ *    mutation operators (grow/shrink capacity, step ways/line, swap
+ *    the component kind, toggle the victim/write-buffer/L2 axes).
+ *    Every draw flows through the sanctioned oma::MtRng shim
+ *    (support/mt_rng.hh), so the trajectory — and therefore the
+ *    returned allocation — is a pure function of the seed,
+ *    independent of thread count and repetition.
+ *
+ * Both strategies report their work volume through the obs layer:
+ * `search/candidates` (full grid size), `search/evaluations`
+ * (candidates actually costed) and `search/pruned_subspaces`
+ * (subgrids rejected by an area floor before scoring).
+ */
+
+#ifndef OMA_CORE_SEARCH_STRATEGY_HH
+#define OMA_CORE_SEARCH_STRATEGY_HH
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "core/search.hh"
+
+namespace oma
+{
+
+/**
+ * One point in the five-component candidate space, encoded as axis
+ * indices into a SearchSpace's option lists.
+ *
+ * A candidate is either a *split* organization (@c hier false:
+ * @c primary indexes SearchSpace::iOptions and @c dcache indexes
+ * SearchSpace::dOptions) or a *hierarchy* organization (@c hier
+ * true: @c primary indexes SearchSpace::hierOptions and @c dcache
+ * is ignored, kept zero by convention so candidates compare cleanly).
+ */
+struct SearchCandidate
+{
+    bool hier = false;
+    std::size_t tlb = 0;     //!< Into the TLB geometry table.
+    std::size_t primary = 0; //!< iOptions (split) / hierOptions (hier).
+    std::size_t dcache = 0;  //!< dOptions; meaningful only when split.
+    std::size_t wb = 0;      //!< Into wbOptions.
+};
+
+/**
+ * The scored allocation space: every option along each axis with its
+ * precomputed area and CPI contribution, the budget, and exact
+ * evaluation of any candidate.
+ *
+ * The per-option areas are computed once per distinct geometry at
+ * construction (exactly as the exhaustive loop always did), and
+ * area()/cpi() replicate the exhaustive accumulation order
+ * operation for operation, so a candidate scores bitwise-identically
+ * no matter which strategy evaluates it.
+ *
+ * Construction also enforces the component-model invariants on
+ * externally supplied tables: victim-cache options must wrap a
+ * direct-mapped L1 (the associativity restriction is bypassed for
+ * them on purpose, so a set-associative victim L1 would silently
+ * leak through `max_cache_ways`), and hierarchy options must pass
+ * HierarchyParams::validate() (a unified L1 cannot also declare an
+ * L2; before validate() existed the L2 of such a contradictory
+ * option was priced at zero area).
+ *
+ * Holds references to @p tables; the tables must outlive the space.
+ */
+class SearchSpace
+{
+  public:
+    /** Fetch-side option: a plain I-cache (index into icacheGeoms)
+     * or a victim option (index into victimOptions). */
+    struct IOption
+    {
+        std::size_t index;
+        bool isVictim;
+        double area;
+        double cpi;
+    };
+
+    /** Data-side option: an eligible D-cache geometry. */
+    struct DOption
+    {
+        std::size_t index; //!< Into dcacheGeoms.
+        double area;
+        double cpi;
+    };
+
+    /** Write-buffer option; a single free no-op when depths were not
+     * swept, so the classic search shape is a degenerate case. */
+    struct WbOption
+    {
+        std::uint64_t entries;
+        double area;
+        double cpi;
+    };
+
+    /** Hierarchy option replacing the split I/D pair wholesale. */
+    struct HierOption
+    {
+        std::size_t index; //!< Into hierarchyOptions.
+        double area;
+        double cpi;
+    };
+
+    SearchSpace(const ComponentCpiTables &tables, const AreaModel &area,
+                double budget_rbe, std::uint64_t max_cache_ways = 8);
+
+    [[nodiscard]] const ComponentCpiTables &tables() const
+    {
+        return *_tables;
+    }
+    [[nodiscard]] double budget() const { return _budget; }
+    [[nodiscard]] std::uint64_t maxCacheWays() const { return _maxWays; }
+
+    [[nodiscard]] const std::vector<double> &tlbAreas() const
+    {
+        return _tlbAreas;
+    }
+    [[nodiscard]] const std::vector<IOption> &iOptions() const
+    {
+        return _iOptions;
+    }
+    [[nodiscard]] const std::vector<DOption> &dOptions() const
+    {
+        return _dOptions;
+    }
+    [[nodiscard]] const std::vector<WbOption> &wbOptions() const
+    {
+        return _wbOptions;
+    }
+    [[nodiscard]] const std::vector<HierOption> &hierOptions() const
+    {
+        return _hierOptions;
+    }
+
+    /** Size of the full candidate grid (feasible or not): one
+     * candidate per (TLB, fetch-side x data-side | hierarchy, write
+     * buffer) combination. */
+    [[nodiscard]] std::uint64_t candidateCount() const;
+
+    // ----- per-axis area floors (monotone cost-bound pruning) -----
+    //
+    // Each floor is the exact minimum over its axis's options
+    // (+infinity for an empty axis). Pruning combines them in the
+    // same left-to-right order a concrete candidate's area uses, so
+    // the combined floor is itself the area of a concrete candidate
+    // and floating-point monotonicity guarantees floor <= area(c)
+    // for every candidate c containing the respective option —
+    // pruning can never discard an in-budget candidate.
+
+    [[nodiscard]] double minTlbArea() const { return _minTlb; }
+    [[nodiscard]] double minIArea() const { return _minI; }
+    [[nodiscard]] double minDArea() const { return _minD; }
+    [[nodiscard]] double minWbArea() const { return _minWb; }
+    [[nodiscard]] double minHierArea() const { return _minHier; }
+
+    /** Exact area of @p c, replicating the exhaustive accumulation
+     * order (tlb + fetch-side [+ dcache] + write buffer). */
+    [[nodiscard]] double area(const SearchCandidate &c) const;
+
+    /** Exact total CPI of @p c (baseCpi + per-axis contributions in
+     * the exhaustive order). */
+    [[nodiscard]] double cpi(const SearchCandidate &c) const;
+
+    /** True when area(c) fits the budget. */
+    [[nodiscard]] bool
+    inBudget(const SearchCandidate &c) const
+    {
+        return area(c) <= _budget;
+    }
+
+    /** Full Allocation record of @p c — field for field what the
+     * exhaustive enumeration emits (rank left zero). */
+    [[nodiscard]] Allocation materialize(const SearchCandidate &c) const;
+
+  private:
+    const ComponentCpiTables *_tables;
+    double _budget;
+    std::uint64_t _maxWays;
+
+    std::vector<double> _tlbAreas;
+    std::vector<IOption> _iOptions;
+    std::vector<DOption> _dOptions;
+    std::vector<WbOption> _wbOptions;
+    std::vector<HierOption> _hierOptions;
+
+    double _minTlb;
+    double _minI;
+    double _minD;
+    double _minWb;
+    double _minHier;
+};
+
+/** Outcome of one strategy run over a SearchSpace. */
+struct SearchResult
+{
+    /** Best-first allocations with 1-based ranks. Exhaustive: every
+     * in-budget candidate. Annealing: the single best candidate
+     * found (empty when no feasible candidate exists). */
+    std::vector<Allocation> allocations;
+    /** Full grid size (SearchSpace::candidateCount()). */
+    std::uint64_t candidates = 0;
+    /** Candidates whose full area was actually computed. */
+    std::uint64_t evaluations = 0;
+    /** Subgrids rejected by an area floor before scoring. */
+    std::uint64_t prunedSubspaces = 0;
+};
+
+/**
+ * A search strategy over the scored five-component space.
+ *
+ * Contract shared by every implementation: the returned allocations
+ * are a pure function of (space, strategy configuration) — thread
+ * count, repetition and attached observation never change them —
+ * and search() reports its work volume through the result's
+ * counters (mirrored into the observation as `search/candidates`,
+ * `search/evaluations` and `search/pruned_subspaces`).
+ */
+class SearchStrategy
+{
+  public:
+    virtual ~SearchStrategy() = default;
+
+    /** Stable identifier ("exhaustive", "annealing"). */
+    [[nodiscard]] virtual std::string_view name() const = 0;
+
+    /**
+     * Run the strategy.
+     *
+     * @param threads Execution lanes; 0 = one per hardware thread,
+     *        1 = serial. Never affects the returned allocations.
+     * @param observation Optional metrics/progress sink; attaching
+     *        one never changes the result.
+     */
+    [[nodiscard]] virtual SearchResult
+    search(const SearchSpace &space, unsigned threads = 0,
+           obs::Observation *observation = nullptr) const = 0;
+};
+
+/**
+ * The classic exhaustive enumeration behind the strategy interface.
+ *
+ * Emits split allocations in (TLB, fetch-side, D-cache, write
+ * buffer) order then hierarchy allocations in (TLB, hierarchy,
+ * write buffer) order, sharded by TLB geometry and stitched back in
+ * TLB order, then stable-sorts by CPI — bitwise identical to the
+ * historical AllocationSearch::rank for every thread count, with
+ * pruning on or off (pruned subgrids contain only over-budget
+ * candidates).
+ */
+class ExhaustiveStrategy final : public SearchStrategy
+{
+  public:
+    explicit ExhaustiveStrategy(bool prune = true) : _prune(prune) {}
+
+    [[nodiscard]] std::string_view
+    name() const override
+    {
+        return "exhaustive";
+    }
+
+    [[nodiscard]] bool pruning() const { return _prune; }
+
+    [[nodiscard]] SearchResult
+    search(const SearchSpace &space, unsigned threads = 0,
+           obs::Observation *observation = nullptr) const override;
+
+  private:
+    bool _prune;
+};
+
+/** Tuning knobs of the annealing strategy. All defaults are part of
+ * the reproducibility contract: a default-constructed config with a
+ * given seed always walks the same trajectory. */
+struct AnnealingConfig
+{
+    /** Root seed; per-chain streams are derived with mix64 so chains
+     * are independent yet jointly a pure function of this value. */
+    std::uint64_t seed = 42;
+    /** Independent restart chains (run in parallel, merged in chain
+     * order, so the winner is thread-count invariant). */
+    unsigned chains = 6;
+    /** Mutation proposals per chain. */
+    std::uint64_t iterations = 2000;
+    /** Geometric cooling schedule endpoints, in CPI units. */
+    double initialTemp = 0.05;
+    double finalTemp = 1e-4;
+};
+
+/**
+ * Seeded simulated annealing over the candidate space.
+ *
+ * Each chain starts from a random feasible candidate and proposes
+ * typed mutations (capacity grow/shrink, line/ways steps, TLB
+ * steps, write-buffer steps, victim toggle, organization swap, axis
+ * jump), accepting by the Metropolis criterion under geometric
+ * cooling. Options whose per-axis area floor already exceeds the
+ * budget are pruned from the proposal distribution up front
+ * (counted in `search/pruned_subspaces`). The merged best candidate
+ * is polished with a deterministic coordinate-descent pass before
+ * being materialized.
+ *
+ * Returns at most one allocation (rank 1). Deterministic per seed;
+ * thread-count invariant.
+ */
+class AnnealingStrategy final : public SearchStrategy
+{
+  public:
+    explicit AnnealingStrategy(const AnnealingConfig &config = {})
+        : _config(config)
+    {
+    }
+
+    [[nodiscard]] std::string_view
+    name() const override
+    {
+        return "annealing";
+    }
+
+    [[nodiscard]] const AnnealingConfig &config() const
+    {
+        return _config;
+    }
+
+    [[nodiscard]] SearchResult
+    search(const SearchSpace &space, unsigned threads = 0,
+           obs::Observation *observation = nullptr) const override;
+
+  private:
+    AnnealingConfig _config;
+};
+
+} // namespace oma
+
+#endif // OMA_CORE_SEARCH_STRATEGY_HH

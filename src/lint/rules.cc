@@ -74,11 +74,16 @@ pathContainsDir(const std::string &path, const std::string &dir)
 /**
  * no-wallclock: every run must be a pure function of its seed, so
  * wall-clock time and OS entropy are banned outside the sanctioned
- * shims — support/rng.hh (seeded entropy), support/clock.hh
- * (observability timing) — and bench code (which may time itself).
- * steady_clock is banned with the wall clocks: interval timing is
- * legitimate only through oma::Clock, so that every timing site is
- * auditable as observability-only.
+ * shims — support/rng.hh (seeded entropy), support/mt_rng.hh (the
+ * explicitly seeded mt19937 wrapper the search strategies draw
+ * from), support/clock.hh (observability timing) — and bench code
+ * (which may time itself). steady_clock is banned with the wall
+ * clocks: interval timing is legitimate only through oma::Clock, so
+ * that every timing site is auditable as observability-only. The std
+ * random engines are banned with random_device: a default-constructed
+ * engine hides its seed and the std distribution adaptors are
+ * implementation-defined, so seeded streams flow through the shims
+ * only.
  */
 class RuleNoWallclock : public Rule
 {
@@ -90,14 +95,15 @@ class RuleNoWallclock : public Rule
     {
         return "wall-clock time and OS entropy make runs "
                "irreproducible; randomness flows through "
-               "support/rng.hh and timing through support/clock.hh "
-               "(observability only)";
+               "support/rng.hh or support/mt_rng.hh and timing "
+               "through support/clock.hh (observability only)";
     }
 
     void
     check(const SourceFile &file, std::vector<Finding> &out) const override
     {
         if (pathEndsWith(file.path(), "support/rng.hh") ||
+            pathEndsWith(file.path(), "support/mt_rng.hh") ||
             pathEndsWith(file.path(), "support/clock.hh") ||
             pathContainsDir(file.path(), "bench"))
             return;
@@ -107,11 +113,16 @@ class RuleNoWallclock : public Rule
             "rand",   "srand",   "rand_r",       "drand48",
         };
         // Type-like: any mention is a hazard.
-        static const std::array<const char *, 4> types = {
+        static const std::array<const char *, 9> types = {
             "system_clock",
             "high_resolution_clock",
             "steady_clock",
             "random_device",
+            "mt19937",
+            "mt19937_64",
+            "default_random_engine",
+            "minstd_rand",
+            "minstd_rand0",
         };
         for (std::size_t l = 1; l <= file.lineCount(); ++l) {
             const std::string &code = file.codeLine(l);
@@ -140,7 +151,8 @@ class RuleNoWallclock : public Rule
                              "' is nondeterministic across runs",
                          "time observability through oma::Clock "
                          "(support/clock.hh) or draw entropy from "
-                         "oma::Rng (support/rng.hh)",
+                         "oma::Rng (support/rng.hh) / the seeded "
+                         "oma::MtRng (support/mt_rng.hh)",
                          false});
                     break;
                 }

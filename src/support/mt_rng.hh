@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Seeded Mersenne-twister shim for the stochastic search strategies.
+ *
+ * The determinism contract bans the std random engines everywhere
+ * else (oma_lint's no-wallclock rule): a default-constructed engine
+ * hides its seed, `std::random_device` is OS entropy, and the std
+ * distribution adaptors are implementation-defined, so the same seed
+ * can produce different draws on different standard libraries. This
+ * header is the one sanctioned wrapper: an explicitly seeded
+ * `std::mt19937_64` (the engine itself is fully specified by the
+ * standard, so its raw output is portable) combined with the same
+ * bias-free value mappings support/rng.hh uses. Everything drawn
+ * through MtRng is a pure function of the 64-bit seed.
+ *
+ * Why a second generator next to oma::Rng (xoshiro256**)? The
+ * annealing search (core/search_strategy) is specified against
+ * mt19937 draws so its trajectories can be cross-checked against
+ * reference simulated-annealing implementations; workload synthesis
+ * keeps its own stream so search experiments never perturb traces.
+ */
+
+#ifndef OMA_SUPPORT_MT_RNG_HH
+#define OMA_SUPPORT_MT_RNG_HH
+
+#include <cstdint>
+#include <random>
+
+namespace oma
+{
+
+/**
+ * Explicitly seeded std::mt19937_64 with portable value mappings.
+ * Deterministic given the seed on every conforming implementation:
+ * only the engine's raw 64-bit output is consumed, never a std
+ * distribution.
+ */
+class MtRng
+{
+  public:
+    /** Construct from a 64-bit seed; there is no default seed on
+     * purpose — every stream must be traceable to an experiment
+     * parameter. */
+    explicit MtRng(std::uint64_t seed) : _engine(seed) {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        return _engine();
+    }
+
+    /** Uniform integer in [0, bound); bound must be non-zero.
+     * Lemire multiply-shift mapping, same as oma::Rng::below —
+     * bias is negligible for our bounds (<< 2^32). */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1) with 53 significant bits. */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial with probability @p p. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+  private:
+    std::mt19937_64 _engine;
+};
+
+} // namespace oma
+
+#endif // OMA_SUPPORT_MT_RNG_HH

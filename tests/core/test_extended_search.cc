@@ -68,15 +68,18 @@ TEST(ExtendedSearch, ExtendedSpaceEnumeratesEveryAxis)
               space.cacheKBytes.size() * space.victimEntries.size());
     EXPECT_EQ(space.writeBufferConfigs().size(),
               space.wbEntries.size());
-    // Hierarchies require the L1 capacity strictly below the L2's.
+    // Hierarchies require the combined split-L1 capacity (the pair
+    // totals 2*kb) strictly below the L2's.
     std::size_t hier = 0;
     for (std::uint64_t l2kb : space.l2KBytes)
         for (std::uint64_t kb : space.cacheKBytes)
-            hier += kb < l2kb;
+            hier += 2 * kb < l2kb;
     EXPECT_EQ(space.hierarchyConfigs().size(), hier);
     for (const HierarchyParams &p : space.hierarchyConfigs()) {
         EXPECT_TRUE(p.hasL2);
-        EXPECT_LT(p.l1i.geom.capacityBytes, p.l2.geom.capacityBytes);
+        EXPECT_LT(p.l1i.geom.capacityBytes +
+                      p.l1d.geom.capacityBytes,
+                  p.l2.geom.capacityBytes);
     }
     // Slots come out in victim, write-buffer, hierarchy order.
     const auto slots = space.extensionSlots();

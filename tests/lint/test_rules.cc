@@ -127,6 +127,39 @@ void f() { auto t = time(nullptr); }
               1u);
 }
 
+TEST(LintNoWallclock, FlagsStdRandomEnginesOutsideTheShim)
+{
+    // The std engines hide their seed behind a default constructor
+    // and the std distributions are implementation-defined; the only
+    // sanctioned wrapper is oma::MtRng (support/mt_rng.hh).
+    const auto report = lintBuffer("src/core/foo.cc", R"(
+#include <random>
+std::mt19937 a;
+std::mt19937_64 b{42};
+std::default_random_engine c;
+std::minstd_rand d;
+)");
+    EXPECT_EQ(countRule(report, "no-wallclock"), 4u);
+}
+
+TEST(LintNoWallclock, MtRngShimIsTheOnlyEngineExemptFile)
+{
+    const char *snippet = R"(
+#include <random>
+class R { std::mt19937_64 _engine; };
+)";
+    EXPECT_EQ(countRule(lintBuffer("src/support/mt_rng.hh", snippet),
+                        "no-wallclock"),
+              0u);
+    EXPECT_EQ(countRule(lintBuffer("src/support/mt_rng2.hh", snippet),
+                        "no-wallclock"),
+              1u);
+    EXPECT_EQ(countRule(lintBuffer("src/core/search_strategy.cc",
+                                   snippet),
+                        "no-wallclock"),
+              1u);
+}
+
 // ---------------------------------------------------------------- //
 // ordered-results
 // ---------------------------------------------------------------- //
