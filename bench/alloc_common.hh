@@ -21,6 +21,28 @@ namespace omabench
 /** Paper's on-chip memory budget (Section 5.4). */
 constexpr double paperBudgetRbe = 250000.0;
 
+/**
+ * Rank allocations of @p tables through the query API: the benches'
+ * spelling of api::QueryEngine::rank (exhaustive strategy, full
+ * list). @p max_ways is the associativity restriction (8 = Table 6,
+ * 2 = Table 7).
+ */
+inline std::vector<oma::Allocation>
+rankAllocations(const oma::ComponentCpiTables &tables,
+                std::uint64_t max_ways, BenchReport *report = nullptr,
+                double budget_rbe = paperBudgetRbe)
+{
+    oma::api::QueryEngine engine;
+    oma::api::AllocationRequest request;
+    request.budgetRbe = budget_rbe;
+    request.maxCacheWays = max_ways;
+    request.topK = 0; // the paper's tables sample deep ranks
+    return engine
+        .rank(request, tables,
+              report != nullptr ? report->observation() : nullptr)
+        .allocations;
+}
+
 /** Measure the suite-averaged component CPI tables under Mach.
  * Extension axes of @p space (victim, write-buffer, L2) ride the same
  * sweep as heterogeneous component slots. With a @p report, every

@@ -70,7 +70,6 @@ main()
     const ComponentCpiTables tables =
         omabench::measureMachTables(space, &report);
     const AccessTimeModel access;
-    AllocationSearch search(AreaModel(), omabench::paperBudgetRbe);
 
     // Reference spreads so the limits below are meaningful.
     std::cout << "Access-time reference points (delay units):\n"
@@ -113,7 +112,7 @@ main()
             continue;
         }
         const auto ranked =
-            search.rank(filtered, 8, 0, report.observation());
+            omabench::rankAllocations(filtered, 8, &report);
         if (ranked.empty()) {
             table.addRow({c.name, "", "(budget infeasible)", "-",
                           "-"});

@@ -62,9 +62,8 @@ main()
     const ComponentCpiTables tables =
         omabench::measureMachTables(space, &report);
 
-    AllocationSearch search(AreaModel(), omabench::paperBudgetRbe);
     const auto ranked =
-        search.rank(tables, 8, 0, report.observation());
+        omabench::rankAllocations(tables, 8, &report);
     std::cout << "In-budget allocations ranked: " << ranked.size()
               << "\n\n";
 
@@ -104,7 +103,8 @@ main()
     classic.victimOptions.clear();
     classic.wbOptions.clear();
     classic.hierarchyOptions.clear();
-    const auto classic_ranked = search.rank(classic, 8, 0, nullptr);
+    const auto classic_ranked =
+        omabench::rankAllocations(classic, 8);
     const Allocation &cw = classic_ranked.front();
     std::cout << "\nClassic cross-check (extensions stripped): "
               << classic_ranked.size() << " allocations, winner "

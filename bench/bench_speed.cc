@@ -161,17 +161,21 @@ BM_SweepTable5Grid(benchmark::State &state)
     // is identical to the full Table 5 sweep.
     space.lineWords = {1, 4, 8};
     space.cacheWays = {1, 2};
-    ComponentSweep sweep(space.cacheGeometries(2),
-                         space.cacheGeometries(2),
-                         space.tlbGeometries());
-    RunConfig rc;
-    rc.references = 100000;
-    rc.threads = threads;
+    api::QueryEngine engine;
+    api::SweepGrid grid;
+    grid.icacheGeoms = space.cacheGeometries(2);
+    grid.dcacheGeoms = space.cacheGeometries(2);
+    grid.tlbGeoms = space.tlbGeometries();
+    api::AllocationRequest request;
+    request.workloads = {BenchmarkId::Mpeg};
+    request.os = OsKind::Mach;
+    request.references = 100000;
+    request.threads = threads;
 
     const auto t0 = std::chrono::steady_clock::now();
     for (auto _ : state) {
         const SweepResult r =
-            sweep.run(BenchmarkId::Mpeg, OsKind::Mach, rc);
+            engine.sweep(request, nullptr, &grid).front();
         benchmark::DoNotOptimize(r.icache(0).stats.totalMisses());
     }
     const double per_iter = state.iterations()
@@ -186,7 +190,8 @@ BM_SweepTable5Grid(benchmark::State &state)
     state.counters["threads"] = double(threads);
     if (threads > 1 && serial_seconds > 0.0 && per_iter > 0.0)
         state.counters["speedup_vs_serial"] = serial_seconds / per_iter;
-    state.SetItemsProcessed(state.iterations() * int64_t(rc.references));
+    state.SetItemsProcessed(state.iterations() *
+                            int64_t(request.references));
 }
 BENCHMARK(BM_SweepTable5Grid)
     ->Arg(1)
@@ -219,11 +224,16 @@ BM_RankTable5Grid(benchmark::State &state)
     for (std::size_t i = 0; i < tables.dcacheCpi.size(); ++i)
         tables.dcacheCpi[i] = 0.015 * double(i % 6);
 
-    const AllocationSearch search(AreaModel(), 250000.0);
+    api::QueryEngine engine;
+    api::AllocationRequest request;
+    request.budgetRbe = 250000.0;
+    request.maxCacheWays = 8;
+    request.topK = 0;
+    request.threads = threads;
     const auto t0 = std::chrono::steady_clock::now();
     for (auto _ : state) {
-        const auto ranked = search.rank(tables, 8, threads);
-        benchmark::DoNotOptimize(ranked.data());
+        const auto response = engine.rank(request, tables);
+        benchmark::DoNotOptimize(response.allocations.data());
     }
     const double per_iter = state.iterations()
         ? std::chrono::duration<double>(
@@ -445,21 +455,26 @@ BM_SweepStoreWarm(benchmark::State &state)
     ConfigSpace space;
     space.lineWords = {1, 4, 8};
     space.cacheWays = {1, 2};
-    ComponentSweep sweep(space.cacheGeometries(2),
-                         space.cacheGeometries(2),
-                         space.tlbGeometries());
-    RunConfig rc;
-    rc.references = 100000;
-    rc.threads = threads;
-    rc.storeDir = dir;
+    api::QueryEngineConfig config;
+    config.storeDir = dir;
+    api::QueryEngine engine(config);
+    api::SweepGrid grid;
+    grid.icacheGeoms = space.cacheGeometries(2);
+    grid.dcacheGeoms = space.cacheGeometries(2);
+    grid.tlbGeoms = space.tlbGeometries();
+    api::AllocationRequest request;
+    request.workloads = {BenchmarkId::Mpeg};
+    request.os = OsKind::Mach;
+    request.references = 100000;
+    request.threads = threads;
 
     // Cold prime: records live and fills the store.
-    (void)sweep.run(BenchmarkId::Mpeg, OsKind::Mach, rc);
+    (void)engine.sweep(request, nullptr, &grid);
 
     obs::Observation warm;
     for (auto _ : state) {
         const SweepResult r =
-            sweep.run(BenchmarkId::Mpeg, OsKind::Mach, rc, &warm);
+            engine.sweep(request, &warm, &grid).front();
         benchmark::DoNotOptimize(r.icache(0).stats.totalMisses());
     }
 
@@ -483,7 +498,7 @@ BM_SweepStoreWarm(benchmark::State &state)
     std::error_code ec;
     fs::remove_all(dir, ec);
     state.SetItemsProcessed(state.iterations() *
-                            int64_t(rc.references));
+                            int64_t(request.references));
 }
 BENCHMARK(BM_SweepStoreWarm)
     ->Arg(1)

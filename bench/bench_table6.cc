@@ -26,9 +26,8 @@ main()
     const ComponentCpiTables tables =
         omabench::measureMachTables(space, &report);
 
-    AllocationSearch search(AreaModel(), omabench::paperBudgetRbe);
     const auto ranked =
-        search.rank(tables, 8, 0, report.observation());
+        omabench::rankAllocations(tables, 8, &report);
     std::cout << "In-budget allocations ranked: " << ranked.size()
               << "\n\n";
 

@@ -23,9 +23,8 @@ main()
     const ComponentCpiTables tables =
         omabench::measureMachTables(space, &report);
 
-    AllocationSearch search(AreaModel(), omabench::paperBudgetRbe);
     const auto ranked =
-        search.rank(tables, 2, 0, report.observation());
+        omabench::rankAllocations(tables, 2, &report);
     std::cout << "In-budget allocations ranked: " << ranked.size()
               << "\n\n";
 

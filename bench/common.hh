@@ -19,6 +19,8 @@
 #include <utility>
 #include <vector>
 
+#include "api/query_engine.hh"
+#include "api/request.hh"
 #include "core/experiment.hh"
 #include "core/sweep.hh"
 #include "obs/metrics.hh"
@@ -202,16 +204,24 @@ struct SweepSuiteRun
  * into @p report (progress armed for the full task count, references
  * credited, engine counters collected) when non-null. Results come
  * back grouped by OS, in the order the spec lists them.
+ *
+ * The spec is presentation only: each pair is phrased as a
+ * single-workload api::AllocationRequest and measured by
+ * api::QueryEngine over the spec's explicit grid, so the suite
+ * benches answer through the same engine as the daemon and the CLI
+ * (the sweep store keys depend only on workload/OS/run provenance,
+ * so both spellings share trace artifacts).
  */
 inline std::vector<SweepSuiteRun>
 runSweepSuite(const SweepSuiteSpec &spec, BenchReport *report)
 {
     using namespace oma;
-    ComponentSweep sweep(spec.icacheGeoms, spec.dcacheGeoms,
-                         spec.tlbGeoms);
-    for (const ComponentSlot &slot : spec.components)
-        sweep.addComponent(slot);
-    const RunConfig rc = benchRun();
+    api::QueryEngine engine; // store root from OMA_STORE_DIR
+    api::SweepGrid grid;
+    grid.icacheGeoms = spec.icacheGeoms;
+    grid.dcacheGeoms = spec.dcacheGeoms;
+    grid.tlbGeoms = spec.tlbGeoms;
+    grid.components = spec.components;
     const std::uint64_t tasks = 1 + spec.icacheGeoms.size() +
         spec.dcacheGeoms.size() + spec.tlbGeoms.size() +
         spec.components.size();
@@ -231,9 +241,15 @@ runSweepSuite(const SweepSuiteSpec &spec, BenchReport *report)
                           << spec.dcacheGeoms.size() << " D-cache, "
                           << spec.tlbGeoms.size()
                           << " TLB configurations]\n";
-            run.results.push_back(
-                sweep.run(id, os, rc,
-                          report ? report->observation() : nullptr));
+            api::AllocationRequest request;
+            request.workloads = {id};
+            request.os = os;
+            request.references = benchReferences();
+            request.seed = 42;
+            auto results = engine.sweep(
+                request, report ? report->observation() : nullptr,
+                &grid);
+            run.results.push_back(std::move(results.front()));
             if (report != nullptr)
                 report->addReferences(run.results.back().references);
         }

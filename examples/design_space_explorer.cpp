@@ -15,6 +15,7 @@
 #include <iostream>
 #include <string>
 
+#include "api/query_engine.hh"
 #include "core/search.hh"
 #include "support/logging.hh"
 #include "support/table.hh"
@@ -24,47 +25,49 @@ using namespace oma;
 int
 main(int argc, char **argv)
 {
-    double budget = 250000.0;
-    OsKind os = OsKind::Mach;
-    std::uint64_t max_ways = 8;
-    RunConfig rc;
-    rc.references = 600000;
+    // The whole exploration is one api::AllocationRequest: the
+    // budget/OS/associativity flags below just fill its fields, and
+    // the QueryEngine answers it the same way the daemon would.
+    api::AllocationRequest request;
+    request.references = 600000;
+    request.topK = 0;
 
     if (argc > 1)
-        budget = std::strtod(argv[1], nullptr);
+        request.budgetRbe = std::strtod(argv[1], nullptr);
     if (argc > 2) {
         const std::string name = argv[2];
         if (name == "ultrix")
-            os = OsKind::Ultrix;
+            request.os = OsKind::Ultrix;
         else if (name == "mach")
-            os = OsKind::Mach;
+            request.os = OsKind::Mach;
         else
             fatal("unknown OS: " + name + " (ultrix|mach)");
     }
     if (argc > 3)
-        max_ways = std::strtoull(argv[3], nullptr, 10);
+        request.maxCacheWays = std::strtoull(argv[3], nullptr, 10);
     if (argc > 4)
-        rc.references = std::strtoull(argv[4], nullptr, 10);
+        request.references = std::strtoull(argv[4], nullptr, 10);
+    const double budget = request.budgetRbe;
 
     std::cout << "Design-space exploration: budget "
               << fmtGrouped(std::uint64_t(budget)) << " rbe, OS "
-              << osKindName(os) << ", cache associativity <= "
-              << max_ways << "\n\n";
+              << osKindName(request.os) << ", cache associativity <= "
+              << request.maxCacheWays << "\n\n";
 
-    ConfigSpace space;
-    const auto caches = space.cacheGeometries();
-    ComponentSweep sweep(caches, caches, space.tlbGeometries());
-
+    api::QueryEngine engine;
     std::vector<SweepResult> results;
     for (BenchmarkId id : allBenchmarks()) {
         std::cout << "  sweeping " << benchmarkName(id) << "...\n";
-        results.push_back(sweep.run(id, os, rc));
+        api::AllocationRequest one = request;
+        one.workloads = {id};
+        results.push_back(engine.sweep(one).front());
     }
     const ComponentCpiTables tables = ComponentCpiTables::average(
         results, MachineParams::decstation3100());
 
-    AllocationSearch search(AreaModel(), budget);
-    const auto ranked = search.rank(tables, max_ways);
+    const api::AllocationResponse response =
+        engine.rank(request, tables);
+    const auto &ranked = response.allocations;
     if (ranked.empty()) {
         std::cout << "\nNo configuration fits the budget.\n";
         return 0;

@@ -16,6 +16,7 @@
 #include <fstream>
 #include <iostream>
 
+#include "api/query_engine.hh"
 #include "area/mqf.hh"
 #include "core/sweep.hh"
 #include "support/logging.hh"
@@ -129,24 +130,27 @@ exportIcacheGrids(const std::filesystem::path &dir, std::uint64_t refs)
         for (std::uint64_t w : ways)
             geoms.push_back(CacheGeometry::fromWords(kb * 1024, 4, w));
 
-    const std::vector<CacheGeometry> dstub = {
-        CacheGeometry::fromWords(8 * 1024, 4, 1)};
-    const std::vector<TlbGeometry> tstub = {
-        TlbGeometry::fullyAssoc(64)};
-    ComponentSweep sweep(geoms, dstub, tstub);
+    api::QueryEngine engine;
+    api::SweepGrid grid;
+    grid.icacheGeoms = geoms;
+    grid.dcacheGeoms = {CacheGeometry::fromWords(8 * 1024, 4, 1)};
+    grid.tlbGeoms = {TlbGeometry::fullyAssoc(64)};
 
     std::ofstream f9 = open(dir, "fig9_icache.csv");
     std::ofstream f10 = open(dir, "fig10_icache_assoc.csv");
     f9 << "os,size_kb,line_words,miss_ratio,cpi\n";
     f10 << "os,size_kb,ways,miss_ratio,cpi\n";
 
-    RunConfig rc;
-    rc.references = refs;
     for (OsKind os : {OsKind::Ultrix, OsKind::Mach}) {
         std::vector<double> miss(geoms.size(), 0.0);
         std::vector<double> cpi(geoms.size(), 0.0);
         for (BenchmarkId id : allBenchmarks()) {
-            const SweepResult r = sweep.run(id, os, rc);
+            api::AllocationRequest request;
+            request.workloads = {id};
+            request.os = os;
+            request.references = refs;
+            const SweepResult r =
+                engine.sweep(request, nullptr, &grid).front();
             for (std::size_t i = 0; i < geoms.size(); ++i) {
                 miss[i] += r.icache(i).missRatio() / numBenchmarks;
                 cpi[i] += r.icache(i).cpi(mp) / numBenchmarks;

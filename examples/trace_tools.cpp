@@ -27,6 +27,7 @@
 #include <map>
 #include <string>
 
+#include "api/query_engine.hh"
 #include "cache/cache.hh"
 #include "core/sweep.hh"
 #include "obs/export.hh"
@@ -160,9 +161,16 @@ cmdSweep(int argc, char **argv)
         TlbGeometry(256, 4)};
 
     const MachineParams mp = MachineParams::decstation3100();
-    ComponentSweep sweep(cache_geoms, cache_geoms, tlb_geoms, mp);
+    api::QueryEngine engine;
+    api::SweepGrid grid;
+    grid.icacheGeoms = cache_geoms;
+    grid.dcacheGeoms = cache_geoms;
+    grid.tlbGeoms = tlb_geoms;
+    api::AllocationRequest request;
+    request.threads = threads;
     obs::Observation observation;
-    const SweepResult r = sweep.run(trace, threads, &observation);
+    const SweepResult r =
+        engine.replay(request, trace, &observation, &grid);
 
     obs::RunReport report("trace_tools_sweep");
     report.meta["trace_file"] = argv[2];
@@ -204,10 +212,12 @@ cmdSweepRun(int argc, char **argv)
     const OsKind os = std::string(argv[3]) == "ultrix"
         ? OsKind::Ultrix
         : OsKind::Mach;
-    RunConfig rc;
-    rc.references = std::strtoull(argv[4], nullptr, 10);
+    api::AllocationRequest request;
+    request.workloads = {id};
+    request.os = os;
+    request.references = std::strtoull(argv[4], nullptr, 10);
     if (argc > 5)
-        rc.threads = unsigned(std::strtoul(argv[5], nullptr, 10));
+        request.threads = unsigned(std::strtoul(argv[5], nullptr, 10));
 
     std::vector<CacheGeometry> cache_geoms;
     for (std::uint64_t kb : {2, 4, 8, 16, 32})
@@ -217,15 +227,19 @@ cmdSweepRun(int argc, char **argv)
         TlbGeometry::fullyAssoc(64), TlbGeometry(128, 2),
         TlbGeometry(256, 4)};
 
-    const MachineParams mp = MachineParams::decstation3100();
-    ComponentSweep sweep(cache_geoms, cache_geoms, tlb_geoms, mp);
+    api::QueryEngine engine; // store root from OMA_STORE_DIR
+    api::SweepGrid grid;
+    grid.icacheGeoms = cache_geoms;
+    grid.dcacheGeoms = cache_geoms;
+    grid.tlbGeoms = tlb_geoms;
     obs::Observation observation;
-    const SweepResult r = sweep.run(id, os, rc, &observation);
+    const SweepResult r =
+        engine.sweep(request, &observation, &grid).front();
 
     obs::RunReport report("trace_tools_sweeprun");
     report.meta["benchmark"] = benchmarkName(id);
     report.meta["os"] = osKindName(os);
-    report.meta["threads"] = std::to_string(rc.threads);
+    report.meta["threads"] = std::to_string(request.threads);
     report.metrics.merge(observation.metrics);
     obs::exportSweepResult(report.metrics, r);
     const std::string saved = report.save();

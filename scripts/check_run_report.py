@@ -19,6 +19,10 @@ Threshold options (repeatable, applied to every FILE):
                                      and be strictly greater than VALUE
   --require-gauge-below NAME=VALUE   gauge NAME must exist, be finite
                                      and be strictly less than VALUE
+  --require-counter-above NAME=VALUE counter NAME must exist and be
+                                     strictly greater than VALUE
+                                     (e.g. serve/dedup_hits=0 proves
+                                     deduplication actually happened)
   --require-counter-prefix PREFIX    at least one metric key (counter,
                                      gauge or histogram) must start
                                      with PREFIX
@@ -160,6 +164,18 @@ def check_thresholds(path, doc, thresholds):
     return errors
 
 
+def check_counter_floors(doc, floors):
+    """Apply (name, bound) counter floors to one report."""
+    errors = []
+    for name, bound in floors:
+        value = doc["counters"].get(name)
+        if not is_count(value):
+            errors.append(f"counter {name}: required but missing")
+        elif not value > bound:
+            errors.append(f"counter {name}: {value} is not > {bound}")
+    return errors
+
+
 def check_prefixes(doc, prefixes):
     """Require one metric key per prefix across all three metric maps."""
     errors = []
@@ -215,6 +231,7 @@ def check_report(path):
 def main(argv):
     paths = []
     thresholds = []
+    floors = []
     prefixes = []
     ratios = []
     args = argv[1:]
@@ -228,6 +245,12 @@ def main(argv):
             name, value = parse_threshold(args.pop(0), arg)
             thresholds.append(
                 (name, value, arg == "--require-gauge-above"))
+        elif arg == "--require-counter-above":
+            if not args:
+                print(f"{arg}: missing NAME=VALUE argument",
+                      file=sys.stderr)
+                return 2
+            floors.append(parse_threshold(args.pop(0), arg))
         elif arg == "--require-counter-ratio":
             if not args:
                 print(f"{arg}: missing NUM:DEN<MAX argument",
@@ -255,12 +278,15 @@ def main(argv):
             with open(path, encoding="utf-8") as f:
                 doc = json.load(f)
             errors = (check_thresholds(path, doc, thresholds) +
+                      check_counter_floors(doc, floors) +
                       check_prefixes(doc, prefixes) +
                       check_ratios(doc, ratios))
             if not errors:
                 gates = []
                 if thresholds:
                     gates.append(f"{len(thresholds)} thresholds")
+                if floors:
+                    gates.append(f"{len(floors)} counter floors")
                 if prefixes:
                     gates.append(f"{len(prefixes)} prefixes")
                 if ratios:

@@ -1,0 +1,311 @@
+/**
+ * @file
+ * QueryEngine implementation: warm-serve, coalesce or compute.
+ */
+
+#include "api/query_engine.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "area/mqf.hh"
+#include "core/search_strategy.hh"
+#include "obs/metrics.hh"
+#include "support/threadpool.hh"
+
+namespace oma::api
+{
+
+namespace
+{
+
+void
+count(obs::Observation *observation, const char *name,
+      std::uint64_t delta = 1)
+{
+    if (observation != nullptr)
+        observation->metrics.add(name, delta);
+}
+
+} // namespace
+
+SweepGrid
+SweepGrid::fromSpace(const ConfigSpace &space)
+{
+    SweepGrid grid;
+    // The sweep measures the full associativity grid; ranking applies
+    // the request's max_cache_ways restriction (Table 7 ranks 2-way
+    // out of the same measurements Table 6 uses).
+    grid.icacheGeoms = space.cacheGeometries();
+    grid.dcacheGeoms = space.cacheGeometries();
+    grid.tlbGeoms = space.tlbGeometries();
+    grid.components = space.extensionSlots();
+    return grid;
+}
+
+QueryEngine::QueryEngine(QueryEngineConfig config)
+    : _config(std::move(config)),
+      _store(ArtifactStore::open(_config.storeDir))
+{
+}
+
+bool
+QueryEngine::validate(const AllocationRequest &request,
+                      std::string &error)
+{
+    if (request.workloads.empty()) {
+        error = "request.workloads: at least one workload required";
+        return false;
+    }
+    if (request.references == 0) {
+        error = "request.references: must be positive";
+        return false;
+    }
+    if (!(request.budgetRbe > 0.0)) {
+        error = "request.budget_rbe: must be positive";
+        return false;
+    }
+    if (request.maxCacheWays == 0) {
+        error = "request.max_cache_ways: must be positive";
+        return false;
+    }
+    if (request.space.tlbGeometries().empty()) {
+        error = "request.space: TLB axis is empty";
+        return false;
+    }
+    if (request.space.cacheGeometries(request.maxCacheWays).empty()) {
+        error = "request.space: no cache geometry is realizable "
+                "under max_cache_ways";
+        return false;
+    }
+    if (request.strategy == Strategy::Annealing &&
+        (request.annealing.chains == 0 ||
+         request.annealing.iterations == 0)) {
+        error = "request.annealing: chains and iterations must be "
+                "positive";
+        return false;
+    }
+    return true;
+}
+
+std::vector<SweepResult>
+QueryEngine::sweep(const AllocationRequest &request,
+                   obs::Observation *observation,
+                   const SweepGrid *grid) const
+{
+    SweepGrid derived;
+    if (grid == nullptr) {
+        derived = SweepGrid::fromSpace(request.space);
+        grid = &derived;
+    }
+    ComponentSweep sweep(grid->icacheGeoms, grid->dcacheGeoms,
+                         grid->tlbGeoms);
+    for (const ComponentSlot &slot : grid->components)
+        sweep.addComponent(slot);
+    const RunConfig rc = request.runConfig(_config.storeDir);
+    std::vector<SweepResult> results;
+    results.reserve(request.workloads.size());
+    for (const BenchmarkId id : request.workloads)
+        results.push_back(
+            sweep.run(benchmarkParams(id), request.os, rc,
+                      observation));
+    return results;
+}
+
+SweepResult
+QueryEngine::replay(const AllocationRequest &request,
+                    const RecordedTrace &trace,
+                    obs::Observation *observation,
+                    const SweepGrid *grid) const
+{
+    SweepGrid derived;
+    if (grid == nullptr) {
+        derived = SweepGrid::fromSpace(request.space);
+        grid = &derived;
+    }
+    ComponentSweep sweep(grid->icacheGeoms, grid->dcacheGeoms,
+                         grid->tlbGeoms);
+    for (const ComponentSlot &slot : grid->components)
+        sweep.addComponent(slot);
+    return sweep.run(trace, request.threads, observation);
+}
+
+ComponentCpiTables
+QueryEngine::measure(const AllocationRequest &request,
+                     obs::Observation *observation,
+                     const SweepGrid *grid) const
+{
+    return ComponentCpiTables::average(
+        this->sweep(request, observation, grid),
+        MachineParams::decstation3100());
+}
+
+AllocationResponse
+QueryEngine::rank(const AllocationRequest &request,
+                  const ComponentCpiTables &tables,
+                  obs::Observation *observation) const
+{
+    const SearchSpace space(tables, AreaModel(), request.budgetRbe,
+                            request.maxCacheWays);
+    SearchResult result;
+    if (request.strategy == Strategy::Annealing) {
+        result = AnnealingStrategy(request.annealing)
+                     .search(space, request.threads, observation);
+    } else {
+        result = ExhaustiveStrategy().search(space, request.threads,
+                                             observation);
+    }
+    AllocationResponse response;
+    response.strategy = request.strategy;
+    response.inBudget = result.allocations.size();
+    response.candidates = result.candidates;
+    response.evaluations = result.evaluations;
+    response.prunedSubspaces = result.prunedSubspaces;
+    response.baseCpi = tables.baseCpi;
+    response.wbCpi = tables.wbCpi;
+    response.otherCpi = tables.otherCpi;
+    response.allocations = std::move(result.allocations);
+    if (request.topK != 0 &&
+        response.allocations.size() > request.topK)
+        response.allocations.resize(std::size_t(request.topK));
+    return response;
+}
+
+std::string
+QueryEngine::computeAnswer(const AllocationRequest &request,
+                           obs::Observation *observation) const
+{
+    std::unique_ptr<obs::Span> span;
+    if (observation != nullptr)
+        span = std::make_unique<obs::Span>(observation->metrics,
+                                           "serve/compute");
+    const ComponentCpiTables tables = measure(request, observation);
+    return encodeResponse(rank(request, tables, observation));
+}
+
+std::string
+QueryEngine::answer(const AllocationRequest &request,
+                    obs::Observation *observation)
+{
+    std::unique_ptr<obs::Span> span;
+    if (observation != nullptr)
+        span = std::make_unique<obs::Span>(observation->metrics,
+                                           "serve/answer");
+    count(observation, "serve/requests");
+    std::string error;
+    if (!validate(request, error)) {
+        count(observation, "serve/rejected");
+        return encodeError(error);
+    }
+    const Fingerprint key = request.responseKey();
+    if (_store != nullptr) {
+        std::string payload;
+        if (_store->get(key, payload)) {
+            count(observation, "serve/warm_hits");
+            return payload;
+        }
+    }
+    InflightTable::Lease lease = inflightTable().join(key);
+    if (!lease.leader()) {
+        count(observation, "serve/dedup_hits");
+        return lease.payload();
+    }
+    const std::string payload = computeAnswer(request, observation);
+    count(observation, "serve/computed");
+    if (_store != nullptr)
+        _store->put(key, payload);
+    lease.publish(payload);
+    return payload;
+}
+
+std::string
+QueryEngine::answerJson(std::string_view request_json,
+                        obs::Observation *observation)
+{
+    AllocationRequest request;
+    std::string error;
+    if (!decodeRequest(request_json, request, error)) {
+        count(observation, "serve/requests");
+        count(observation, "serve/rejected");
+        return encodeError(error);
+    }
+    return answer(request, observation);
+}
+
+std::vector<std::string>
+QueryEngine::answerBatch(const std::vector<std::string> &request_lines,
+                         obs::Observation *observation)
+{
+    count(observation, "serve/batches");
+    std::vector<std::string> answers(request_lines.size());
+
+    // Group decodable requests by response key deterministically
+    // before any computation, so N identical lines coalesce to one
+    // compute regardless of scheduling and `serve/dedup_hits` is a
+    // pure function of the batch.
+    struct Group
+    {
+        AllocationRequest request;
+        std::string key;
+        std::vector<std::size_t> lines;
+    };
+    std::vector<Group> groups;
+    std::size_t admitted = 0;
+    for (std::size_t i = 0; i < request_lines.size(); ++i) {
+        if (admitted >= _config.maxBatch) {
+            count(observation, "serve/requests");
+            count(observation, "serve/rejected");
+            answers[i] = encodeError(
+                "batch admission limit (" +
+                std::to_string(_config.maxBatch) + ") exceeded");
+            continue;
+        }
+        ++admitted;
+        AllocationRequest request;
+        std::string error;
+        if (!decodeRequest(request_lines[i], request, error)) {
+            count(observation, "serve/requests");
+            count(observation, "serve/rejected");
+            answers[i] = encodeError(error);
+            continue;
+        }
+        std::string key = request.responseKey().text();
+        bool joined = false;
+        for (Group &group : groups) {
+            if (group.key == key) {
+                group.lines.push_back(i);
+                joined = true;
+                break;
+            }
+        }
+        if (joined) {
+            count(observation, "serve/requests");
+            count(observation, "serve/dedup_hits");
+            continue;
+        }
+        groups.push_back(
+            Group{std::move(request), std::move(key), {i}});
+    }
+
+    // Compute distinct requests on bounded lanes; per-group metric
+    // shards merge in group order below, so the registry stays
+    // schedule-independent.
+    std::vector<obs::Observation> shards(groups.size());
+    const unsigned lanes = unsigned(std::min<std::size_t>(
+        std::max(1u, _config.maxInflight), groups.size()));
+    std::vector<std::string> group_answers(groups.size());
+    if (!groups.empty()) {
+        parallelFor(lanes, 0, groups.size(), [&](std::size_t g) {
+            group_answers[g] = answer(groups[g].request, &shards[g]);
+        });
+    }
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+        if (observation != nullptr)
+            observation->metrics.merge(shards[g].metrics);
+        for (const std::size_t line : groups[g].lines)
+            answers[line] = group_answers[g];
+    }
+    return answers;
+}
+
+} // namespace oma::api

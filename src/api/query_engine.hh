@@ -1,0 +1,198 @@
+/**
+ * @file
+ * QueryEngine: the single sanctioned entry point for allocation
+ * queries (docs/MODEL.md §14).
+ *
+ * Composes the engines the previous PRs built — ComponentSweep
+ * (record-then-replay measurement), SearchStrategy (exhaustive /
+ * annealing ranking) and ArtifactStore (content-addressed reuse) —
+ * behind one call: give it an AllocationRequest, get back the
+ * canonical AllocationResponse JSON. Every frontend (the oma_serve
+ * daemon, the table benches, trace_tools, caltool) phrases its
+ * question this way, so there is one code path to trust instead of
+ * three ad-hoc ones.
+ *
+ * Serving discipline, in order:
+ *
+ * 1. *Warm.* The request's content Fingerprint keys the encoded
+ *    response in the artifact store; a warm hit is returned without
+ *    touching a simulator (`serve/warm_hits`, zero record/replay
+ *    work — counter-proven in CI).
+ * 2. *Coalesced.* Concurrent identical requests join one in-flight
+ *    computation (InflightTable): one leader simulates, followers
+ *    carry the identical bytes away (`serve/dedup_hits`).
+ * 3. *Computed.* The leader sweeps per workload (store-aware, so
+ *    even a cold response reuses warm traces/shards), averages the
+ *    component tables, runs the requested strategy and encodes the
+ *    top-K answer (`serve/computed`).
+ *
+ * Because responses carry content only — no provenance, no timing —
+ * all three paths return bitwise-identical bytes, at any thread
+ * count (tests/api/test_query_engine.cc, test_serve_once.cc).
+ *
+ * Admission limits: answerBatch() refuses requests beyond maxBatch
+ * per call (`serve/rejected`) and computes distinct requests on at
+ * most maxInflight concurrent lanes; each lane still honours the
+ * request's own `threads` knob for its sweeps.
+ */
+
+#ifndef OMA_API_QUERY_ENGINE_HH
+#define OMA_API_QUERY_ENGINE_HH
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/request.hh"
+#include "core/sweep.hh"
+#include "obs/metrics.hh"
+#include "store/store.hh"
+
+namespace oma::api
+{
+
+/** Engine-level knobs (per engine, not per request). */
+struct QueryEngineConfig
+{
+    /** Artifact-store root; "" consults OMA_STORE_DIR, and when that
+     * is unset too the engine runs storeless (dedupe still works,
+     * warm serving does not). */
+    std::string storeDir;
+    /** Admission limit: distinct requests computed concurrently by
+     * one answerBatch() call. */
+    unsigned maxInflight = 4;
+    /** Admission limit: requests accepted per batch; the rest are
+     * refused with an error answer. */
+    std::size_t maxBatch = 64;
+};
+
+/**
+ * The explicit component grid of one sweep. Normally derived from
+ * AllocationRequest::space; legacy suites with hand-built component
+ * slots (bench/common.hh) pass their own.
+ */
+struct SweepGrid
+{
+    std::vector<CacheGeometry> icacheGeoms;
+    std::vector<CacheGeometry> dcacheGeoms;
+    std::vector<TlbGeometry> tlbGeoms;
+    std::vector<ComponentSlot> components;
+
+    [[nodiscard]] static SweepGrid fromSpace(const ConfigSpace &space);
+};
+
+/** Allocation-as-a-service: answer AllocationRequests. */
+class QueryEngine
+{
+  public:
+    explicit QueryEngine(QueryEngineConfig config = QueryEngineConfig());
+
+    /**
+     * Answer one request: warm-serve, coalesce or compute (see file
+     * header). Returns the response JSON, or an `oma-error-v1`
+     * payload for an invalid request. The observation collects the
+     * serve counters plus the underlying sweep/search metrics;
+     * attaching one never changes the answer.
+     */
+    [[nodiscard]] std::string
+    answer(const AllocationRequest &request,
+           obs::Observation *observation = nullptr);
+
+    /** answer() for a raw JSON line (daemon wire path): a request
+     * that fails to decode earns an error answer, never a crash. */
+    [[nodiscard]] std::string
+    answerJson(std::string_view request_json,
+               obs::Observation *observation = nullptr);
+
+    /**
+     * Answer a batch of JSON request lines, one answer per line, in
+     * input order. Duplicate requests inside the batch are answered
+     * once and fanned out (`serve/dedup_hits`); distinct requests
+     * compute on at most maxInflight lanes; lines beyond maxBatch
+     * are refused. Per-request metric shards merge into
+     * @p observation in input-group order, so the counters are a
+     * pure function of the batch, not of the schedule.
+     */
+    [[nodiscard]] std::vector<std::string>
+    answerBatch(const std::vector<std::string> &request_lines,
+                obs::Observation *observation = nullptr);
+
+    /**
+     * Measurement stage only: one store-aware sweep per workload of
+     * @p request, in workload order. @p grid overrides the grid
+     * derived from request.space (legacy suite shims); the store
+     * keys depend only on workload/OS/run provenance, so both
+     * spellings share trace artifacts.
+     */
+    [[nodiscard]] std::vector<SweepResult>
+    sweep(const AllocationRequest &request,
+          obs::Observation *observation = nullptr,
+          const SweepGrid *grid = nullptr) const;
+
+    /** Replay stage for an existing recording: sweep @p trace over
+     * the request's grid, or @p grid when given (trace_tools'
+     * file-based path; bypasses the store — a bare recording carries
+     * no provenance). */
+    [[nodiscard]] SweepResult
+    replay(const AllocationRequest &request, const RecordedTrace &trace,
+           obs::Observation *observation = nullptr,
+           const SweepGrid *grid = nullptr) const;
+
+    /** sweep() + suite-average: the request's component CPI tables. */
+    [[nodiscard]] ComponentCpiTables
+    measure(const AllocationRequest &request,
+            obs::Observation *observation = nullptr,
+            const SweepGrid *grid = nullptr) const;
+
+    /**
+     * Ranking stage only, for callers that already hold (possibly
+     * hand-adjusted) tables: run the request's strategy under its
+     * budget/associativity knobs and return the structured top-K
+     * response. answer() is measure() + rank() + codec + store.
+     */
+    [[nodiscard]] AllocationResponse
+    rank(const AllocationRequest &request,
+         const ComponentCpiTables &tables,
+         obs::Observation *observation = nullptr) const;
+
+    /** Semantic validation beyond the codec (non-empty mix and
+     * grid, positive budget/references...); false sets @p error. */
+    [[nodiscard]] static bool validate(const AllocationRequest &request,
+                                       std::string &error);
+
+    /** The engine's store, nullptr when storeless. */
+    [[nodiscard]] const ArtifactStore *
+    store() const
+    {
+        return _store.get();
+    }
+
+    [[nodiscard]] const QueryEngineConfig &
+    config() const
+    {
+        return _config;
+    }
+
+  private:
+    /** Simulate + encode (the leader's path; no store/dedupe). */
+    [[nodiscard]] std::string
+    computeAnswer(const AllocationRequest &request,
+                  obs::Observation *observation) const;
+
+    /** The dedupe table: the store's when present, else our own
+     * (storeless engines still coalesce concurrent duplicates). */
+    [[nodiscard]] InflightTable &
+    inflightTable()
+    {
+        return _store != nullptr ? _store->inflight() : _inflight;
+    }
+
+    QueryEngineConfig _config;
+    std::unique_ptr<ArtifactStore> _store;
+    InflightTable _inflight; //!< Used only when storeless.
+};
+
+} // namespace oma::api
+
+#endif // OMA_API_QUERY_ENGINE_HH

@@ -125,6 +125,32 @@ ConfigSpace::extended()
     return space;
 }
 
+void
+ConfigSpace::fingerprint(Fingerprint &fp) const
+{
+    const auto vec = [&fp](std::string_view name,
+                           const std::vector<std::uint64_t> &values) {
+        fp.u64(std::string(name) + ".n", values.size());
+        for (const std::uint64_t v : values)
+            fp.u64(name, v);
+    };
+    vec("space.tlb_entries", tlbEntries);
+    vec("space.tlb_ways", tlbWays);
+    fp.u64("space.tlb_full_assoc_max", tlbFullAssocMax);
+    vec("space.cache_kbytes", cacheKBytes);
+    vec("space.line_words", lineWords);
+    vec("space.cache_ways", cacheWays);
+    vec("space.victim_entries", victimEntries);
+    fp.u64("space.victim_line_words", victimLineWords);
+    vec("space.wb_entries", wbEntries);
+    fp.u64("space.wb_drain_cycles", wbDrainCycles);
+    vec("space.l2_kbytes", l2KBytes);
+    fp.u64("space.l2_line_words", l2LineWords);
+    fp.u64("space.l2_ways", l2Ways);
+    fp.u64("space.hier_l1_line_words", hierL1LineWords);
+    fp.u64("space.hier_l1_ways", hierL1Ways);
+}
+
 AllocationSearch::AllocationSearch(const AreaModel &area,
                                    double budget_rbe)
     : _area(area), _budget(budget_rbe)

@@ -19,6 +19,7 @@
 
 #include "area/mqf.hh"
 #include "core/sweep.hh"
+#include "support/deprecated.hh"
 
 namespace oma
 {
@@ -101,6 +102,11 @@ struct ConfigSpace
     /** The default extended space the experiments sweep: the paper's
      * grid plus modest victim / write-buffer / L2 axes. */
     [[nodiscard]] static ConfigSpace extended();
+
+    /** Append every axis to an artifact-store fingerprint (vector
+     * axes as an element count followed by the elements, so two
+     * spaces never alias across field boundaries). */
+    void fingerprint(Fingerprint &fp) const;
 };
 
 /** One ranked allocation of the on-chip memory budget. */
@@ -167,6 +173,8 @@ class AllocationSearch
      *        changes the ranking.
      * @return all in-budget allocations, best (lowest CPI) first.
      */
+    OMA_DEPRECATED("phrase the query as an api::AllocationRequest and "
+                   "rank through api::QueryEngine (api/query_engine.hh)")
     [[nodiscard]] std::vector<Allocation>
     rank(const ComponentCpiTables &tables,
          std::uint64_t max_cache_ways = 8, unsigned threads = 0,

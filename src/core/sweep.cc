@@ -118,7 +118,7 @@ ComponentSweep::run(const WorkloadParams &workload, OsKind os,
     bool have_trace = false;
     if (store != nullptr) {
         std::string payload;
-        if (store->load(traceKey(base), payload) &&
+        if (store->get(traceKey(base), payload) &&
             store::decodeTrace(payload, trace)) {
             have_trace = true;
             if (observation != nullptr) {
@@ -138,7 +138,7 @@ ComponentSweep::run(const WorkloadParams &workload, OsKind os,
         }
         if (store != nullptr) {
             const std::string payload = store::encodeTrace(trace);
-            store->save(traceKey(base), payload);
+            store->put(traceKey(base), payload);
             if (observation != nullptr)
                 obs::exportEncodedTrace(observation->metrics, "trace",
                                         payload.size(), trace.size());
@@ -228,12 +228,12 @@ ComponentSweep::replayTrace(const RecordedTrace &trace,
         if (store == nullptr)
             return false;
         std::string payload;
-        return store->load(key, payload) && decode(payload);
+        return store->get(key, payload) && decode(payload);
     };
     const auto saveShard = [&](const Fingerprint &key,
                                const std::string &payload) {
         if (store != nullptr)
-            store->save(key, payload);
+            store->put(key, payload);
     };
 
     std::uint64_t wb_stall = 0;

@@ -32,6 +32,7 @@
 #include "machine/machine.hh"
 #include "obs/metrics.hh"
 #include "store/store.hh"
+#include "support/deprecated.hh"
 #include "support/logging.hh"
 #include "tlb/tapeworm.hh"
 #include "trace/recorded.hh"
@@ -394,6 +395,8 @@ class ComponentSweep
         const RunConfig &run = RunConfig(),
         obs::Observation *observation = nullptr) const;
 
+    OMA_DEPRECATED("phrase the query as an api::AllocationRequest and "
+                    "sweep through api::QueryEngine (api/query_engine.hh)")
     [[nodiscard]] SweepResult
     run(BenchmarkId id, OsKind os,
         const RunConfig &run_config = RunConfig(),

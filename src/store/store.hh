@@ -40,10 +40,13 @@
 #define OMA_STORE_STORE_HH
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
 
+#include "support/deprecated.hh"
 #include "support/fingerprint.hh"
 #include "support/sync.hh"
 
@@ -57,6 +60,104 @@ struct StoreStatsSnapshot
     std::uint64_t misses = 0;
     std::uint64_t writes = 0;
     std::uint64_t quarantined = 0;
+};
+
+/** One in-flight computation's shared state (InflightTable detail;
+ * every field is guarded by the owning table's mutex). */
+struct InflightEntry
+{
+    bool done = false;
+    bool abandoned = false;
+    std::string payload;
+};
+
+/**
+ * In-process coalescing of concurrent identical computations.
+ *
+ * The on-disk store deduplicates *completed* work across processes;
+ * this table deduplicates *in-flight* work across threads: the first
+ * thread to join() a key becomes the leader and computes, every
+ * concurrent joiner blocks until the leader publishes and then
+ * carries the identical payload away — so N simultaneous identical
+ * queries cost one simulation (`serve/dedup_hits` counts the
+ * followers). Keys are the same canonical Fingerprints the store
+ * uses; both sides compare full key text, never just the hash.
+ *
+ * Concurrency contract (docs/STATIC_ANALYSIS.md): the single mutex
+ * (rank lockrank::storeInflight) guards the key map and is held only
+ * for map bookkeeping and the publication wait — never while the
+ * leader computes or touches the store, so leaders of distinct keys
+ * proceed in parallel. A leader that unwinds without publishing
+ * abandons the entry and one waiting follower retakes leadership,
+ * so an error path never strands waiters.
+ */
+class InflightTable
+{
+  public:
+    /**
+     * RAII claim on one key's computation. Exactly one live lease
+     * per key is the leader; it must publish() its payload (followers
+     * then observe it) or let the lease unwind, which wakes the
+     * followers to retake leadership.
+     */
+    class Lease
+    {
+      public:
+        Lease(Lease &&other) noexcept { *this = std::move(other); }
+        Lease &
+        operator=(Lease &&other) noexcept
+        {
+            _table = other._table;
+            _key = std::move(other._key);
+            _entry = std::move(other._entry);
+            _leader = other._leader;
+            _published = other._published;
+            other._table = nullptr;
+            return *this;
+        }
+        Lease(const Lease &) = delete;
+        Lease &operator=(const Lease &) = delete;
+        ~Lease();
+
+        /** True when this caller must compute (and then publish). */
+        [[nodiscard]] bool leader() const { return _leader; }
+
+        /** The leader's published payload; followers only. */
+        [[nodiscard]] const std::string &payload() const;
+
+        /** Leader only: hand @p payload to every waiting follower
+         * and retire the key (later joiners start fresh — with a
+         * store in front they hit warm instead). */
+        void publish(std::string payload);
+
+      private:
+        friend class InflightTable;
+        Lease() = default;
+
+        InflightTable *_table = nullptr;
+        std::string _key;
+        std::shared_ptr<InflightEntry> _entry;
+        bool _leader = false;
+        bool _published = false;
+    };
+
+    /**
+     * Join the computation keyed by @p key: returns a leader lease
+     * immediately when no identical computation is running, else
+     * blocks until the running one publishes (or abandons) and
+     * returns a follower lease carrying the published payload.
+     */
+    [[nodiscard]] Lease join(const Fingerprint &key);
+
+  private:
+    friend class Lease;
+
+    /** Guards the in-flight key map; held for bookkeeping and the
+     * publication wait only, never across compute or store I/O. */
+    mutable Mutex _mutex{OMA_LOCK_RANK(lockrank::storeInflight)};
+    CondVar _published;
+    std::map<std::string, std::shared_ptr<InflightEntry>>
+        _inflight OMA_GUARDED_BY(_mutex);
 };
 
 /** A content-addressed artifact cache rooted at one directory. */
@@ -80,18 +181,47 @@ class ArtifactStore
     open(const std::string &configured_dir);
 
     /**
-     * Load the payload stored under @p key into @p payload.
+     * Fetch the payload stored under @p key into @p payload.
      *
      * @retval true on a verified hit (key text matched byte-for-byte
      *         and the payload checksum held).
      * @retval false on a miss — including a corrupt or mismatched
      *         entry, which is quarantined first.
      */
-    [[nodiscard]] bool load(const Fingerprint &key,
-                            std::string &payload) const;
+    [[nodiscard]] bool get(const Fingerprint &key,
+                           std::string &payload) const;
 
     /** Publish @p payload under @p key (atomic temp-file+rename). */
-    void save(const Fingerprint &key, std::string_view payload) const;
+    void put(const Fingerprint &key, std::string_view payload) const;
+
+    /**
+     * This store's in-process duplicate-computation coalescer. The
+     * table is in-memory per store instance (the cross-process
+     * analogue is the warm get() path), exposed here so engines need
+     * no side channel: the narrow get/put/inflight triple is the
+     * whole public surface of the store.
+     */
+    [[nodiscard]] InflightTable &
+    inflight() const
+    {
+        return _inflightTable;
+    }
+
+    /** @deprecated Legacy spelling of get(). */
+    OMA_DEPRECATED("use ArtifactStore::get()")
+    [[nodiscard]] bool
+    load(const Fingerprint &key, std::string &payload) const
+    {
+        return get(key, payload);
+    }
+
+    /** @deprecated Legacy spelling of put(). */
+    OMA_DEPRECATED("use ArtifactStore::put()")
+    void
+    save(const Fingerprint &key, std::string_view payload) const
+    {
+        put(key, payload);
+    }
 
     /** Absolute path an entry for @p key lives at. */
     [[nodiscard]] std::string entryPath(const Fingerprint &key) const;
@@ -133,6 +263,9 @@ class ArtifactStore
      * call out of the store (rank table in sync.hh). */
     mutable Mutex _statsMutex{OMA_LOCK_RANK(lockrank::storeStats)};
     mutable StoreStatsSnapshot _stats OMA_GUARDED_BY(_statsMutex);
+
+    /** Owns its own locking (see InflightTable). */
+    mutable InflightTable _inflightTable;
 };
 
 } // namespace oma

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Deprecation marker for legacy entry points.
+ *
+ * PR 10 funnels every allocation query through the oma::api facade
+ * (docs/MODEL.md §14); the superseded entry points stay as thin,
+ * behaviour-identical shims so out-of-tree callers keep compiling,
+ * but new in-tree uses are flagged at compile time. Tests that
+ * deliberately pin the legacy paths bitwise against the facade
+ * define OMA_ALLOW_DEPRECATED for their target, which silences the
+ * attribute without forking the headers (the attribute only affects
+ * diagnostics, so mixed translation units are harmless).
+ */
+
+#ifndef OMA_SUPPORT_DEPRECATED_HH
+#define OMA_SUPPORT_DEPRECATED_HH
+
+#ifdef OMA_ALLOW_DEPRECATED
+#define OMA_DEPRECATED(msg)
+#else
+#define OMA_DEPRECATED(msg) [[deprecated(msg)]]
+#endif
+
+#endif // OMA_SUPPORT_DEPRECATED_HH

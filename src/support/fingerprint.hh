@@ -40,7 +40,7 @@ class Fingerprint
         appendName(name);
         char buf[24];
         const auto res = std::to_chars(buf, buf + sizeof buf, value);
-        _text.append(buf, res.ptr);
+        _text.append(buf, std::size_t(res.ptr - buf));
         _text.push_back('\n');
     }
 
@@ -51,7 +51,7 @@ class Fingerprint
         appendName(name);
         char buf[48];
         const auto res = std::to_chars(buf, buf + sizeof buf, value);
-        _text.append(buf, res.ptr);
+        _text.append(buf, std::size_t(res.ptr - buf));
         _text.push_back('\n');
     }
 
@@ -64,7 +64,7 @@ class Fingerprint
         char buf[24];
         const auto res =
             std::to_chars(buf, buf + sizeof buf, value.size());
-        _text.append(buf, res.ptr);
+        _text.append(buf, std::size_t(res.ptr - buf));
         _text.push_back(':');
         _text.append(value);
         _text.push_back('\n');

@@ -1,0 +1,345 @@
+/**
+ * @file
+ * QueryEngine serving-discipline tests.
+ *
+ * The contract under test (docs/MODEL.md §14): every serving path —
+ * cold compute, store-warm, in-flight coalesced — returns bitwise
+ * identical response bytes, at any thread count, and the serve
+ * counters prove which path ran. The cold answer itself must equal
+ * what the underlying sweep + strategy engines produce when driven
+ * directly, so the facade can never drift from the engines it fronts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "api/query_engine.hh"
+#include "api/request.hh"
+#include "area/mqf.hh"
+#include "core/search_strategy.hh"
+#include "core/sweep.hh"
+#include "obs/metrics.hh"
+
+namespace oma::api
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+/** Fresh per-test store root under the test temp directory. */
+std::string
+storeRoot(const std::string &name)
+{
+    const std::string root = testing::TempDir() + "/oma_qe_" + name +
+        "." + std::to_string(::getpid());
+    fs::remove_all(root);
+    return root;
+}
+
+/** A deliberately small request: one workload, few references, a
+ * grid of a handful of geometries — seconds, not minutes. */
+AllocationRequest
+tinyRequest()
+{
+    AllocationRequest request;
+    request.workloads = {BenchmarkId::Mpeg};
+    request.references = 20000;
+    request.space.tlbEntries = {64};
+    request.space.tlbWays = {1};
+    request.space.tlbFullAssocMax = 64;
+    request.space.cacheKBytes = {2, 4};
+    request.space.lineWords = {4};
+    request.space.cacheWays = {1, 2};
+    request.topK = 5;
+    return request;
+}
+
+std::uint64_t
+counter(const obs::Observation &obs, const char *name)
+{
+    return obs.metrics.counter(name);
+}
+
+TEST(QueryEngine, AnswerMatchesTheEnginesDrivenDirectly)
+{
+    const AllocationRequest request = tinyRequest();
+
+    // The facade's answer (storeless, so pure compute).
+    QueryEngine engine;
+    obs::Observation obs;
+    const std::string answer = engine.answer(request, &obs);
+    EXPECT_EQ(counter(obs, "serve/computed"), 1u);
+
+    // The same question asked of the engines directly, the way the
+    // table benches did before the facade existed.
+    ComponentSweep sweep(request.space.cacheGeometries(),
+                         request.space.cacheGeometries(),
+                         request.space.tlbGeometries());
+    const RunConfig rc = request.runConfig("");
+    std::vector<SweepResult> results;
+    for (const BenchmarkId id : request.workloads)
+        results.push_back(
+            sweep.run(benchmarkParams(id), request.os, rc, nullptr));
+    const ComponentCpiTables tables = ComponentCpiTables::average(
+        results, MachineParams::decstation3100());
+    const SearchSpace space(tables, AreaModel(), request.budgetRbe,
+                            request.maxCacheWays);
+    SearchResult direct =
+        ExhaustiveStrategy().search(space, request.threads, nullptr);
+
+    AllocationResponse expected;
+    expected.strategy = request.strategy;
+    expected.inBudget = direct.allocations.size();
+    expected.candidates = direct.candidates;
+    expected.evaluations = direct.evaluations;
+    expected.prunedSubspaces = direct.prunedSubspaces;
+    expected.baseCpi = tables.baseCpi;
+    expected.wbCpi = tables.wbCpi;
+    expected.otherCpi = tables.otherCpi;
+    expected.allocations = direct.allocations;
+    if (expected.allocations.size() > request.topK)
+        expected.allocations.resize(std::size_t(request.topK));
+
+    EXPECT_EQ(answer, encodeResponse(expected));
+}
+
+TEST(QueryEngine, ThreadCountNeverChangesTheAnswer)
+{
+    AllocationRequest request = tinyRequest();
+    request.threads = 1;
+    QueryEngine one;
+    const std::string serial = one.answer(request);
+
+    request.threads = 4;
+    QueryEngine four;
+    EXPECT_EQ(four.answer(request), serial);
+}
+
+TEST(QueryEngine, SecondAnswerIsStoreWarmAndBitwiseIdentical)
+{
+    const std::string dir = storeRoot("warm");
+    QueryEngineConfig config;
+    config.storeDir = dir;
+    const AllocationRequest request = tinyRequest();
+
+    QueryEngine engine(config);
+    obs::Observation cold;
+    const std::string first = engine.answer(request, &cold);
+    EXPECT_EQ(counter(cold, "serve/computed"), 1u);
+    EXPECT_EQ(counter(cold, "serve/warm_hits"), 0u);
+
+    obs::Observation warm;
+    const std::string second = engine.answer(request, &warm);
+    EXPECT_EQ(second, first);
+    EXPECT_EQ(counter(warm, "serve/warm_hits"), 1u);
+    EXPECT_EQ(counter(warm, "serve/computed"), 0u);
+    // Warm serving touches no simulator: no sweep records, replays
+    // or even store trace fetches happen on this path.
+    EXPECT_EQ(counter(warm, "sweep/records"), 0u);
+    EXPECT_EQ(counter(warm, "sweep/replays"), 0u);
+    EXPECT_EQ(counter(warm, "store/trace_hits"), 0u);
+
+    // A different engine instance over the same store is also warm:
+    // the answer lives in the store, not the process.
+    QueryEngine other(config);
+    obs::Observation cross;
+    EXPECT_EQ(other.answer(request, &cross), first);
+    EXPECT_EQ(counter(cross, "serve/warm_hits"), 1u);
+    fs::remove_all(dir);
+}
+
+TEST(QueryEngine, BatchCoalescesDuplicatesToOneComputation)
+{
+    const std::string dir = storeRoot("batch");
+    QueryEngineConfig config;
+    config.storeDir = dir;
+    QueryEngine engine(config);
+
+    const std::string line = encodeRequest(tinyRequest());
+    const std::vector<std::string> lines{line, line, line, line};
+    obs::Observation obs;
+    const std::vector<std::string> answers =
+        engine.answerBatch(lines, &obs);
+
+    ASSERT_EQ(answers.size(), 4u);
+    for (const std::string &answer : answers)
+        EXPECT_EQ(answer, answers.front());
+    AllocationResponse decoded;
+    std::string error;
+    EXPECT_TRUE(decodeResponse(answers.front(), decoded, error))
+        << error;
+
+    EXPECT_EQ(counter(obs, "serve/batches"), 1u);
+    EXPECT_EQ(counter(obs, "serve/requests"), 4u);
+    EXPECT_EQ(counter(obs, "serve/computed"), 1u);
+    EXPECT_EQ(counter(obs, "serve/dedup_hits"), 3u);
+    EXPECT_EQ(counter(obs, "serve/warm_hits"), 0u);
+    EXPECT_EQ(counter(obs, "serve/rejected"), 0u);
+    fs::remove_all(dir);
+}
+
+TEST(QueryEngine, BatchMixesWarmDistinctAndInvalidLines)
+{
+    const std::string dir = storeRoot("mixed");
+    QueryEngineConfig config;
+    config.storeDir = dir;
+    QueryEngine engine(config);
+
+    const AllocationRequest small = tinyRequest();
+    AllocationRequest tighter = small;
+    // A genuinely tighter budget: the tiny grid's candidates span
+    // roughly 44k-56k rbe, so this excludes some and the answer
+    // content itself changes, not just the store key.
+    tighter.budgetRbe = 50000.0;
+    obs::Observation prime;
+    const std::string warm_answer = engine.answer(small, &prime);
+
+    const std::vector<std::string> lines{
+        encodeRequest(small),   // warm
+        encodeRequest(tighter), // computed
+        "not json",             // refused
+        encodeRequest(small),   // warm again (store hit, not dedupe)
+    };
+    obs::Observation obs;
+    const std::vector<std::string> answers =
+        engine.answerBatch(lines, &obs);
+    ASSERT_EQ(answers.size(), 4u);
+    EXPECT_EQ(answers[0], warm_answer);
+    EXPECT_EQ(answers[3], warm_answer);
+    EXPECT_NE(answers[1], warm_answer);
+    EXPECT_NE(answers[2].find("oma-error-v1"), std::string::npos);
+
+    // The two identical lines share one key group, so the second is
+    // a dedup fan-out and only the group leader consults the store.
+    EXPECT_EQ(counter(obs, "serve/requests"), 4u);
+    EXPECT_EQ(counter(obs, "serve/warm_hits"), 1u);
+    EXPECT_EQ(counter(obs, "serve/dedup_hits"), 1u);
+    EXPECT_EQ(counter(obs, "serve/computed"), 1u);
+    EXPECT_EQ(counter(obs, "serve/rejected"), 1u);
+    fs::remove_all(dir);
+}
+
+TEST(QueryEngine, BatchRefusesLinesBeyondMaxBatch)
+{
+    QueryEngineConfig config;
+    config.maxBatch = 2;
+    QueryEngine engine(config);
+
+    const std::string line = encodeRequest(tinyRequest());
+    obs::Observation obs;
+    const std::vector<std::string> answers =
+        engine.answerBatch({line, line, line, line}, &obs);
+    ASSERT_EQ(answers.size(), 4u);
+    // The first two are admitted (one computed, one deduped)...
+    EXPECT_EQ(answers[1], answers[0]);
+    AllocationResponse decoded;
+    std::string error;
+    EXPECT_TRUE(decodeResponse(answers[0], decoded, error)) << error;
+    // ...the rest are refused with the admission error.
+    for (std::size_t i = 2; i < answers.size(); ++i) {
+        EXPECT_NE(answers[i].find("oma-error-v1"), std::string::npos);
+        EXPECT_NE(answers[i].find("admission"), std::string::npos);
+    }
+    EXPECT_EQ(counter(obs, "serve/rejected"), 2u);
+    EXPECT_EQ(counter(obs, "serve/computed"), 1u);
+    EXPECT_EQ(counter(obs, "serve/dedup_hits"), 1u);
+}
+
+TEST(QueryEngine, ConcurrentIdenticalAnswersCoalesceAndMatch)
+{
+    // True races through answer() itself: all threads must carry
+    // identical bytes away, and every serving is accounted to
+    // exactly one of computed / warm / deduplicated.
+    QueryEngine engine; // storeless: no warm path, dedupe only
+    const AllocationRequest request = tinyRequest();
+
+    constexpr int kThreads = 4;
+    std::vector<std::string> payloads(kThreads);
+    std::vector<obs::Observation> shards(kThreads);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t]() {
+            payloads[std::size_t(t)] =
+                engine.answer(request, &shards[std::size_t(t)]);
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+
+    for (const std::string &payload : payloads)
+        EXPECT_EQ(payload, payloads.front());
+    std::uint64_t computed = 0, warm = 0, dedup = 0;
+    for (const obs::Observation &shard : shards) {
+        computed += counter(shard, "serve/computed");
+        warm += counter(shard, "serve/warm_hits");
+        dedup += counter(shard, "serve/dedup_hits");
+    }
+    EXPECT_EQ(computed + warm + dedup, std::uint64_t(kThreads));
+    EXPECT_GE(computed, 1u);
+    EXPECT_EQ(warm, 0u); // storeless engine has no warm path
+}
+
+TEST(QueryEngine, InvalidRequestsEarnErrorAnswers)
+{
+    QueryEngine engine;
+    obs::Observation obs;
+
+    AllocationRequest empty = tinyRequest();
+    empty.workloads.clear();
+    std::string answer = engine.answer(empty, &obs);
+    EXPECT_NE(answer.find("oma-error-v1"), std::string::npos);
+    EXPECT_NE(answer.find("workloads"), std::string::npos);
+
+    AllocationRequest broke = tinyRequest();
+    broke.budgetRbe = 0.0;
+    answer = engine.answer(broke, &obs);
+    EXPECT_NE(answer.find("oma-error-v1"), std::string::npos);
+
+    AllocationRequest no_iters = tinyRequest();
+    no_iters.strategy = Strategy::Annealing;
+    no_iters.annealing.iterations = 0;
+    answer = engine.answer(no_iters, &obs);
+    EXPECT_NE(answer.find("oma-error-v1"), std::string::npos);
+
+    // The wire path refuses garbage the same way, never crashing.
+    answer = engine.answerJson("{\"not\":\"a request\"}", &obs);
+    EXPECT_NE(answer.find("oma-error-v1"), std::string::npos);
+    answer = engine.answerJson("garbage", &obs);
+    EXPECT_NE(answer.find("oma-error-v1"), std::string::npos);
+
+    EXPECT_EQ(counter(obs, "serve/rejected"), 5u);
+    EXPECT_EQ(counter(obs, "serve/requests"), 5u);
+    EXPECT_EQ(counter(obs, "serve/computed"), 0u);
+}
+
+TEST(QueryEngine, ValidateNamesTheOffendingField)
+{
+    std::string error;
+    AllocationRequest request = tinyRequest();
+    EXPECT_TRUE(QueryEngine::validate(request, error));
+
+    request.references = 0;
+    EXPECT_FALSE(QueryEngine::validate(request, error));
+    EXPECT_NE(error.find("references"), std::string::npos);
+
+    request = tinyRequest();
+    request.space.tlbEntries.clear();
+    request.space.tlbFullAssocMax = 0;
+    EXPECT_FALSE(QueryEngine::validate(request, error));
+    EXPECT_NE(error.find("TLB"), std::string::npos);
+
+    request = tinyRequest();
+    request.maxCacheWays = 0;
+    EXPECT_FALSE(QueryEngine::validate(request, error));
+    EXPECT_NE(error.find("max_cache_ways"), std::string::npos);
+}
+
+} // namespace
+} // namespace oma::api

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * End-to-end oma_serve --once tests: the daemon binary itself,
+ * driven over its stdin/stdout wire exactly as a client would.
+ *
+ * Pins the PR's headline property: a Table-style allocation query
+ * answered cold, answered store-warm, answered as a concurrent
+ * duplicate, and answered at a different thread count all yield
+ * bitwise-identical response lines.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "api/request.hh"
+
+namespace oma::api
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+/** Fresh per-test scratch directory. */
+std::string
+scratchDir(const std::string &name)
+{
+    const std::string root = testing::TempDir() + "/oma_serve_" +
+        name + "." + std::to_string(::getpid());
+    fs::remove_all(root);
+    fs::create_directories(root);
+    return root;
+}
+
+/** Run `oma_serve --once --store-dir store_dir` with @p input on
+ * stdin; returns the stdout lines. */
+std::vector<std::string>
+serveOnce(const std::string &store_dir, const std::string &input)
+{
+    const std::string dir = scratchDir("io");
+    const std::string in_path = dir + "/request.ndjson";
+    {
+        std::ofstream in(in_path, std::ios::binary);
+        in << input;
+    }
+    // Reports are noise here; the daemon's own counters are covered
+    // through QueryEngine tests and the CI smoke job.
+    const std::string command = "OMA_RUN_REPORT=0 '" OMA_SERVE_BIN
+        "' --once --store-dir '" + store_dir + "' < '" + in_path +
+        "' 2>/dev/null";
+    FILE *pipe = ::popen(command.c_str(), "r");
+    EXPECT_NE(pipe, nullptr);
+    std::string output;
+    char buffer[4096];
+    std::size_t got = 0;
+    while ((got = std::fread(buffer, 1, sizeof buffer, pipe)) > 0)
+        output.append(buffer, got);
+    const int status = ::pclose(pipe);
+    EXPECT_EQ(status, 0) << output;
+    fs::remove_all(dir);
+
+    std::vector<std::string> lines;
+    std::size_t start = 0;
+    while (start < output.size()) {
+        const std::size_t end = output.find('\n', start);
+        if (end == std::string::npos) {
+            lines.push_back(output.substr(start));
+            break;
+        }
+        lines.push_back(output.substr(start, end - start));
+        start = end + 1;
+    }
+    return lines;
+}
+
+/** A small but real allocation query (a scaled-down Table 6: full
+ * budget, exhaustive ranking, one workload). */
+AllocationRequest
+table6Query()
+{
+    AllocationRequest request;
+    request.workloads = {BenchmarkId::Mpeg};
+    request.references = 20000;
+    request.space.tlbEntries = {64};
+    request.space.tlbWays = {1};
+    request.space.tlbFullAssocMax = 64;
+    request.space.cacheKBytes = {2, 4};
+    request.space.lineWords = {4};
+    request.space.cacheWays = {1, 2};
+    request.topK = 3;
+    request.threads = 1;
+    return request;
+}
+
+TEST(ServeOnce, ColdWarmAndDuplicateAnswersAreBitwiseIdentical)
+{
+    const std::string store = scratchDir("store");
+    const std::string line = encodeRequest(table6Query());
+
+    // Cold: compute through the simulators.
+    const std::vector<std::string> cold = serveOnce(store, line + "\n");
+    ASSERT_EQ(cold.size(), 1u);
+    AllocationResponse response;
+    std::string error;
+    ASSERT_TRUE(decodeResponse(cold.front(), response, error))
+        << error;
+    EXPECT_FALSE(response.allocations.empty());
+    EXPECT_GT(response.inBudget, 0u);
+
+    // Warm: a fresh daemon process over the same store.
+    const std::vector<std::string> warm = serveOnce(store, line + "\n");
+    ASSERT_EQ(warm.size(), 1u);
+    EXPECT_EQ(warm.front(), cold.front());
+
+    // Duplicates in one batch: one computation fanned out — and the
+    // same bytes again, through yet another store (fresh cold path).
+    const std::string fresh = scratchDir("store2");
+    const std::vector<std::string> batch =
+        serveOnce(fresh, line + "\n" + line + "\n" + line + "\n");
+    ASSERT_EQ(batch.size(), 3u);
+    for (const std::string &answer : batch)
+        EXPECT_EQ(answer, cold.front());
+
+    fs::remove_all(store);
+    fs::remove_all(fresh);
+}
+
+TEST(ServeOnce, ThreadCountIsInvisibleInTheAnswer)
+{
+    const std::string store = scratchDir("threads");
+    AllocationRequest request = table6Query();
+    request.threads = 1;
+    const std::string serial = encodeRequest(request);
+    request.threads = 4;
+    const std::string parallel = encodeRequest(request);
+    ASSERT_NE(serial, parallel); // the wire lines differ...
+
+    const std::vector<std::string> one = serveOnce(store, serial + "\n");
+    // Separate store: force the 4-thread run through the cold path
+    // rather than a warm hit keyed by the (threads-blind) fingerprint.
+    const std::string other = scratchDir("threads4");
+    const std::vector<std::string> four =
+        serveOnce(other, parallel + "\n");
+    ASSERT_EQ(one.size(), 1u);
+    ASSERT_EQ(four.size(), 1u);
+    EXPECT_EQ(one.front(), four.front()); // ...the answers do not
+    fs::remove_all(store);
+    fs::remove_all(other);
+}
+
+TEST(ServeOnce, MalformedLinesEarnErrorsInOrder)
+{
+    const std::string store = scratchDir("errors");
+    const std::string good = encodeRequest(table6Query());
+    const std::vector<std::string> lines = serveOnce(
+        store, "this is not json\n" + good + "\n{\"schema\":\"x\"}\n");
+    ASSERT_EQ(lines.size(), 3u);
+    EXPECT_NE(lines[0].find("oma-error-v1"), std::string::npos);
+    AllocationResponse response;
+    std::string error;
+    EXPECT_TRUE(decodeResponse(lines[1], response, error)) << error;
+    EXPECT_NE(lines[2].find("oma-error-v1"), std::string::npos);
+    fs::remove_all(store);
+}
+
+TEST(ServeOnce, ControlLinesAreAcknowledged)
+{
+    const std::string store = scratchDir("control");
+    const std::string control =
+        "{\"schema\":\"oma-control-v1\",\"cmd\":\"shutdown\"}";
+    const std::vector<std::string> lines =
+        serveOnce(store, control + "\n");
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_NE(lines[0].find("oma-control-v1"), std::string::npos);
+    EXPECT_NE(lines[0].find("true"), std::string::npos);
+    fs::remove_all(store);
+}
+
+} // namespace
+} // namespace oma::api

@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -142,10 +143,10 @@ TEST(ArtifactStore, RoundTripHitAndMiss)
     const std::string payload("the payload\0with a nul", 22);
 
     std::string loaded;
-    EXPECT_FALSE(store.load(key, loaded));
-    store.save(key, payload);
+    EXPECT_FALSE(store.get(key, loaded));
+    store.put(key, payload);
     EXPECT_TRUE(fs::exists(store.entryPath(key)));
-    ASSERT_TRUE(store.load(key, loaded));
+    ASSERT_TRUE(store.get(key, loaded));
     EXPECT_EQ(loaded, payload);
 
     const StoreStatsSnapshot s = store.stats();
@@ -160,19 +161,19 @@ TEST(ArtifactStore, TruncatedEntryIsQuarantinedThenRewritable)
 {
     const ArtifactStore store(storeRoot("truncated"));
     const Fingerprint key = sampleKey();
-    store.save(key, "payload bytes that will get cut short");
+    store.put(key, "payload bytes that will get cut short");
     const std::string path = store.entryPath(key);
     fs::resize_file(path, fs::file_size(path) - 5);
 
     std::string loaded;
-    EXPECT_FALSE(store.load(key, loaded));
+    EXPECT_FALSE(store.get(key, loaded));
     EXPECT_EQ(store.stats().quarantined, 1u);
     EXPECT_FALSE(fs::exists(path));
     EXPECT_TRUE(fs::exists(path + ".corrupt"));
 
     // The slot is reusable: a fresh save serves hits again.
-    store.save(key, "replacement");
-    ASSERT_TRUE(store.load(key, loaded));
+    store.put(key, "replacement");
+    ASSERT_TRUE(store.get(key, loaded));
     EXPECT_EQ(loaded, "replacement");
     fs::remove_all(store.root());
 }
@@ -181,7 +182,7 @@ TEST(ArtifactStore, PayloadBitFlipFailsTheChecksum)
 {
     const ArtifactStore store(storeRoot("bitflip"));
     const Fingerprint key = sampleKey();
-    store.save(key, "sensitive counter bytes");
+    store.put(key, "sensitive counter bytes");
     const std::string path = store.entryPath(key);
     {
         // Flip one bit of the last payload byte.
@@ -192,7 +193,7 @@ TEST(ArtifactStore, PayloadBitFlipFailsTheChecksum)
         f.write(&flipped, 1);
     }
     std::string loaded;
-    EXPECT_FALSE(store.load(key, loaded));
+    EXPECT_FALSE(store.get(key, loaded));
     EXPECT_EQ(store.stats().quarantined, 1u);
     fs::remove_all(store.root());
 }
@@ -204,16 +205,16 @@ TEST(ArtifactStore, StoredKeyMismatchIsDetectedNotServed)
     // it — collisions degrade to detected misses, never aliasing.
     const ArtifactStore store(storeRoot("collision"));
     const Fingerprint a = sampleKey(1), b = sampleKey(2);
-    store.save(a, "payload of a");
+    store.put(a, "payload of a");
     fs::create_directories(
         fs::path(store.entryPath(b)).parent_path());
     fs::copy_file(store.entryPath(a), store.entryPath(b));
 
     std::string loaded;
-    EXPECT_FALSE(store.load(b, loaded));
+    EXPECT_FALSE(store.get(b, loaded));
     EXPECT_EQ(store.stats().quarantined, 1u);
     // A's own entry is untouched and still serves.
-    ASSERT_TRUE(store.load(a, loaded));
+    ASSERT_TRUE(store.get(a, loaded));
     EXPECT_EQ(loaded, "payload of a");
     fs::remove_all(store.root());
 }
@@ -230,14 +231,14 @@ TEST(ArtifactStore, ConcurrentWritersOnOneKeyStayConsistent)
     for (int t = 0; t < 4; ++t) {
         writers.emplace_back([&]() {
             for (int i = 0; i < 8; ++i)
-                store.save(key, payload);
+                store.put(key, payload);
         });
     }
     for (std::thread &w : writers)
         w.join();
 
     std::string loaded;
-    ASSERT_TRUE(store.load(key, loaded));
+    ASSERT_TRUE(store.get(key, loaded));
     EXPECT_EQ(loaded, payload);
     EXPECT_EQ(store.stats().writes, 32u);
     EXPECT_EQ(store.stats().quarantined, 0u);
@@ -253,13 +254,13 @@ TEST(ArtifactStore, StatsSnapshotIsConsistentUnderConcurrency)
     // hit, so hits+misses must always equal completed loads.
     const ArtifactStore store(storeRoot("stats"));
     const Fingerprint key = sampleKey();
-    store.save(key, "payload");
+    store.put(key, "payload");
     std::vector<std::thread> readers;
     for (int t = 0; t < 4; ++t) {
         readers.emplace_back([&]() {
             std::string loaded;
             for (int i = 0; i < 16; ++i)
-                EXPECT_TRUE(store.load(key, loaded));
+                EXPECT_TRUE(store.get(key, loaded));
         });
     }
     std::uint64_t maxSeen = 0;
@@ -298,6 +299,142 @@ TEST(ArtifactStoreDeath, FullDiskIsFatalNotSilent)
     EXPECT_EXIT(ArtifactStore::writeEntryFile("/dev/full", "key=1\n",
                                               payload),
                 testing::ExitedWithCode(1), "disk full");
+}
+
+// ----- in-flight duplicate coalescing -----
+
+TEST(InflightTable, FirstJoinLeadsAndPublishRetiresTheKey)
+{
+    InflightTable table;
+    const Fingerprint key = sampleKey();
+    {
+        InflightTable::Lease lease = table.join(key);
+        ASSERT_TRUE(lease.leader());
+        lease.publish("answer bytes");
+    }
+    // Publication retired the slot: a later joiner starts fresh
+    // rather than being handed the stale payload (with a store in
+    // front it would hit warm instead).
+    InflightTable::Lease again = table.join(key);
+    EXPECT_TRUE(again.leader());
+    again.publish("recomputed");
+}
+
+TEST(InflightTable, DistinctKeysDoNotCoalesce)
+{
+    InflightTable table;
+    InflightTable::Lease a = table.join(sampleKey(1));
+    InflightTable::Lease b = table.join(sampleKey(2));
+    EXPECT_TRUE(a.leader());
+    EXPECT_TRUE(b.leader());
+    a.publish("a");
+    b.publish("b");
+}
+
+TEST(InflightTable, AbandonedLeaseFreesTheKey)
+{
+    InflightTable table;
+    const Fingerprint key = sampleKey();
+    {
+        InflightTable::Lease lease = table.join(key);
+        ASSERT_TRUE(lease.leader());
+        // Unwind without publishing (the compute threw).
+    }
+    InflightTable::Lease retaken = table.join(key);
+    EXPECT_TRUE(retaken.leader());
+    retaken.publish("second attempt");
+}
+
+TEST(InflightTable, ConcurrentJoinersAllCarryThePublishedPayload)
+{
+    // N threads race join() on one key. Whatever the interleaving,
+    // every thread must end up holding the payload: followers carry
+    // the leader's bytes, and a thread that joins after retirement
+    // leads a fresh slot and publishes the same bytes itself.
+    InflightTable table;
+    const Fingerprint key = sampleKey();
+    constexpr int kThreads = 8;
+    std::vector<std::string> carried(kThreads);
+    std::atomic<int> leaders{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t]() {
+            InflightTable::Lease lease = table.join(key);
+            if (lease.leader()) {
+                leaders.fetch_add(1);
+                lease.publish("the one answer");
+                carried[std::size_t(t)] = "the one answer";
+            } else {
+                carried[std::size_t(t)] = lease.payload();
+            }
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+    EXPECT_GE(leaders.load(), 1);
+    EXPECT_LE(leaders.load(), kThreads);
+    for (const std::string &payload : carried)
+        EXPECT_EQ(payload, "the one answer");
+}
+
+TEST(InflightTable, AbandonmentWakesFollowersToRetakeLeadership)
+{
+    // The first leader on each key abandons (simulating a compute
+    // failure); the contract is that a waiting follower retakes
+    // leadership instead of blocking forever. Run several rounds so
+    // the wait path is actually exercised under TSan.
+    InflightTable table;
+    constexpr int kThreads = 4;
+    for (int round = 0; round < 8; ++round) {
+        const Fingerprint key = sampleKey(std::uint64_t(round));
+        std::atomic<bool> abandoned{false};
+        std::vector<std::string> carried(kThreads);
+        std::vector<std::thread> threads;
+        for (int t = 0; t < kThreads; ++t) {
+            threads.emplace_back([&, t]() {
+                for (;;) {
+                    InflightTable::Lease lease = table.join(key);
+                    if (!lease.leader()) {
+                        carried[std::size_t(t)] = lease.payload();
+                        return;
+                    }
+                    if (!abandoned.exchange(true))
+                        continue; // abandon: unwind unpublished
+                    lease.publish("recovered");
+                    carried[std::size_t(t)] = "recovered";
+                    return;
+                }
+            });
+        }
+        for (std::thread &thread : threads)
+            thread.join();
+        EXPECT_TRUE(abandoned.load());
+        for (const std::string &payload : carried)
+            EXPECT_EQ(payload, "recovered") << "round " << round;
+    }
+}
+
+TEST(InflightTableDeath, LeaderReadingUnpublishedPayloadIsFatal)
+{
+    EXPECT_EXIT(
+        {
+            InflightTable table;
+            InflightTable::Lease lease = table.join(sampleKey());
+            (void)lease.payload();
+        },
+        testing::ExitedWithCode(1), "unpublished");
+}
+
+TEST(InflightTableDeath, DoublePublishIsFatal)
+{
+    EXPECT_EXIT(
+        {
+            InflightTable table;
+            InflightTable::Lease lease = table.join(sampleKey());
+            lease.publish("once");
+            lease.publish("twice");
+        },
+        testing::ExitedWithCode(1), "double publish");
 }
 
 // ----- payload codecs -----

@@ -11,6 +11,9 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
+#include "api/request.hh"
 #include "cache/hierarchy.hh"
 #include "cache/victim.hh"
 #include "machine/writebuffer.hh"
@@ -85,6 +88,85 @@ TEST(FingerprintText, HierarchyParamsCanonicalText)
                          "hier.mem_first_word=6\n"
                          "hier.mem_per_word=1\n"
                          "hier.port_conflict=1\n");
+}
+
+TEST(FingerprintText, AllocationRequestKeySchemeIsPinned)
+{
+    // The response-key scheme of the query API (docs/MODEL.md §14):
+    // these texts key every served answer in the artifact store, so a
+    // renamed field or reordered section silently orphans all stored
+    // responses. The workload and space sections are pinned by their
+    // own scheme tests; here the API-owned frame around them is.
+    api::AllocationRequest request;
+    request.workloads = {BenchmarkId::Mpeg};
+    const std::string text = request.responseKey().text();
+
+    const std::string header = "api.format_version=1\n"
+                               "store.format_version=1\n"
+                               "trace.format_version=3\n"
+                               "run.os=4:Mach\n"
+                               "run.seed=42\n"
+                               "run.references=3000000\n"
+                               "workloads.n=1\n"
+                               "workload.name=9:mpeg_play\n";
+    EXPECT_EQ(text.substr(0, header.size()), header);
+
+    const std::string tail = "search.max_cache_ways=8\n"
+                             "search.budget_rbe=250000\n"
+                             "search.top_k=10\n"
+                             "search.strategy=10:exhaustive\n"
+                             "artifact=8:response\n";
+    ASSERT_GE(text.size(), tail.size());
+    EXPECT_EQ(text.substr(text.size() - tail.size()), tail);
+
+    request.strategy = api::Strategy::Annealing;
+    const std::string annealed = request.responseKey().text();
+    const std::string anneal_tail = "search.strategy=9:annealing\n"
+                                    "anneal.seed=42\n"
+                                    "anneal.chains=6\n"
+                                    "anneal.iterations=2000\n"
+                                    "anneal.initial_temp=0.05\n"
+                                    "anneal.final_temp=1e-04\n"
+                                    "artifact=8:response\n";
+    ASSERT_GE(annealed.size(), anneal_tail.size());
+    EXPECT_EQ(annealed.substr(annealed.size() - anneal_tail.size()),
+              anneal_tail);
+}
+
+TEST(FingerprintText, AllocationRequestKeySeparatesContentFromSchedule)
+{
+    const auto hexOf = [](const api::AllocationRequest &r) {
+        return r.responseKey().hex();
+    };
+    api::AllocationRequest base;
+    base.workloads = {BenchmarkId::Mpeg};
+
+    // Execution detail never moves the key...
+    api::AllocationRequest threads = base;
+    threads.threads = 16;
+    EXPECT_EQ(hexOf(base), hexOf(threads));
+
+    // ...while each content knob does: strategy alone,
+    api::AllocationRequest annealed = base;
+    annealed.strategy = api::Strategy::Annealing;
+    EXPECT_NE(hexOf(base), hexOf(annealed));
+    // the annealing seed alone under the annealing strategy,
+    api::AllocationRequest reseeded = annealed;
+    reseeded.annealing.seed = annealed.annealing.seed + 1;
+    EXPECT_NE(hexOf(annealed), hexOf(reseeded));
+    // and the run seed, references, budget and mix.
+    api::AllocationRequest perturbed = base;
+    perturbed.seed = 43;
+    EXPECT_NE(hexOf(base), hexOf(perturbed));
+    perturbed = base;
+    perturbed.references = base.references + 1;
+    EXPECT_NE(hexOf(base), hexOf(perturbed));
+    perturbed = base;
+    perturbed.budgetRbe = base.budgetRbe / 2;
+    EXPECT_NE(hexOf(base), hexOf(perturbed));
+    perturbed = base;
+    perturbed.workloads = {BenchmarkId::VideoPlay};
+    EXPECT_NE(hexOf(base), hexOf(perturbed));
 }
 
 TEST(FingerprintText, EveryFieldReachesTheHash)

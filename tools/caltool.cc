@@ -3,6 +3,7 @@
 #include <iostream>
 #include <array>
 #include <map>
+#include "api/query_engine.hh"
 #include "core/sweep.hh"
 #include "workload/system.hh"
 using namespace oma;
@@ -20,9 +21,19 @@ int main(int argc, char **argv) {
     ig.push_back(CacheGeometry::fromWords(64*1024, 1, 1)); // baseline
     dg.push_back(CacheGeometry::fromWords(64*1024, 1, 1));
     std::vector<TlbGeometry> tg = {TlbGeometry::fullyAssoc(64), TlbGeometry::fullyAssoc(256)};
-    ComponentSweep sweep(ig, dg, tg);
-    RunConfig rc; rc.references = refs;
-    auto r = sweep.run(id, os, rc);
+    // Calibration sweeps phrase their question through the query API
+    // like every other frontend; the hand-built grid rides along as
+    // an explicit SweepGrid.
+    api::QueryEngine engine;
+    api::SweepGrid grid;
+    grid.icacheGeoms = ig;
+    grid.dcacheGeoms = dg;
+    grid.tlbGeoms = tg;
+    api::AllocationRequest request;
+    request.workloads = {id};
+    request.os = os;
+    request.references = refs;
+    auto r = engine.sweep(request, nullptr, &grid).front();
     std::cout << wl << " " << (os==OsKind::Mach?"Mach":"Ultrix") << "  instr=" << r.instructions << "\n";
     std::cout << "I-miss%: ";
     for (size_t i = 0; i < ig.size(); ++i)

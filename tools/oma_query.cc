@@ -1,0 +1,259 @@
+/**
+ * @file
+ * oma_query: command-line client for the oma_serve daemon.
+ *
+ * Builds one oma-allocation-request-v1 object from flags (defaults
+ * are the paper's Table 6 question), sends it — optionally repeated,
+ * to exercise the daemon's dedupe path — as NDJSON over the daemon's
+ * Unix-domain socket, and prints the answer lines. `--emit` prints
+ * the request instead of sending it, which is how CI builds stdin
+ * for `oma_serve --once`; `--shutdown` appends the oma-control-v1
+ * shutdown line so the daemon saves its run report and exits.
+ */
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "api/request.hh"
+#include "support/logging.hh"
+
+namespace
+{
+
+using namespace oma;
+
+struct QueryOptions
+{
+    std::string socketPath = "oma_serve.sock";
+    api::AllocationRequest request;
+    unsigned repeat = 1;
+    bool emit = false;
+    bool shutdown = false;
+    bool shutdownOnly = true; //!< No query flags given, just --shutdown.
+};
+
+void
+usage()
+{
+    std::cerr
+        << "usage: oma_query [--socket PATH] [--emit] [--shutdown]\n"
+        << "                 [--workloads a,b,...] [--os NAME]\n"
+        << "                 [--refs N] [--seed N] [--budget RBE]\n"
+        << "                 [--strategy exhaustive|annealing]\n"
+        << "                 [--anneal-seed N] [--top-k N]\n"
+        << "                 [--max-ways N] [--threads N]\n"
+        << "                 [--cache-kbytes a,b,...]\n"
+        << "                 [--line-words a,b,...]\n"
+        << "                 [--cache-ways a,b,...]\n"
+        << "                 [--tlb-entries a,b,...]\n"
+        << "                 [--tlb-ways a,b,...] [--repeat N]\n"
+        << "\n"
+        << "Defaults ask the paper's Table 6 question. --emit prints\n"
+        << "the request NDJSON instead of connecting; --repeat sends\n"
+        << "N identical copies (daemon answers them once).\n";
+}
+
+std::vector<std::uint64_t>
+parseU64List(const std::string &arg, const std::string &flag)
+{
+    std::vector<std::uint64_t> values;
+    std::size_t start = 0;
+    while (start <= arg.size()) {
+        std::size_t end = arg.find(',', start);
+        if (end == std::string::npos)
+            end = arg.size();
+        const std::string item = arg.substr(start, end - start);
+        fatalIf(item.empty(),
+                "oma_query: empty element in " + flag + " list");
+        char *tail = nullptr;
+        const std::uint64_t v = std::strtoull(item.c_str(), &tail, 10);
+        fatalIf(tail == nullptr || *tail != '\0',
+                "oma_query: bad number '" + item + "' in " + flag);
+        values.push_back(v);
+        start = end + 1;
+    }
+    return values;
+}
+
+std::vector<BenchmarkId>
+parseWorkloads(const std::string &arg)
+{
+    std::vector<BenchmarkId> ids;
+    std::size_t start = 0;
+    while (start <= arg.size()) {
+        std::size_t end = arg.find(',', start);
+        if (end == std::string::npos)
+            end = arg.size();
+        const std::string name = arg.substr(start, end - start);
+        BenchmarkId id{};
+        fatalIf(!api::benchmarkFromName(name, id),
+                "oma_query: unknown workload '" + name + "'");
+        ids.push_back(id);
+        start = end + 1;
+    }
+    return ids;
+}
+
+QueryOptions
+parseOptions(int argc, char **argv)
+{
+    QueryOptions opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&]() -> std::string {
+            fatalIf(i + 1 >= argc, "oma_query: " + arg +
+                    " requires a value");
+            return argv[++i];
+        };
+        const auto u64 = [&value]() {
+            return std::strtoull(value().c_str(), nullptr, 10);
+        };
+        bool isQuery = true;
+        if (arg == "--socket") {
+            opt.socketPath = value();
+            isQuery = false;
+        } else if (arg == "--emit") {
+            opt.emit = true;
+        } else if (arg == "--shutdown") {
+            opt.shutdown = true;
+            isQuery = false;
+        } else if (arg == "--workloads") {
+            opt.request.workloads = parseWorkloads(value());
+        } else if (arg == "--os") {
+            const std::string name = value();
+            fatalIf(!api::osKindFromName(name, opt.request.os),
+                    "oma_query: unknown OS '" + name + "'");
+        } else if (arg == "--refs") {
+            opt.request.references = u64();
+        } else if (arg == "--seed") {
+            opt.request.seed = u64();
+        } else if (arg == "--budget") {
+            opt.request.budgetRbe = std::strtod(value().c_str(), nullptr);
+        } else if (arg == "--strategy") {
+            const std::string name = value();
+            fatalIf(!api::strategyFromName(name, opt.request.strategy),
+                    "oma_query: unknown strategy '" + name + "'");
+        } else if (arg == "--anneal-seed") {
+            opt.request.annealing.seed = u64();
+        } else if (arg == "--top-k") {
+            opt.request.topK = u64();
+        } else if (arg == "--max-ways") {
+            opt.request.maxCacheWays = u64();
+        } else if (arg == "--threads") {
+            opt.request.threads = unsigned(u64());
+        } else if (arg == "--cache-kbytes") {
+            opt.request.space.cacheKBytes =
+                parseU64List(value(), arg);
+        } else if (arg == "--line-words") {
+            opt.request.space.lineWords = parseU64List(value(), arg);
+        } else if (arg == "--cache-ways") {
+            opt.request.space.cacheWays = parseU64List(value(), arg);
+        } else if (arg == "--tlb-entries") {
+            opt.request.space.tlbEntries = parseU64List(value(), arg);
+        } else if (arg == "--tlb-ways") {
+            opt.request.space.tlbWays = parseU64List(value(), arg);
+        } else if (arg == "--repeat") {
+            opt.repeat = unsigned(u64());
+            fatalIf(opt.repeat == 0,
+                    "oma_query: --repeat must be positive");
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            std::exit(0);
+        } else {
+            usage();
+            fatal("oma_query: unknown option " + arg);
+        }
+        if (isQuery)
+            opt.shutdownOnly = false;
+    }
+    return opt;
+}
+
+void
+writeAll(int fd, std::string_view data)
+{
+    while (!data.empty()) {
+        const ssize_t n = ::write(fd, data.data(), data.size());
+        if (n > 0) {
+            data.remove_prefix(std::size_t(n));
+            continue;
+        }
+        if (errno == EINTR)
+            continue;
+        fatal(std::string("oma_query: write: ") + std::strerror(errno));
+    }
+}
+
+std::string
+readAll(int fd)
+{
+    std::string text;
+    char buf[4096];
+    while (true) {
+        const ssize_t n = ::read(fd, buf, sizeof buf);
+        if (n > 0) {
+            text.append(buf, std::size_t(n));
+            continue;
+        }
+        if (n == 0)
+            return text;
+        if (errno == EINTR)
+            continue;
+        fatal(std::string("oma_query: read: ") + std::strerror(errno));
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const QueryOptions opt = parseOptions(argc, argv);
+
+    std::string payload;
+    if (!opt.shutdown || !opt.shutdownOnly) {
+        const std::string line = api::encodeRequest(opt.request);
+        for (unsigned r = 0; r < opt.repeat; ++r) {
+            payload += line;
+            payload.push_back('\n');
+        }
+    }
+    if (opt.shutdown)
+        payload += "{\"schema\":\"oma-control-v1\",\"cmd\":\"shutdown\"}\n";
+
+    if (opt.emit) {
+        std::cout << payload;
+        return 0;
+    }
+
+    fatalIf(opt.socketPath.size() >= sizeof(sockaddr_un{}.sun_path),
+            "oma_query: socket path too long: " + opt.socketPath);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    fatalIf(fd < 0, std::string("oma_query: socket: ") +
+            std::strerror(errno));
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, opt.socketPath.c_str(),
+                opt.socketPath.size() + 1);
+    // oma-lint: allow(cast-audit): POSIX connect takes the generic
+    // sockaddr view of sockaddr_un; sizeof passes the real type.
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof addr) != 0)
+        fatal("oma_query: connect " + opt.socketPath + ": " +
+              std::strerror(errno));
+    writeAll(fd, payload);
+    // Half-close: the daemon answers the whole batch once the
+    // request stream ends.
+    ::shutdown(fd, SHUT_WR);
+    std::cout << readAll(fd);
+    ::close(fd);
+    return 0;
+}
